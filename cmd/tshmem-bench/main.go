@@ -1,0 +1,62 @@
+// Command tshmem-bench regenerates the paper's evaluation: every table and
+// figure of "TSHMEM: Shared-Memory Parallel Computing on Tilera Many-Core
+// Processors", measured in deterministic virtual time on the simulated
+// Tilera substrate.
+//
+// Usage:
+//
+//	tshmem-bench                 # run everything at quick application scale
+//	tshmem-bench -exp fig10      # run one experiment
+//	tshmem-bench -list           # list experiment IDs
+//	tshmem-bench -full           # paper-scale case studies (1024x1024 FFT, 22k images)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"tshmem/internal/bench"
+)
+
+func main() {
+	var (
+		exp  = flag.String("exp", "", "experiment ID to run (default: all)")
+		list = flag.Bool("list", false, "list experiment IDs and exit")
+		full = flag.Bool("full", false, "run case studies at full paper scale")
+		plot = flag.Bool("plot", false, "render each experiment as an ASCII chart too")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, r := range bench.Runners() {
+			fmt.Printf("%-8s %s\n", r.ID, r.Title)
+		}
+		return
+	}
+	opt := bench.Options{Quick: !*full}
+
+	runners := bench.Runners()
+	if *exp != "" {
+		r, ok := bench.Lookup(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "tshmem-bench: unknown experiment %q (try -list)\n", *exp)
+			os.Exit(2)
+		}
+		runners = []bench.Runner{r}
+	}
+	for _, r := range runners {
+		start := time.Now()
+		e, err := r.Run(opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tshmem-bench: %s: %v\n", r.ID, err)
+			os.Exit(1)
+		}
+		fmt.Print(e.Format())
+		if *plot {
+			fmt.Print(e.Plot(72, 18))
+		}
+		fmt.Printf("(regenerated in %.1fs wall time)\n\n", time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,40 @@
+// Command tshmem-info prints the modeled Tilera processor catalogue,
+// including the paper's Table II architecture comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"tshmem/internal/arch"
+)
+
+func main() {
+	var chips = flag.String("chips", "TILE-Gx8036,TILEPro64", "comma-separated chip names (see -all)")
+	var all = flag.Bool("all", false, "print every modeled chip")
+	flag.Parse()
+
+	var list []*arch.Chip
+	if *all {
+		list = arch.Chips()
+	} else {
+		name := ""
+		for _, c := range *chips + "," {
+			if c == ',' {
+				if chip := arch.ByName(name); chip != nil {
+					list = append(list, chip)
+				} else if name != "" {
+					fmt.Printf("unknown chip %q; known chips:\n", name)
+					for _, k := range arch.Chips() {
+						fmt.Println(" ", k.Name)
+					}
+					return
+				}
+				name = ""
+				continue
+			}
+			name += string(c)
+		}
+	}
+	fmt.Print(arch.FormatTableII(list...))
+}

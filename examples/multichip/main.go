@@ -1,0 +1,97 @@
+// Multichip: TSHMEM spanning two TILE-Gx devices over mPIPE — the
+// future-work extension of the paper's Section VI ("expanding the
+// shared-memory abstraction in TSHMEM across multiple many-core devices").
+//
+// The program runs a ring exchange and an all-reduce across both chips, and
+// reports the cost gap between on-chip (iMesh) and cross-chip (mPIPE)
+// transfers.
+//
+// Run with:
+//
+//	go run ./examples/multichip
+//	go run ./examples/multichip -pes 64 -chips 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"tshmem"
+)
+
+func main() {
+	var (
+		pes   = flag.Int("pes", 8, "total processing elements")
+		chips = flag.Int("chips", 2, "TILE-Gx chips connected by mPIPE")
+	)
+	flag.Parse()
+
+	cfg := tshmem.Config{
+		Chip:   tshmem.TileGx8036(),
+		NPEs:   *pes,
+		NChips: *chips,
+	}
+	_, err := tshmem.Run(cfg, func(pe *tshmem.PE) error {
+		me, n := pe.MyPE(), pe.NumPEs()
+
+		data, err := tshmem.Malloc[int64](pe, 8<<10) // 64 kB
+		if err != nil {
+			return err
+		}
+		if err := pe.BarrierAll(); err != nil {
+			return err
+		}
+
+		// Ring put: the PE at each chip boundary pays the mPIPE wire.
+		next := (me + 1) % n
+		t0 := pe.Now()
+		if err := tshmem.Put(pe, data, data, 8<<10, next); err != nil {
+			return err
+		}
+		cost := pe.Now().Sub(t0)
+		nextChip, err := pe.ChipOf(next)
+		if err != nil {
+			return err
+		}
+		kind := "on-chip  (iMesh)"
+		if pe.ChipIndex() != nextChip {
+			kind = "cross-chip (mPIPE)"
+		}
+		fmt.Printf("PE %2d (chip %d, tile %2d): 64 kB put to PE %2d  %-18s %v\n",
+			me, pe.ChipIndex(), pe.Tile(), next, kind, cost)
+
+		// A chip-spanning reduction works transparently.
+		if err := pe.BarrierAll(); err != nil {
+			return err
+		}
+		one, err := tshmem.Malloc[int64](pe, 1)
+		if err != nil {
+			return err
+		}
+		sum, err := tshmem.Malloc[int64](pe, 1)
+		if err != nil {
+			return err
+		}
+		pwrk, err := tshmem.Malloc[int64](pe, tshmem.ReduceMinWrkSize)
+		if err != nil {
+			return err
+		}
+		psync, err := tshmem.Malloc[int64](pe, tshmem.ReduceSyncSize)
+		if err != nil {
+			return err
+		}
+		tshmem.MustLocal(pe, one)[0] = int64(me)
+		if err := tshmem.SumToAll(pe, sum, one, 1, tshmem.AllPEs(n), pwrk, psync); err != nil {
+			return err
+		}
+		if me == 0 {
+			fmt.Printf("\nsum over %d PEs on %d chips: %d (want %d)\n",
+				n, *chips, tshmem.MustLocal(pe, sum)[0], n*(n-1)/2)
+		}
+		return pe.Finalize()
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}

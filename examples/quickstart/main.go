@@ -1,0 +1,87 @@
+// Quickstart: the smallest complete TSHMEM program.
+//
+// Four PEs start, allocate a symmetric array, pass values around a ring
+// with one-sided puts, wait on flags, and finish with a global sum
+// reduction — the SHMEM idioms the paper's Table I catalogues.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tshmem"
+)
+
+func main() {
+	cfg := tshmem.Config{
+		Chip: tshmem.TileGx8036(),
+		NPEs: 4,
+	}
+	rep, err := tshmem.Run(cfg, body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncompleted on %s: %d PEs, virtual makespan %v\n",
+		rep.Chip, rep.NPEs, rep.MaxTime)
+}
+
+func body(pe *tshmem.PE) error {
+	me, n := pe.MyPE(), pe.NumPEs()
+
+	// shmalloc: collective, symmetric — the same offsets on every PE.
+	ring, err := tshmem.Malloc[int64](pe, 1)
+	if err != nil {
+		return err
+	}
+	flag, err := tshmem.Malloc[int32](pe, 1)
+	if err != nil {
+		return err
+	}
+
+	// One-sided ring: put my rank into my right neighbor's slot, then set
+	// its flag; the neighbor waits on the flag (shmem_wait_until).
+	right := (me + 1) % n
+	if err := tshmem.P(pe, ring, int64(me*me), right); err != nil {
+		return err
+	}
+	pe.Fence() // order the data put before the flag
+	if err := tshmem.P(pe, flag, int32(1), right); err != nil {
+		return err
+	}
+	if err := tshmem.WaitUntil(pe, flag, tshmem.CmpEQ, int32(1)); err != nil {
+		return err
+	}
+	got := tshmem.MustLocal(pe, ring)[0]
+	left := (me + n - 1) % n
+	fmt.Printf("PE %d received %d from PE %d\n", me, got, left)
+
+	// Global sum of the received values via a reduction.
+	src, err := tshmem.Malloc[int64](pe, 1)
+	if err != nil {
+		return err
+	}
+	dst, err := tshmem.Malloc[int64](pe, 1)
+	if err != nil {
+		return err
+	}
+	pwrk, err := tshmem.Malloc[int64](pe, tshmem.ReduceMinWrkSize)
+	if err != nil {
+		return err
+	}
+	psync, err := tshmem.Malloc[int64](pe, tshmem.ReduceSyncSize)
+	if err != nil {
+		return err
+	}
+	tshmem.MustLocal(pe, src)[0] = got
+	if err := tshmem.SumToAll(pe, dst, src, 1, tshmem.AllPEs(n), pwrk, psync); err != nil {
+		return err
+	}
+	if me == 0 {
+		fmt.Printf("sum of all ring values: %d\n", tshmem.MustLocal(pe, dst)[0])
+	}
+	return pe.Finalize()
+}

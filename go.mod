@@ -1,0 +1,3 @@
+module tshmem
+
+go 1.24

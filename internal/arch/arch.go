@@ -1,0 +1,199 @@
+// Package arch describes the Tilera many-core processors targeted by
+// TSHMEM: the TILE-Gx8036 and the TILEPro64 (with their smaller siblings),
+// as compared in Table II of the paper.
+//
+// A Chip value carries both the architectural facts (tile grid, clock,
+// cache geometry, network counts) and the calibrated performance-model
+// constants used by the simulation substrate. Each constant is annotated
+// with the paper anchor it reproduces, so the provenance of every number in
+// the regenerated figures is auditable.
+package arch
+
+import (
+	"fmt"
+
+	"tshmem/internal/vtime"
+)
+
+// Family identifies a Tilera processor generation.
+type Family int
+
+const (
+	// TILEPro is the previous, 32-bit generation (TILEPro36, TILEPro64).
+	TILEPro Family = iota
+	// TILEGx is the 64-bit generation (TILE-Gx16, TILE-Gx36).
+	TILEGx
+)
+
+func (f Family) String() string {
+	switch f {
+	case TILEPro:
+		return "TILEPro"
+	case TILEGx:
+		return "TILE-Gx"
+	default:
+		return fmt.Sprintf("Family(%d)", int(f))
+	}
+}
+
+// BWPoint anchors the effective-bandwidth curve of the memory system:
+// transfers of exactly Size bytes sustain MBs megabytes per second. The
+// curve between anchors is interpolated linearly in log(size) space, which
+// matches the smooth knees of the measured curves (Figure 3).
+type BWPoint struct {
+	Size int64   // transfer size in bytes
+	MBs  float64 // effective bandwidth in MB/s
+}
+
+// CopyCurve is an ordered set of bandwidth anchors for one sharing mode.
+type CopyCurve []BWPoint
+
+// BarrierModel carries the calibrated linear cost model for one of the
+// TMC-provided barriers (Figure 5): latency(n) = Base + PerTile*(n-1).
+type BarrierModel struct {
+	Base    vtime.Duration // fixed entry/exit cost
+	PerTile vtime.Duration // marginal cost per additional participating tile
+}
+
+// Latency reports the modeled barrier latency for n participating tiles.
+func (m BarrierModel) Latency(n int) vtime.Duration {
+	if n < 1 {
+		return 0
+	}
+	return m.Base + vtime.Duration(n-1)*m.PerTile
+}
+
+// Chip is a Tilera processor model. All performance constants are
+// per-paper-anchor calibrations; see the definitions of Gx8036 and Pro64.
+type Chip struct {
+	Name   string
+	Family Family
+
+	// Geometry.
+	GridW, GridH int // physical tile grid dimensions
+	Tiles        int // GridW*GridH
+
+	// Core microarchitecture (Table II).
+	ClockHz    float64 // operating frequency used in the paper's platforms
+	WordBytes  int     // iMesh switch-fabric word: 8 on TILE-Gx, 4 on TILEPro
+	Is64Bit    bool
+	L1iBytes   int
+	L1dBytes   int
+	L2Bytes    int
+	DynNets    int // dynamic iMesh networks (5 on Gx, 4 on Pro)
+	StaticNets int // developer-defined statically routed networks
+	MemCtrls   int
+	MemGbps    float64 // aggregate memory bandwidth, Gbps (Table II)
+	MeshTbps   float64 // on-chip mesh interconnect bandwidth, Tbps
+	PeakBOPS   float64 // billions of operations per second (Table II)
+	PowerW     string  // power envelope as quoted by Table II
+	HasMPIPE   bool    // wire-speed packet engine (Gx only)
+	HasMiCA    bool    // crypto/compression accelerator (Gx only)
+
+	// mPIPE chip-to-chip link model, for the multi-device shared-memory
+	// extension the paper proposes as future work. The TILE-Gx8036 front
+	// panel exposes 10GbE ports driven by mPIPE at wire speed.
+	MPIPELinks     int     // parallel 10GbE links between chip pairs
+	MPIPELinkGbps  float64 // per-link wire rate
+	MPIPELatencyNs float64 // one-way packet latency: mPIPE classification + wire + delivery
+
+	// UDN capability and latency decomposition (Section III.C, Table III).
+	// One-way latency = UDNSetupNs + hops*cycle + (words-1)*cycle.
+	// The TILE-Gx has *higher* setup-and-teardown than the TILEPro because
+	// of its 64-bit switching fabric (paper, Figure 4 caption).
+	UDNQueues        int     // demux queues per tile
+	UDNMaxWords      int     // maximum payload words per packet
+	UDNSetupNs       float64 // setup-and-teardown: ~21 ns Gx, ~17 ns Pro
+	UDNHopNs         float64 // per-hop router latency; 0 means one clock cycle
+	UDNInterrupts    bool    // TILEPro lacks UDN interrupt support (S IV.B.2)
+	UDNInterruptNs   float64 // interrupt entry/dispatch overhead on remote tile
+	UDNSendShare     float64 // fraction of setup charged to the sender side
+	UDNSWForwardNs   float64 // software cost to examine-and-forward a barrier signal
+	UDNSendCallNs    float64 // software cost of one standalone tmc_udn_send call
+	BarrierArbiterNs float64 // active-set ID generation cost at the start tile
+
+	// Memory-copy effective-bandwidth anchors (Figure 3). PrivateCopy is
+	// heap-to-heap within one tile; SharedCopy is to/from/within TMC
+	// common memory under the hash-for-home policy TSHMEM uses.
+	PrivateCopy CopyCurve
+	SharedCopy  CopyCurve
+	CopyCallNs  float64 // fixed per-memcpy software overhead
+
+	// Concurrency model for shared-memory traffic (Figures 10-12): with c
+	// PEs streaming simultaneously, per-PE bandwidth is divided by
+	// 1 + ContLow*(c-1) + ContHigh*max(0, c-ContKnee). ContKnee is where
+	// the mesh/home-tile service saturates (aggregate peaks near there).
+	ContLow   float64
+	ContHigh  float64
+	ContKnee  int
+	AtomicNs  float64 // remote atomic op service time beyond the copy model
+	FenceNs   float64 // tmc_mem_fence cost
+	SchedTick float64 // scheduler interaction cost (ns) for sync barriers
+
+	// TMC barrier models (Figure 5).
+	SpinBarrier BarrierModel
+	SyncBarrier BarrierModel
+
+	// Compute cost model for the application case studies (Section V).
+	// The TILEPro has no FPU: floating-point is software-emulated, which
+	// is why the TILE-Gx is "roughly an order of magnitude" faster on the
+	// 2D-FFT (Figure 13) while integer CBIR is closer (Figure 14).
+	FlopNs          float64 // cost of one floating-point op
+	IntOpNs         float64 // cost of one integer/ALU op
+	ReduceElemNs    float64 // per-element cost of the reduction fold loop (type-dispatched)
+	RandomAccessNs  float64 // cost of one dependent remote-cache/memory access
+	InterruptPollNs float64 // servicer poll granularity
+}
+
+// CycleNs reports the duration of one core clock cycle in nanoseconds.
+func (c *Chip) CycleNs() float64 { return 1e9 / c.ClockHz }
+
+// HopNs reports the per-hop router latency: UDNHopNs if set, otherwise one
+// clock cycle (the iMesh switches one word per hop per cycle).
+func (c *Chip) HopNs() float64 {
+	if c.UDNHopNs > 0 {
+		return c.UDNHopNs
+	}
+	return c.CycleNs()
+}
+
+// Cycle reports one clock cycle as a vtime.Duration.
+func (c *Chip) Cycle() vtime.Duration { return vtime.FromNs(c.CycleNs()) }
+
+// Cycles reports n clock cycles as a vtime.Duration.
+func (c *Chip) Cycles(n int) vtime.Duration { return vtime.FromNs(float64(n) * c.CycleNs()) }
+
+// Validate checks internal consistency of the chip description.
+func (c *Chip) Validate() error {
+	if c.Name == "" {
+		return fmt.Errorf("arch: chip has no name")
+	}
+	if c.GridW <= 0 || c.GridH <= 0 {
+		return fmt.Errorf("arch: %s: bad grid %dx%d", c.Name, c.GridW, c.GridH)
+	}
+	if c.Tiles != c.GridW*c.GridH {
+		return fmt.Errorf("arch: %s: Tiles=%d but grid is %dx%d", c.Name, c.Tiles, c.GridW, c.GridH)
+	}
+	if c.ClockHz <= 0 {
+		return fmt.Errorf("arch: %s: non-positive clock", c.Name)
+	}
+	if c.WordBytes != 4 && c.WordBytes != 8 {
+		return fmt.Errorf("arch: %s: UDN word must be 4 or 8 bytes, got %d", c.Name, c.WordBytes)
+	}
+	if len(c.SharedCopy) < 2 || len(c.PrivateCopy) < 2 {
+		return fmt.Errorf("arch: %s: copy curves need at least two anchors", c.Name)
+	}
+	for _, curve := range []CopyCurve{c.PrivateCopy, c.SharedCopy} {
+		for i := 1; i < len(curve); i++ {
+			if curve[i].Size <= curve[i-1].Size {
+				return fmt.Errorf("arch: %s: copy-curve sizes not strictly increasing", c.Name)
+			}
+		}
+	}
+	if c.UDNQueues <= 0 || c.UDNMaxWords <= 0 {
+		return fmt.Errorf("arch: %s: bad UDN geometry", c.Name)
+	}
+	return nil
+}
+
+func (c *Chip) String() string { return c.Name }

@@ -1,0 +1,235 @@
+package arch
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"tshmem/internal/vtime"
+)
+
+func TestCatalogueValidates(t *testing.T) {
+	for _, c := range Chips() {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", c.Name, err)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if c := ByName("TILE-Gx8036"); c == nil || c.Tiles != 36 {
+		t.Errorf("ByName(TILE-Gx8036) = %v", c)
+	}
+	if c := ByName("TILEPro64"); c == nil || c.Tiles != 64 {
+		t.Errorf("ByName(TILEPro64) = %v", c)
+	}
+	if c := ByName("no-such-chip"); c != nil {
+		t.Errorf("ByName(no-such-chip) = %v, want nil", c)
+	}
+}
+
+// TestTableIIFacts pins the architecture facts from the paper's Table II.
+func TestTableIIFacts(t *testing.T) {
+	gx, pro := Gx8036(), Pro64()
+
+	if gx.Tiles != 36 || !gx.Is64Bit || gx.GridW != 6 || gx.GridH != 6 {
+		t.Errorf("Gx8036 geometry wrong: %+v", gx)
+	}
+	if pro.Tiles != 64 || pro.Is64Bit || pro.GridW != 8 || pro.GridH != 8 {
+		t.Errorf("Pro64 geometry wrong: %+v", pro)
+	}
+	if gx.L1iBytes != 32<<10 || gx.L1dBytes != 32<<10 || gx.L2Bytes != 256<<10 {
+		t.Errorf("Gx caches wrong: %d/%d/%d", gx.L1iBytes, gx.L1dBytes, gx.L2Bytes)
+	}
+	if pro.L1iBytes != 16<<10 || pro.L1dBytes != 8<<10 || pro.L2Bytes != 64<<10 {
+		t.Errorf("Pro caches wrong: %d/%d/%d", pro.L1iBytes, pro.L1dBytes, pro.L2Bytes)
+	}
+	if gx.ClockHz != 1e9 || pro.ClockHz != 700e6 {
+		t.Errorf("clock wrong: %v / %v", gx.ClockHz, pro.ClockHz)
+	}
+	if gx.WordBytes != 8 || pro.WordBytes != 4 {
+		t.Errorf("UDN word wrong: %d / %d", gx.WordBytes, pro.WordBytes)
+	}
+	if gx.DynNets != 5 || pro.DynNets != 4 {
+		t.Errorf("dynamic networks wrong: %d / %d", gx.DynNets, pro.DynNets)
+	}
+	if gx.MemCtrls != 2 || pro.MemCtrls != 4 {
+		t.Errorf("memory controllers wrong: %d / %d", gx.MemCtrls, pro.MemCtrls)
+	}
+	if !gx.HasMPIPE || !gx.HasMiCA || pro.HasMPIPE || pro.HasMiCA {
+		t.Error("accelerator flags wrong")
+	}
+	if !gx.UDNInterrupts {
+		t.Error("TILE-Gx must support UDN interrupts")
+	}
+	if pro.UDNInterrupts {
+		t.Error("TILEPro must not support UDN interrupts (paper S IV.B.2)")
+	}
+}
+
+func TestCycle(t *testing.T) {
+	gx, pro := Gx8036(), Pro64()
+	if got := gx.CycleNs(); math.Abs(got-1.0) > 1e-9 {
+		t.Errorf("Gx cycle = %v ns, want 1", got)
+	}
+	if got := pro.CycleNs(); math.Abs(got-1.0/0.7) > 1e-9 {
+		t.Errorf("Pro cycle = %v ns, want 1.428..", got)
+	}
+	if gx.Cycles(10) != 10*vtime.Nanosecond {
+		t.Errorf("Gx Cycles(10) = %v", gx.Cycles(10))
+	}
+}
+
+// TestBarrierModelAnchors pins the Figure 5 latencies at 36 tiles:
+// spin 1.5 us (Gx) / 47.2 us (Pro); sync 321 us (Gx) / 786 us (Pro).
+func TestBarrierModelAnchors(t *testing.T) {
+	check := func(name string, got vtime.Duration, wantUs, tolUs float64) {
+		t.Helper()
+		if math.Abs(got.Us()-wantUs) > tolUs {
+			t.Errorf("%s latency at 36 tiles = %.2f us, want %.2f +- %.2f", name, got.Us(), wantUs, tolUs)
+		}
+	}
+	gx, pro := Gx8036(), Pro64()
+	check("Gx spin", gx.SpinBarrier.Latency(36), 1.5, 0.1)
+	check("Pro spin", pro.SpinBarrier.Latency(36), 47.2, 1.0)
+	check("Gx sync", gx.SyncBarrier.Latency(36), 321, 5)
+	check("Pro sync", pro.SyncBarrier.Latency(36), 786, 10)
+}
+
+func TestBarrierModelMonotonic(t *testing.T) {
+	m := Gx8036().SpinBarrier
+	if m.Latency(0) != 0 {
+		t.Errorf("Latency(0) = %v, want 0", m.Latency(0))
+	}
+	prev := vtime.Duration(-1)
+	for n := 1; n <= 64; n++ {
+		l := m.Latency(n)
+		if l <= prev {
+			t.Fatalf("barrier latency not increasing at n=%d: %v <= %v", n, l, prev)
+		}
+		prev = l
+	}
+}
+
+// TestCopyCurveAnchors spot-checks the Figure 3 calibration anchors.
+func TestCopyCurveAnchors(t *testing.T) {
+	gx, pro := Gx8036(), Pro64()
+	find := func(c CopyCurve, size int64) float64 {
+		for _, p := range c {
+			if p.Size == size {
+				return p.MBs
+			}
+		}
+		return -1
+	}
+	if bw := find(gx.SharedCopy, 8<<10); math.Abs(bw-3100) > 1 {
+		t.Errorf("Gx L1d-resident shared copy = %v MB/s, want 3100", bw)
+	}
+	if bw := find(gx.SharedCopy, 256<<10); bw < 1900-1 || bw > 2700+1 {
+		t.Errorf("Gx L2 shared copy = %v MB/s, want within 1900-2700", bw)
+	}
+	if bw := find(gx.SharedCopy, 64<<20); math.Abs(bw-320) > 1 {
+		t.Errorf("Gx memory floor = %v MB/s, want 320", bw)
+	}
+	if bw := find(pro.SharedCopy, 8<<10); math.Abs(bw-500) > 10 {
+		t.Errorf("Pro cache-resident copy = %v MB/s, want ~500", bw)
+	}
+	// "Memory-to-memory transfers on the TILEPro64 are faster than those on
+	// the TILE-Gx36."
+	if proFloor, gxFloor := find(pro.SharedCopy, 16<<20), find(gx.SharedCopy, 64<<20); proFloor <= gxFloor {
+		t.Errorf("Pro floor %v must exceed Gx floor %v", proFloor, gxFloor)
+	}
+}
+
+func TestUDNSetupAnchors(t *testing.T) {
+	// Paper: "estimated setup-and-teardown time is roughly 21 ns for the
+	// TILE-Gx and 18 ns for the TILEPro"; the Gx pays for a 64-bit fabric.
+	gx, pro := Gx8036(), Pro64()
+	if gx.UDNSetupNs <= pro.UDNSetupNs {
+		t.Errorf("Gx setup %v must exceed Pro setup %v", gx.UDNSetupNs, pro.UDNSetupNs)
+	}
+	if math.Abs(gx.UDNSetupNs-21) > 1.5 {
+		t.Errorf("Gx setup = %v, want ~21 ns", gx.UDNSetupNs)
+	}
+	if math.Abs(pro.UDNSetupNs-18) > 1.5 {
+		t.Errorf("Pro setup = %v, want ~18 ns", pro.UDNSetupNs)
+	}
+}
+
+func TestValidateRejectsBadChips(t *testing.T) {
+	mods := []struct {
+		name string
+		mod  func(*Chip)
+	}{
+		{"no name", func(c *Chip) { c.Name = "" }},
+		{"bad grid", func(c *Chip) { c.GridW = 0 }},
+		{"tile mismatch", func(c *Chip) { c.Tiles = 7 }},
+		{"zero clock", func(c *Chip) { c.ClockHz = 0 }},
+		{"bad word", func(c *Chip) { c.WordBytes = 5 }},
+		{"short curve", func(c *Chip) { c.SharedCopy = c.SharedCopy[:1] }},
+		{"unsorted curve", func(c *Chip) {
+			c.SharedCopy = CopyCurve{{1024, 100}, {512, 100}}
+		}},
+		{"no UDN queues", func(c *Chip) { c.UDNQueues = 0 }},
+	}
+	for _, m := range mods {
+		c := Gx8036()
+		m.mod(c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted a broken chip", m.name)
+		}
+	}
+}
+
+func TestFamilyString(t *testing.T) {
+	if TILEGx.String() != "TILE-Gx" || TILEPro.String() != "TILEPro" {
+		t.Error("Family.String mismatch")
+	}
+	if !strings.Contains(Family(9).String(), "9") {
+		t.Error("unknown family should print its value")
+	}
+}
+
+func TestTableIIRendering(t *testing.T) {
+	rows := TableII(Gx8036(), Pro64())
+	if len(rows) != 10 {
+		t.Fatalf("Table II has %d rows, want 10", len(rows))
+	}
+	for _, r := range rows {
+		if len(r.Values) != 2 {
+			t.Fatalf("row %q has %d values, want 2", r.Attribute, len(r.Values))
+		}
+	}
+	text := FormatTableII(Gx8036(), Pro64())
+	for _, want := range []string{
+		"36 tiles of 64-bit VLIW processors",
+		"64 tiles of 32-bit VLIW processors",
+		"32k L1i, 32k L1d, 256k L2 cache per tile",
+		"16k L1i, 8k L1d, 64k L2 cache per tile",
+		"2 DDR3 memory controllers",
+		"4 DDR2 memory controllers",
+		"mPIPE for wire-speed packet processing",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Table II output missing %q", want)
+		}
+	}
+}
+
+// TestComputeCostOrdering checks the compute-model facts the case studies
+// rely on: the TILEPro pays a large softfloat penalty, and the TILE-Gx is
+// faster at integer work too ("the TILE-Gx36 has faster execution times in
+// all cases", S V.B).
+func TestComputeCostOrdering(t *testing.T) {
+	gx, pro := Gx8036(), Pro64()
+	if pro.FlopNs/gx.FlopNs < 4 {
+		t.Errorf("softfloat penalty too small: pro %v vs gx %v ns/flop", pro.FlopNs, gx.FlopNs)
+	}
+	if pro.IntOpNs <= gx.IntOpNs {
+		t.Errorf("Gx int op %v must be faster than Pro %v", gx.IntOpNs, pro.IntOpNs)
+	}
+	// The FP gap must be much larger than the integer gap (Figures 13/14).
+	if (pro.FlopNs / gx.FlopNs) <= (pro.IntOpNs / gx.IntOpNs) {
+		t.Error("FP gap should exceed integer gap")
+	}
+}

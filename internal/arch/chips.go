@@ -1,0 +1,240 @@
+package arch
+
+import "tshmem/internal/vtime"
+
+// Gx8036 returns the TILE-Gx8036 model: 36 tiles of 64-bit VLIW cores in a
+// 6x6 grid at 1 GHz, as deployed in the paper's TILEmpower-Gx platform.
+//
+// Calibration anchors (all from the paper):
+//   - Figure 3: shared-memory memcpy tops ~3100 MB/s in L1d (32 kB knee),
+//     1900-2700 MB/s in L2 (256 kB knee), ~1000 MB/s in the L3 DDC region,
+//     converging to 320 MB/s memory-to-memory.
+//   - Table III: UDN one-way latency 21-22 ns neighbors, 25-26 ns
+//     side-to-side, 31-32 ns corners => setup-and-teardown ~21 ns plus
+//     1 ns/hop at 1 GHz.
+//   - Figure 5: TMC spin barrier 1.5 us and sync barrier 321 us at 36 tiles.
+//   - Figure 10: pull-broadcast aggregate bandwidth peaks at 46 GB/s at 29
+//     tiles and drops to 37 GB/s at 36 (contention knee at ~28 streams).
+//   - Figure 13: 2D-FFT at 32 tiles takes 0.23 s with speedup leveling at
+//     ~5 (flop cost + serialized final transpose).
+func Gx8036() *Chip {
+	return &Chip{
+		Name:   "TILE-Gx8036",
+		Family: TILEGx,
+
+		GridW: 6, GridH: 6, Tiles: 36,
+		ClockHz:   1.0e9,
+		WordBytes: 8,
+		Is64Bit:   true,
+		L1iBytes:  32 << 10,
+		L1dBytes:  32 << 10,
+		L2Bytes:   256 << 10,
+		DynNets:   5,
+		MemCtrls:  2,
+		MemGbps:   500,
+		MeshTbps:  60,
+		PeakBOPS:  750,
+		PowerW:    "10 to 55W",
+		HasMPIPE:  true,
+		HasMiCA:   true,
+
+		MPIPELinks:     4,    // 4x10GbE on the TILEmpower-Gx front panel
+		MPIPELinkGbps:  10,   // wire-speed per link via mPIPE
+		MPIPELatencyNs: 1800, // classification + 10GbE wire + delivery
+
+		UDNQueues:        4,
+		UDNMaxWords:      127,
+		UDNSetupNs:       21.0,
+		UDNInterrupts:    true,
+		UDNInterruptNs:   110, // interrupt entry + handler dispatch on the remote tile
+		UDNSendShare:     0.55,
+		UDNSWForwardNs:   15,
+		UDNSendCallNs:    100, // standalone send call: header build + queue setup (not pipelined)
+		BarrierArbiterNs: 25,
+
+		// Figure 3 anchors. The private (heap-to-heap) curve runs slightly
+		// ahead of the shared curve at small sizes and converges with it in
+		// the memory-to-memory regime.
+		SharedCopy: CopyCurve{
+			{64, 1400},
+			{1 << 10, 2600},
+			{8 << 10, 3100},       // L1d-resident plateau
+			{32 << 10, 3100},      // L1d capacity knee
+			{64 << 10, 2700},      // upper L2 band
+			{256 << 10, 1900},     // L2 capacity knee
+			{512 << 10, 1250},     // spilling into the DDC
+			{1 << 20, 1000},       // L3 DDC regime
+			{4 << 20, 500},        // exceeding nearby tiles' L2 via DDC
+			{16 << 20, 340},       //
+			{64 << 20, 320},       // memory-to-memory floor
+			{int64(1) << 40, 320}, // clamp
+		},
+		PrivateCopy: CopyCurve{
+			{64, 1600},
+			{1 << 10, 2900},
+			{8 << 10, 3400},
+			{32 << 10, 3400},
+			{64 << 10, 2900},
+			{256 << 10, 2000},
+			{512 << 10, 1300},
+			{1 << 20, 1050},
+			{4 << 20, 520},
+			{16 << 20, 345},
+			{64 << 20, 320},
+			{int64(1) << 40, 320},
+		},
+		CopyCallNs: 55,
+
+		ContLow:  0.030, // per-extra-stream slowdown below the knee
+		ContHigh: 0.150, // extra penalty beyond mesh/home-tile saturation
+		ContKnee: 28,    // aggregate peaks near 29 tiles (Figure 10)
+		AtomicNs: 45,
+		FenceNs:  12,
+
+		SpinBarrier: BarrierModel{
+			Base:    vtime.FromNs(60),
+			PerTile: vtime.FromNs(41), // 60ns + 35*41ns ~ 1.50 us at 36 tiles
+		},
+		SyncBarrier: BarrierModel{
+			Base:    vtime.FromNs(12_000),
+			PerTile: vtime.FromNs(8_830), // 12us + 35*8.83us ~ 321 us at 36 tiles
+		},
+
+		FlopNs:          9.0, // ~9 cycles/flop: limited FP hardware on Gx
+		IntOpNs:         0.6, // 3-way VLIW integer issue
+		ReduceElemNs:    22,  // type-dispatched fold loop; pins Figure 12 at ~150 MB/s
+		RandomAccessNs:  190, // dependent remote-cache access (transpose)
+		InterruptPollNs: 50,
+	}
+}
+
+// Pro64 returns the TILEPro64 model: 64 tiles of 32-bit VLIW cores in an
+// 8x8 grid at 700 MHz, the paper's TILEncorePro-64 PCIe platform.
+//
+// Calibration anchors:
+//   - Figure 3: memcpy stable near 500 MB/s through the cache sizes,
+//     converging to 370 MB/s memory-to-memory (faster than the Gx floor).
+//   - Table III: 18-19 ns neighbors, 24-25 ns side-to-side, 33 ns corners
+//     => setup-and-teardown ~17.5 ns plus 1.43 ns/hop at 700 MHz.
+//   - Figure 5: TMC spin barrier 47.2 us, sync 786 us at 36 tiles.
+//   - Figure 8: TSHMEM UDN barrier ~3 us at 36 tiles.
+//   - Figure 10: pull-broadcast aggregate peaks at 5.1 GB/s at 36 tiles
+//     (still rising at 36, so no saturation knee inside the test area).
+//   - Figures 13/14: software-emulated floating point makes the 2D-FFT
+//     roughly an order of magnitude slower than TILE-Gx, while integer
+//     CBIR is competitive.
+func Pro64() *Chip {
+	return &Chip{
+		Name:   "TILEPro64",
+		Family: TILEPro,
+
+		GridW: 8, GridH: 8, Tiles: 64,
+		ClockHz:    700e6,
+		WordBytes:  4,
+		Is64Bit:    false,
+		L1iBytes:   16 << 10,
+		L1dBytes:   8 << 10,
+		L2Bytes:    64 << 10,
+		DynNets:    4,
+		StaticNets: 1,
+		MemCtrls:   4,
+		MemGbps:    200,
+		MeshTbps:   37,
+		PeakBOPS:   443,
+		PowerW:     "19 to 23W @ 700 MHz",
+
+		UDNQueues:      4,
+		UDNMaxWords:    127,
+		UDNSetupNs:     16.9,
+		UDNHopNs:       1.61,  // fitted to Table III: 18.5/24.9/33 ns at 1/5/10 hops
+		UDNInterrupts:  false, // no UDN interrupt support (paper S IV.B.2)
+		UDNInterruptNs: 0,
+		UDNSendShare:   0.55,
+		UDNSWForwardNs: 22,
+		UDNSendCallNs:  140,
+
+		BarrierArbiterNs: 36,
+
+		// Figure 3: flat near 500 MB/s through L1d/L2, 370 MB/s floor.
+		SharedCopy: CopyCurve{
+			{64, 300},
+			{1 << 10, 470},
+			{8 << 10, 500},        // L1d knee (8 kB)
+			{64 << 10, 495},       // L2 knee (64 kB)
+			{256 << 10, 470},      //
+			{1 << 20, 430},        // leaving the DDC
+			{4 << 20, 385},        //
+			{16 << 20, 370},       // memory-to-memory floor (above Gx's 320)
+			{int64(1) << 40, 370}, // clamp
+		},
+		PrivateCopy: CopyCurve{
+			{64, 330},
+			{1 << 10, 500},
+			{8 << 10, 530},
+			{64 << 10, 520},
+			{256 << 10, 490},
+			{1 << 20, 445},
+			{4 << 20, 392},
+			{16 << 20, 372},
+			{int64(1) << 40, 370},
+		},
+		CopyCallNs: 80,
+
+		ContLow:  0.072, // 500 MB/s single-stream -> ~5.1 GB/s aggregate at 36
+		ContHigh: 0,     // no saturation knee inside the 6x6 test area
+		ContKnee: 64,
+		AtomicNs: 70,
+		FenceNs:  20,
+
+		SpinBarrier: BarrierModel{
+			Base:    vtime.FromNs(250),
+			PerTile: vtime.FromNs(1_341), // 0.25us + 35*1.341us ~ 47.2 us at 36
+		},
+		SyncBarrier: BarrierModel{
+			Base:    vtime.FromNs(25_000),
+			PerTile: vtime.FromNs(21_740), // 25us + 35*21.74us ~ 786 us at 36
+		},
+
+		FlopNs:          55.0, // software-emulated floating point
+		IntOpNs:         1.8,
+		ReduceElemNs:    45,
+		RandomAccessNs:  400,
+		InterruptPollNs: 70,
+	}
+}
+
+// Gx8016 returns the 16-core TILE-Gx16 variant (4x4 grid). It shares the
+// Gx8036 microarchitecture and model constants.
+func Gx8016() *Chip {
+	c := Gx8036()
+	c.Name = "TILE-Gx8016"
+	c.GridW, c.GridH, c.Tiles = 4, 4, 16
+	c.PeakBOPS = 333
+	c.MeshTbps = 26
+	return c
+}
+
+// Pro36 returns the 36-core TILEPro36 variant (6x6 grid).
+func Pro36() *Chip {
+	c := Pro64()
+	c.Name = "TILEPro36"
+	c.GridW, c.GridH, c.Tiles = 6, 6, 36
+	c.PeakBOPS = 249
+	c.MeshTbps = 21
+	return c
+}
+
+// Chips returns the full catalogue of modeled processors.
+func Chips() []*Chip {
+	return []*Chip{Gx8036(), Pro64(), Gx8016(), Pro36()}
+}
+
+// ByName returns the chip model with the given name, or nil.
+func ByName(name string) *Chip {
+	for _, c := range Chips() {
+		if c.Name == name {
+			return c
+		}
+	}
+	return nil
+}

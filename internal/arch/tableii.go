@@ -1,0 +1,93 @@
+package arch
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TableIIRow is one attribute row of the paper's Table II architecture
+// comparison.
+type TableIIRow struct {
+	Attribute string
+	Values    []string // one per chip, in the order passed to TableII
+}
+
+// TableII builds the paper's Table II ("Arch. comparison for TILE-Gx8036
+// and TILEPro64") for an arbitrary set of chips.
+func TableII(chips ...*Chip) []TableIIRow {
+	row := func(attr string, f func(*Chip) string) TableIIRow {
+		r := TableIIRow{Attribute: attr}
+		for _, c := range chips {
+			r.Values = append(r.Values, f(c))
+		}
+		return r
+	}
+	bits := func(c *Chip) string {
+		if c.Is64Bit {
+			return "64-bit"
+		}
+		return "32-bit"
+	}
+	return []TableIIRow{
+		row("Tiles", func(c *Chip) string {
+			return fmt.Sprintf("%d tiles of %s VLIW processors", c.Tiles, bits(c))
+		}),
+		row("Caches per tile", func(c *Chip) string {
+			return fmt.Sprintf("%dk L1i, %dk L1d, %dk L2 cache per tile",
+				c.L1iBytes>>10, c.L1dBytes>>10, c.L2Bytes>>10)
+		}),
+		row("Peak ops", func(c *Chip) string {
+			return fmt.Sprintf("Up to %.0f billion operations per second", c.PeakBOPS)
+		}),
+		row("Mesh interconnect", func(c *Chip) string {
+			return fmt.Sprintf("%.0f Tbps of on-chip mesh interconnect", c.MeshTbps)
+		}),
+		row("Memory bandwidth", func(c *Chip) string {
+			return fmt.Sprintf("%.0f Gbps memory bandwidth", c.MemGbps)
+		}),
+		row("Frequency", func(c *Chip) string {
+			return fmt.Sprintf("%.2g GHz operating frequency", c.ClockHz/1e9)
+		}),
+		row("Power", func(c *Chip) string { return c.PowerW }),
+		row("Memory controllers", func(c *Chip) string {
+			gen := "DDR2"
+			if c.Family == TILEGx {
+				gen = "DDR3"
+			}
+			return fmt.Sprintf("%d %s memory controllers", c.MemCtrls, gen)
+		}),
+		row("mPIPE", func(c *Chip) string {
+			if c.HasMPIPE {
+				return "mPIPE for wire-speed packet processing"
+			}
+			return "-"
+		}),
+		row("MiCA", func(c *Chip) string {
+			if c.HasMiCA {
+				return "MiCA for crypto and compression"
+			}
+			return "-"
+		}),
+	}
+}
+
+// FormatTableII renders Table II as aligned text.
+func FormatTableII(chips ...*Chip) string {
+	rows := TableII(chips...)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-20s", "Attribute")
+	for _, c := range chips {
+		fmt.Fprintf(&b, " | %-42s", c.Name)
+	}
+	b.WriteByte('\n')
+	b.WriteString(strings.Repeat("-", 20+len(chips)*45))
+	b.WriteByte('\n')
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-20s", r.Attribute)
+		for _, v := range r.Values {
+			fmt.Fprintf(&b, " | %-42s", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

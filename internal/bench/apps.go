@@ -1,0 +1,132 @@
+package bench
+
+import (
+	"fmt"
+
+	"tshmem/internal/arch"
+	"tshmem/internal/cbir"
+	"tshmem/internal/core"
+	"tshmem/internal/fft"
+)
+
+func init() {
+	register("fig13", "2D-FFT on 1024x1024 complex floats: execution time and speedup", fig13)
+	register("fig14", "CBIR on 22,000 8-bit images of 128x128: execution time and speedup", fig14)
+}
+
+// appTiles are the tile counts the case studies sweep (Figures 13/14).
+var appTiles = []int{1, 2, 4, 8, 16, 32}
+
+// fig13 runs the distributed 2D-FFT case study. Quick mode shrinks the
+// image to 256x256 (virtual times scale with the flop count; the speedup
+// shape is preserved because the serialized transpose shrinks too).
+func fig13(o Options) (Experiment, error) {
+	n := 1024
+	if o.Quick {
+		n = 256
+	}
+	e := Experiment{
+		ID:     "fig13",
+		Title:  fmt.Sprintf("2D-FFT on %dx%d complex floats", n, n),
+		XLabel: "tiles",
+		YLabel: "seconds / speedup",
+	}
+	for _, chip := range []*arch.Chip{arch.Gx8036(), arch.Pro64()} {
+		times := Series{Label: shortName(chip) + " time (s)"}
+		speedup := Series{Label: shortName(chip) + " speedup"}
+		var t1 float64
+		for _, p := range appTiles {
+			sec, err := runFFT(chip, p, n)
+			if err != nil {
+				return e, err
+			}
+			if p == 1 {
+				t1 = sec
+			}
+			times.X = append(times.X, float64(p))
+			times.Y = append(times.Y, sec)
+			speedup.X = append(speedup.X, float64(p))
+			speedup.Y = append(speedup.Y, t1/sec)
+		}
+		e.Series = append(e.Series, times, speedup)
+	}
+	e.Notes = append(e.Notes,
+		"paper anchors (1024x1024): 0.23 s (Gx) and 0.62 s (Pro) at 32 tiles; Gx speedup levels",
+		"off around 5 due to the serialized final transpose (left as future work in the paper)")
+	return e, nil
+}
+
+func runFFT(chip *arch.Chip, p, n int) (float64, error) {
+	blockBytes := int64(n) * int64(n) * 8 / int64(p)
+	cfg := core.Config{Chip: chip, NPEs: p, HeapPerPE: 2*blockBytes + 1<<20}
+	var sec float64
+	_, err := core.Run(cfg, func(pe *core.PE) error {
+		res, err := fft.Distributed2D(pe, n)
+		if err != nil {
+			return err
+		}
+		if pe.MyPE() == 0 {
+			sec = res.Elapsed.Seconds()
+		}
+		return nil
+	})
+	return sec, err
+}
+
+// fig14 runs the distributed CBIR case study. Quick mode uses a 2,200-image
+// corpus (a tenth of the paper's database); the serialized collection and
+// ranking fractions scale with the corpus exactly like the parallel bulk,
+// so the speedup curve is unchanged.
+func fig14(o Options) (Experiment, error) {
+	images := 22000
+	if o.Quick {
+		images = 2200
+	}
+	p := cbir.DefaultParams()
+	e := Experiment{
+		ID:     "fig14",
+		Title:  fmt.Sprintf("CBIR on %d 8-bit images of %dx%d", images, p.Size, p.Size),
+		XLabel: "tiles",
+		YLabel: "seconds / speedup",
+	}
+	for _, chip := range []*arch.Chip{arch.Gx8036(), arch.Pro64()} {
+		times := Series{Label: shortName(chip) + " time (s)"}
+		speedup := Series{Label: shortName(chip) + " speedup"}
+		var t1 float64
+		for _, tiles := range appTiles {
+			sec, err := runCBIR(chip, tiles, images, p)
+			if err != nil {
+				return e, err
+			}
+			if tiles == 1 {
+				t1 = sec
+			}
+			times.X = append(times.X, float64(tiles))
+			times.Y = append(times.Y, sec)
+			speedup.X = append(speedup.X, float64(tiles))
+			speedup.Y = append(speedup.Y, t1/sec)
+		}
+		e.Series = append(e.Series, times, speedup)
+	}
+	e.Notes = append(e.Notes,
+		"paper anchors: speedup linear to 16 tiles; 25 (Gx) and 27 (Pro) at 32 tiles; the",
+		"TILE-Gx is faster in absolute time in all cases (integer-tailored architectures)")
+	return e, nil
+}
+
+func runCBIR(chip *arch.Chip, tiles, images int, p cbir.Params) (float64, error) {
+	heap := cbir.BlockBytes(images, tiles, p) + 1<<20
+	cfg := core.Config{Chip: chip, NPEs: tiles, HeapPerPE: heap}
+	var sec float64
+	_, err := core.Run(cfg, func(pe *core.PE) error {
+		res, err := cbir.Distributed(pe, images, images/2, 10, p)
+		if err != nil {
+			return err
+		}
+		if pe.MyPE() == 0 {
+			sec = res.Elapsed.Seconds()
+		}
+		return nil
+	})
+	return sec, err
+}

@@ -1,0 +1,164 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation. Each experiment drives the real library (or, for the device
+// microbenchmarks of Section III, the substrate it is built on) and
+// reports virtual-time measurements as the series the paper plots.
+//
+// Absolute agreement with the paper's numbers is calibrated where the
+// paper states them (see internal/arch); the primary claim is shape:
+// orderings, knees, crossovers, peaks, and scaling behavior.
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Series is one plotted curve: Y(X), with an optional per-point annotation.
+type Series struct {
+	Label string
+	X     []float64
+	Y     []float64
+}
+
+// Experiment is one regenerated table or figure.
+type Experiment struct {
+	ID     string // "fig3", "table2", ...
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	Notes  []string // free-form rows (tables, paper-anchor comparisons)
+}
+
+// Options tunes experiment scale.
+type Options struct {
+	// Quick shrinks the application case studies (smaller FFT image,
+	// fewer CBIR images) so the full suite runs in seconds. Microbenchmark
+	// experiments are unaffected — they are cheap at full scale.
+	Quick bool
+}
+
+// Runner produces one experiment.
+type Runner struct {
+	ID    string
+	Title string
+	Run   func(Options) (Experiment, error)
+}
+
+var registry []Runner
+
+func register(id, title string, run func(Options) (Experiment, error)) {
+	registry = append(registry, Runner{ID: id, Title: title, Run: run})
+}
+
+// Runners lists all registered experiments in paper order.
+func Runners() []Runner {
+	out := make([]Runner, len(registry))
+	copy(out, registry)
+	sort.SliceStable(out, func(i, j int) bool { return orderKey(out[i].ID) < orderKey(out[j].ID) })
+	return out
+}
+
+func orderKey(id string) string {
+	// tables first, then figures by number.
+	var n int
+	if _, err := fmt.Sscanf(id, "table%d", &n); err == nil {
+		return fmt.Sprintf("0%02d", n)
+	}
+	if _, err := fmt.Sscanf(id, "fig%d", &n); err == nil {
+		return fmt.Sprintf("1%02d", n)
+	}
+	return "9" + id
+}
+
+// Lookup finds a runner by ID.
+func Lookup(id string) (Runner, bool) {
+	for _, r := range registry {
+		if r.ID == id {
+			return r, true
+		}
+	}
+	return Runner{}, false
+}
+
+// Format renders the experiment as aligned text: one block per series,
+// then notes.
+func (e Experiment) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", e.ID, e.Title)
+	if len(e.Series) > 0 {
+		// Align all series on the union of X values when they share them.
+		fmt.Fprintf(&b, "%-14s", e.XLabel)
+		for _, s := range e.Series {
+			fmt.Fprintf(&b, " %16s", s.Label)
+		}
+		b.WriteByte('\n')
+		rows := unionX(e.Series)
+		for _, x := range rows {
+			fmt.Fprintf(&b, "%-14s", trimFloat(x))
+			for _, s := range e.Series {
+				if y, ok := lookupY(s, x); ok {
+					fmt.Fprintf(&b, " %16s", trimFloat(y))
+				} else {
+					fmt.Fprintf(&b, " %16s", "-")
+				}
+			}
+			b.WriteByte('\n')
+		}
+		if e.YLabel != "" {
+			fmt.Fprintf(&b, "(y: %s)\n", e.YLabel)
+		}
+	}
+	for _, n := range e.Notes {
+		fmt.Fprintf(&b, "%s\n", n)
+	}
+	return b.String()
+}
+
+func unionX(series []Series) []float64 {
+	seen := map[float64]bool{}
+	var xs []float64
+	for _, s := range series {
+		for _, x := range s.X {
+			if !seen[x] {
+				seen[x] = true
+				xs = append(xs, x)
+			}
+		}
+	}
+	sort.Float64s(xs)
+	return xs
+}
+
+func lookupY(s Series, x float64) (float64, bool) {
+	for i, sx := range s.X {
+		if sx == x {
+			return s.Y[i], true
+		}
+	}
+	return 0, false
+}
+
+func trimFloat(v float64) string {
+	switch {
+	case v == float64(int64(v)) && v < 1e15:
+		return fmt.Sprintf("%d", int64(v))
+	case v >= 100:
+		return fmt.Sprintf("%.1f", v)
+	case v >= 1:
+		return fmt.Sprintf("%.2f", v)
+	default:
+		return fmt.Sprintf("%.4f", v)
+	}
+}
+
+// powersOfTwo returns lo, 2lo, ..., hi (inclusive when hi is a power-of-two
+// multiple).
+func powersOfTwo(lo, hi int64) []int64 {
+	var out []int64
+	for s := lo; s <= hi; s *= 2 {
+		out = append(out, s)
+	}
+	return out
+}

@@ -1,0 +1,389 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func runExp(t *testing.T, id string) Experiment {
+	t.Helper()
+	r, ok := Lookup(id)
+	if !ok {
+		t.Fatalf("experiment %q not registered", id)
+	}
+	e, err := r.Run(Options{Quick: true})
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	if e.ID != id {
+		t.Errorf("experiment reports ID %q", e.ID)
+	}
+	return e
+}
+
+func seriesByLabel(t *testing.T, e Experiment, label string) Series {
+	t.Helper()
+	for _, s := range e.Series {
+		if s.Label == label {
+			return s
+		}
+	}
+	t.Fatalf("%s: no series %q (have %v)", e.ID, label, labels(e))
+	return Series{}
+}
+
+func labels(e Experiment) []string {
+	var out []string
+	for _, s := range e.Series {
+		out = append(out, s.Label)
+	}
+	return out
+}
+
+func yAt(t *testing.T, s Series, x float64) float64 {
+	t.Helper()
+	y, ok := lookupY(s, x)
+	if !ok {
+		t.Fatalf("series %q has no x=%v", s.Label, x)
+	}
+	return y
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"table1", "table2", "table3",
+		"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+		"fig10", "fig11", "fig12", "fig13", "fig14",
+		"fig8b", "fig8c", "fig10b", "fig11b", "fig12b", "homing", "mpipe",
+	}
+	for _, id := range want {
+		if _, ok := Lookup(id); !ok {
+			t.Errorf("experiment %q missing from registry", id)
+		}
+	}
+	if len(Runners()) < len(want) {
+		t.Errorf("registry has %d runners, want >= %d", len(Runners()), len(want))
+	}
+	// Runners are ordered: tables first, then figures numerically.
+	rs := Runners()
+	if rs[0].ID != "table1" || rs[1].ID != "table2" || rs[2].ID != "table3" {
+		t.Errorf("tables not first: %v", rs[0].ID)
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Error("Lookup accepted an unknown ID")
+	}
+}
+
+func TestTables(t *testing.T) {
+	e1 := runExp(t, "table1")
+	if len(e1.Notes) < 15 {
+		t.Errorf("table1 has %d rows", len(e1.Notes))
+	}
+	e2 := runExp(t, "table2")
+	joined := strings.Join(e2.Notes, "\n")
+	for _, want := range []string{"36 tiles of 64-bit", "64 tiles of 32-bit", "mPIPE"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("table2 missing %q", want)
+		}
+	}
+	e3 := runExp(t, "table3")
+	if len(e3.Notes) < 21 { // header + 20 pairs
+		t.Errorf("table3 has %d rows, want 21+", len(e3.Notes))
+	}
+}
+
+// TestFig3Shape: Gx ahead below 2 MB, Pro ahead at the memory floor.
+func TestFig3Shape(t *testing.T) {
+	e := runExp(t, "fig3")
+	gx := seriesByLabel(t, e, "TILE-Gx8036 shared")
+	pro := seriesByLabel(t, e, "TILEPro64 shared")
+	if yAt(t, gx, 8192) < 2500 {
+		t.Errorf("Gx L1d bandwidth = %v, want ~3100", yAt(t, gx, 8192))
+	}
+	if g, p := yAt(t, gx, 65536), yAt(t, pro, 65536); g <= p {
+		t.Errorf("at 64 kB Gx (%v) must beat Pro (%v)", g, p)
+	}
+	if g, p := yAt(t, gx, 64<<20), yAt(t, pro, 64<<20); g >= p {
+		t.Errorf("memory floor: Pro (%v) must beat Gx (%v)", p, g)
+	}
+}
+
+func TestFig4Shape(t *testing.T) {
+	e := runExp(t, "fig4")
+	gx := seriesByLabel(t, e, "TILE-Gx8036")
+	pro := seriesByLabel(t, e, "TILEPro64")
+	// Gx slower for neighbors/side-to-side, faster for corners.
+	if yAt(t, gx, 1) <= yAt(t, pro, 1) {
+		t.Error("Gx neighbors should be slower (setup-and-teardown)")
+	}
+	if yAt(t, gx, 3) >= yAt(t, pro, 3) {
+		t.Error("Gx corners should be faster (per-hop rate)")
+	}
+	// Latency grows with distance on both.
+	for _, s := range []Series{gx, pro} {
+		if !(yAt(t, s, 1) < yAt(t, s, 2) && yAt(t, s, 2) < yAt(t, s, 3)) {
+			t.Errorf("%s latencies not increasing with distance", s.Label)
+		}
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	e := runExp(t, "fig5")
+	gxSpin := seriesByLabel(t, e, "TILE-Gx8036 spin")
+	proSpin := seriesByLabel(t, e, "TILEPro64 spin")
+	gxSync := seriesByLabel(t, e, "TILE-Gx8036 sync")
+	proSync := seriesByLabel(t, e, "TILEPro64 sync")
+	within := func(got, want, tol float64, what string) {
+		t.Helper()
+		if got < want-tol || got > want+tol {
+			t.Errorf("%s = %.1f us, want %.1f", what, got, want)
+		}
+	}
+	within(yAt(t, gxSpin, 36), 1.5, 0.2, "Gx spin @36")
+	within(yAt(t, proSpin, 36), 47.2, 2, "Pro spin @36")
+	within(yAt(t, gxSync, 36), 321, 10, "Gx sync @36")
+	within(yAt(t, proSync, 36), 786, 20, "Pro sync @36")
+}
+
+func TestFig6Shape(t *testing.T) {
+	e := runExp(t, "fig6")
+	gxPut := seriesByLabel(t, e, "Gx36 dyn-dyn put")
+	gxGet := seriesByLabel(t, e, "Gx36 dyn-dyn get")
+	proPut := seriesByLabel(t, e, "Pro64 dyn-dyn put")
+	ss := seriesByLabel(t, e, "Gx36 stat-stat put")
+	// Put aligns with get.
+	for _, x := range gxPut.X {
+		p, g := yAt(t, gxPut, x), yAt(t, gxGet, x)
+		if p/g < 0.9 || p/g > 1.1 {
+			t.Errorf("put/get diverge at %v bytes: %v vs %v", x, p, g)
+		}
+	}
+	// Gx dd transfer beats Pro below 2 MB, and Gx static-static sits well
+	// below Gx dynamic-dynamic.
+	if yAt(t, gxPut, 65536) <= yAt(t, proPut, 65536) {
+		t.Error("Gx should beat Pro at cacheable sizes")
+	}
+	if yAt(t, ss, 65536) >= 0.8*yAt(t, gxPut, 65536) {
+		t.Error("static-static should pay a substantial penalty")
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	e := runExp(t, "fig7")
+	dd := seriesByLabel(t, e, "dyn-dyn put")
+	ds := seriesByLabel(t, e, "dyn-stat put")
+	sd := seriesByLabel(t, e, "stat-dyn put")
+	ss := seriesByLabel(t, e, "stat-stat put")
+	const x = 64 << 10
+	if r := yAt(t, ds, x) / yAt(t, dd, x); r < 0.9 || r > 1.1 {
+		t.Errorf("dyn-stat should match dyn-dyn, ratio %v", r)
+	}
+	if !(yAt(t, sd, x) < yAt(t, dd, x)) {
+		t.Error("redirected put should be slower than direct")
+	}
+	if !(yAt(t, ss, x) < yAt(t, sd, x)) {
+		t.Error("static-static should be the slowest")
+	}
+	// Gets mirror puts.
+	ddg := seriesByLabel(t, e, "dyn-dyn get")
+	ssg := seriesByLabel(t, e, "stat-stat get")
+	if !(yAt(t, ssg, x) < yAt(t, ddg, x)) {
+		t.Error("static-static get should be slower than direct get")
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	e := runExp(t, "fig8")
+	best := seriesByLabel(t, e, "Gx36 best-case")
+	worst := seriesByLabel(t, e, "Gx36 worst-case")
+	pro := seriesByLabel(t, e, "Pro64 worst-case")
+	spin := seriesByLabel(t, e, "Gx36 TMC spin")
+	if !(yAt(t, best, 36) < yAt(t, worst, 36)) {
+		t.Error("best case must beat worst case")
+	}
+	// Pro's TSHMEM barrier ~3 us at 36 tiles.
+	if p := yAt(t, pro, 36); p < 1.5 || p > 5 {
+		t.Errorf("Pro 36-tile barrier = %.2f us, want ~3", p)
+	}
+	// On the Gx, the TMC spin barrier wins.
+	if !(yAt(t, spin, 36) < yAt(t, worst, 36)) {
+		t.Error("TMC spin should beat the UDN chain on the Gx")
+	}
+}
+
+// TestFig9VsFig10 is the paper's central collectives comparison: push-based
+// broadcast does not scale with tiles; pull-based does, peaking near 29
+// tiles on the Gx.
+func TestFig9VsFig10(t *testing.T) {
+	push := runExp(t, "fig9")
+	pull := runExp(t, "fig10")
+	const x = 32 << 10
+	push2 := yAt(t, seriesByLabel(t, push, "Gx36 2T"), x)
+	push36 := yAt(t, seriesByLabel(t, push, "Gx36 36T"), x)
+	if push36 > 2*push2 {
+		t.Errorf("push aggregate grew with tiles: %v -> %v", push2, push36)
+	}
+	pull2 := yAt(t, seriesByLabel(t, pull, "Gx36 2T"), x)
+	pull29 := yAt(t, seriesByLabel(t, pull, "Gx36 29T"), x)
+	pull36 := yAt(t, seriesByLabel(t, pull, "Gx36 36T"), x)
+	if pull29 < 5*pull2 {
+		t.Errorf("pull aggregate did not scale: %v at 2T vs %v at 29T", pull2, pull29)
+	}
+	if pull36 >= pull29 {
+		t.Errorf("pull aggregate should dip past the 29-tile peak: %v vs %v", pull36, pull29)
+	}
+	// Peak magnitude ~46 GB/s (paper), allow 30-55.
+	if pull29 < 30_000 || pull29 > 55_000 {
+		t.Errorf("Gx pull peak = %.0f MB/s, want ~46000", pull29)
+	}
+	// Pull beats push at scale on both chips.
+	if pull36 <= push36 {
+		t.Error("pull must beat push at 36 tiles")
+	}
+	proPull36 := yAt(t, seriesByLabel(t, pull, "Pro64 36T"), x)
+	if proPull36 < 4_000 || proPull36 > 6_500 {
+		t.Errorf("Pro pull aggregate at 36 = %.0f MB/s, want ~5100", proPull36)
+	}
+}
+
+// TestFig11PeaksShift: fcollect peaks move toward smaller sizes as tiles
+// increase (quadratic stage 2), unlike push broadcast's fixed peaks.
+func TestFig11PeaksShift(t *testing.T) {
+	e := runExp(t, "fig11")
+	peakSize := func(s Series) float64 {
+		best, bx := 0.0, 0.0
+		for i := range s.X {
+			if s.Y[i] > best {
+				best, bx = s.Y[i], s.X[i]
+			}
+		}
+		return bx
+	}
+	gx2 := peakSize(seriesByLabel(t, e, "Gx36 2T"))
+	gx36 := peakSize(seriesByLabel(t, e, "Gx36 36T"))
+	if gx36 >= gx2 {
+		t.Errorf("fcollect peak should shift to smaller sizes: 2T at %v, 36T at %v", gx2, gx36)
+	}
+}
+
+// TestFig12Flat: naive reduction aggregate does not grow with tiles and
+// lands near the paper's 150 MB/s at large sizes on the Gx.
+func TestFig12Flat(t *testing.T) {
+	e := runExp(t, "fig12")
+	const x = 512 << 10
+	gx2 := yAt(t, seriesByLabel(t, e, "Gx36 2T"), x)
+	gx36 := yAt(t, seriesByLabel(t, e, "Gx36 36T"), x)
+	if gx36 > 1.5*gx2 {
+		t.Errorf("naive reduce aggregate grew with tiles: %v -> %v", gx2, gx36)
+	}
+	if gx36 < 80 || gx36 > 300 {
+		t.Errorf("Gx naive reduce at 36T/512kB = %.0f MB/s, want ~150", gx36)
+	}
+	pro36 := yAt(t, seriesByLabel(t, e, "Pro64 36T"), x)
+	if pro36 >= gx36 {
+		t.Error("Pro should be below Gx")
+	}
+}
+
+// TestAblations: the future-work algorithms beat the naive designs.
+func TestAblations(t *testing.T) {
+	rd := runExp(t, "fig12b")
+	naive := runExp(t, "fig12")
+	const x = 128 << 10
+	rd32 := yAt(t, seriesByLabel(t, rd, "Gx36 32T"), x)
+	naive36 := yAt(t, seriesByLabel(t, naive, "Gx36 36T"), x)
+	if rd32 <= naive36 {
+		t.Errorf("recursive doubling (%v) should beat naive (%v)", rd32, naive36)
+	}
+
+	spin := runExp(t, "fig8b")
+	udnW := yAt(t, seriesByLabel(t, spin, "UDN chain (worst)"), 36)
+	spinW := yAt(t, seriesByLabel(t, spin, "TMC spin backend"), 36)
+	if spinW >= udnW {
+		t.Errorf("TMC spin backend (%v us) should beat the UDN chain (%v us) on the Gx", spinW, udnW)
+	}
+
+	rr := runExp(t, "fig8c")
+	chainW := yAt(t, seriesByLabel(t, rr, "linear chain release"), 36)
+	rootW := yAt(t, seriesByLabel(t, rr, "root-broadcast release"), 36)
+	if rootW <= chainW {
+		t.Errorf("root-broadcast release (%v us) should be slower than the chain (%v us), as the paper found", rootW, chainW)
+	}
+
+	frd := runExp(t, "fig11b")
+	fNaive := yAt(t, seriesByLabel(t, frd, "naive 32T"), 16<<10)
+	fRD := yAt(t, seriesByLabel(t, frd, "recursive-doubling 32T"), 16<<10)
+	if fRD <= fNaive {
+		t.Errorf("RD fcollect (%v) should beat naive (%v)", fRD, fNaive)
+	}
+
+	binom := runExp(t, "fig10b")
+	push := runExp(t, "fig9")
+	b36 := yAt(t, seriesByLabel(t, binom, "Gx36 36T"), 32<<10)
+	p36 := yAt(t, seriesByLabel(t, push, "Gx36 36T"), 32<<10)
+	if b36 <= p36 {
+		t.Errorf("binomial broadcast (%v) should beat push (%v) at scale", b36, p36)
+	}
+}
+
+// TestFig13Shape at quick scale: sublinear FFT speedup that levels off, and
+// the TILEPro roughly an order of magnitude slower serially.
+func TestFig13Shape(t *testing.T) {
+	e := runExp(t, "fig13")
+	gxT := seriesByLabel(t, e, "Gx36 time (s)")
+	gxS := seriesByLabel(t, e, "Gx36 speedup")
+	proT := seriesByLabel(t, e, "Pro64 time (s)")
+	if yAt(t, proT, 1)/yAt(t, gxT, 1) < 3 {
+		t.Error("Pro serial FFT should be several times slower (softfloat)")
+	}
+	s16, s32 := yAt(t, gxS, 16), yAt(t, gxS, 32)
+	if s32 <= s16 {
+		t.Error("speedup should still inch upward at 32 tiles")
+	}
+	if s32 > 8 {
+		t.Errorf("Gx speedup at 32 = %.1f; the serialized transpose should cap it near 5", s32)
+	}
+	if s32 < 3 {
+		t.Errorf("Gx speedup at 32 = %.1f, too low", s32)
+	}
+}
+
+// TestFig14Shape at quick scale: near-linear CBIR speedup, Pro >= Gx
+// speedup, Gx faster absolutely.
+func TestFig14Shape(t *testing.T) {
+	e := runExp(t, "fig14")
+	gxT := seriesByLabel(t, e, "Gx36 time (s)")
+	gxS := seriesByLabel(t, e, "Gx36 speedup")
+	proT := seriesByLabel(t, e, "Pro64 time (s)")
+	proS := seriesByLabel(t, e, "Pro64 speedup")
+	if s := yAt(t, gxS, 16); s < 12 {
+		t.Errorf("Gx speedup at 16 = %.1f, want near-linear", s)
+	}
+	g32, p32 := yAt(t, gxS, 32), yAt(t, proS, 32)
+	if g32 < 20 || g32 > 32 {
+		t.Errorf("Gx speedup at 32 = %.1f, want ~25", g32)
+	}
+	if p32 < g32 {
+		t.Errorf("Pro speedup (%.1f) should be >= Gx (%.1f)", p32, g32)
+	}
+	if yAt(t, gxT, 32) >= yAt(t, proT, 32) {
+		t.Error("Gx must be absolutely faster in all cases")
+	}
+}
+
+func TestFormat(t *testing.T) {
+	e := Experiment{
+		ID: "x", Title: "T", XLabel: "n", YLabel: "y",
+		Series: []Series{
+			{Label: "a", X: []float64{1, 2}, Y: []float64{10, 20}},
+			{Label: "b", X: []float64{2, 3}, Y: []float64{0.5, 1.25}},
+		},
+		Notes: []string{"note"},
+	}
+	out := e.Format()
+	for _, want := range []string{"== x: T ==", "a", "b", "10", "0.5000", "note", "-"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format missing %q in:\n%s", want, out)
+		}
+	}
+}

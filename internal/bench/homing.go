@@ -1,0 +1,126 @@
+package bench
+
+import (
+	"tshmem/internal/arch"
+	"tshmem/internal/cache"
+	"tshmem/internal/core"
+	"tshmem/internal/vtime"
+)
+
+func init() {
+	register("homing", "Memory-homing strategies: put bandwidth and pull-broadcast scaling (future-work ablation)", homing)
+}
+
+// homing explores the paper's future-work item "memory-homing strategies":
+// how TSHMEM's transfers would behave if common memory were local- or
+// remote-homed instead of hash-for-home (S III.A describes the trade-offs
+// qualitatively; this encodes them).
+func homing(Options) (Experiment, error) {
+	e := Experiment{
+		ID:     "homing",
+		Title:  "Put bandwidth by memory-homing strategy (TILE-Gx36)",
+		XLabel: "bytes",
+		YLabel: "MB/s",
+	}
+	gx := arch.Gx8036()
+	strategies := []cache.Homing{cache.HashForHome, cache.LocalHome, cache.RemoteHome}
+
+	// Single-stream put bandwidth across sizes.
+	sizes := powersOfTwo(1<<10, 8<<20)
+	for _, h := range strategies {
+		s := Series{Label: "put " + h.String()}
+		for _, size := range sizes {
+			bw, err := measureHomedPut(gx, h, size)
+			if err != nil {
+				return e, err
+			}
+			s.X = append(s.X, float64(size))
+			s.Y = append(s.Y, bw)
+		}
+		e.Series = append(e.Series, s)
+	}
+
+	// Fan-in scaling: pull-broadcast aggregate at 64 kB across tiles.
+	for _, h := range strategies {
+		s := Series{Label: "bcast " + h.String()}
+		for _, n := range []int{2, 8, 16, 24, 36} {
+			t, err := measureHomedBcast(gx, h, n, 64<<10)
+			if err != nil {
+				return e, err
+			}
+			agg := float64(n-1) * float64(64<<10) / t.Seconds() / 1e6
+			s.X = append(s.X, float64(n))
+			s.Y = append(s.Y, agg)
+		}
+		e.Series = append(e.Series, s)
+	}
+	e.Notes = append(e.Notes,
+		"paper S III.A: hash-for-home excels for shared data (DDC spreads load); local homing",
+		"forfeits the DDC beyond one L2; remote homing serializes fan-in at one home tile.",
+		"(bcast series: x is tiles, y is aggregate MB/s at 64 kB)")
+	return e, nil
+}
+
+func measureHomedPut(chip *arch.Chip, h cache.Homing, size int64) (float64, error) {
+	nelems := int(size / 8)
+	var elapsed vtime.Duration
+	cfg := core.Config{Chip: chip, NPEs: 2, HeapPerPE: 2*size + 1<<20, Homing: h}
+	_, err := core.Run(cfg, func(pe *core.PE) error {
+		t, err := core.Malloc[int64](pe, nelems)
+		if err != nil {
+			return err
+		}
+		s, err := core.Malloc[int64](pe, nelems)
+		if err != nil {
+			return err
+		}
+		if err := pe.BarrierAll(); err != nil {
+			return err
+		}
+		if pe.MyPE() == 0 {
+			t0 := pe.Now()
+			if err := core.Put(pe, t, s, nelems, 1); err != nil {
+				return err
+			}
+			elapsed = pe.Now().Sub(t0)
+		}
+		return pe.BarrierAll()
+	})
+	if err != nil {
+		return 0, err
+	}
+	return float64(size) / elapsed.Seconds() / 1e6, nil
+}
+
+func measureHomedBcast(chip *arch.Chip, h cache.Homing, n int, size int64) (vtime.Duration, error) {
+	nelems := int(size / 4)
+	elapsed := make([]vtime.Duration, n)
+	cfg := core.Config{Chip: chip, NPEs: n, HeapPerPE: 4*size + 1<<20, Homing: h}
+	_, err := core.Run(cfg, func(pe *core.PE) error {
+		target, err := core.Malloc[int32](pe, nelems)
+		if err != nil {
+			return err
+		}
+		source, err := core.Malloc[int32](pe, nelems)
+		if err != nil {
+			return err
+		}
+		ps, err := core.Malloc[int64](pe, core.BcastSyncSize)
+		if err != nil {
+			return err
+		}
+		if err := pe.AlignClocks(); err != nil {
+			return err
+		}
+		start := pe.Now()
+		if err := core.BroadcastPull(pe, target, source, nelems, 0, core.AllPEs(n), ps); err != nil {
+			return err
+		}
+		elapsed[pe.MyPE()] = pe.Now().Sub(start)
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	return maxDur(elapsed), nil
+}

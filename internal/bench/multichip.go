@@ -1,0 +1,104 @@
+package bench
+
+import (
+	"fmt"
+
+	"tshmem/internal/arch"
+	"tshmem/internal/core"
+	"tshmem/internal/vtime"
+)
+
+func init() {
+	register("mpipe", "Multi-chip TSHMEM over mPIPE: cross-chip costs (future-work ablation)", multichip)
+}
+
+// multichip quantifies the mPIPE extension of the paper's future work:
+// expanding the shared-memory abstraction across multiple TILE-Gx devices.
+// It contrasts on-chip and cross-chip one-sided transfer bandwidth and the
+// chip-local vs hierarchical barrier.
+func multichip(Options) (Experiment, error) {
+	e := Experiment{
+		ID:     "mpipe",
+		Title:  "Cross-chip transfers and barriers over mPIPE (2x TILE-Gx8036)",
+		XLabel: "bytes",
+		YLabel: "MB/s",
+	}
+	gx := arch.Gx8036()
+
+	onChip := Series{Label: "put on-chip"}
+	offChip := Series{Label: "put cross-chip"}
+	for _, size := range powersOfTwo(1<<10, 16<<20) {
+		on, off, err := measureChipPut(gx, size)
+		if err != nil {
+			return e, err
+		}
+		onChip.X = append(onChip.X, float64(size))
+		onChip.Y = append(onChip.Y, float64(size)/on.Seconds()/1e6)
+		offChip.X = append(offChip.X, float64(size))
+		offChip.Y = append(offChip.Y, float64(size)/off.Seconds()/1e6)
+	}
+	e.Series = append(e.Series, onChip, offChip)
+
+	// Barrier latency vs chip count at a fixed 32 PEs.
+	bar := Series{Label: "barrier_all (32 PEs)"}
+	for _, chips := range []int{1, 2, 4} {
+		w, err := measureChipsBarrier(gx, 32, chips)
+		if err != nil {
+			return e, err
+		}
+		bar.X = append(bar.X, float64(chips))
+		bar.Y = append(bar.Y, w.Us())
+	}
+	e.Series = append(e.Series, bar)
+	e.Notes = append(e.Notes,
+		fmt.Sprintf("mPIPE link model: %dx%.0fGbE, %.1f us one-way control latency",
+			gx.MPIPELinks, gx.MPIPELinkGbps, gx.MPIPELatencyNs/1000),
+		"(barrier series: x is chip count, y is worst-case latency in us)",
+		"cross-chip static-variable redirection is unsupported: UDN interrupts are chip-local")
+	return e, nil
+}
+
+func measureChipPut(chip *arch.Chip, size int64) (on, off vtime.Duration, err error) {
+	nelems := int(size / 8)
+	cfg := core.Config{Chip: chip, NPEs: 8, NChips: 2, HeapPerPE: 2*size + 1<<20}
+	_, err = core.Run(cfg, func(pe *core.PE) error {
+		x, err := core.Malloc[int64](pe, nelems)
+		if err != nil {
+			return err
+		}
+		if err := pe.BarrierAll(); err != nil {
+			return err
+		}
+		if pe.MyPE() == 0 {
+			t0 := pe.Now()
+			if err := core.Put(pe, x, x, nelems, 1); err != nil { // same chip
+				return err
+			}
+			on = pe.Now().Sub(t0)
+			t0 = pe.Now()
+			if err := core.Put(pe, x, x, nelems, 4); err != nil { // other chip
+				return err
+			}
+			off = pe.Now().Sub(t0)
+		}
+		return pe.BarrierAll()
+	})
+	return on, off, err
+}
+
+func measureChipsBarrier(chip *arch.Chip, npes, nchips int) (vtime.Duration, error) {
+	lefts := make([]vtime.Duration, npes)
+	cfg := core.Config{Chip: chip, NPEs: npes, NChips: nchips, HeapPerPE: 64 << 10}
+	_, err := core.Run(cfg, func(pe *core.PE) error {
+		if err := pe.AlignClocks(); err != nil {
+			return err
+		}
+		start := pe.Now()
+		if err := pe.BarrierAll(); err != nil {
+			return err
+		}
+		lefts[pe.MyPE()] = pe.Now().Sub(start)
+		return nil
+	})
+	return maxDur(lefts), err
+}

@@ -1,0 +1,74 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Plot renders the experiment's series as an ASCII chart, the terminal
+// equivalent of the paper's figures. X is drawn on a log scale when the
+// values span more than two decades (transfer-size sweeps), linear
+// otherwise (tile counts); Y is linear from zero.
+func (e Experiment) Plot(width, height int) string {
+	if len(e.Series) == 0 || width < 20 || height < 5 {
+		return ""
+	}
+	var xMin, xMax, yMax float64
+	xMin = math.Inf(1)
+	for _, s := range e.Series {
+		for i := range s.X {
+			xMin = math.Min(xMin, s.X[i])
+			xMax = math.Max(xMax, s.X[i])
+			yMax = math.Max(yMax, s.Y[i])
+		}
+	}
+	if !(xMax > xMin) || yMax <= 0 {
+		return ""
+	}
+	logX := xMin > 0 && xMax/xMin > 100
+	fx := func(x float64) float64 {
+		if logX {
+			return math.Log(x)
+		}
+		return x
+	}
+	x0, x1 := fx(xMin), fx(xMax)
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	marks := "*o+x#@%&"
+	for si, s := range e.Series {
+		m := marks[si%len(marks)]
+		for i := range s.X {
+			c := int((fx(s.X[i]) - x0) / (x1 - x0) * float64(width-1))
+			r := height - 1 - int(s.Y[i]/yMax*float64(height-1))
+			if c < 0 || c >= width || r < 0 || r >= height {
+				continue
+			}
+			grid[r][c] = m
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s  (y: 0..%s %s)\n", e.Title, trimFloat(yMax), e.YLabel)
+	for _, row := range grid {
+		b.WriteString("  |")
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	b.WriteString("  +")
+	b.WriteString(strings.Repeat("-", width))
+	b.WriteByte('\n')
+	scale := "linear"
+	if logX {
+		scale = "log"
+	}
+	fmt.Fprintf(&b, "   x: %s..%s %s (%s)\n", trimFloat(xMin), trimFloat(xMax), e.XLabel, scale)
+	for si, s := range e.Series {
+		fmt.Fprintf(&b, "   %c %s\n", marks[si%len(marks)], s.Label)
+	}
+	return b.String()
+}

@@ -1,0 +1,49 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPlotRendering(t *testing.T) {
+	e := Experiment{
+		Title:  "T",
+		XLabel: "bytes",
+		YLabel: "MB/s",
+		Series: []Series{
+			{Label: "a", X: []float64{8, 1024, 1 << 20}, Y: []float64{1, 100, 10}},
+			{Label: "b", X: []float64{8, 1024, 1 << 20}, Y: []float64{50, 50, 50}},
+		},
+	}
+	out := e.Plot(60, 12)
+	if out == "" {
+		t.Fatal("empty plot")
+	}
+	for _, want := range []string{"T  (y: 0..100", "* a", "o b", "(log)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plot missing %q:\n%s", want, out)
+		}
+	}
+	if lines := strings.Count(out, "\n"); lines < 14 {
+		t.Errorf("plot has %d lines", lines)
+	}
+	// Linear x for narrow ranges.
+	e.Series[0].X = []float64{1, 2, 3}
+	e.Series[1].X = []float64{1, 2, 3}
+	if !strings.Contains(e.Plot(40, 8), "(linear)") {
+		t.Error("narrow range should use a linear x axis")
+	}
+}
+
+func TestPlotDegenerate(t *testing.T) {
+	if (Experiment{}).Plot(60, 12) != "" {
+		t.Error("empty experiment should render nothing")
+	}
+	e := Experiment{Series: []Series{{Label: "a", X: []float64{5}, Y: []float64{0}}}}
+	if e.Plot(60, 12) != "" {
+		t.Error("single zero point should render nothing")
+	}
+	if e.Plot(5, 2) != "" {
+		t.Error("tiny canvas should render nothing")
+	}
+}

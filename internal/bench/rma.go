@@ -1,0 +1,168 @@
+package bench
+
+import (
+	"fmt"
+
+	"tshmem/internal/arch"
+	"tshmem/internal/core"
+	"tshmem/internal/vtime"
+)
+
+func init() {
+	register("fig6", "TSHMEM put/get bandwidth, dynamic-dynamic (+static-static on Gx)", fig6)
+	register("fig7", "TSHMEM put/get bandwidth, static/dynamic operand combinations (Gx)", fig7)
+}
+
+// xferKind names a target-source combination in the paper's notation.
+type xferKind struct {
+	name             string
+	putNotGet        bool
+	staticT, staticS bool
+}
+
+// measureXfer runs a 2-PE program and measures the virtual cost of one
+// transfer of size bytes for the given operand combination; it reports
+// effective bandwidth in MB/s.
+func measureXfer(chip *arch.Chip, k xferKind, size int64) (float64, error) {
+	nelems := int(size / 8)
+	if nelems < 1 {
+		nelems = 1
+	}
+	heap := 2*int64(nelems)*8 + 1<<20
+	var elapsed vtime.Duration
+	cfg := core.Config{Chip: chip, NPEs: 2, HeapPerPE: heap, ScratchBytes: size + 1<<20}
+	_, err := core.Run(cfg, func(pe *core.PE) error {
+		dynT, err := core.Malloc[int64](pe, nelems)
+		if err != nil {
+			return err
+		}
+		dynS, err := core.Malloc[int64](pe, nelems)
+		if err != nil {
+			return err
+		}
+		var stT, stS core.Ref[int64]
+		if k.staticT || k.staticS {
+			if stT, err = core.DeclareStatic[int64](pe, "benchT", nelems); err != nil {
+				return err
+			}
+			if stS, err = core.DeclareStatic[int64](pe, "benchS", nelems); err != nil {
+				return err
+			}
+		}
+		target, source := dynT, dynS
+		if k.staticT {
+			target = stT
+		}
+		if k.staticS {
+			source = stS
+		}
+		if err := pe.BarrierAll(); err != nil {
+			return err
+		}
+		if pe.MyPE() == 0 {
+			t0 := pe.Now()
+			if k.putNotGet {
+				err = core.Put(pe, target, source, nelems, 1)
+			} else {
+				err = core.Get(pe, target, source, nelems, 1)
+			}
+			if err != nil {
+				return err
+			}
+			elapsed = pe.Now().Sub(t0)
+		}
+		return pe.BarrierAll()
+	})
+	if err != nil {
+		return 0, err
+	}
+	return float64(int64(nelems)*8) / elapsed.Seconds() / 1e6, nil
+}
+
+// fig6 sweeps dynamic-dynamic put/get bandwidth on both chips, plus the
+// static-static combination on the TILE-Gx for comparison with TILEPro
+// performance (S IV.B.1, Figure 6).
+func fig6(Options) (Experiment, error) {
+	e := Experiment{
+		ID:     "fig6",
+		Title:  "TSHMEM put/get effective bandwidth vs transfer size",
+		XLabel: "bytes",
+		YLabel: "MB/s",
+	}
+	sizes := powersOfTwo(8, 8<<20)
+	mk := func(chip *arch.Chip, k xferKind, label string) (Series, error) {
+		s := Series{Label: label}
+		for _, size := range sizes {
+			bw, err := measureXfer(chip, k, size)
+			if err != nil {
+				return s, err
+			}
+			s.X = append(s.X, float64(size))
+			s.Y = append(s.Y, bw)
+		}
+		return s, nil
+	}
+	gx, pro := arch.Gx8036(), arch.Pro64()
+	cases := []struct {
+		chip  *arch.Chip
+		k     xferKind
+		label string
+	}{
+		{gx, xferKind{putNotGet: true}, "Gx36 dyn-dyn put"},
+		{gx, xferKind{putNotGet: false}, "Gx36 dyn-dyn get"},
+		{pro, xferKind{putNotGet: true}, "Pro64 dyn-dyn put"},
+		{pro, xferKind{putNotGet: false}, "Pro64 dyn-dyn get"},
+		{gx, xferKind{putNotGet: true, staticT: true, staticS: true}, "Gx36 stat-stat put"},
+	}
+	for _, c := range cases {
+		s, err := mk(c.chip, c.k, c.label)
+		if err != nil {
+			return e, err
+		}
+		e.Series = append(e.Series, s)
+	}
+	e.Notes = append(e.Notes,
+		"paper: put aligns with get on both chips; dyn-dyn closely matches the Fig.3 shared-memory curve")
+	return e, nil
+}
+
+// fig7 sweeps every target-source combination on the TILE-Gx (Figure 7):
+// dynamic-dynamic and dynamic-static share the direct path; static-dynamic
+// redirects over a UDN interrupt (minor penalty); static-static bounces
+// through a temporary shared buffer (major penalty).
+func fig7(Options) (Experiment, error) {
+	e := Experiment{
+		ID:     "fig7",
+		Title:  "TSHMEM put/get bandwidth by operand combination (TILE-Gx36)",
+		XLabel: "bytes",
+		YLabel: "MB/s",
+	}
+	sizes := powersOfTwo(64, 4<<20)
+	kinds := []xferKind{
+		{name: "dyn-dyn put", putNotGet: true},
+		{name: "dyn-stat put", putNotGet: true, staticS: true},
+		{name: "stat-dyn put", putNotGet: true, staticT: true},
+		{name: "stat-stat put", putNotGet: true, staticT: true, staticS: true},
+		{name: "dyn-dyn get", putNotGet: false},
+		{name: "stat-dyn get", putNotGet: false, staticT: true},
+		{name: "dyn-stat get", putNotGet: false, staticS: true},
+		{name: "stat-stat get", putNotGet: false, staticT: true, staticS: true},
+	}
+	gx := arch.Gx8036()
+	for _, k := range kinds {
+		s := Series{Label: k.name}
+		for _, size := range sizes {
+			bw, err := measureXfer(gx, k, size)
+			if err != nil {
+				return e, fmt.Errorf("%s at %d bytes: %w", k.name, size, err)
+			}
+			s.X = append(s.X, float64(size))
+			s.Y = append(s.Y, bw)
+		}
+		e.Series = append(e.Series, s)
+	}
+	e.Notes = append(e.Notes,
+		"notation is target-source; redirected combinations (stat-dyn put, dyn-stat get) show minor",
+		"degradation, static-static pays the temporary-buffer copy (paper S IV.B.2)")
+	return e, nil
+}

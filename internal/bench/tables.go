@@ -1,0 +1,149 @@
+package bench
+
+import (
+	"fmt"
+
+	"tshmem/internal/arch"
+	"tshmem/internal/mesh"
+	"tshmem/internal/udn"
+	"tshmem/internal/vtime"
+)
+
+func init() {
+	register("table1", "Basic subset of OpenSHMEM functions (API coverage)", table1)
+	register("table2", "Architecture comparison for TILE-Gx8036 and TILEPro64", table2)
+	register("table3", "One-way latencies on UDN", table3)
+}
+
+// table1 reports the Table I function subset and the Go API implementing
+// each entry. The core test suite asserts all of these exist; this table is
+// the human-readable inventory.
+func table1(Options) (Experiment, error) {
+	rows := []struct{ category, cFunc, goAPI string }{
+		{"Setup and Initialization", "start_pes()", "tshmem.Run"},
+		{"Environment Query", "_my_pe(), _num_pes()", "PE.MyPE, PE.NumPEs"},
+		{"Memory Allocation", "shmalloc(), shfree()", "tshmem.Malloc, tshmem.Free"},
+		{"Memory Allocation", "shrealloc(), shmemalign()", "tshmem.Realloc, tshmem.MallocAlign"},
+		{"Elemental Put/Get", "shmem_int_p(), shmem_int_g()", "tshmem.P, tshmem.G"},
+		{"Block Put/Get", "shmem_putmem(), shmem_getmem()", "tshmem.Put/PutSlice, tshmem.Get/GetSlice"},
+		{"Strided Put/Get", "shmem_int_iput(), shmem_int_iget()", "tshmem.IPut, tshmem.IGet"},
+		{"Barrier", "shmem_barrier(), shmem_barrier_all()", "PE.Barrier, PE.BarrierAll"},
+		{"Communications Sync", "shmem_fence(), shmem_quiet()", "PE.Fence, PE.Quiet"},
+		{"Point-to-Point Sync", "shmem_wait(), shmem_wait_until()", "tshmem.Wait, tshmem.WaitUntil"},
+		{"Broadcast", "shmem_broadcast32()", "tshmem.Broadcast (pull/push/binomial)"},
+		{"Collection", "shmem_collect32(), shmem_fcollect32()", "tshmem.Collect, tshmem.FCollect"},
+		{"Reduction", "shmem_int_sum_to_all(), shmem_long_prod_to_all()", "tshmem.SumToAll, tshmem.ProdToAll, ..."},
+		{"Atomic Swap", "shmem_swap()", "tshmem.Swap, tshmem.CSwap, tshmem.FAdd, ..."},
+		{"Locks", "shmem_set_lock(), shmem_clear_lock()", "PE.SetLock, PE.ClearLock, PE.TestLock"},
+		{"Accessibility", "shmem_pe_accessible(), shmem_ptr()", "PE.PEAccessible, tshmem.Ptr"},
+		{"Proposed extension", "shmem_finalize()", "PE.Finalize"},
+	}
+	e := Experiment{ID: "table1", Title: "Basic subset of OpenSHMEM functions"}
+	e.Notes = append(e.Notes, fmt.Sprintf("%-26s | %-46s | %s", "Category", "OpenSHMEM function", "TSHMEM Go API"))
+	for _, r := range rows {
+		e.Notes = append(e.Notes, fmt.Sprintf("%-26s | %-46s | %s", r.category, r.cFunc, r.goAPI))
+	}
+	return e, nil
+}
+
+func table2(Options) (Experiment, error) {
+	e := Experiment{ID: "table2", Title: "Arch. comparison for TILE-Gx8036 and TILEPro64"}
+	for _, r := range arch.TableII(arch.Gx8036(), arch.Pro64()) {
+		e.Notes = append(e.Notes, fmt.Sprintf("%-44s | %s", r.Values[0], r.Values[1]))
+	}
+	return e, nil
+}
+
+// udnPairs are the Table III tile pairs within the 6x6 effective test area.
+type udnPair struct {
+	class     string
+	direction string
+	sender    int
+	receiver  int
+}
+
+func tableIIIPairs() []udnPair {
+	return []udnPair{
+		{"Neighbors", "left", 14, 13},
+		{"Neighbors", "right", 14, 15},
+		{"Neighbors", "up", 14, 8},
+		{"Neighbors", "down", 14, 20},
+		{"Neighbors", "left", 28, 27},
+		{"Neighbors", "right", 28, 29},
+		{"Neighbors", "up", 28, 22},
+		{"Neighbors", "down", 28, 34},
+		{"Side-to-Side", "right", 6, 11},
+		{"Side-to-Side", "left", 11, 6},
+		{"Side-to-Side", "down", 1, 31},
+		{"Side-to-Side", "up", 31, 1},
+		{"Side-to-Side", "right", 23, 18},
+		{"Side-to-Side", "left", 18, 23},
+		{"Side-to-Side", "down", 33, 3},
+		{"Side-to-Side", "up", 3, 33},
+		{"Corners", "down-right", 0, 35},
+		{"Corners", "up-left", 35, 0},
+		{"Corners", "down-left", 5, 30},
+		{"Corners", "up-right", 30, 5},
+	}
+}
+
+// pingPongOneWay measures the halved round trip of a 1-word send and a
+// 1-word ack between two tiles, exactly as the paper does.
+func pingPongOneWay(chip *arch.Chip, sender, receiver int) (vtime.Duration, error) {
+	geo, err := mesh.NewGeometry(chip, 6, 6)
+	if err != nil {
+		return 0, err
+	}
+	net := udn.New(geo)
+	defer net.Close()
+	sp, err := net.Port(sender)
+	if err != nil {
+		return 0, err
+	}
+	rp, err := net.Port(receiver)
+	if err != nil {
+		return 0, err
+	}
+	var sc, rc vtime.Clock
+	errc := make(chan error, 1)
+	go func() {
+		pkt, err := rp.Recv(&rc, 0)
+		if err == nil {
+			err = rp.Send(&rc, pkt.Src, 0, 0, []uint64{1})
+		}
+		errc <- err
+	}()
+	start := sc.Now()
+	if err := sp.Send(&sc, receiver, 0, 0, []uint64{1}); err != nil {
+		return 0, err
+	}
+	if _, err := sp.Recv(&sc, 0); err != nil {
+		return 0, err
+	}
+	if err := <-errc; err != nil {
+		return 0, err
+	}
+	return sc.Now().Sub(start) / 2, nil
+}
+
+func table3(Options) (Experiment, error) {
+	e := Experiment{ID: "table3", Title: "One-way latencies on UDN (6x6 test area, 1-word payload)"}
+	e.Notes = append(e.Notes, fmt.Sprintf("%-14s %-11s %7s %9s %14s %14s",
+		"Type", "Direction", "Sender", "Receiver", "TILE-Gx36 (ns)", "TILEPro64 (ns)"))
+	gx, pro := arch.Gx8036(), arch.Pro64()
+	for _, p := range tableIIIPairs() {
+		lg, err := pingPongOneWay(gx, p.sender, p.receiver)
+		if err != nil {
+			return e, err
+		}
+		lp, err := pingPongOneWay(pro, p.sender, p.receiver)
+		if err != nil {
+			return e, err
+		}
+		e.Notes = append(e.Notes, fmt.Sprintf("%-14s %-11s %7d %9d %14.0f %14.0f",
+			p.class, p.direction, p.sender, p.receiver, lg.Ns(), lp.Ns()))
+	}
+	e.Notes = append(e.Notes,
+		"paper anchors: Gx 21-22/25-26/31-32 ns, Pro 18-19/24-25/33 ns for neighbors/side-to-side/corners")
+	return e, nil
+}

@@ -1,0 +1,312 @@
+// Package cache models the Tilera memory hierarchy described in Section
+// III.A of the paper: per-tile L1i/L1d/L2 caches, the Dynamic Distributed
+// Cache (DDC — an L3 formed by aggregating every tile's L2), and the three
+// memory-homing strategies (local, remote, hash-for-home).
+//
+// The package exposes an effective-bandwidth model for memory-copy
+// operations. Bandwidth is interpolated in log-size space between
+// calibrated anchors carried by the chip description, reproducing the
+// cache-capacity knees of Figure 3, and is degraded by a concurrency term
+// when many tiles stream simultaneously, reproducing the aggregate
+// saturation of Figures 10-12.
+package cache
+
+import (
+	"fmt"
+	"math"
+
+	"tshmem/internal/arch"
+	"tshmem/internal/vtime"
+)
+
+// Homing is a memory-homing strategy for a page of memory (S III.A).
+type Homing int
+
+const (
+	// HashForHome distributes a page's cache lines across all tiles' L2
+	// caches. Default for shared data; TSHMEM uses it for common memory.
+	HashForHome Homing = iota
+	// LocalHome assigns the page to the accessing tile. Best for private
+	// data that fits in L2 (e.g. stacks); forfeits the DDC.
+	LocalHome
+	// RemoteHome assigns the page to a single other tile. Best for
+	// producer-consumer pairs.
+	RemoteHome
+)
+
+func (h Homing) String() string {
+	switch h {
+	case HashForHome:
+		return "hash-for-home"
+	case LocalHome:
+		return "local"
+	case RemoteHome:
+		return "remote"
+	default:
+		return fmt.Sprintf("Homing(%d)", int(h))
+	}
+}
+
+// Mode selects which calibrated copy curve applies to a transfer.
+type Mode int
+
+const (
+	// PrivateToPrivate: both operands in a tile's private heap.
+	PrivateToPrivate Mode = iota
+	// SharedAny: at least one operand in TMC common memory (hash-for-home),
+	// the regime TSHMEM's one-sided transfers live in.
+	SharedAny
+)
+
+func (m Mode) String() string {
+	switch m {
+	case PrivateToPrivate:
+		return "private-private"
+	case SharedAny:
+		return "shared"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Model is the memory-system performance model for one chip.
+type Model struct {
+	chip *arch.Chip
+}
+
+// NewModel builds the memory model for chip.
+func NewModel(chip *arch.Chip) *Model { return &Model{chip: chip} }
+
+// Chip returns the modeled chip.
+func (m *Model) Chip() *arch.Chip { return m.chip }
+
+// curve returns the anchor set for a transfer mode.
+func (m *Model) curve(mode Mode) arch.CopyCurve {
+	if mode == PrivateToPrivate {
+		return m.chip.PrivateCopy
+	}
+	return m.chip.SharedCopy
+}
+
+// Bandwidth reports the modeled effective bandwidth in MB/s for a single
+// transfer of size bytes in the given mode with no concurrency, under the
+// default hash-for-home policy.
+func (m *Model) Bandwidth(size int64, mode Mode) float64 {
+	return interpLog(m.curve(mode), size)
+}
+
+// BandwidthHomed is Bandwidth under an explicit homing strategy for the
+// shared data, encoding the qualitative trade-offs of Section III.A:
+//
+//   - hash-for-home (the default, what TSHMEM uses for common memory)
+//     follows the calibrated curve: the DDC spreads lines across all tiles.
+//   - local homing gives a slightly faster hit while the working set fits
+//     the tile's own L2, but forfeits the DDC: beyond L2 capacity the
+//     transfer runs at the memory floor.
+//   - remote homing pays an extra mesh round trip to the single home tile
+//     (a small flat penalty) but keeps the producer-consumer fast path;
+//     like local homing it has no DDC to lean on beyond one L2.
+func (m *Model) BandwidthHomed(size int64, mode Mode, h Homing) float64 {
+	base := m.Bandwidth(size, mode)
+	if mode == PrivateToPrivate {
+		return base // private data never leaves the tile; homing is moot
+	}
+	floor := interpLog(m.curve(mode), int64(1)<<40)
+	switch h {
+	case LocalHome:
+		if size <= int64(m.chip.L2Bytes) {
+			return base * 1.08 // local hit latency beats the hashed L3
+		}
+		return floor
+	case RemoteHome:
+		penalized := base * 0.92
+		if size > int64(m.chip.L2Bytes) {
+			return floor * 0.92
+		}
+		return penalized
+	default:
+		return base
+	}
+}
+
+// BandwidthHomedConcurrent composes BandwidthHomed with the concurrency
+// model. Remote homing serializes every request at one home tile, so its
+// contention grows much faster than hash-for-home's distributed load
+// (the bottleneck Section III.A warns about).
+func (m *Model) BandwidthHomedConcurrent(size int64, mode Mode, h Homing, streams int) float64 {
+	bw := m.BandwidthHomed(size, mode, h)
+	if streams <= 1 {
+		return bw
+	}
+	c := float64(streams)
+	low, high, knee := m.chip.ContLow, m.chip.ContHigh, m.chip.ContKnee
+	if h != HashForHome {
+		// Local and remote homing pin every line of the region to a single
+		// tile's L2: fan-in serializes at that tile instead of spreading
+		// across the DDC (the bottleneck S III.A warns about).
+		low, high, knee = 0.8, 0, streams+1
+	}
+	denom := 1 + low*(c-1)
+	if over := streams - knee; over > 0 {
+		denom += high * float64(over)
+	}
+	return bw / denom
+}
+
+// BandwidthConcurrent reports per-stream effective bandwidth when streams
+// tiles copy simultaneously through the shared-memory system. The divisor
+// 1 + ContLow*(c-1) + ContHigh*max(0,c-knee) reproduces the near-linear
+// aggregate growth up to the saturation knee and the decline beyond it
+// (Figure 10: aggregate peaks at 46 GB/s at 29 tiles on the TILE-Gx36).
+func (m *Model) BandwidthConcurrent(size int64, mode Mode, streams int) float64 {
+	return m.BandwidthHomedConcurrent(size, mode, HashForHome, streams)
+}
+
+// CopyCost reports the virtual time for one memcpy of size bytes: the fixed
+// per-call overhead plus size over the (possibly concurrency-degraded)
+// effective bandwidth, under the default hash-for-home policy.
+func (m *Model) CopyCost(size int64, mode Mode, streams int) vtime.Duration {
+	return m.CopyCostHomed(size, mode, HashForHome, streams)
+}
+
+// CopyCostHomed is CopyCost under an explicit homing strategy.
+func (m *Model) CopyCostHomed(size int64, mode Mode, h Homing, streams int) vtime.Duration {
+	if size < 0 {
+		size = 0
+	}
+	ns := m.chip.CopyCallNs
+	if size > 0 {
+		bw := m.BandwidthHomedConcurrent(size, mode, h, streams)
+		ns += float64(size) / bw * 1e3 // bytes / (MB/s) -> us; *1e3 -> ns
+	}
+	return vtime.FromNs(ns)
+}
+
+// StreamCost reports the virtual time for one memory pass of bytes that is
+// part of a loop whose total working set is ws bytes: the sustainable
+// bandwidth follows the working set, not the individual transfer, because
+// the loop keeps evicting its own data (e.g. a root tile gathering from
+// every PE, Figure 12's serialized reduction).
+func (m *Model) StreamCost(bytes, ws int64, mode Mode) vtime.Duration {
+	if bytes <= 0 {
+		return 0
+	}
+	if ws < bytes {
+		ws = bytes
+	}
+	ns := m.chip.CopyCallNs + float64(bytes)/m.Bandwidth(ws, mode)*1e3
+	return vtime.FromNs(ns)
+}
+
+// RandomAccessCost reports the virtual time for n dependent, poorly-local
+// accesses (pointer chasing, matrix-transpose gathers).
+func (m *Model) RandomAccessCost(n int64) vtime.Duration {
+	if n <= 0 {
+		return 0
+	}
+	return vtime.FromNs(float64(n) * m.chip.RandomAccessNs)
+}
+
+// AtomicCost reports the service time of one remote atomic operation,
+// excluding network transit.
+func (m *Model) AtomicCost() vtime.Duration {
+	return vtime.FromNs(m.chip.AtomicNs)
+}
+
+// FenceCost reports the cost of tmc_mem_fence (waiting for all outstanding
+// stores to become visible).
+func (m *Model) FenceCost() vtime.Duration {
+	return vtime.FromNs(m.chip.FenceNs)
+}
+
+// Level identifies which layer of the hierarchy would back a working set.
+type Level int
+
+const (
+	L1d Level = iota
+	L2
+	DDC
+	DRAM
+)
+
+func (l Level) String() string {
+	switch l {
+	case L1d:
+		return "L1d"
+	case L2:
+		return "L2"
+	case DDC:
+		return "DDC"
+	default:
+		return "DRAM"
+	}
+}
+
+// LevelFor reports the hierarchy level that holds a working set of size
+// bytes: the tile's L1d, its L2, the chip-wide DDC (aggregate of all L2s),
+// or external DRAM.
+func (m *Model) LevelFor(size int64) Level {
+	switch {
+	case size <= int64(m.chip.L1dBytes):
+		return L1d
+	case size <= int64(m.chip.L2Bytes):
+		return L2
+	case size <= m.DDCBytes():
+		return DDC
+	default:
+		return DRAM
+	}
+}
+
+// DDCBytes reports the capacity of the Dynamic Distributed Cache: the
+// aggregation of the L2 caches of all tiles (S III.A).
+func (m *Model) DDCBytes() int64 {
+	return int64(m.chip.L2Bytes) * int64(m.chip.Tiles)
+}
+
+// HomeTile reports which physical tile homes the cache line holding the
+// given address (byte offset into the shared segment) under a homing
+// policy. accessor is the physical CPU performing the access; partner is
+// the designated home for RemoteHome.
+func (m *Model) HomeTile(addr int64, h Homing, accessor, partner int) int {
+	switch h {
+	case LocalHome:
+		return accessor
+	case RemoteHome:
+		return partner
+	default:
+		// Hash-for-home distributes successive cache lines round-robin
+		// across tiles, which is what spreads DDC load (S III.A).
+		const lineBytes = 64
+		line := addr / lineBytes
+		t := int(line % int64(m.chip.Tiles))
+		if t < 0 {
+			t += m.chip.Tiles
+		}
+		return t
+	}
+}
+
+// interpLog interpolates the bandwidth curve at size, linear in log2(size).
+// Sizes outside the anchor range clamp to the nearest endpoint.
+func interpLog(curve arch.CopyCurve, size int64) float64 {
+	if len(curve) == 0 {
+		return 1 // defensive: 1 MB/s floor rather than division by zero
+	}
+	if size <= curve[0].Size {
+		return curve[0].MBs
+	}
+	last := curve[len(curve)-1]
+	if size >= last.Size {
+		return last.MBs
+	}
+	for i := 1; i < len(curve); i++ {
+		if size <= curve[i].Size {
+			lo, hi := curve[i-1], curve[i]
+			f := (math.Log2(float64(size)) - math.Log2(float64(lo.Size))) /
+				(math.Log2(float64(hi.Size)) - math.Log2(float64(lo.Size)))
+			return lo.MBs + f*(hi.MBs-lo.MBs)
+		}
+	}
+	return last.MBs
+}

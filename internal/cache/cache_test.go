@@ -1,0 +1,259 @@
+package cache
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"tshmem/internal/arch"
+	"tshmem/internal/vtime"
+)
+
+func gxModel() *Model  { return NewModel(arch.Gx8036()) }
+func proModel() *Model { return NewModel(arch.Pro64()) }
+
+// TestFig3Anchors pins the headline bandwidth numbers from Figure 3.
+func TestFig3Anchors(t *testing.T) {
+	gx, pro := gxModel(), proModel()
+	cases := []struct {
+		m    *Model
+		size int64
+		want float64
+		tol  float64
+	}{
+		{gx, 8 << 10, 3100, 50},  // L1d plateau
+		{gx, 1 << 20, 1000, 50},  // DDC regime
+		{gx, 64 << 20, 320, 10},  // memory floor
+		{pro, 8 << 10, 500, 20},  // flat cache region
+		{pro, 64 << 20, 370, 10}, // memory floor
+	}
+	for _, c := range cases {
+		if got := c.m.Bandwidth(c.size, SharedAny); math.Abs(got-c.want) > c.tol {
+			t.Errorf("%s BW(%d) = %.0f MB/s, want %.0f", c.m.Chip().Name, c.size, got, c.want)
+		}
+	}
+}
+
+// TestFig3Shape verifies the qualitative structure of Figure 3: three
+// transitions on the Gx (L1d, L2, DDC), Gx ahead of Pro below 2 MB, and Pro
+// ahead in the memory-to-memory regime.
+func TestFig3Shape(t *testing.T) {
+	gx, pro := gxModel(), proModel()
+	// Gx is much faster below 2 MB.
+	for _, size := range []int64{256, 4 << 10, 64 << 10, 512 << 10, 1 << 20} {
+		if g, p := gx.Bandwidth(size, SharedAny), pro.Bandwidth(size, SharedAny); g <= p {
+			t.Errorf("at %d bytes Gx %.0f <= Pro %.0f MB/s", size, g, p)
+		}
+	}
+	// Pro wins memory-to-memory (paper: "Memory-to-memory transfers on the
+	// TILEPro64, however, are faster").
+	if g, p := gx.Bandwidth(256<<20, SharedAny), pro.Bandwidth(256<<20, SharedAny); g >= p {
+		t.Errorf("memory floor: Gx %.0f >= Pro %.0f MB/s", g, p)
+	}
+	// The Gx curve must fall substantially across each capacity knee.
+	l1 := gx.Bandwidth(16<<10, SharedAny)
+	l2 := gx.Bandwidth(128<<10, SharedAny)
+	ddc := gx.Bandwidth(1<<20, SharedAny)
+	mem := gx.Bandwidth(64<<20, SharedAny)
+	if !(l1 > l2 && l2 > ddc && ddc > mem) {
+		t.Errorf("Gx transitions not ordered: L1 %.0f, L2 %.0f, DDC %.0f, mem %.0f", l1, l2, ddc, mem)
+	}
+}
+
+func TestBandwidthMonotoneDecreasingLarge(t *testing.T) {
+	// Beyond the L1 plateau the curve never rises again.
+	m := gxModel()
+	prev := math.Inf(1)
+	for size := int64(32 << 10); size <= 256<<20; size *= 2 {
+		bw := m.Bandwidth(size, SharedAny)
+		if bw > prev+1e-9 {
+			t.Fatalf("bandwidth rose at %d bytes: %.1f > %.1f", size, bw, prev)
+		}
+		prev = bw
+	}
+}
+
+func TestInterpolationContinuity(t *testing.T) {
+	// Property: bandwidth is positive and within the curve's range for any
+	// size, and neighboring sizes give close values (no jumps).
+	m := gxModel()
+	f := func(raw uint32) bool {
+		size := int64(raw)%(128<<20) + 1
+		b1 := m.Bandwidth(size, SharedAny)
+		b2 := m.Bandwidth(size+size/100+1, SharedAny)
+		if b1 <= 0 || b1 > 3500 {
+			return false
+		}
+		return math.Abs(b1-b2)/b1 < 0.10
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestModeOrdering(t *testing.T) {
+	// Private heap copies run slightly ahead of shared copies at cacheable
+	// sizes and converge at the memory floor.
+	m := gxModel()
+	if p, s := m.Bandwidth(8<<10, PrivateToPrivate), m.Bandwidth(8<<10, SharedAny); p <= s {
+		t.Errorf("private %.0f should exceed shared %.0f at 8 kB", p, s)
+	}
+	p, s := m.Bandwidth(128<<20, PrivateToPrivate), m.Bandwidth(128<<20, SharedAny)
+	if math.Abs(p-s) > 5 {
+		t.Errorf("modes should converge at the floor: private %.0f vs shared %.0f", p, s)
+	}
+}
+
+func TestCopyCost(t *testing.T) {
+	m := gxModel()
+	// Zero-size copy still pays the call overhead.
+	if got := m.CopyCost(0, SharedAny, 1); math.Abs(got.Ns()-m.Chip().CopyCallNs) > 0.01 {
+		t.Errorf("zero-size copy = %v, want call overhead %v ns", got, m.Chip().CopyCallNs)
+	}
+	if got := m.CopyCost(-5, SharedAny, 1); got != m.CopyCost(0, SharedAny, 1) {
+		t.Errorf("negative size should clamp to zero, got %v", got)
+	}
+	// 1 MB at ~1000 MB/s is ~1 ms.
+	got := m.CopyCost(1<<20, SharedAny, 1)
+	if got.Ms() < 0.9 || got.Ms() > 1.2 {
+		t.Errorf("1 MB copy = %v, want ~1.05 ms", got)
+	}
+	// Cost is strictly increasing in size.
+	prev := vtime.Duration(0)
+	for size := int64(64); size <= 16<<20; size *= 4 {
+		c := m.CopyCost(size, SharedAny, 1)
+		if c <= prev {
+			t.Fatalf("copy cost not increasing at %d bytes", size)
+		}
+		prev = c
+	}
+}
+
+// TestConcurrencyModel verifies the contention term that shapes Figure 10:
+// aggregate bandwidth on the Gx peaks near 29 concurrent streams and
+// declines toward 36, while the Pro keeps rising through 36.
+func TestConcurrencyModel(t *testing.T) {
+	gx, pro := gxModel(), proModel()
+	agg := func(m *Model, streams int, size int64) float64 {
+		return float64(streams) * m.BandwidthConcurrent(size, SharedAny, streams)
+	}
+	const size = 64 << 10
+
+	// Single stream is undegraded.
+	if one, base := gx.BandwidthConcurrent(size, SharedAny, 1), gx.Bandwidth(size, SharedAny); one != base {
+		t.Errorf("1 stream degraded: %v vs %v", one, base)
+	}
+
+	// Gx aggregate peak lies in 25..33 streams (paper: 29).
+	best, bestC := 0.0, 0
+	for c := 1; c <= 36; c++ {
+		if a := agg(gx, c, size); a > best {
+			best, bestC = a, c
+		}
+	}
+	if bestC < 25 || bestC > 33 {
+		t.Errorf("Gx aggregate peak at %d streams, want 25..33", bestC)
+	}
+	if agg(gx, 36, size) >= best {
+		t.Error("Gx aggregate should decline after its peak")
+	}
+
+	// Peak aggregate ~46 GB/s on Gx (cache-resident transfer sizes).
+	if best < 35_000 || best > 55_000 {
+		t.Errorf("Gx peak aggregate = %.0f MB/s, want ~46000", best)
+	}
+
+	// Pro aggregate grows monotonically through 36 streams, to ~5.1 GB/s.
+	prev := 0.0
+	for c := 1; c <= 36; c++ {
+		a := agg(pro, c, 8<<10)
+		if a <= prev {
+			t.Fatalf("Pro aggregate fell at %d streams", c)
+		}
+		prev = a
+	}
+	if prev < 4_000 || prev > 6_500 {
+		t.Errorf("Pro aggregate at 36 = %.0f MB/s, want ~5100", prev)
+	}
+}
+
+func TestLevelFor(t *testing.T) {
+	gx := gxModel()
+	cases := []struct {
+		size int64
+		want Level
+	}{
+		{1 << 10, L1d},
+		{32 << 10, L1d},
+		{33 << 10, L2},
+		{256 << 10, L2},
+		{257 << 10, DDC},
+		{8 << 20, DDC},
+		{10 << 20, DRAM},
+	}
+	for _, c := range cases {
+		if got := gx.LevelFor(c.size); got != c.want {
+			t.Errorf("LevelFor(%d) = %v, want %v", c.size, got, c.want)
+		}
+	}
+	if got := gx.DDCBytes(); got != 36*256<<10 {
+		t.Errorf("Gx DDC = %d bytes, want 9 MB", got)
+	}
+	for l, s := range map[Level]string{L1d: "L1d", L2: "L2", DDC: "DDC", DRAM: "DRAM"} {
+		if l.String() != s {
+			t.Errorf("Level %d prints %q", int(l), l.String())
+		}
+	}
+}
+
+func TestHomeTile(t *testing.T) {
+	m := gxModel()
+	if got := m.HomeTile(12345, LocalHome, 7, 9); got != 7 {
+		t.Errorf("local homing -> %d, want accessor 7", got)
+	}
+	if got := m.HomeTile(12345, RemoteHome, 7, 9); got != 9 {
+		t.Errorf("remote homing -> %d, want partner 9", got)
+	}
+	// Hash-for-home: consecutive cache lines land on different tiles and
+	// cover the whole chip.
+	seen := make(map[int]bool)
+	for line := int64(0); line < 64; line++ {
+		tile := m.HomeTile(line*64, HashForHome, 0, 0)
+		if tile < 0 || tile >= 36 {
+			t.Fatalf("hash home tile %d out of range", tile)
+		}
+		seen[tile] = true
+	}
+	if len(seen) != 36 {
+		t.Errorf("hash-for-home covered %d tiles, want 36", len(seen))
+	}
+	// Addresses within one cache line share a home.
+	if m.HomeTile(0, HashForHome, 0, 0) != m.HomeTile(63, HashForHome, 0, 0) {
+		t.Error("same cache line homed differently")
+	}
+}
+
+func TestCostHelpers(t *testing.T) {
+	m := proModel()
+	if m.AtomicCost() != vtime.FromNs(70) {
+		t.Errorf("AtomicCost = %v", m.AtomicCost())
+	}
+	if m.FenceCost() != vtime.FromNs(20) {
+		t.Errorf("FenceCost = %v", m.FenceCost())
+	}
+	if m.RandomAccessCost(0) != 0 || m.RandomAccessCost(-3) != 0 {
+		t.Error("non-positive access counts should cost zero")
+	}
+	if got := m.RandomAccessCost(1000); math.Abs(got.Us()-400*1000/1000) > 1 {
+		t.Errorf("RandomAccessCost(1000) = %v, want ~400 us", got)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if HashForHome.String() != "hash-for-home" || LocalHome.String() != "local" || RemoteHome.String() != "remote" {
+		t.Error("Homing.String mismatch")
+	}
+	if PrivateToPrivate.String() != "private-private" || SharedAny.String() != "shared" {
+		t.Error("Mode.String mismatch")
+	}
+}

@@ -1,0 +1,66 @@
+package cache
+
+import (
+	"testing"
+
+	"tshmem/internal/arch"
+)
+
+// TestHomingSingleStream encodes S III.A's single-accessor trade-offs:
+// local homing wins while the data fits one L2 and collapses to the memory
+// floor beyond it; remote homing pays a small flat penalty.
+func TestHomingSingleStream(t *testing.T) {
+	m := NewModel(arch.Gx8036())
+	small := int64(32 << 10) // inside L2
+	large := int64(4 << 20)  // beyond one L2
+
+	hash := m.BandwidthHomed(small, SharedAny, HashForHome)
+	local := m.BandwidthHomed(small, SharedAny, LocalHome)
+	remote := m.BandwidthHomed(small, SharedAny, RemoteHome)
+	if !(local > hash && hash > remote) {
+		t.Errorf("small working set: local %v > hash %v > remote %v expected", local, hash, remote)
+	}
+
+	hashL := m.BandwidthHomed(large, SharedAny, HashForHome)
+	localL := m.BandwidthHomed(large, SharedAny, LocalHome)
+	if localL >= hashL {
+		t.Errorf("beyond L2, hash-for-home (%v) must beat local homing (%v): the DDC", hashL, localL)
+	}
+	floor := m.Bandwidth(1<<40, SharedAny)
+	if localL != floor {
+		t.Errorf("local homing beyond L2 = %v, want memory floor %v", localL, floor)
+	}
+	// Private transfers are unaffected by homing.
+	if m.BandwidthHomed(small, PrivateToPrivate, LocalHome) != m.Bandwidth(small, PrivateToPrivate) {
+		t.Error("homing must not affect private transfers")
+	}
+}
+
+// TestHomingFanIn: only hash-for-home spreads concurrent readers across the
+// DDC; pinned homes serialize.
+func TestHomingFanIn(t *testing.T) {
+	m := NewModel(arch.Gx8036())
+	const size, streams = 64 << 10, 24
+	agg := func(h Homing) float64 {
+		return float64(streams) * m.BandwidthHomedConcurrent(size, SharedAny, h, streams)
+	}
+	hash, local, remote := agg(HashForHome), agg(LocalHome), agg(RemoteHome)
+	if hash < 4*local || hash < 4*remote {
+		t.Errorf("hash fan-in aggregate (%v) should dwarf pinned homes (local %v, remote %v)",
+			hash, local, remote)
+	}
+	// Single stream is never degraded.
+	if m.BandwidthHomedConcurrent(size, SharedAny, RemoteHome, 1) != m.BandwidthHomed(size, SharedAny, RemoteHome) {
+		t.Error("1 stream should be undegraded")
+	}
+}
+
+func TestCopyCostHomed(t *testing.T) {
+	m := NewModel(arch.Gx8036())
+	if m.CopyCost(1<<20, SharedAny, 1) != m.CopyCostHomed(1<<20, SharedAny, HashForHome, 1) {
+		t.Error("CopyCost must equal the hash-for-home CopyCostHomed")
+	}
+	if m.CopyCostHomed(4<<20, SharedAny, LocalHome, 1) <= m.CopyCost(4<<20, SharedAny, 1) {
+		t.Error("local homing beyond L2 must cost more than hash-for-home")
+	}
+}

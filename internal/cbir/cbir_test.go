@@ -1,0 +1,309 @@
+package cbir
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tshmem/internal/arch"
+	"tshmem/internal/core"
+)
+
+func smallParams() Params {
+	return Params{Size: 32, Colors: 16, Dists: []int{1, 3}}
+}
+
+func TestParamsValidate(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Errorf("default params invalid: %v", err)
+	}
+	bad := []Params{
+		{Size: 4, Colors: 16, Dists: []int{1}},
+		{Size: 32, Colors: 1, Dists: []int{1}},
+		{Size: 32, Colors: 300, Dists: []int{1}},
+		{Size: 32, Colors: 16, Dists: nil},
+		{Size: 32, Colors: 16, Dists: []int{0}},
+		{Size: 32, Colors: 16, Dists: []int{16}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad params %d accepted", i)
+		}
+	}
+	p := DefaultParams()
+	if p.FeatureLen() != 64*4 {
+		t.Errorf("FeatureLen = %d", p.FeatureLen())
+	}
+	if p.OpsPerImage() < 128*128*4*8 {
+		t.Errorf("OpsPerImage = %d suspiciously low", p.OpsPerImage())
+	}
+}
+
+func TestSynthImage(t *testing.T) {
+	p := smallParams()
+	a := SynthImage(7, p)
+	b := SynthImage(7, p)
+	if len(a) != p.Size*p.Size {
+		t.Fatalf("image size %d", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("SynthImage not deterministic")
+		}
+		if int(a[i]) >= p.Colors {
+			t.Fatalf("pixel %d has color %d >= %d", i, a[i], p.Colors)
+		}
+	}
+	// Different ids differ.
+	c := SynthImage(8, p)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("distinct ids produced identical images")
+	}
+}
+
+func TestCorrelogramProperties(t *testing.T) {
+	p := smallParams()
+	img := SynthImage(3, p)
+	feat, err := Correlogram(img, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(feat) != p.FeatureLen() {
+		t.Fatalf("feature length %d", len(feat))
+	}
+	for i, v := range feat {
+		if v < 0 || v > 1 {
+			t.Errorf("feature[%d] = %v outside [0,1]", i, v)
+		}
+	}
+	// A constant image autocorrelates perfectly at its own color.
+	mono := make([]uint8, p.Size*p.Size)
+	for i := range mono {
+		mono[i] = 5
+	}
+	feat, err = Correlogram(mono, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nd := len(p.Dists)
+	for di := 0; di < nd; di++ {
+		if feat[5*nd+di] != 1 {
+			t.Errorf("constant image: corr(c=5,d=%d) = %v, want 1", p.Dists[di], feat[5*nd+di])
+		}
+	}
+	for c := 0; c < p.Colors; c++ {
+		if c == 5 {
+			continue
+		}
+		for di := 0; di < nd; di++ {
+			if feat[c*nd+di] != 0 {
+				t.Errorf("constant image: corr(c=%d) = %v, want 0", c, feat[c*nd+di])
+			}
+		}
+	}
+	// Validation.
+	if _, err := Correlogram(mono[:10], p); err == nil {
+		t.Error("short image accepted")
+	}
+	mono[0] = 200
+	if _, err := Correlogram(mono, p); err == nil {
+		t.Error("out-of-palette color accepted")
+	}
+}
+
+func TestCorrelogramIsIdentityInvariant(t *testing.T) {
+	// Property: the feature of an image equals the feature of the same
+	// image (stability), and self-distance is zero.
+	p := smallParams()
+	f := func(idRaw uint8) bool {
+		img := SynthImage(int(idRaw), p)
+		f1, err1 := Correlogram(img, p)
+		f2, err2 := Correlogram(img, p)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return L1(f1, f2) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestL1(t *testing.T) {
+	a := []float32{0, 1, 0.5}
+	b := []float32{1, 0, 0.5}
+	if got := L1(a, b); got != 2 {
+		t.Errorf("L1 = %v, want 2", got)
+	}
+	if L1(a, a) != 0 {
+		t.Error("self distance nonzero")
+	}
+}
+
+func TestRank(t *testing.T) {
+	const num, fl = 10, 4
+	db := make([]float32, num*fl)
+	for id := 0; id < num; id++ {
+		for j := 0; j < fl; j++ {
+			db[id*fl+j] = float32(id)
+		}
+	}
+	query := []float32{3, 3, 3, 3}
+	top := Rank(db, query, num, 3)
+	if len(top) != 3 {
+		t.Fatalf("got %d matches", len(top))
+	}
+	if top[0].ID != 3 || top[0].Distance != 0 {
+		t.Errorf("best match %+v, want id 3 at distance 0", top[0])
+	}
+	// Next two are ids 2 and 4 (distance 4 each).
+	if top[1].Distance != 4 || top[2].Distance != 4 {
+		t.Errorf("runner-up distances: %+v", top[1:])
+	}
+	// Ordered by distance.
+	for i := 1; i < len(top); i++ {
+		if top[i].Distance < top[i-1].Distance {
+			t.Error("matches out of order")
+		}
+	}
+}
+
+// TestRetrievalFindsFamily: the nearest neighbors of a query are its
+// synthetic family members, i.e. retrieval semantics actually work.
+func TestRetrievalFindsFamily(t *testing.T) {
+	p := smallParams()
+	const num = 64 // 16 families of 4
+	fl := p.FeatureLen()
+	db := make([]float32, num*fl)
+	for id := 0; id < num; id++ {
+		f, err := Correlogram(SynthImage(id, p), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		copy(db[id*fl:], f)
+	}
+	const queryID = 21 // family 5: ids 20..23
+	query := db[queryID*fl : (queryID+1)*fl]
+	top := Rank(db, query, num, 4)
+	if top[0].ID != queryID {
+		t.Errorf("best match %d, want the query itself", top[0].ID)
+	}
+	sameFamily := 0
+	for _, m := range top {
+		if m.ID/4 == queryID/4 {
+			sameFamily++
+		}
+	}
+	if sameFamily < 2 {
+		t.Errorf("only %d of top-4 from the query's family: %+v", sameFamily, top)
+	}
+}
+
+func TestDistributedMatchesSerial(t *testing.T) {
+	p := smallParams()
+	const num, queryID, topK = 40, 13, 5
+
+	// Serial reference.
+	fl := p.FeatureLen()
+	db := make([]float32, num*fl)
+	for id := 0; id < num; id++ {
+		f, err := Correlogram(SynthImage(id, p), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		copy(db[id*fl:], f)
+	}
+	qf, err := Correlogram(SynthImage(queryID, p), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Rank(db, qf, num, topK)
+
+	for _, pes := range []int{1, 3, 8} {
+		var got []Match
+		cfg := core.Config{Chip: arch.Gx8036(), NPEs: pes, HeapPerPE: 1 << 20}
+		if _, err := core.Run(cfg, func(pe *core.PE) error {
+			res, err := Distributed(pe, num, queryID, topK, p)
+			if err != nil {
+				return err
+			}
+			if pe.MyPE() == 0 {
+				got = res.Top
+			}
+			return nil
+		}); err != nil {
+			t.Fatalf("pes=%d: %v", pes, err)
+		}
+		if len(got) != topK {
+			t.Fatalf("pes=%d: %d matches", pes, len(got))
+		}
+		for i := range want {
+			if got[i].ID != want[i].ID {
+				t.Errorf("pes=%d: rank %d = image %d, want %d", pes, i, got[i].ID, want[i].ID)
+			}
+		}
+	}
+}
+
+// TestDistributedSpeedupShape reproduces Figure 14's structure at reduced
+// scale: near-linear speedup (integer workload, tiny serial tail), the
+// TILE-Gx faster in absolute terms, and the TILEPro with equal or better
+// relative speedup.
+func TestDistributedSpeedupShape(t *testing.T) {
+	p := smallParams()
+	const num = 128
+	run := func(chip *arch.Chip, pes int) float64 {
+		var sec float64
+		cfg := core.Config{Chip: chip, NPEs: pes, HeapPerPE: 1 << 20}
+		if _, err := core.Run(cfg, func(pe *core.PE) error {
+			res, err := Distributed(pe, num, 0, 3, p)
+			if err != nil {
+				return err
+			}
+			if pe.MyPE() == 0 {
+				sec = res.Elapsed.Seconds()
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return sec
+	}
+	gx1, gx16 := run(arch.Gx8036(), 1), run(arch.Gx8036(), 16)
+	pro1, pro16 := run(arch.Pro64(), 1), run(arch.Pro64(), 16)
+	gxSp, proSp := gx1/gx16, pro1/pro16
+	if gxSp < 8 {
+		t.Errorf("Gx speedup at 16 tiles = %.1f, want near-linear", gxSp)
+	}
+	if proSp < gxSp*0.95 {
+		t.Errorf("Pro speedup (%.1f) should match or beat Gx (%.1f), as in Figure 14", proSp, gxSp)
+	}
+	if gx16 >= pro16 {
+		t.Errorf("Gx (%.4fs) should be absolutely faster than Pro (%.4fs)", gx16, pro16)
+	}
+}
+
+func TestDistributedValidation(t *testing.T) {
+	cfg := core.Config{Chip: arch.Gx8036(), NPEs: 4, HeapPerPE: 1 << 20}
+	if _, err := core.Run(cfg, func(pe *core.PE) error {
+		if _, err := Distributed(pe, 2, 0, 1, smallParams()); err == nil {
+			t.Error("fewer images than PEs accepted")
+		}
+		if _, err := Distributed(pe, 8, 99, 1, smallParams()); err == nil {
+			t.Error("bad query id accepted")
+		}
+		bad := smallParams()
+		bad.Dists = nil
+		if _, err := Distributed(pe, 8, 0, 1, bad); err == nil {
+			t.Error("bad params accepted")
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,45 @@
+package cbir
+
+import (
+	"testing"
+
+	"tshmem/internal/arch"
+	"tshmem/internal/core"
+)
+
+// TestDistributedAcrossChips runs CBIR on the mPIPE multi-chip extension:
+// the root's feature gather crosses the chip boundary; the ranking must be
+// identical to the single-chip run.
+func TestDistributedAcrossChips(t *testing.T) {
+	p := smallParams()
+	const num, queryID, topK = 48, 7, 5
+	var want, got []Match
+	for _, chips := range []int{1, 2} {
+		cfg := core.Config{Chip: arch.Gx8036(), NPEs: 8, NChips: chips, HeapPerPE: 1 << 20}
+		_, err := core.Run(cfg, func(pe *core.PE) error {
+			res, err := Distributed(pe, num, queryID, topK, p)
+			if err != nil {
+				return err
+			}
+			if pe.MyPE() == 0 {
+				if chips == 1 {
+					want = res.Top
+				} else {
+					got = res.Top
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("chips=%d: %v", chips, err)
+		}
+	}
+	if len(want) != topK || len(got) != topK {
+		t.Fatalf("result sizes: %d vs %d", len(want), len(got))
+	}
+	for i := range want {
+		if want[i].ID != got[i].ID {
+			t.Errorf("rank %d differs across chip counts: %d vs %d", i, want[i].ID, got[i].ID)
+		}
+	}
+}

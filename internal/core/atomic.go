@@ -1,0 +1,215 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+
+	"tshmem/internal/vtime"
+)
+
+// waitYield lets other PE goroutines make progress while this PE spins on a
+// contended lock.
+func waitYield() { runtime.Gosched() }
+
+// AtomicT constrains the types with swap support in OpenSHMEM 1.0
+// (int, long, long long, float, double).
+type AtomicT interface {
+	~int32 | ~int64 | ~uint32 | ~uint64 | ~float32 | ~float64
+}
+
+// AtomicInt constrains the integer-only atomics (cswap, fadd, finc, add,
+// inc).
+type AtomicInt interface {
+	~int32 | ~int64 | ~uint32 | ~uint64
+}
+
+// atomicTarget resolves element 0 of target on PE tpe for an atomic
+// operation and charges the transit+service cost: the requesting tile sends
+// the operation to the line's home and gets the old value back.
+func atomicTarget[T Elem](pe *PE, target Ref[T], tpe int) ([]byte, int64, error) {
+	if err := pe.check(); err != nil {
+		return nil, 0, err
+	}
+	if err := pe.checkPE(tpe); err != nil {
+		return nil, 0, err
+	}
+	if !target.valid() || target.kind != dynamicRef {
+		return nil, 0, fmt.Errorf("%w: atomics need dynamic symmetric objects", ErrStatic)
+	}
+	if target.n < 1 {
+		return nil, 0, fmt.Errorf("%w: empty target", ErrBounds)
+	}
+	pe.stats.Atomics++
+	// Round trip to the target tile plus the atomic service time; across
+	// chips the round trip rides the mPIPE fabric.
+	if tpe != pe.id {
+		if pe.prog.sameChip(pe.id, tpe) {
+			lat, err := pe.prog.geos[pe.prog.chipOf(pe.id)].OneWayLatency(
+				pe.prog.localIdx(pe.id), pe.prog.localIdx(tpe), 1)
+			if err != nil {
+				return nil, 0, err
+			}
+			pe.clock.Advance(2 * lat)
+		} else {
+			pe.clock.Advance(2 * pe.prog.fabric.DataCost(0))
+		}
+	}
+	pe.clock.Advance(pe.prog.model.AtomicCost())
+	return pe.partBytes(tpe), target.off, nil
+}
+
+// Swap atomically writes value into target on PE tpe and returns the old
+// value (shmem_swap).
+func Swap[T AtomicT](pe *PE, target Ref[T], value T, tpe int) (T, error) {
+	var zero T
+	part, off, err := atomicTarget(pe, target, tpe)
+	if err != nil {
+		return zero, err
+	}
+	var old uint64
+	if sizeOf[T]() == 4 {
+		old = uint64(atomicSwap32(part, off, uint32(toBits(value))))
+	} else {
+		old = atomicSwap64(part, off, toBits(value))
+	}
+	pe.prog.hubs[tpe].record(off, pe.clock.Now())
+	return fromBits[T](old), nil
+}
+
+// CSwap atomically writes value into target on PE tpe if the current value
+// equals cond, returning the prior value (shmem_cswap).
+func CSwap[T AtomicInt](pe *PE, target Ref[T], cond, value T, tpe int) (T, error) {
+	var zero T
+	part, off, err := atomicTarget(pe, target, tpe)
+	if err != nil {
+		return zero, err
+	}
+	es := sizeOf[T]()
+	for {
+		var curBits uint64
+		if es == 4 {
+			curBits = uint64(atomicLoad32(part, off))
+		} else {
+			curBits = atomicLoad64(part, off)
+		}
+		cur := fromBits[T](curBits)
+		if cur != cond {
+			return cur, nil
+		}
+		var swapped bool
+		if es == 4 {
+			swapped = atomicCAS32(part, off, uint32(curBits), uint32(toBits(value)))
+		} else {
+			swapped = atomicCAS64(part, off, curBits, toBits(value))
+		}
+		if swapped {
+			pe.prog.hubs[tpe].record(off, pe.clock.Now())
+			return cur, nil
+		}
+	}
+}
+
+// FAdd atomically adds value to target on PE tpe and returns the prior
+// value (shmem_fadd).
+func FAdd[T AtomicInt](pe *PE, target Ref[T], value T, tpe int) (T, error) {
+	var zero T
+	part, off, err := atomicTarget(pe, target, tpe)
+	if err != nil {
+		return zero, err
+	}
+	es := sizeOf[T]()
+	for {
+		var curBits uint64
+		if es == 4 {
+			curBits = uint64(atomicLoad32(part, off))
+		} else {
+			curBits = atomicLoad64(part, off)
+		}
+		cur := fromBits[T](curBits)
+		next := cur + value
+		var swapped bool
+		if es == 4 {
+			swapped = atomicCAS32(part, off, uint32(curBits), uint32(toBits(next)))
+		} else {
+			swapped = atomicCAS64(part, off, curBits, toBits(next))
+		}
+		if swapped {
+			pe.prog.hubs[tpe].record(off, pe.clock.Now())
+			return cur, nil
+		}
+	}
+}
+
+// FInc atomically increments target on PE tpe and returns the prior value
+// (shmem_finc).
+func FInc[T AtomicInt](pe *PE, target Ref[T], tpe int) (T, error) {
+	return FAdd(pe, target, 1, tpe)
+}
+
+// Add atomically adds value to target on PE tpe (shmem_add).
+func Add[T AtomicInt](pe *PE, target Ref[T], value T, tpe int) error {
+	_, err := FAdd(pe, target, value, tpe)
+	return err
+}
+
+// Inc atomically increments target on PE tpe (shmem_inc).
+func Inc[T AtomicInt](pe *PE, target Ref[T], tpe int) error {
+	_, err := FAdd(pe, target, 1, tpe)
+	return err
+}
+
+// SetLock acquires a distributed lock (shmem_set_lock). The lock is a
+// symmetric long variable; this implementation arbitrates through the
+// instance on PE 0 with a compare-and-swap loop and exponential backoff.
+func (pe *PE) SetLock(lock Ref[int64]) error {
+	if err := pe.check(); err != nil {
+		return err
+	}
+	backoff := vtime.Duration(pe.prog.chip.Cycles(50))
+	for {
+		old, err := CSwap(pe, lock, 0, int64(pe.id)+1, 0)
+		if err != nil {
+			return err
+		}
+		if old == 0 {
+			return nil
+		}
+		if pe.prog.aborted.Load() {
+			return fmt.Errorf("tshmem: program aborted while PE %d waited for a lock", pe.id)
+		}
+		// Contended: model the retry delay and let other goroutines run.
+		pe.clock.Advance(backoff)
+		if backoff < vtime.Microsecond {
+			backoff *= 2
+		}
+		waitYield()
+	}
+}
+
+// ClearLock releases a lock held by this PE (shmem_clear_lock).
+func (pe *PE) ClearLock(lock Ref[int64]) error {
+	if err := pe.check(); err != nil {
+		return err
+	}
+	old, err := Swap(pe, lock, int64(0), 0)
+	if err != nil {
+		return err
+	}
+	if old != int64(pe.id)+1 {
+		return fmt.Errorf("tshmem: PE %d cleared a lock held by %d", pe.id, old-1)
+	}
+	return nil
+}
+
+// TestLock attempts to acquire the lock without blocking
+// (shmem_test_lock); it reports true when the lock was already held.
+func (pe *PE) TestLock(lock Ref[int64]) (bool, error) {
+	if err := pe.check(); err != nil {
+		return false, err
+	}
+	old, err := CSwap(pe, lock, 0, int64(pe.id)+1, 0)
+	if err != nil {
+		return false, err
+	}
+	return old != 0, nil
+}

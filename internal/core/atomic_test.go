@@ -1,0 +1,405 @@
+package core
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestSwap(t *testing.T) {
+	runT(t, gxCfg(2), func(pe *PE) error {
+		x, err := Malloc[int64](pe, 1)
+		if err != nil {
+			return err
+		}
+		if pe.MyPE() == 1 {
+			MustLocal(pe, x)[0] = 7
+		}
+		if err := pe.BarrierAll(); err != nil {
+			return err
+		}
+		if pe.MyPE() == 0 {
+			old, err := Swap(pe, x, int64(42), 1)
+			if err != nil {
+				return err
+			}
+			if old != 7 {
+				t.Errorf("swap returned %d, want 7", old)
+			}
+			v, err := G(pe, x, 1)
+			if err != nil {
+				return err
+			}
+			if v != 42 {
+				t.Errorf("after swap: %d", v)
+			}
+		}
+		return pe.BarrierAll()
+	})
+}
+
+func TestSwapFloat(t *testing.T) {
+	runT(t, gxCfg(2), func(pe *PE) error {
+		f, err := Malloc[float64](pe, 1)
+		if err != nil {
+			return err
+		}
+		MustLocal(pe, f)[0] = 1.25
+		if err := pe.BarrierAll(); err != nil {
+			return err
+		}
+		if pe.MyPE() == 0 {
+			old, err := Swap(pe, f, 2.5, 1)
+			if err != nil {
+				return err
+			}
+			if old != 1.25 {
+				t.Errorf("float swap returned %v", old)
+			}
+		}
+		if err := pe.BarrierAll(); err != nil {
+			return err
+		}
+		if pe.MyPE() == 1 && MustLocal(pe, f)[0] != 2.5 {
+			t.Errorf("float swap did not store: %v", MustLocal(pe, f)[0])
+		}
+		return pe.BarrierAll()
+	})
+}
+
+func TestCSwap(t *testing.T) {
+	runT(t, gxCfg(2), func(pe *PE) error {
+		x, err := Malloc[int32](pe, 1)
+		if err != nil {
+			return err
+		}
+		if err := pe.BarrierAll(); err != nil {
+			return err
+		}
+		if pe.MyPE() == 0 {
+			// Mismatch: no store.
+			old, err := CSwap(pe, x, int32(5), int32(9), 1)
+			if err != nil {
+				return err
+			}
+			if old != 0 {
+				t.Errorf("cswap mismatch returned %d", old)
+			}
+			// Match: store.
+			old, err = CSwap(pe, x, int32(0), int32(9), 1)
+			if err != nil || old != 0 {
+				t.Errorf("cswap match: %d, %v", old, err)
+			}
+			v, _ := G(pe, x, 1)
+			if v != 9 {
+				t.Errorf("after cswap: %d", v)
+			}
+		}
+		return pe.BarrierAll()
+	})
+}
+
+// TestFAddConcurrent: every PE increments PE 0's counter concurrently; the
+// total must be exact (atomicity) and the fetched values distinct.
+func TestFAddConcurrent(t *testing.T) {
+	const n, per = 8, 50
+	seen := make([][]int64, n)
+	runT(t, gxCfg(n), func(pe *PE) error {
+		c, err := Malloc[int64](pe, 1)
+		if err != nil {
+			return err
+		}
+		if err := pe.BarrierAll(); err != nil {
+			return err
+		}
+		mine := make([]int64, 0, per)
+		for i := 0; i < per; i++ {
+			old, err := FAdd(pe, c, int64(1), 0)
+			if err != nil {
+				return err
+			}
+			mine = append(mine, old)
+		}
+		seen[pe.MyPE()] = mine
+		if err := pe.BarrierAll(); err != nil {
+			return err
+		}
+		if v := MustLocal(pe, c)[0]; pe.MyPE() == 0 && v != n*per {
+			t.Errorf("counter = %d, want %d", v, n*per)
+		}
+		return pe.BarrierAll()
+	})
+	// All fetched pre-values are distinct (each increment observed once).
+	all := make(map[int64]bool)
+	for _, s := range seen {
+		for _, v := range s {
+			if all[v] {
+				t.Fatalf("duplicate fetched value %d", v)
+			}
+			all[v] = true
+		}
+	}
+	if len(all) != n*per {
+		t.Errorf("observed %d distinct values, want %d", len(all), n*per)
+	}
+}
+
+func TestIncAddFInc(t *testing.T) {
+	runT(t, gxCfg(3), func(pe *PE) error {
+		c, err := Malloc[int32](pe, 1)
+		if err != nil {
+			return err
+		}
+		if err := pe.BarrierAll(); err != nil {
+			return err
+		}
+		if err := Inc(pe, c, 0); err != nil {
+			return err
+		}
+		if err := Add(pe, c, int32(10), 0); err != nil {
+			return err
+		}
+		if _, err := FInc(pe, c, 0); err != nil {
+			return err
+		}
+		if err := pe.BarrierAll(); err != nil {
+			return err
+		}
+		if pe.MyPE() == 0 {
+			if v := MustLocal(pe, c)[0]; v != 3*(1+10+1) {
+				t.Errorf("counter = %d, want 36", v)
+			}
+		}
+		return pe.BarrierAll()
+	})
+}
+
+func TestAtomicValidation(t *testing.T) {
+	runT(t, gxCfg(2), func(pe *PE) error {
+		st, err := DeclareStatic[int64](pe, "a", 1)
+		if err != nil {
+			return err
+		}
+		if _, err := Swap(pe, st, int64(1), 0); !errors.Is(err, ErrStatic) {
+			t.Errorf("swap on static: %v", err)
+		}
+		dyn, err := Malloc[int64](pe, 1)
+		if err != nil {
+			return err
+		}
+		if _, err := Swap(pe, dyn, int64(1), 9); !errors.Is(err, ErrBadPE) {
+			t.Errorf("swap bad PE: %v", err)
+		}
+		var zero Ref[int64]
+		if _, err := Swap(pe, zero, int64(1), 0); !errors.Is(err, ErrStatic) {
+			t.Errorf("swap zero ref: %v", err)
+		}
+		return pe.BarrierAll()
+	})
+}
+
+// TestWaitUntilPingPong builds the classic flag protocol: PE 0 puts data
+// then sets a flag with an elemental put; PE 1 waits on the flag and reads
+// the data. The waiter's clock must land at or after the writer's.
+func TestWaitUntilPingPong(t *testing.T) {
+	runT(t, gxCfg(2), func(pe *PE) error {
+		data, err := Malloc[int64](pe, 64)
+		if err != nil {
+			return err
+		}
+		flag, err := Malloc[int32](pe, 1)
+		if err != nil {
+			return err
+		}
+		if err := pe.BarrierAll(); err != nil {
+			return err
+		}
+		if pe.MyPE() == 0 {
+			buf := make([]int64, 64)
+			for i := range buf {
+				buf[i] = int64(i) * 3
+			}
+			if err := PutSlice(pe, data, buf, 1); err != nil {
+				return err
+			}
+			pe.Fence() // order data before flag
+			if err := P(pe, flag, int32(1), 1); err != nil {
+				return err
+			}
+		} else {
+			if err := WaitUntil(pe, flag, CmpEQ, int32(1)); err != nil {
+				return err
+			}
+			v := MustLocal(pe, data)
+			for i := range v {
+				if v[i] != int64(i)*3 {
+					t.Fatalf("data[%d] = %d after flag", i, v[i])
+				}
+			}
+		}
+		return pe.BarrierAll()
+	})
+}
+
+func TestWaitUntilComparisons(t *testing.T) {
+	runT(t, gxCfg(2), func(pe *PE) error {
+		v, err := Malloc[int64](pe, 1)
+		if err != nil {
+			return err
+		}
+		if err := pe.BarrierAll(); err != nil {
+			return err
+		}
+		if pe.MyPE() == 0 {
+			for i := int64(1); i <= 5; i++ {
+				if err := P(pe, v, i*10, 1); err != nil {
+					return err
+				}
+			}
+		} else {
+			if err := WaitUntil(pe, v, CmpGE, int64(10)); err != nil {
+				return err
+			}
+			if err := WaitUntil(pe, v, CmpNE, int64(0)); err != nil {
+				return err
+			}
+			if err := Wait(pe, v, int64(0)); err != nil {
+				return err
+			}
+		}
+		if err := pe.BarrierAll(); err != nil {
+			return err
+		}
+		// Already-satisfied predicates return immediately.
+		if pe.MyPE() == 1 {
+			if err := WaitUntil(pe, v, CmpGT, int64(0)); err != nil {
+				return err
+			}
+			if err := WaitUntil(pe, v, CmpLE, int64(50)); err != nil {
+				return err
+			}
+			if err := WaitUntil(pe, v, CmpLT, int64(51)); err != nil {
+				return err
+			}
+			if err := WaitUntil(pe, v, CmpEQ, int64(50)); err != nil {
+				return err
+			}
+		}
+		return pe.BarrierAll()
+	})
+}
+
+func TestWaitUntilValidation(t *testing.T) {
+	runT(t, gxCfg(2), func(pe *PE) error {
+		st, err := DeclareStatic[int64](pe, "w", 1)
+		if err != nil {
+			return err
+		}
+		if err := WaitUntil(pe, st, CmpEQ, int64(0)); !errors.Is(err, ErrStatic) {
+			t.Errorf("wait on static: %v", err)
+		}
+		dyn, err := Malloc[int64](pe, 1)
+		if err != nil {
+			return err
+		}
+		if err := WaitUntil(pe, dyn, Cmp(99), int64(0)); err == nil {
+			t.Error("bad comparison accepted")
+		}
+		return pe.BarrierAll()
+	})
+}
+
+func TestWaitWakesOnAtomics(t *testing.T) {
+	runT(t, gxCfg(2), func(pe *PE) error {
+		c, err := Malloc[int64](pe, 1)
+		if err != nil {
+			return err
+		}
+		if err := pe.BarrierAll(); err != nil {
+			return err
+		}
+		if pe.MyPE() == 0 {
+			for i := 0; i < 5; i++ {
+				if err := Inc(pe, c, 1); err != nil {
+					return err
+				}
+			}
+		} else {
+			if err := WaitUntil(pe, c, CmpGE, int64(5)); err != nil {
+				return err
+			}
+		}
+		return pe.BarrierAll()
+	})
+}
+
+func TestLockMutualExclusion(t *testing.T) {
+	const n, per = 6, 20
+	var counter int // plain shared Go int: only safe if the lock works
+	runT(t, gxCfg(n), func(pe *PE) error {
+		lock, err := Malloc[int64](pe, 1)
+		if err != nil {
+			return err
+		}
+		if err := pe.BarrierAll(); err != nil {
+			return err
+		}
+		for i := 0; i < per; i++ {
+			if err := pe.SetLock(lock); err != nil {
+				return err
+			}
+			counter++
+			if err := pe.ClearLock(lock); err != nil {
+				return err
+			}
+		}
+		return pe.BarrierAll()
+	})
+	if counter != n*per {
+		t.Errorf("counter = %d, want %d (lock did not exclude)", counter, n*per)
+	}
+}
+
+func TestTestLock(t *testing.T) {
+	runT(t, gxCfg(2), func(pe *PE) error {
+		lock, err := Malloc[int64](pe, 1)
+		if err != nil {
+			return err
+		}
+		if err := pe.BarrierAll(); err != nil {
+			return err
+		}
+		if pe.MyPE() == 0 {
+			held, err := pe.TestLock(lock)
+			if err != nil || held {
+				t.Errorf("first TestLock: held=%v err=%v", held, err)
+			}
+		}
+		if err := pe.BarrierAll(); err != nil {
+			return err
+		}
+		if pe.MyPE() == 1 {
+			held, err := pe.TestLock(lock)
+			if err != nil || !held {
+				t.Errorf("second TestLock: held=%v err=%v", held, err)
+			}
+		}
+		if err := pe.BarrierAll(); err != nil {
+			return err
+		}
+		if pe.MyPE() == 0 {
+			if err := pe.ClearLock(lock); err != nil {
+				return err
+			}
+		}
+		if err := pe.BarrierAll(); err != nil {
+			return err
+		}
+		// Clearing a lock we don't hold is an error.
+		if pe.MyPE() == 1 {
+			if err := pe.ClearLock(lock); err == nil {
+				t.Error("cleared an unheld lock")
+			}
+		}
+		return nil
+	})
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"sync/atomic"
+	"unsafe"
+)
+
+// Atomic access helpers over raw byte buffers. TSHMEM's elemental
+// synchronization values and atomic memory operations go through these so
+// that a PE polling a symmetric variable (Wait/WaitUntil) never races with
+// the writer — mirroring how the hardware's coherence protocol makes the
+// written line visible to the polling tile.
+//
+// Offsets must be naturally aligned for the access width; the symmetric
+// heap's 8-byte minimum alignment guarantees this for whole elements of
+// every Elem type. 16-bit access is synthesized with a CAS loop on the
+// containing 32-bit word, as on machines without sub-word atomics.
+
+func u32ptr(b []byte, off int64) *uint32 { return (*uint32)(unsafe.Pointer(&b[off])) }
+func u64ptr(b []byte, off int64) *uint64 { return (*uint64)(unsafe.Pointer(&b[off])) }
+
+func atomicLoad32(b []byte, off int64) uint32     { return atomic.LoadUint32(u32ptr(b, off)) }
+func atomicLoad64(b []byte, off int64) uint64     { return atomic.LoadUint64(u64ptr(b, off)) }
+func atomicStore32(b []byte, off int64, v uint32) { atomic.StoreUint32(u32ptr(b, off), v) }
+func atomicStore64(b []byte, off int64, v uint64) { atomic.StoreUint64(u64ptr(b, off), v) }
+
+func atomicSwap32(b []byte, off int64, v uint32) uint32 {
+	return atomic.SwapUint32(u32ptr(b, off), v)
+}
+func atomicSwap64(b []byte, off int64, v uint64) uint64 {
+	return atomic.SwapUint64(u64ptr(b, off), v)
+}
+
+func atomicCAS32(b []byte, off int64, old, new uint32) bool {
+	return atomic.CompareAndSwapUint32(u32ptr(b, off), old, new)
+}
+func atomicCAS64(b []byte, off int64, old, new uint64) bool {
+	return atomic.CompareAndSwapUint64(u64ptr(b, off), old, new)
+}
+
+// atomicLoad16 loads a 16-bit value using the containing aligned 32-bit
+// word.
+func atomicLoad16(b []byte, off int64) uint16 {
+	base := off &^ 3
+	shift := uint((off - base) * 8)
+	w := atomicLoad32(b, base)
+	return uint16(w >> shift)
+}
+
+// atomicStore16 stores a 16-bit value with a CAS loop on the containing
+// aligned 32-bit word, leaving the neighboring bytes untouched.
+func atomicStore16(b []byte, off int64, v uint16) {
+	base := off &^ 3
+	shift := uint((off - base) * 8)
+	mask := uint32(0xFFFF) << shift
+	for {
+		old := atomicLoad32(b, base)
+		new := (old &^ mask) | uint32(v)<<shift
+		if atomicCAS32(b, base, old, new) {
+			return
+		}
+	}
+}
+
+// atomicSwap16 swaps a 16-bit value, returning the previous one.
+func atomicSwap16(b []byte, off int64, v uint16) uint16 {
+	base := off &^ 3
+	shift := uint((off - base) * 8)
+	mask := uint32(0xFFFF) << shift
+	for {
+		old := atomicLoad32(b, base)
+		new := (old &^ mask) | uint32(v)<<shift
+		if atomicCAS32(b, base, old, new) {
+			return uint16(old >> shift)
+		}
+	}
+}
+
+// atomicCAS16 compare-and-swaps a 16-bit value.
+func atomicCAS16(b []byte, off int64, old16, new16 uint16) bool {
+	base := off &^ 3
+	shift := uint((off - base) * 8)
+	mask := uint32(0xFFFF) << shift
+	for {
+		cur := atomicLoad32(b, base)
+		if uint16(cur>>shift) != old16 {
+			return false
+		}
+		next := (cur &^ mask) | uint32(new16)<<shift
+		if atomicCAS32(b, base, cur, next) {
+			return true
+		}
+	}
+}
+
+// elemBits maps an element size to the atomic access width. Elements wider
+// than 8 bytes (complex128) are not individually atomic; callers fall back
+// to two 64-bit stores, which is also what the hardware would do.
+func atomicLoadElem(b []byte, off int64, size int64) uint64 {
+	switch size {
+	case 2:
+		return uint64(atomicLoad16(b, off))
+	case 4:
+		return uint64(atomicLoad32(b, off))
+	case 8:
+		return atomicLoad64(b, off)
+	default: // 1 byte: via containing word
+		base := off &^ 3
+		shift := uint((off - base) * 8)
+		return uint64(uint8(atomicLoad32(b, base) >> shift))
+	}
+}
+
+func atomicStoreElem(b []byte, off int64, size int64, v uint64) {
+	switch size {
+	case 2:
+		atomicStore16(b, off, uint16(v))
+	case 4:
+		atomicStore32(b, off, uint32(v))
+	case 8:
+		atomicStore64(b, off, v)
+	default: // 1 byte
+		base := off &^ 3
+		shift := uint((off - base) * 8)
+		mask := uint32(0xFF) << shift
+		for {
+			old := atomicLoad32(b, base)
+			new := (old &^ mask) | uint32(uint8(v))<<shift
+			if atomicCAS32(b, base, old, new) {
+				return
+			}
+		}
+	}
+}
+
+// toBits and fromBits reinterpret an Elem value as raw bits of its size
+// (for sizes <= 8 bytes).
+func toBits[T Elem](v T) uint64 {
+	switch unsafe.Sizeof(v) {
+	case 1:
+		return uint64(*(*uint8)(unsafe.Pointer(&v)))
+	case 2:
+		return uint64(*(*uint16)(unsafe.Pointer(&v)))
+	case 4:
+		return uint64(*(*uint32)(unsafe.Pointer(&v)))
+	default:
+		return *(*uint64)(unsafe.Pointer(&v))
+	}
+}
+
+func fromBits[T Elem](bits uint64) T {
+	var v T
+	switch unsafe.Sizeof(v) {
+	case 1:
+		*(*uint8)(unsafe.Pointer(&v)) = uint8(bits)
+	case 2:
+		*(*uint16)(unsafe.Pointer(&v)) = uint16(bits)
+	case 4:
+		*(*uint32)(unsafe.Pointer(&v)) = uint32(bits)
+	default:
+		*(*uint64)(unsafe.Pointer(&v)) = bits
+	}
+	return v
+}

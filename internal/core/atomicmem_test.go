@@ -1,0 +1,111 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// White-box tests for the sub-word atomic helpers: they must modify exactly
+// the addressed bytes and stay atomic under contention.
+
+func TestAtomic16Basics(t *testing.T) {
+	buf := make([]byte, 16)
+	for off := int64(0); off < 8; off += 2 {
+		atomicStore16(buf, off, uint16(0x1100+off))
+	}
+	for off := int64(0); off < 8; off += 2 {
+		if got := atomicLoad16(buf, off); got != uint16(0x1100+off) {
+			t.Errorf("load16(%d) = %#x", off, got)
+		}
+	}
+	// Store to offset 2 must not clobber offsets 0 or 4.
+	atomicStore16(buf, 2, 0xBEEF)
+	if atomicLoad16(buf, 0) != 0x1100 || atomicLoad16(buf, 4) != 0x1104 {
+		t.Error("store16 clobbered neighbors")
+	}
+	old := atomicSwap16(buf, 2, 0xCAFE)
+	if old != 0xBEEF || atomicLoad16(buf, 2) != 0xCAFE {
+		t.Errorf("swap16: old=%#x now=%#x", old, atomicLoad16(buf, 2))
+	}
+	if atomicCAS16(buf, 2, 0x0000, 0x1111) {
+		t.Error("cas16 succeeded on mismatch")
+	}
+	if !atomicCAS16(buf, 2, 0xCAFE, 0x2222) || atomicLoad16(buf, 2) != 0x2222 {
+		t.Error("cas16 failed on match")
+	}
+}
+
+func TestAtomic16Concurrent(t *testing.T) {
+	// Two goroutines hammer adjacent 16-bit fields sharing a 32-bit word;
+	// neither may corrupt the other.
+	buf := make([]byte, 8)
+	const iters = 5000
+	var wg sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			off := int64(g * 2)
+			for i := 0; i < iters; i++ {
+				atomicStore16(buf, off, uint16(i))
+			}
+			atomicStore16(buf, off, uint16(0xAA00+g))
+		}(g)
+	}
+	wg.Wait()
+	if atomicLoad16(buf, 0) != 0xAA00 || atomicLoad16(buf, 2) != 0xAA01 {
+		t.Errorf("adjacent fields corrupted: %#x %#x", atomicLoad16(buf, 0), atomicLoad16(buf, 2))
+	}
+}
+
+func TestAtomicElemWidths(t *testing.T) {
+	buf := make([]byte, 32)
+	// 1-byte elements via the containing word.
+	for off := int64(0); off < 4; off++ {
+		atomicStoreElem(buf, off, 1, uint64(0x10+off))
+	}
+	for off := int64(0); off < 4; off++ {
+		if got := atomicLoadElem(buf, off, 1); got != uint64(0x10+off) {
+			t.Errorf("elem1(%d) = %#x", off, got)
+		}
+	}
+	atomicStoreElem(buf, 8, 2, 0xBEEF)
+	if atomicLoadElem(buf, 8, 2) != 0xBEEF {
+		t.Error("elem2 round trip failed")
+	}
+	atomicStoreElem(buf, 12, 4, 0xDEADBEEF)
+	if atomicLoadElem(buf, 12, 4) != 0xDEADBEEF {
+		t.Error("elem4 round trip failed")
+	}
+	atomicStoreElem(buf, 16, 8, 0x0123456789ABCDEF)
+	if atomicLoadElem(buf, 16, 8) != 0x0123456789ABCDEF {
+		t.Error("elem8 round trip failed")
+	}
+}
+
+func TestBitsRoundTrip(t *testing.T) {
+	if fromBits[int16](toBits(int16(-5))) != -5 {
+		t.Error("int16 bits")
+	}
+	if fromBits[uint8](toBits(uint8(200))) != 200 {
+		t.Error("uint8 bits")
+	}
+	if fromBits[float32](toBits(float32(3.25))) != 3.25 {
+		t.Error("float32 bits")
+	}
+	if fromBits[float64](toBits(2.5)) != 2.5 {
+		t.Error("float64 bits")
+	}
+	if fromBits[complex64](toBits(complex64(complex(1, -2)))) != complex(1, -2) {
+		t.Error("complex64 bits")
+	}
+	f := func(v int64) bool { return fromBits[int64](toBits(v)) == v }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	g := func(v uint32) bool { return fromBits[uint32](toBits(v)) == v }
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,376 @@
+package core
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"tshmem/internal/mpipe"
+	"tshmem/internal/udn"
+	"tshmem/internal/vtime"
+)
+
+// ActiveSet is the OpenSHMEM active-set triplet: the PEs
+// Start, Start+2^LogStride, ..., Start+(Size-1)*2^LogStride.
+type ActiveSet struct {
+	Start     int // PE_start
+	LogStride int // logPE_stride
+	Size      int // PE_size
+}
+
+// AllPEs is the active set covering every PE of an n-PE program.
+func AllPEs(n int) ActiveSet { return ActiveSet{Start: 0, LogStride: 0, Size: n} }
+
+// stride reports 2^LogStride.
+func (a ActiveSet) stride() int { return 1 << a.LogStride }
+
+// PE returns the i-th member of the active set.
+func (a ActiveSet) PE(i int) int { return a.Start + i*a.stride() }
+
+// Index reports the position of pe within the active set.
+func (a ActiveSet) Index(pe int) (int, bool) {
+	d := pe - a.Start
+	if d < 0 || d%a.stride() != 0 {
+		return 0, false
+	}
+	i := d / a.stride()
+	if i >= a.Size {
+		return 0, false
+	}
+	return i, true
+}
+
+// Contains reports whether pe is a member.
+func (a ActiveSet) Contains(pe int) bool {
+	_, ok := a.Index(pe)
+	return ok
+}
+
+func (a ActiveSet) validate(npes int) error {
+	if a.Start < 0 || a.LogStride < 0 || a.LogStride > 30 || a.Size < 1 {
+		return fmt.Errorf("%w: {start %d, logStride %d, size %d}", ErrBadActiveSet, a.Start, a.LogStride, a.Size)
+	}
+	if last := a.PE(a.Size - 1); last >= npes {
+		return fmt.Errorf("%w: last member PE %d >= NumPEs %d", ErrBadActiveSet, last, npes)
+	}
+	return nil
+}
+
+func (a ActiveSet) String() string {
+	return fmt.Sprintf("{start:%d stride:2^%d size:%d}", a.Start, a.LogStride, a.Size)
+}
+
+// Barrier signal words.
+const (
+	sigWait uint64 = iota + 1
+	sigRelease
+)
+
+// asTag derives the active-set identification the start tile encodes into
+// the barrier signals so overlapping barrier calls cannot return
+// out-of-order or stall (S IV.C.1). The per-set generation counter makes
+// consecutive barriers on the same set distinguishable.
+func asTag(a ActiveSet, gen uint32) uint32 {
+	h := fnv.New32a()
+	var b [16]byte
+	put32 := func(i int, v uint32) {
+		b[i], b[i+1], b[i+2], b[i+3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+	}
+	put32(0, uint32(a.Start))
+	put32(4, uint32(a.LogStride))
+	put32(8, uint32(a.Size))
+	put32(12, gen)
+	h.Write(b[:])
+	return h.Sum32()
+}
+
+// BarrierAll suspends the PE until all PEs have reached the barrier
+// (shmem_barrier_all). With Config.Barrier == TMCSpinBarrier it uses the
+// TMC spin barrier — the TILE-Gx optimization the paper proposes in its
+// open-issues discussion; otherwise it runs the UDN wait+release chain over
+// the full active set.
+func (pe *PE) BarrierAll() error {
+	if err := pe.check(); err != nil {
+		return err
+	}
+	pe.stats.Barriers++
+	if pe.prog.cfg.Barrier == TMCSpinBarrier {
+		pe.prog.spinBar.Wait(&pe.clock)
+		return nil
+	}
+	return pe.barrierUDN(AllPEs(pe.n))
+}
+
+// Barrier performs a barrier over an active set (shmem_barrier). The pSync
+// work array required by the OpenSHMEM signature is carried by the PSync
+// argument of the collective wrappers; the UDN design needs no symmetric
+// scratch, matching the paper.
+func (pe *PE) Barrier(as ActiveSet) error {
+	if err := pe.check(); err != nil {
+		return err
+	}
+	if err := as.validate(pe.n); err != nil {
+		return err
+	}
+	pe.stats.Barriers++
+	return pe.barrierUDN(as)
+}
+
+// barrierUDN is the paper's barrier design (S IV.C.1): the start tile of
+// the active set generates an active-set identification, encodes it with a
+// wait signal, and sends it linearly around the set; once it returns, all
+// members have arrived. A release signal then travels the same chain,
+// letting each tile resume as it forwards. The start tile therefore leaves
+// first (best case) and the last tile leaves last (worst case), which is
+// how Figure 8 reports best- and worst-case latencies.
+func (pe *PE) barrierUDN(as ActiveSet) error {
+	idx, ok := as.Index(pe.id)
+	if !ok {
+		return fmt.Errorf("%w: PE %d vs %v", ErrNotInSet, pe.id, as)
+	}
+	n := as.Size
+	gen := pe.barGen[as]
+	pe.barGen[as] = gen + 1
+	if n == 1 {
+		pe.clock.Advance(vtime.FromNs(pe.prog.chip.BarrierArbiterNs))
+		return nil
+	}
+	tag := asTag(as, gen)
+	if pe.prog.nchips > 1 && !setOnOneChip(pe.prog, as) {
+		return pe.barrierHier(as, tag)
+	}
+	next := as.PE((idx + 1) % n)
+	fwd := vtime.FromNs(pe.prog.chip.UDNSWForwardNs)
+
+	if idx == 0 {
+		// Start tile: generate the active-set ID, launch the wait pass,
+		// collect it from the last tile, then launch the release pass.
+		pe.clock.Advance(vtime.FromNs(pe.prog.chip.BarrierArbiterNs))
+		if err := pe.sendUDN(next, qBarrier, tag, []uint64{sigWait}); err != nil {
+			return err
+		}
+		if _, err := pe.recvBarrier(tag, sigWait); err != nil {
+			return err
+		}
+		pe.clock.Advance(fwd)
+		return pe.sendUDN(next, qBarrier, tag, []uint64{sigRelease})
+	}
+
+	// Member tile: forward the wait signal, then block for the release.
+	if _, err := pe.recvBarrier(tag, sigWait); err != nil {
+		return err
+	}
+	pe.clock.Advance(fwd)
+	if err := pe.sendUDN(next, qBarrier, tag, []uint64{sigWait}); err != nil {
+		return err
+	}
+	if _, err := pe.recvBarrier(tag, sigRelease); err != nil {
+		return err
+	}
+	if idx < n-1 {
+		pe.clock.Advance(fwd)
+		return pe.sendUDN(next, qBarrier, tag, []uint64{sigRelease})
+	}
+	return nil
+}
+
+// setOnOneChip reports whether every member of the active set shares one
+// chip. Ranks are block-distributed over chips, so the first and last
+// members suffice.
+func setOnOneChip(p *Program, as ActiveSet) bool {
+	return p.chipOf(as.PE(0)) == p.chipOf(as.PE(as.Size-1))
+}
+
+// barrierHier is the multi-chip barrier of the mPIPE extension: a UDN
+// wait+release chain within each chip, with the per-chip leaders
+// synchronized over the mPIPE fabric in between.
+func (pe *PE) barrierHier(as ActiveSet, tag uint32) error {
+	// Partition the set by chip, preserving set order.
+	myChip := pe.prog.chipOf(pe.id)
+	var members []int // my chip's members
+	var leaders []int // first member per chip, in order of appearance
+	lastChip := -1
+	for i := 0; i < as.Size; i++ {
+		g := as.PE(i)
+		c := pe.prog.chipOf(g)
+		if c != lastChip {
+			leaders = append(leaders, g)
+			lastChip = c
+		}
+		if c == myChip {
+			members = append(members, g)
+		}
+	}
+	pos := 0
+	for i, m := range members {
+		if m == pe.id {
+			pos = i
+		}
+	}
+	n := len(members)
+	fwd := vtime.FromNs(pe.prog.chip.UDNSWForwardNs)
+
+	if pos == 0 {
+		// Chip leader: gather my chip's arrivals with the UDN ring.
+		pe.clock.Advance(vtime.FromNs(pe.prog.chip.BarrierArbiterNs))
+		if n > 1 {
+			if err := pe.sendUDN(members[1], qBarrier, tag, []uint64{sigWait}); err != nil {
+				return err
+			}
+			if _, err := pe.recvBarrier(tag, sigWait); err != nil {
+				return err
+			}
+		}
+		// Leaders synchronize over mPIPE: leader 0 collects and releases.
+		if leaders[0] == pe.id {
+			for i := 1; i < len(leaders); i++ {
+				if _, err := pe.recvFab(tag); err != nil {
+					return err
+				}
+			}
+			for i := 1; i < len(leaders); i++ {
+				if err := pe.prog.fabric.Send(&pe.clock, pe.id, leaders[i], tag, []uint64{sigRelease}); err != nil {
+					return err
+				}
+			}
+		} else {
+			if err := pe.prog.fabric.Send(&pe.clock, pe.id, leaders[0], tag, []uint64{sigWait}); err != nil {
+				return err
+			}
+			if _, err := pe.recvFab(tag); err != nil {
+				return err
+			}
+		}
+		// Release my chip's chain.
+		if n > 1 {
+			pe.clock.Advance(fwd)
+			return pe.sendUDN(members[1], qBarrier, tag, []uint64{sigRelease})
+		}
+		return nil
+	}
+
+	// Chip member: forward the wait ring, block for release, forward it.
+	if _, err := pe.recvBarrier(tag, sigWait); err != nil {
+		return err
+	}
+	pe.clock.Advance(fwd)
+	if err := pe.sendUDN(members[(pos+1)%n], qBarrier, tag, []uint64{sigWait}); err != nil {
+		return err
+	}
+	if _, err := pe.recvBarrier(tag, sigRelease); err != nil {
+		return err
+	}
+	if pos < n-1 {
+		pe.clock.Advance(fwd)
+		return pe.sendUDN(members[pos+1], qBarrier, tag, []uint64{sigRelease})
+	}
+	return nil
+}
+
+// recvFab receives the next mPIPE control message carrying tag, stashing
+// messages of other in-flight operations.
+func (pe *PE) recvFab(tag uint32) (mpipe.Msg, error) {
+	for i, m := range pe.fabPending {
+		if m.Tag == tag {
+			pe.fabPending = append(pe.fabPending[:i], pe.fabPending[i+1:]...)
+			pe.clock.AdvanceTo(m.Arrive)
+			return m, nil
+		}
+	}
+	for {
+		m, err := pe.prog.fabric.RecvRaw(pe.id)
+		if err != nil {
+			return mpipe.Msg{}, err
+		}
+		if m.Tag == tag {
+			pe.clock.AdvanceTo(m.Arrive)
+			return m, nil
+		}
+		pe.fabPending = append(pe.fabPending, m)
+	}
+}
+
+// recvBarrier receives the next barrier signal carrying tag, stashing
+// signals for other (overlapping) barrier instances until their turn.
+func (pe *PE) recvBarrier(tag uint32, want uint64) (udn.Packet, error) {
+	for i, pkt := range pe.barPending {
+		if pkt.Tag == tag && pkt.Words[0] == want {
+			pe.barPending = append(pe.barPending[:i], pe.barPending[i+1:]...)
+			pe.clock.AdvanceTo(pkt.Arrive)
+			return pkt, nil
+		}
+	}
+	for {
+		pkt, err := pe.port.RecvRaw(qBarrier)
+		if err != nil {
+			return udn.Packet{}, err
+		}
+		if pkt.Tag == tag && len(pkt.Words) == 1 && pkt.Words[0] == want {
+			pe.clock.AdvanceTo(pkt.Arrive)
+			return pkt, nil
+		}
+		pe.barPending = append(pe.barPending, pkt)
+	}
+}
+
+// BarrierRootRelease is the alternative barrier design the paper evaluated
+// and rejected (S IV.C.1): the wait pass is the same linear chain, but the
+// start tile then *broadcasts* the release, sending one standalone UDN
+// message to every member instead of letting the chain forward it. Each
+// standalone send pays the full software send-call cost, which serializes
+// at the root — "latencies were two times slower", so TSHMEM kept the
+// chain. Exposed for the fig8c ablation.
+func (pe *PE) BarrierRootRelease(as ActiveSet) error {
+	if err := pe.check(); err != nil {
+		return err
+	}
+	if err := as.validate(pe.n); err != nil {
+		return err
+	}
+	idx, ok := as.Index(pe.id)
+	if !ok {
+		return fmt.Errorf("%w: PE %d vs %v", ErrNotInSet, pe.id, as)
+	}
+	if pe.prog.nchips > 1 && !setOnOneChip(pe.prog, as) {
+		return fmt.Errorf("%w: root-release barrier is single-chip only", ErrNotSupported)
+	}
+	pe.stats.Barriers++
+	n := as.Size
+	gen := pe.barGen[as]
+	pe.barGen[as] = gen + 1
+	if n == 1 {
+		pe.clock.Advance(vtime.FromNs(pe.prog.chip.BarrierArbiterNs))
+		return nil
+	}
+	tag := asTag(as, gen)
+	fwd := vtime.FromNs(pe.prog.chip.UDNSWForwardNs)
+	sendCall := vtime.FromNs(pe.prog.chip.UDNSendCallNs)
+
+	if idx == 0 {
+		pe.clock.Advance(vtime.FromNs(pe.prog.chip.BarrierArbiterNs))
+		if err := pe.sendUDN(as.PE(1), qBarrier, tag, []uint64{sigWait}); err != nil {
+			return err
+		}
+		if _, err := pe.recvBarrier(tag, sigWait); err != nil {
+			return err
+		}
+		// Broadcast the release: one standalone send per member,
+		// serialized at the root.
+		for k := 1; k < n; k++ {
+			pe.clock.Advance(sendCall)
+			if err := pe.sendUDN(as.PE(k), qBarrier, tag, []uint64{sigRelease}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	// Member: forward the wait chain, then block for the root's release.
+	if _, err := pe.recvBarrier(tag, sigWait); err != nil {
+		return err
+	}
+	pe.clock.Advance(fwd)
+	if err := pe.sendUDN(as.PE((idx+1)%n), qBarrier, tag, []uint64{sigWait}); err != nil {
+		return err
+	}
+	_, err := pe.recvBarrier(tag, sigRelease)
+	return err
+}

@@ -1,0 +1,103 @@
+package core
+
+import "fmt"
+
+// OpenSHMEM work-array size constants. TSHMEM's collectives synchronize
+// over the UDN and need no symmetric scratch (matching the paper), but the
+// API keeps the pSync/pWrk parameters for OpenSHMEM fidelity and validates
+// them.
+const (
+	BarrierSyncSize  = 2
+	BcastSyncSize    = 2
+	CollectSyncSize  = 4
+	ReduceSyncSize   = 4
+	ReduceMinWrkSize = 8
+	// SyncValue initializes pSync arrays before first use.
+	SyncValue int64 = 0
+)
+
+// PSync is the symmetric synchronization work array collectives take.
+type PSync = Ref[int64]
+
+// checkPSync validates a pSync argument.
+func checkPSync(ps PSync, need int) error {
+	if !ps.valid() || ps.kind != dynamicRef {
+		return fmt.Errorf("%w: pSync must be a dynamic symmetric array", ErrStatic)
+	}
+	if ps.n < need {
+		return fmt.Errorf("%w: pSync has %d elements, need %d", ErrBounds, ps.n, need)
+	}
+	return nil
+}
+
+// collEnter validates a collective call and returns the caller's index in
+// the active set plus the tag identifying this collective instance.
+func (pe *PE) collEnter(as ActiveSet) (idx int, tag uint32, err error) {
+	if err := pe.check(); err != nil {
+		return 0, 0, err
+	}
+	if err := as.validate(pe.n); err != nil {
+		return 0, 0, err
+	}
+	idx, ok := as.Index(pe.id)
+	if !ok {
+		return 0, 0, fmt.Errorf("%w: PE %d vs %v", ErrNotInSet, pe.id, as)
+	}
+	gen := pe.collGen[as]
+	pe.collGen[as] = gen + 1
+	pe.stats.Collectives++
+	// Offset the hash stream so collective tags never collide with barrier
+	// tags of the same set/generation.
+	return idx, asTag(as, gen) ^ 0x5bd1e995, nil
+}
+
+// spansChips reports whether the active set crosses chip boundaries; such
+// collectives route their control signals over the mPIPE fabric.
+func (pe *PE) spansChips(as ActiveSet) bool {
+	return pe.prog.nchips > 1 && !setOnOneChip(pe.prog, as)
+}
+
+// sendSigWords sends a control signal for collective flow control: over the
+// chip-local UDN, or over the mPIPE fabric when the collective spans chips.
+func (pe *PE) sendSigWords(dst int, tag uint32, words []uint64, fab bool) error {
+	if fab {
+		return pe.prog.fabric.Send(&pe.clock, pe.id, dst, tag, words)
+	}
+	return pe.sendUDN(dst, qColl, tag, words)
+}
+
+// sendSig sends a one-word control signal.
+func (pe *PE) sendSig(dst int, tag uint32, word uint64, fab bool) error {
+	return pe.sendSigWords(dst, tag, []uint64{word}, fab)
+}
+
+// recvSig receives the next control signal carrying tag from the chosen
+// transport, returning the sender's global rank and the payload. Signals
+// belonging to other in-flight collective instances are stashed.
+func (pe *PE) recvSig(tag uint32, fab bool) (src int, words []uint64, err error) {
+	if fab {
+		m, err := pe.recvFab(tag)
+		if err != nil {
+			return 0, nil, err
+		}
+		return m.SrcPE, m.Words, nil
+	}
+	for i, pkt := range pe.collPending {
+		if pkt.Tag == tag {
+			pe.collPending = append(pe.collPending[:i], pe.collPending[i+1:]...)
+			pe.clock.AdvanceTo(pkt.Arrive)
+			return pe.globalSrc(pkt.Src), pkt.Words, nil
+		}
+	}
+	for {
+		pkt, err := pe.port.RecvRaw(qColl)
+		if err != nil {
+			return 0, nil, err
+		}
+		if pkt.Tag == tag {
+			pe.clock.AdvanceTo(pkt.Arrive)
+			return pe.globalSrc(pkt.Src), pkt.Words, nil
+		}
+		pe.collPending = append(pe.collPending, pkt)
+	}
+}

@@ -1,0 +1,302 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"tshmem/internal/arch"
+	"tshmem/internal/vtime"
+)
+
+// gxCfg returns a small TILE-Gx config for tests.
+func gxCfg(npes int) Config {
+	return Config{Chip: arch.Gx8036(), NPEs: npes, HeapPerPE: 1 << 20, ScratchBytes: 1 << 20}
+}
+
+func proCfg(npes int) Config {
+	return Config{Chip: arch.Pro64(), NPEs: npes, HeapPerPE: 1 << 20, ScratchBytes: 1 << 20}
+}
+
+// runT runs body on every PE and fails the test on error.
+func runT(t *testing.T, cfg Config, body func(*PE) error) *Report {
+	t.Helper()
+	rep, err := Run(cfg, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Config{NPEs: 0}, func(*PE) error { return nil }); err == nil {
+		t.Error("NPEs=0 accepted")
+	}
+	if _, err := Run(Config{NPEs: 37, Chip: arch.Gx8036()}, func(*PE) error { return nil }); err == nil {
+		t.Error("37 PEs on a 36-tile chip accepted")
+	}
+	if _, err := Run(Config{NPEs: 2, HeapPerPE: 100}, func(*PE) error { return nil }); err == nil {
+		t.Error("tiny heap accepted")
+	}
+}
+
+func TestRunEnvironment(t *testing.T) {
+	const n = 9
+	var mu sync.Mutex
+	seen := make(map[int]bool)
+	rep := runT(t, gxCfg(n), func(pe *PE) error {
+		mu.Lock()
+		seen[pe.MyPE()] = true
+		mu.Unlock()
+		if pe.NumPEs() != n {
+			t.Errorf("NumPEs = %d, want %d", pe.NumPEs(), n)
+		}
+		if pe.Chip().Name != "TILE-Gx8036" {
+			t.Errorf("chip = %s", pe.Chip().Name)
+		}
+		if pe.Tile() < 0 || pe.Tile() >= 36 {
+			t.Errorf("tile %d out of range", pe.Tile())
+		}
+		return nil
+	})
+	if len(seen) != n {
+		t.Errorf("saw %d distinct PEs, want %d", len(seen), n)
+	}
+	if rep.NPEs != n || rep.Chip != "TILE-Gx8036" {
+		t.Errorf("report header wrong: %+v", rep)
+	}
+	if rep.MaxTime <= 0 || rep.MinTime <= 0 || rep.MinTime > rep.MaxTime {
+		t.Errorf("report times wrong: %v..%v", rep.MinTime, rep.MaxTime)
+	}
+	// start_pes costs real virtual time (address exchange + barrier).
+	if rep.MinTime < vtime.FromNs(50) {
+		t.Errorf("init suspiciously cheap: %v", rep.MinTime)
+	}
+}
+
+func TestRunPropagatesErrors(t *testing.T) {
+	wantErr := errors.New("boom")
+	_, err := Run(gxCfg(4), func(pe *PE) error {
+		if pe.MyPE() == 2 {
+			return wantErr
+		}
+		return nil
+	})
+	if !errors.Is(err, wantErr) {
+		t.Errorf("error not propagated: %v", err)
+	}
+}
+
+func TestRunRecoversPanics(t *testing.T) {
+	_, err := Run(gxCfg(2), func(pe *PE) error {
+		if pe.MyPE() == 1 {
+			panic("kaboom")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("panic not reported")
+	}
+}
+
+func TestMallocSymmetryAndViews(t *testing.T) {
+	const n = 4
+	offs := make([]int64, n)
+	runT(t, gxCfg(n), func(pe *PE) error {
+		x, err := Malloc[int32](pe, 100)
+		if err != nil {
+			return err
+		}
+		offs[pe.MyPE()] = x.off
+		v, err := Local(pe, x)
+		if err != nil {
+			return err
+		}
+		if len(v) != 100 {
+			t.Errorf("local view has %d elements", len(v))
+		}
+		v[0] = int32(pe.MyPE())
+		if err := pe.BarrierAll(); err != nil {
+			return err
+		}
+		// Views are real memory: a remote Ptr must see the write.
+		next := (pe.MyPE() + 1) % n
+		remote := Ptr(pe, x, next)
+		if remote == nil || remote[0] != int32(next) {
+			t.Errorf("PE %d: remote view wrong: %v", pe.MyPE(), remote)
+		}
+		return pe.BarrierAll()
+	})
+	for i := 1; i < n; i++ {
+		if offs[i] != offs[0] {
+			t.Errorf("asymmetric offsets: %v", offs)
+		}
+	}
+}
+
+func TestMallocAsymmetryDetected(t *testing.T) {
+	_, err := Run(gxCfg(3), func(pe *PE) error {
+		// PE 1 first allocates an extra object, desynchronizing the heaps.
+		if pe.MyPE() == 1 {
+			if _, err := pe.heap.Alloc(64); err != nil {
+				return err
+			}
+		}
+		_, err := Malloc[int64](pe, 10)
+		return err
+	})
+	if !errors.Is(err, ErrAsymmetric) {
+		t.Errorf("asymmetric shmalloc: %v", err)
+	}
+}
+
+func TestMallocFreeRealloc(t *testing.T) {
+	runT(t, gxCfg(2), func(pe *PE) error {
+		x, err := Malloc[float64](pe, 64)
+		if err != nil {
+			return err
+		}
+		before := pe.HeapInUse()
+		v := MustLocal(pe, x)
+		for i := range v {
+			v[i] = float64(i)
+		}
+		x2, err := Realloc(pe, x, 128)
+		if err != nil {
+			return err
+		}
+		v2 := MustLocal(pe, x2)
+		if len(v2) != 128 || v2[63] != 63 {
+			t.Errorf("realloc lost data: len %d, v2[63]=%v", len(v2), v2[63])
+		}
+		if err := Free(pe, x2); err != nil {
+			return err
+		}
+		if pe.HeapInUse() >= before {
+			t.Errorf("heap not released: %d >= %d", pe.HeapInUse(), before)
+		}
+		_, err = Malloc[float64](pe, 0)
+		if err == nil {
+			t.Error("zero-element Malloc accepted")
+		}
+		// The failed Malloc left no allocation; heaps are still symmetric.
+		y, err := Malloc[int16](pe, 3)
+		if err != nil {
+			return err
+		}
+		return Free(pe, y)
+	})
+}
+
+func TestMallocAlign(t *testing.T) {
+	runT(t, gxCfg(2), func(pe *PE) error {
+		x, err := MallocAlign[int32](pe, 5, 256)
+		if err != nil {
+			return err
+		}
+		if x.off%256 != 0 {
+			t.Errorf("offset %d not 256-aligned", x.off)
+		}
+		return Free(pe, x)
+	})
+}
+
+func TestRefSlicing(t *testing.T) {
+	runT(t, gxCfg(1), func(pe *PE) error {
+		x, err := Malloc[int32](pe, 10)
+		if err != nil {
+			return err
+		}
+		sub := x.Slice(2, 7)
+		if sub.Len() != 5 {
+			t.Errorf("sub len = %d", sub.Len())
+		}
+		MustLocal(pe, x)[4] = 99
+		if got := MustLocal(pe, sub)[2]; got != 99 {
+			t.Errorf("sub view misaligned: %d", got)
+		}
+		one := x.At(4)
+		if one.Len() != 1 || MustLocal(pe, one)[0] != 99 {
+			t.Error("At view wrong")
+		}
+		if _, err := x.SliceChecked(5, 3); !errors.Is(err, ErrBounds) {
+			t.Errorf("inverted slice: %v", err)
+		}
+		if _, err := x.SliceChecked(0, 11); !errors.Is(err, ErrBounds) {
+			t.Errorf("overlong slice: %v", err)
+		}
+		var zero Ref[int32]
+		if _, err := Local(pe, zero); !errors.Is(err, ErrBounds) {
+			t.Errorf("zero ref: %v", err)
+		}
+		return nil
+	})
+}
+
+func TestFinalize(t *testing.T) {
+	runT(t, gxCfg(3), func(pe *PE) error {
+		if err := pe.Finalize(); err != nil {
+			return err
+		}
+		if err := pe.Finalize(); !errors.Is(err, ErrFinalized) {
+			t.Errorf("double finalize: %v", err)
+		}
+		if err := pe.BarrierAll(); !errors.Is(err, ErrFinalized) {
+			t.Errorf("barrier after finalize: %v", err)
+		}
+		if _, err := Malloc[int32](pe, 1); !errors.Is(err, ErrFinalized) {
+			t.Errorf("malloc after finalize: %v", err)
+		}
+		return nil
+	})
+}
+
+func TestComputeCharging(t *testing.T) {
+	var gxFlops, proFlops vtime.Duration
+	runT(t, gxCfg(1), func(pe *PE) error {
+		t0 := pe.Now()
+		pe.ComputeFlops(1000)
+		gxFlops = pe.Now().Sub(t0)
+		return nil
+	})
+	runT(t, proCfg(1), func(pe *PE) error {
+		t0 := pe.Now()
+		pe.ComputeFlops(1000)
+		proFlops = pe.Now().Sub(t0)
+		return nil
+	})
+	// Softfloat penalty: Pro pays much more per flop (Figure 13's cause).
+	if proFlops < 4*gxFlops {
+		t.Errorf("softfloat penalty missing: pro %v vs gx %v", proFlops, gxFlops)
+	}
+	runT(t, gxCfg(1), func(pe *PE) error {
+		t0 := pe.Now()
+		pe.ComputeFlops(-5)
+		pe.ComputeIntOps(0)
+		if pe.Now() != t0 {
+			t.Error("non-positive work advanced the clock")
+		}
+		pe.ComputeIntOps(1000)
+		pe.ComputeRandomAccesses(10)
+		if pe.Now() == t0 {
+			t.Error("work did not advance the clock")
+		}
+		st := pe.Stats()
+		if st.IntOps != 1000 {
+			t.Errorf("IntOps stat = %d", st.IntOps)
+		}
+		return nil
+	})
+}
+
+func TestPEAccessible(t *testing.T) {
+	runT(t, gxCfg(3), func(pe *PE) error {
+		if !pe.PEAccessible(0) || !pe.PEAccessible(2) {
+			t.Error("valid PEs not accessible")
+		}
+		if pe.PEAccessible(-1) || pe.PEAccessible(3) {
+			t.Error("invalid PEs accessible")
+		}
+		return nil
+	})
+}

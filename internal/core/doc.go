@@ -1,0 +1,38 @@
+// Package core implements TSHMEM: an OpenSHMEM 1.0 library for the
+// (simulated) Tilera TILE-Gx and TILEPro many-core processors, following
+// the design of Lam, George and Lam, "TSHMEM: Shared-Memory Parallel
+// Computing on Tilera Many-Core Processors".
+//
+// # Model
+//
+// A TSHMEM program is SPMD: Run launches one goroutine per processing
+// element (PE), each bound one-to-one to a tile of the simulated chip. A
+// TMC common-memory segment is partitioned symmetrically among the PEs,
+// providing the PGAS memory model; each tile reports its partition's start
+// address to every other tile over the UDN during start_pes, exactly as the
+// paper's launcher does.
+//
+// Dynamic symmetric objects are allocated with Malloc (shmalloc): a
+// deterministic doubly-linked-list allocator guarantees that collective
+// allocation sequences produce identical offsets on every PE, so a tile
+// computes a remote object's address as the target partition base plus its
+// own offset. Static symmetric objects (DeclareStatic) live in per-PE
+// private memory — inaccessible to other PEs — and remote transfers
+// involving them are redirected over UDN interrupts on the TILE-Gx
+// (Section IV.B.2); the TILEPro lacks UDN interrupt support and returns
+// ErrNotSupported.
+//
+// One-sided transfers (Put/Get families), synchronization (Barrier,
+// Fence/Quiet, Wait/WaitUntil), collectives (Broadcast, Collect, FCollect,
+// reductions), atomics, and distributed locks complete the OpenSHMEM 1.0
+// surface, plus the paper's proposed shmem_finalize extension.
+//
+// # Virtual time
+//
+// Every PE carries a virtual clock. Substrate operations advance it using
+// the chip's calibrated cost models (see internal/arch); messages and
+// barriers merge clocks. Benchmarks measure virtual time, reproducing the
+// paper's latency/bandwidth curves deterministically on any host. The
+// functional side is real: bytes move through real shared memory and
+// results are exact.
+package core

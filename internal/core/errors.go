@@ -1,0 +1,39 @@
+package core
+
+import "errors"
+
+// Errors reported by TSHMEM operations.
+var (
+	// ErrNotSupported marks operations unavailable on the target chip, such
+	// as static symmetric transfers on the TILEPro (no UDN interrupts).
+	ErrNotSupported = errors.New("tshmem: operation not supported on this chip")
+
+	// ErrBadPE reports a PE number outside [0, NumPEs).
+	ErrBadPE = errors.New("tshmem: PE out of range")
+
+	// ErrBadActiveSet reports an invalid (PE_start, logPE_stride, PE_size)
+	// triplet.
+	ErrBadActiveSet = errors.New("tshmem: invalid active set")
+
+	// ErrNotInSet reports a collective call from a PE outside the active set.
+	ErrNotInSet = errors.New("tshmem: calling PE not in active set")
+
+	// ErrBounds reports an out-of-bounds symmetric access.
+	ErrBounds = errors.New("tshmem: symmetric access out of bounds")
+
+	// ErrAsymmetric reports a collective call whose arguments disagree
+	// across PEs (for example shmalloc with different sizes).
+	ErrAsymmetric = errors.New("tshmem: asymmetric collective call")
+
+	// ErrFinalized reports use of a PE after Finalize.
+	ErrFinalized = errors.New("tshmem: PE already finalized")
+
+	// ErrStatic reports an operation that requires a dynamic symmetric
+	// object but was given a static one (e.g. atomics in this
+	// implementation).
+	ErrStatic = errors.New("tshmem: operation requires a dynamic symmetric object")
+
+	// ErrUnknownStatic reports access to a static object that was not
+	// declared (or not yet declared by the target PE).
+	ErrUnknownStatic = errors.New("tshmem: unknown static symmetric object")
+)

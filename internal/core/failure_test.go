@@ -1,0 +1,180 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// Failure-injection tests: a PE failing mid-protocol must surface the root
+// cause and unblock every peer, never hang the program.
+
+func TestAbortUnblocksBarrier(t *testing.T) {
+	boom := errors.New("injected failure")
+	_, err := Run(gxCfg(6), func(pe *PE) error {
+		if pe.MyPE() == 2 {
+			return boom
+		}
+		// Everyone else parks in a barrier that can never complete.
+		if err := pe.BarrierAll(); err != nil {
+			return nil // expected: closed UDN surfaces as an error here
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("root cause lost: %v", err)
+	}
+}
+
+func TestAbortUnblocksWaitUntil(t *testing.T) {
+	boom := errors.New("injected failure")
+	_, err := Run(gxCfg(3), func(pe *PE) error {
+		flag, e := Malloc[int64](pe, 1)
+		if e != nil {
+			return e
+		}
+		if err := pe.BarrierAll(); err != nil {
+			return err
+		}
+		if pe.MyPE() == 0 {
+			return boom
+		}
+		// The flag writer died: the waiters must be woken by the abort.
+		e = WaitUntil(pe, flag, CmpEQ, int64(1))
+		if e == nil {
+			t.Error("WaitUntil returned success for a value never written")
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("root cause lost: %v", err)
+	}
+}
+
+func TestAbortUnblocksCollective(t *testing.T) {
+	boom := errors.New("injected failure")
+	_, err := Run(gxCfg(5), func(pe *PE) error {
+		target, e := Malloc[int32](pe, 4)
+		if e != nil {
+			return e
+		}
+		ps, e := Malloc[int64](pe, BcastSyncSize)
+		if e != nil {
+			return e
+		}
+		if err := pe.BarrierAll(); err != nil {
+			return err
+		}
+		if pe.MyPE() == 4 {
+			return boom
+		}
+		_ = BroadcastPull(pe, target, target, 4, 0, AllPEs(5), ps)
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("root cause lost: %v", err)
+	}
+}
+
+func TestScratchExhaustion(t *testing.T) {
+	// A static-static transfer larger than the scratch arena must fail
+	// cleanly, not corrupt anything.
+	cfg := gxCfg(2)
+	cfg.ScratchBytes = 64 << 10
+	_, err := Run(cfg, func(pe *PE) error {
+		st, err := DeclareStatic[int64](pe, "big", 32<<10) // 256 kB
+		if err != nil {
+			return err
+		}
+		if err := pe.BarrierAll(); err != nil {
+			return err
+		}
+		if pe.MyPE() == 0 {
+			err := Put(pe, st, st, 32<<10, 1)
+			if err == nil {
+				t.Error("oversized static-static put should fail on scratch exhaustion")
+			}
+			if err != nil && !strings.Contains(err.Error(), "exhausted") {
+				t.Errorf("unexpected error: %v", err)
+			}
+			// The library remains usable afterwards.
+			if err := Put(pe, st, st, 256, 1); err != nil {
+				t.Errorf("small transfer after exhaustion: %v", err)
+			}
+		}
+		return pe.BarrierAll()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeapExhaustion(t *testing.T) {
+	_, err := Run(gxCfg(2), func(pe *PE) error {
+		// Heap is 1 MiB; this cannot fit.
+		_, err := Malloc[int64](pe, 1<<20)
+		if err == nil {
+			t.Error("oversized shmalloc should fail")
+		}
+		// Collective failure is symmetric: all PEs saw the same error, and
+		// the heap still works.
+		x, err := Malloc[int64](pe, 64)
+		if err != nil {
+			return err
+		}
+		return Free(pe, x)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeterministicVirtualTime: the same single-chip program yields
+// identical per-PE virtual times across runs — the property that makes the
+// benchmark harness reproducible.
+func TestDeterministicVirtualTime(t *testing.T) {
+	measure := func() []int64 {
+		const n = 8
+		out := make([]int64, n)
+		runT(t, gxCfg(n), func(pe *PE) error {
+			target, source, ps := collEnv(t, pe, 256, 256*n)
+			pwrk, err := Malloc[int32](pe, 256/2+1)
+			if err != nil {
+				return err
+			}
+			ringDst, err := Malloc[int32](pe, 256) // written by my left neighbor only
+			if err != nil {
+				return err
+			}
+			if err := pe.AlignClocks(); err != nil {
+				return err
+			}
+			for r := 0; r < 5; r++ {
+				if err := BroadcastPull(pe, target, source, 256, 0, AllPEs(n), ps); err != nil {
+					return err
+				}
+				if err := FCollect(pe, target, source, 256, AllPEs(n), ps); err != nil {
+					return err
+				}
+				if err := SumToAllNaive(pe, target.Slice(0, 256), source, 256, AllPEs(n), pwrk, ps); err != nil {
+					return err
+				}
+				if err := Put(pe, ringDst, source, 256, (pe.MyPE()+1)%n); err != nil {
+					return err
+				}
+				if err := pe.BarrierAll(); err != nil {
+					return err
+				}
+			}
+			out[pe.MyPE()] = int64(pe.Now())
+			return nil
+		})
+		return out
+	}
+	a, b := measure(), measure()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("PE %d virtual time differs across runs: %d vs %d", i, a[i], b[i])
+		}
+	}
+}

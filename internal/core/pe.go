@@ -1,0 +1,290 @@
+package core
+
+import (
+	"fmt"
+
+	"tshmem/internal/alloc"
+	"tshmem/internal/arch"
+	"tshmem/internal/mpipe"
+	"tshmem/internal/tmc"
+	"tshmem/internal/udn"
+	"tshmem/internal/vtime"
+)
+
+// UDN demux queue assignment within TSHMEM (four queues per tile).
+const (
+	qBarrier = 0 // barrier wait/release signal chain
+	qInit    = 1 // start_pes partition-address exchange
+	qColl    = 2 // collective control signals
+	qApp     = 3 // reserved for applications (unused by the library)
+)
+
+// Stats counts the traffic a PE generated.
+type Stats struct {
+	Puts, Gets         int64
+	PutBytes, GetBytes int64
+	Barriers           int64
+	Collectives        int64
+	Atomics            int64
+	Redirects          int64 // static-variable transfers serviced via UDN interrupts
+	Flops, IntOps      int64
+}
+
+// PE is one processing element: a goroutine bound one-to-one to a tile,
+// holding its virtual clock, its UDN port, and its symmetric partition.
+// All TSHMEM operations hang off the PE (or take it as their first
+// argument, for the generic ones). A PE must only be used from the
+// goroutine Run started for it.
+type PE struct {
+	prog *Program
+	id   int
+	n    int
+
+	clock vtime.Clock
+	port  *udn.Port
+	heap  *alloc.Allocator
+
+	hint        int // concurrency hint for the memory model (set by collectives)
+	barGen      map[ActiveSet]uint32
+	barPending  []udn.Packet // stashed signals of overlapping barrier instances
+	collGen     map[ActiveSet]uint32
+	collPending []udn.Packet
+	initPending []udn.Packet
+	fabPending  []mpipe.Msg // stashed cross-chip control messages
+	finalized   bool
+
+	stats Stats
+}
+
+// MyPE reports this PE's number (the OpenSHMEM _my_pe).
+func (pe *PE) MyPE() int { return pe.id }
+
+// NumPEs reports the number of PEs (the OpenSHMEM _num_pes).
+func (pe *PE) NumPEs() int { return pe.n }
+
+// Chip reports the processor the program runs on.
+func (pe *PE) Chip() *arch.Chip { return pe.prog.chip }
+
+// Program returns the shared program state.
+func (pe *PE) Program() *Program { return pe.prog }
+
+// Now reports the PE's current virtual time.
+func (pe *PE) Now() vtime.Time { return pe.clock.Now() }
+
+// Stats returns a copy of the PE's traffic counters.
+func (pe *PE) Stats() Stats { return pe.stats }
+
+// Tile reports the physical CPU number of the tile this PE is bound to on
+// its chip.
+func (pe *PE) Tile() int {
+	phys, err := pe.prog.geos[pe.prog.chipOf(pe.id)].PhysicalCPU(pe.prog.localIdx(pe.id))
+	if err != nil {
+		// The launcher validated the binding; this cannot fail.
+		panic(err)
+	}
+	return phys
+}
+
+// ChipIndex reports which chip hosts this PE (0 on single-chip runs).
+func (pe *PE) ChipIndex() int { return pe.prog.chipOf(pe.id) }
+
+// ChipOf reports which chip hosts the given PE rank, letting multi-chip
+// applications reason about transfer locality.
+func (pe *PE) ChipOf(rank int) (int, error) {
+	if err := pe.checkPE(rank); err != nil {
+		return 0, err
+	}
+	return pe.prog.chipOf(rank), nil
+}
+
+// sendUDN sends words on demux queue q to PE dst, which must share this
+// PE's chip (the UDN is chip-local).
+func (pe *PE) sendUDN(dst, q int, tag uint32, words []uint64) error {
+	if !pe.prog.sameChip(pe.id, dst) {
+		return fmt.Errorf("tshmem: internal: UDN send from PE %d to PE %d crosses chips", pe.id, dst)
+	}
+	return pe.port.Send(&pe.clock, pe.prog.localIdx(dst), q, tag, words)
+}
+
+// globalSrc translates a UDN packet's source (a chip-local tile index) to
+// the sender's global rank.
+func (pe *PE) globalSrc(localSrc int) int {
+	return pe.prog.chipOf(pe.id)*pe.prog.perChip + localSrc
+}
+
+// startPEs is the per-PE half of start_pes(): after the launcher has forked
+// and bound the PEs, each tile reports its partition's starting address to
+// every other tile on its chip via the UDN (Section IV.A) and verifies the
+// layout is symmetric. On multi-chip runs the concluding barrier (which is
+// chip-spanning) completes the cross-chip handshake.
+func (pe *PE) startPEs() error {
+	base := pe.prog.partBase[pe.id]
+	chip := pe.prog.chipOf(pe.id)
+	first := chip * pe.prog.perChip
+	peers := pe.prog.chipPEs(chip)
+	me := pe.prog.localIdx(pe.id)
+	for r := 1; r < peers; r++ {
+		dst := first + (me+r)%peers
+		if err := pe.sendUDN(dst, qInit, uint32(pe.id), []uint64{uint64(base)}); err != nil {
+			return err
+		}
+		// In round r the peer at distance -r reports to us. Receiving in
+		// that fixed order (stashing early arrivals) keeps the virtual-time
+		// merges deterministic.
+		pkt, err := pe.recvInitFrom((me - r + peers) % peers)
+		if err != nil {
+			return err
+		}
+		src := pe.globalSrc(pkt.Src)
+		if got, want := int64(pkt.Words[0]), pe.prog.partBase[src]; got != want {
+			return fmt.Errorf("%w: PE %d reported partition base %d, launcher says %d",
+				ErrAsymmetric, src, got, want)
+		}
+	}
+	// All partitions known; one barrier completes initialization.
+	return pe.BarrierAll()
+}
+
+// recvInitFrom receives the start_pes report from the given chip-local
+// tile, stashing reports that arrive ahead of their round.
+func (pe *PE) recvInitFrom(localSrc int) (udn.Packet, error) {
+	for i, pkt := range pe.initPending {
+		if pkt.Src == localSrc {
+			pe.initPending = append(pe.initPending[:i], pe.initPending[i+1:]...)
+			pe.clock.AdvanceTo(pkt.Arrive)
+			return pkt, nil
+		}
+	}
+	for {
+		pkt, err := pe.port.RecvRaw(qInit)
+		if err != nil {
+			return udn.Packet{}, err
+		}
+		if pkt.Src == localSrc {
+			pe.clock.AdvanceTo(pkt.Arrive)
+			return pkt, nil
+		}
+		pe.initPending = append(pe.initPending, pkt)
+	}
+}
+
+// Finalize implements the shmem_finalize() extension the paper proposes:
+// a collective that quiesces communication so the launcher can safely tear
+// down the UDN. After Finalize the PE must not issue further operations.
+func (pe *PE) Finalize() error {
+	if pe.finalized {
+		return ErrFinalized
+	}
+	pe.Quiet()
+	if err := pe.BarrierAll(); err != nil {
+		return err
+	}
+	pe.finalized = true
+	return nil
+}
+
+// check guards every operation entry point.
+func (pe *PE) check() error {
+	if pe.finalized {
+		return ErrFinalized
+	}
+	return nil
+}
+
+func (pe *PE) checkPE(target int) error {
+	if target < 0 || target >= pe.n {
+		return fmt.Errorf("%w: %d (NumPEs %d)", ErrBadPE, target, pe.n)
+	}
+	return nil
+}
+
+// ComputeFlops charges the virtual cost of n floating-point operations on
+// this chip. The application case studies count their real arithmetic
+// through this (Figures 13-14); the TILEPro pays its softfloat penalty
+// here.
+func (pe *PE) ComputeFlops(n int64) {
+	if n <= 0 {
+		return
+	}
+	pe.stats.Flops += n
+	pe.clock.Advance(vtime.FromNs(float64(n) * pe.prog.chip.FlopNs))
+}
+
+// ComputeIntOps charges the virtual cost of n integer/ALU operations.
+func (pe *PE) ComputeIntOps(n int64) {
+	if n <= 0 {
+		return
+	}
+	pe.stats.IntOps += n
+	pe.clock.Advance(vtime.FromNs(float64(n) * pe.prog.chip.IntOpNs))
+}
+
+// ComputeRandomAccesses charges n dependent poorly-local memory accesses
+// (e.g. the serialized transpose of the 2D-FFT case study).
+func (pe *PE) ComputeRandomAccesses(n int64) {
+	pe.clock.Advance(pe.prog.model.RandomAccessCost(n))
+}
+
+// AlignClocks synchronizes every PE's virtual clock to a common instant
+// (the latest arrival plus the TMC spin-barrier cost). It is a
+// simulation-control helper for the benchmark harness, which needs all PEs
+// to enter a measured operation at the same virtual time — the equivalent
+// of the paper's measurement methodology. It is not part of OpenSHMEM.
+func (pe *PE) AlignClocks() error {
+	if err := pe.check(); err != nil {
+		return err
+	}
+	pe.prog.spinBar.Wait(&pe.clock)
+	return nil
+}
+
+// Quiet waits until all outstanding puts issued by this PE are complete and
+// visible (shmem_quiet), modeled with tmc_mem_fence (Section IV.C.2).
+func (pe *PE) Quiet() {
+	tmc.MemFence(&pe.clock, pe.prog.model)
+}
+
+// Fence ensures ordering of puts to each PE (shmem_fence). TSHMEM aliases
+// it to Quiet, giving it the stronger semantics (Section IV.C.2).
+func (pe *PE) Fence() { pe.Quiet() }
+
+// ChargeStream charges the excess cost of a memory pass of bytes that is
+// part of a loop with total working set ws bytes, beyond the per-transfer
+// cost already charged: sustained bandwidth follows the working set when a
+// loop keeps evicting its own data. Applications with root-serialized
+// gathers (the CBIR case study) use this to model cache thrash.
+func (pe *PE) ChargeStream(bytes, ws int64) {
+	extra := pe.prog.model.StreamCost(bytes, ws, sharedMode) -
+		pe.prog.model.CopyCost(bytes, sharedMode, 1)
+	if extra > 0 {
+		pe.clock.Advance(extra)
+	}
+}
+
+// WithConcurrency declares that this PE is entering an application phase
+// in which c PEs stream through the shared-memory system simultaneously
+// (for example, everyone putting a block to a gather root). The memory
+// model degrades per-stream bandwidth accordingly, as it does inside the
+// library's own collectives. It returns a restore function.
+func (pe *PE) WithConcurrency(c int) (restore func()) {
+	return pe.setHint(c)
+}
+
+// setHint establishes the concurrency hint for the memory model while a
+// collective phase with c simultaneous streams runs; it returns a restore
+// function.
+func (pe *PE) setHint(c int) func() {
+	old := pe.hint
+	if c < 1 {
+		c = 1
+	}
+	pe.hint = c
+	return func() { pe.hint = old }
+}
+
+func (pe *PE) curHint() int {
+	if pe.hint < 1 {
+		return 1
+	}
+	return pe.hint
+}

@@ -1,0 +1,458 @@
+package core
+
+import (
+	"fmt"
+
+	"tshmem/internal/cache"
+	"tshmem/internal/udn"
+	"tshmem/internal/vtime"
+)
+
+// Copy modes forwarded to the memory model.
+const (
+	sharedMode  = cache.SharedAny
+	privateMode = cache.PrivateToPrivate
+)
+
+// Interrupt opcodes for static-variable redirection (S IV.B.2).
+const (
+	opPutFromShared uint64 = iota + 1 // copy common memory -> my static object
+	opGetToShared                     // copy my static object -> common memory
+)
+
+// Interrupt reply status.
+const (
+	stOK uint64 = iota
+	stErr
+)
+
+// operand is a resolved transfer endpoint.
+type operand struct {
+	bytes  []byte // local view; nil for a static object on a remote PE
+	shared bool   // lives in common memory (dynamic symmetric object)
+	gOff   int64  // absolute common-memory offset when shared
+	static bool
+	sid    int32
+	sOff   int64 // byte offset within the static object
+	nbytes int64
+}
+
+// resolve locates nelems elements of r on PE onPE, as seen by pe.
+func resolve[T Elem](pe *PE, r Ref[T], onPE, nelems int) (operand, error) {
+	if !r.valid() {
+		return operand{}, fmt.Errorf("%w: zero Ref", ErrBounds)
+	}
+	if nelems < 0 || nelems > r.n {
+		return operand{}, fmt.Errorf("%w: %d elements of a %d-element object", ErrBounds, nelems, r.n)
+	}
+	nbytes := int64(nelems) * sizeOf[T]()
+	switch r.kind {
+	case dynamicRef:
+		if r.off+nbytes > pe.prog.partSize {
+			return operand{}, fmt.Errorf("%w: dynamic ref beyond partition", ErrBounds)
+		}
+		g := globalOff(pe, r, onPE)
+		b, err := pe.prog.cm.Slice(g, nbytes)
+		if err != nil {
+			return operand{}, err
+		}
+		return operand{bytes: b, shared: true, gOff: g, nbytes: nbytes}, nil
+	default:
+		op := operand{static: true, sid: r.sid, sOff: r.off, nbytes: nbytes}
+		if onPE == pe.id {
+			b, err := pe.prog.statics.backing(r.sid, pe.id)
+			if err != nil {
+				return operand{}, err
+			}
+			if r.off+nbytes > int64(len(b)) {
+				return operand{}, fmt.Errorf("%w: static ref beyond object", ErrBounds)
+			}
+			op.bytes = b[r.off : r.off+nbytes]
+		}
+		return op, nil
+	}
+}
+
+// chargeXfer advances the clock for moving nbytes between this PE and
+// remotePE's partition: the on-chip memory model within a chip, the mPIPE
+// wire across chips (the multi-device extension).
+func (pe *PE) chargeXfer(nbytes int64, mode cache.Mode, remotePE int) {
+	pe.clock.Advance(pe.prog.model.CopyCostHomed(nbytes, mode, pe.prog.cfg.Homing, pe.curHint()))
+	if remotePE != pe.id && !pe.prog.sameChip(pe.id, remotePE) {
+		// Store-and-forward through mPIPE: the data still traverses the
+		// local memory system (charged above), then rides the wire.
+		pe.prog.fabric.ChargeData(&pe.clock, pe.id, remotePE, nbytes)
+	}
+}
+
+// chargedCopy copies src into dst and advances the clock by the modeled
+// transfer cost toward remotePE under the current concurrency hint and the
+// configured homing strategy.
+func (pe *PE) chargedCopy(dst, src []byte, mode cache.Mode, remotePE int) {
+	copy(dst, src)
+	pe.chargeXfer(int64(len(src)), mode, remotePE)
+}
+
+// Put copies nelems elements from the calling PE's instance of source into
+// target on PE tpe (shmem_putmem and the typed block puts). Puts return
+// when the local side of the transfer is complete; remote visibility is
+// guaranteed by Quiet, Fence, or a barrier.
+func Put[T Elem](pe *PE, target Ref[T], source Ref[T], nelems, tpe int) error {
+	src, err := resolve(pe, source, pe.id, nelems)
+	if err != nil {
+		return err
+	}
+	return putResolved(pe, target, src, nelems, tpe)
+}
+
+// PutSlice is Put with a private local Go slice as the source ("any source
+// variable may be used, symmetric or otherwise", S IV.B.2).
+func PutSlice[T Elem](pe *PE, target Ref[T], source []T, tpe int) error {
+	src := operand{bytes: bytesOf(source), nbytes: int64(len(source)) * sizeOf[T]()}
+	return putResolved(pe, target, src, len(source), tpe)
+}
+
+func putResolved[T Elem](pe *PE, target Ref[T], src operand, nelems, tpe int) error {
+	if err := pe.check(); err != nil {
+		return err
+	}
+	if err := pe.checkPE(tpe); err != nil {
+		return err
+	}
+	dst, err := resolve(pe, target, tpe, nelems)
+	if err != nil {
+		return err
+	}
+	pe.stats.Puts++
+	pe.stats.PutBytes += src.nbytes
+
+	switch {
+	case tpe == pe.id:
+		mode := sharedMode
+		if !dst.shared && !src.shared {
+			mode = privateMode
+		}
+		pe.chargedCopy(dst.bytes, src.bytes, mode, pe.id)
+		return nil
+
+	case dst.shared:
+		// Dynamic target: the local tile writes the remote partition
+		// directly through common memory (across chips, over mPIPE).
+		pe.chargedCopy(dst.bytes, src.bytes, sharedMode, tpe)
+		return nil
+
+	default:
+		// Static target on a remote tile: redirect over a UDN interrupt.
+		if !pe.prog.chip.UDNInterrupts {
+			return fmt.Errorf("%w: static symmetric put on %s", ErrNotSupported, pe.prog.chip.Name)
+		}
+		if !pe.prog.sameChip(pe.id, tpe) {
+			return fmt.Errorf("%w: static symmetric transfers do not cross chips (UDN interrupts are chip-local)", ErrNotSupported)
+		}
+		if src.shared {
+			// The remote tile can read the dynamic source itself.
+			return pe.redirect(tpe, opPutFromShared, dst.sid, dst.sOff, src.gOff, src.nbytes)
+		}
+		// Static-static (or private source): bounce through a temporary
+		// common-memory buffer — the extra copy is the paper's "major
+		// performance penalty" case.
+		g, err := pe.prog.scratchGet(src.nbytes)
+		if err != nil {
+			return err
+		}
+		defer pe.prog.scratchPut(g)
+		tmp, err := pe.prog.cm.Slice(g, src.nbytes)
+		if err != nil {
+			return err
+		}
+		pe.chargedCopy(tmp, src.bytes, sharedMode, pe.id)
+		return pe.redirect(tpe, opPutFromShared, dst.sid, dst.sOff, g, src.nbytes)
+	}
+}
+
+// Get copies nelems elements of source on PE spe into the calling PE's
+// instance of target (shmem_getmem and the typed block gets). Gets block
+// until the data is locally visible.
+func Get[T Elem](pe *PE, target Ref[T], source Ref[T], nelems, spe int) error {
+	if err := pe.check(); err != nil {
+		return err
+	}
+	dst, err := resolve(pe, target, pe.id, nelems)
+	if err != nil {
+		return err
+	}
+	return getResolved(pe, dst, source, nelems, spe)
+}
+
+// GetSlice is Get with a private local Go slice as the target.
+func GetSlice[T Elem](pe *PE, target []T, source Ref[T], spe int) error {
+	if err := pe.check(); err != nil {
+		return err
+	}
+	dst := operand{bytes: bytesOf(target), nbytes: int64(len(target)) * sizeOf[T]()}
+	return getResolved(pe, dst, source, len(target), spe)
+}
+
+func getResolved[T Elem](pe *PE, dst operand, source Ref[T], nelems, spe int) error {
+	if err := pe.checkPE(spe); err != nil {
+		return err
+	}
+	src, err := resolve(pe, source, spe, nelems)
+	if err != nil {
+		return err
+	}
+	pe.stats.Gets++
+	pe.stats.GetBytes += src.nbytes
+
+	switch {
+	case spe == pe.id:
+		mode := sharedMode
+		if !dst.shared && !src.shared {
+			mode = privateMode
+		}
+		pe.chargedCopy(dst.bytes, src.bytes, mode, pe.id)
+		return nil
+
+	case src.shared:
+		// Dynamic source: readable directly through common memory (across
+		// chips, over mPIPE).
+		pe.chargedCopy(dst.bytes, src.bytes, sharedMode, spe)
+		return nil
+
+	default:
+		// Static source on a remote tile.
+		if !pe.prog.chip.UDNInterrupts {
+			return fmt.Errorf("%w: static symmetric get on %s", ErrNotSupported, pe.prog.chip.Name)
+		}
+		if !pe.prog.sameChip(pe.id, spe) {
+			return fmt.Errorf("%w: static symmetric transfers do not cross chips (UDN interrupts are chip-local)", ErrNotSupported)
+		}
+		if dst.shared {
+			// The remote tile puts into our dynamic target instead
+			// (S IV.B.2's example).
+			return pe.redirect(spe, opGetToShared, src.sid, src.sOff, dst.gOff, src.nbytes)
+		}
+		// Static-static: bounce through a temporary shared buffer.
+		g, err := pe.prog.scratchGet(src.nbytes)
+		if err != nil {
+			return err
+		}
+		defer pe.prog.scratchPut(g)
+		if err := pe.redirect(spe, opGetToShared, src.sid, src.sOff, g, src.nbytes); err != nil {
+			return err
+		}
+		tmp, err := pe.prog.cm.Slice(g, src.nbytes)
+		if err != nil {
+			return err
+		}
+		pe.chargedCopy(dst.bytes, tmp, sharedMode, pe.id)
+		return nil
+	}
+}
+
+// redirect raises the UDN interrupt asking PE target to service a transfer
+// between its static object sid and common memory (S IV.B.2).
+func (pe *PE) redirect(target int, op uint64, sid int32, sOff, gOff, nbytes int64) error {
+	pe.stats.Redirects++
+	rep, err := pe.port.Interrupt(&pe.clock, pe.prog.localIdx(target), uint32(op),
+		[]uint64{op, uint64(sid), uint64(sOff), uint64(gOff), uint64(nbytes)})
+	if err != nil {
+		return err
+	}
+	if len(rep.Words) == 0 || rep.Words[0] != stOK {
+		return fmt.Errorf("%w: remote PE %d could not service redirected transfer", ErrUnknownStatic, target)
+	}
+	return nil
+}
+
+// serviceInterrupt runs on this PE's tile in interrupt context (a dedicated
+// goroutine): the tile is forced to service an operation the requesting
+// tile could not perform itself. It must not touch pe.clock or pe.stats —
+// the requester carries the timing through the interrupt reply.
+func (pe *PE) serviceInterrupt(req udn.Packet) ([]uint64, vtime.Duration) {
+	if len(req.Words) != 5 {
+		return []uint64{stErr}, 0
+	}
+	op, sid := req.Words[0], int32(req.Words[1])
+	sOff, gOff, nbytes := int64(req.Words[2]), int64(req.Words[3]), int64(req.Words[4])
+
+	backing, err := pe.prog.statics.backing(sid, pe.id)
+	if err != nil || sOff+nbytes > int64(len(backing)) {
+		return []uint64{stErr}, 0
+	}
+	shared, err := pe.prog.cm.Slice(gOff, nbytes)
+	if err != nil {
+		return []uint64{stErr}, 0
+	}
+	switch op {
+	case opPutFromShared:
+		copy(backing[sOff:sOff+nbytes], shared)
+	case opGetToShared:
+		copy(shared, backing[sOff:sOff+nbytes])
+	default:
+		return []uint64{stErr}, 0
+	}
+	return []uint64{stOK}, pe.prog.model.CopyCost(nbytes, sharedMode, 1)
+}
+
+// P is the elemental put (shmem_TYPE_p): store one value into element 0 of
+// target on PE tpe. For dynamic targets of machine word width the store is
+// atomic and wakes Wait/WaitUntil on the target PE.
+func P[T Elem](pe *PE, target Ref[T], value T, tpe int) error {
+	if err := pe.check(); err != nil {
+		return err
+	}
+	if err := pe.checkPE(tpe); err != nil {
+		return err
+	}
+	es := sizeOf[T]()
+	dst, err := resolve(pe, target, tpe, 1)
+	if err != nil {
+		return err
+	}
+	if !dst.shared || es > 8 {
+		// Static targets and 16-byte elements take the block-put path.
+		return putResolved(pe, target, operand{bytes: bytesOf([]T{value}), nbytes: es}, 1, tpe)
+	}
+	pe.stats.Puts++
+	pe.stats.PutBytes += es
+	part := pe.partBytes(tpe)
+	off := target.off
+	pe.chargeXfer(es, sharedMode, tpe)
+	atomicStoreElem(part, off, es, toBits(value))
+	pe.prog.hubs[tpe].record(off, pe.clock.Now())
+	return nil
+}
+
+// G is the elemental get (shmem_TYPE_g): load element 0 of source from PE
+// spe.
+func G[T Elem](pe *PE, source Ref[T], spe int) (T, error) {
+	var zero T
+	if err := pe.check(); err != nil {
+		return zero, err
+	}
+	if err := pe.checkPE(spe); err != nil {
+		return zero, err
+	}
+	es := sizeOf[T]()
+	src, err := resolve(pe, source, spe, 1)
+	if err != nil {
+		return zero, err
+	}
+	if !src.shared || es > 8 {
+		out := make([]T, 1)
+		if err := GetSlice(pe, out, source.Slice(0, 1), spe); err != nil {
+			return zero, err
+		}
+		return out[0], nil
+	}
+	pe.stats.Gets++
+	pe.stats.GetBytes += es
+	part := pe.partBytes(spe)
+	pe.chargeXfer(es, sharedMode, spe)
+	return fromBits[T](atomicLoadElem(part, source.off, es)), nil
+}
+
+// IPut is the strided put (shmem_TYPE_iput): nelems elements are copied
+// from source with stride sst (in elements) into target with stride tst on
+// PE tpe. Strided transfers involving remote static objects are among the
+// operations the paper lists as not yet supporting statics.
+func IPut[T Elem](pe *PE, target, source Ref[T], tst, sst int64, nelems, tpe int) error {
+	if err := stridedCheck(pe, target, source, tst, sst, nelems, tpe); err != nil {
+		return err
+	}
+	srcView, err := Local(pe, source)
+	if err != nil {
+		return err
+	}
+	dstView, err := viewOn(pe, target, tpe, int(int64(nelems-1)*tst+1))
+	if err != nil {
+		return err
+	}
+	for i := 0; i < nelems; i++ {
+		dstView[int64(i)*tst] = srcView[int64(i)*sst]
+	}
+	pe.stats.Puts++
+	nb := int64(nelems) * sizeOf[T]()
+	pe.stats.PutBytes += nb
+	pe.chargeXfer(nb, sharedMode, tpe)
+	pe.clock.Advance(pe.prog.chip.Cycles(2 * nelems)) // per-element stride arithmetic
+	return nil
+}
+
+// IGet is the strided get (shmem_TYPE_iget).
+func IGet[T Elem](pe *PE, target, source Ref[T], tst, sst int64, nelems, spe int) error {
+	if err := stridedCheck(pe, source, target, sst, tst, nelems, spe); err != nil {
+		return err
+	}
+	srcView, err := viewOn(pe, source, spe, int(int64(nelems-1)*sst+1))
+	if err != nil {
+		return err
+	}
+	dstView, err := Local(pe, target)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < nelems; i++ {
+		dstView[int64(i)*tst] = srcView[int64(i)*sst]
+	}
+	pe.stats.Gets++
+	nb := int64(nelems) * sizeOf[T]()
+	pe.stats.GetBytes += nb
+	pe.chargeXfer(nb, sharedMode, spe)
+	pe.clock.Advance(pe.prog.chip.Cycles(2 * nelems))
+	return nil
+}
+
+// viewOn returns a typed view of span elements of r's instance on PE onPE.
+// Remote instances must be dynamic (common memory); the local instance may
+// also be static.
+func viewOn[T Elem](pe *PE, r Ref[T], onPE, span int) ([]T, error) {
+	switch {
+	case r.kind == dynamicRef:
+		op, err := resolve(pe, r.Slice(0, r.n), onPE, r.n)
+		if err != nil {
+			return nil, err
+		}
+		return sliceAt[T](op.bytes, 0, span), nil
+	case onPE == pe.id:
+		return Local(pe, r)
+	default:
+		return nil, fmt.Errorf("%w: remote static view", ErrNotSupported)
+	}
+}
+
+// stridedCheck validates a strided transfer where remote is the Ref living
+// on PE rpe and local the Ref on the calling PE.
+func stridedCheck[T Elem](pe *PE, remote, local Ref[T], rst, lst int64, nelems, rpe int) error {
+	if err := pe.check(); err != nil {
+		return err
+	}
+	if err := pe.checkPE(rpe); err != nil {
+		return err
+	}
+	if nelems <= 0 {
+		return fmt.Errorf("%w: %d elements", ErrBounds, nelems)
+	}
+	if rst < 1 || lst < 1 {
+		return fmt.Errorf("%w: strides must be >= 1 (got %d, %d)", ErrBounds, rst, lst)
+	}
+	if !remote.valid() || !local.valid() {
+		return fmt.Errorf("%w: zero Ref", ErrBounds)
+	}
+	if remote.kind == staticRef && rpe != pe.id {
+		return fmt.Errorf("%w: strided transfers to/from remote static objects", ErrNotSupported)
+	}
+	if local.kind == staticRef {
+		// Local statics are fine (local access), but keep views in bounds.
+		if int64(nelems-1)*lst+1 > int64(local.n) {
+			return fmt.Errorf("%w: strided local span exceeds object", ErrBounds)
+		}
+	} else if int64(nelems-1)*lst+1 > int64(local.n) {
+		return fmt.Errorf("%w: strided local span exceeds object", ErrBounds)
+	}
+	if int64(nelems-1)*rst+1 > int64(remote.n) {
+		return fmt.Errorf("%w: strided remote span exceeds object", ErrBounds)
+	}
+	return nil
+}

@@ -1,0 +1,323 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"tshmem/internal/vtime"
+)
+
+func TestPutGetDynamic(t *testing.T) {
+	const n = 6
+	runT(t, gxCfg(n), func(pe *PE) error {
+		x, err := Malloc[int64](pe, 128)
+		if err != nil {
+			return err
+		}
+		src := MustLocal(pe, x)
+		for i := range src {
+			src[i] = int64(pe.MyPE()*1000 + i)
+		}
+		y, err := Malloc[int64](pe, 128)
+		if err != nil {
+			return err
+		}
+		if err := pe.BarrierAll(); err != nil {
+			return err
+		}
+		// Ring put: each PE puts its x into the next PE's y.
+		next := (pe.MyPE() + 1) % n
+		if err := Put(pe, y, x, 128, next); err != nil {
+			return err
+		}
+		if err := pe.BarrierAll(); err != nil {
+			return err
+		}
+		prev := (pe.MyPE() + n - 1) % n
+		got := MustLocal(pe, y)
+		for i := range got {
+			if got[i] != int64(prev*1000+i) {
+				t.Fatalf("PE %d: y[%d] = %d, want %d", pe.MyPE(), i, got[i], prev*1000+i)
+			}
+		}
+		// Ring get: read the previous PE's x into a private buffer.
+		buf := make([]int64, 128)
+		if err := GetSlice(pe, buf, x, prev); err != nil {
+			return err
+		}
+		for i := range buf {
+			if buf[i] != int64(prev*1000+i) {
+				t.Fatalf("PE %d: get[%d] = %d", pe.MyPE(), i, buf[i])
+			}
+		}
+		return pe.BarrierAll()
+	})
+}
+
+func TestPutGetSelf(t *testing.T) {
+	runT(t, gxCfg(2), func(pe *PE) error {
+		x, err := Malloc[float32](pe, 8)
+		if err != nil {
+			return err
+		}
+		y, err := Malloc[float32](pe, 8)
+		if err != nil {
+			return err
+		}
+		v := MustLocal(pe, x)
+		for i := range v {
+			v[i] = float32(i) * 1.5
+		}
+		if err := Put(pe, y, x, 8, pe.MyPE()); err != nil {
+			return err
+		}
+		w := MustLocal(pe, y)
+		for i := range w {
+			if w[i] != float32(i)*1.5 {
+				t.Fatalf("self put lost data at %d", i)
+			}
+		}
+		return nil
+	})
+}
+
+func TestPutGetValidation(t *testing.T) {
+	runT(t, gxCfg(2), func(pe *PE) error {
+		x, err := Malloc[int32](pe, 4)
+		if err != nil {
+			return err
+		}
+		if err := Put(pe, x, x, 5, 0); !errors.Is(err, ErrBounds) {
+			t.Errorf("oversize put: %v", err)
+		}
+		if err := Put(pe, x, x, 2, 7); !errors.Is(err, ErrBadPE) {
+			t.Errorf("bad PE: %v", err)
+		}
+		if err := Put(pe, x, x, 2, -1); !errors.Is(err, ErrBadPE) {
+			t.Errorf("negative PE: %v", err)
+		}
+		var zero Ref[int32]
+		if err := Put(pe, zero, x, 1, 0); !errors.Is(err, ErrBounds) {
+			t.Errorf("zero target: %v", err)
+		}
+		if err := Get(pe, x, zero, 1, 0); !errors.Is(err, ErrBounds) {
+			t.Errorf("zero source: %v", err)
+		}
+		return nil
+	})
+}
+
+func TestElementalPG(t *testing.T) {
+	runT(t, gxCfg(3), func(pe *PE) error {
+		flag, err := Malloc[int32](pe, 4)
+		if err != nil {
+			return err
+		}
+		if err := pe.BarrierAll(); err != nil {
+			return err
+		}
+		// Everyone writes its ID into element pe.MyPE() on PE 0.
+		if err := P(pe, flag.At(pe.MyPE()), int32(pe.MyPE()+10), 0); err != nil {
+			return err
+		}
+		if err := pe.BarrierAll(); err != nil {
+			return err
+		}
+		for i := 0; i < 3; i++ {
+			v, err := G(pe, flag.At(i), 0)
+			if err != nil {
+				return err
+			}
+			if v != int32(i+10) {
+				t.Fatalf("PE %d: flag[%d] = %d", pe.MyPE(), i, v)
+			}
+		}
+		return pe.BarrierAll()
+	})
+}
+
+func TestElementalWideTypes(t *testing.T) {
+	// complex128 is 16 bytes: elemental ops take the block path.
+	runT(t, gxCfg(2), func(pe *PE) error {
+		z, err := Malloc[complex128](pe, 2)
+		if err != nil {
+			return err
+		}
+		if err := pe.BarrierAll(); err != nil {
+			return err
+		}
+		if pe.MyPE() == 0 {
+			if err := P(pe, z.At(1), complex(3.5, -2.5), 1); err != nil {
+				return err
+			}
+		}
+		if err := pe.BarrierAll(); err != nil {
+			return err
+		}
+		if pe.MyPE() == 1 {
+			if got := MustLocal(pe, z)[1]; got != complex(3.5, -2.5) {
+				t.Errorf("complex put lost: %v", got)
+			}
+		}
+		v, err := G(pe, z.At(1), 1)
+		if err != nil {
+			return err
+		}
+		if v != complex(3.5, -2.5) {
+			t.Errorf("complex get: %v", v)
+		}
+		return pe.BarrierAll()
+	})
+}
+
+func TestStridedIPutIGet(t *testing.T) {
+	runT(t, gxCfg(2), func(pe *PE) error {
+		src, err := Malloc[int32](pe, 16)
+		if err != nil {
+			return err
+		}
+		dst, err := Malloc[int32](pe, 16)
+		if err != nil {
+			return err
+		}
+		v := MustLocal(pe, src)
+		for i := range v {
+			v[i] = int32(100*pe.MyPE() + i)
+		}
+		if err := pe.BarrierAll(); err != nil {
+			return err
+		}
+		if pe.MyPE() == 0 {
+			// Put every 2nd of my elements into every 3rd slot on PE 1.
+			if err := IPut(pe, dst, src, 3, 2, 5, 1); err != nil {
+				return err
+			}
+		}
+		if err := pe.BarrierAll(); err != nil {
+			return err
+		}
+		if pe.MyPE() == 1 {
+			d := MustLocal(pe, dst)
+			for i := 0; i < 5; i++ {
+				if d[3*i] != int32(2*i) {
+					t.Fatalf("iput: dst[%d] = %d, want %d", 3*i, d[3*i], 2*i)
+				}
+			}
+			// Strided get back from PE 0.
+			got, err := Malloc[int32](pe, 16)
+			if err == nil {
+				err = IGet(pe, got, src, 2, 4, 4, 0)
+			}
+			if err != nil {
+				return err
+			}
+			g := MustLocal(pe, got)
+			for i := 0; i < 4; i++ {
+				if g[2*i] != int32(4*i) {
+					t.Fatalf("iget: got[%d] = %d, want %d", 2*i, g[2*i], 4*i)
+				}
+			}
+		} else {
+			// PE 0 participates in PE 1's collective Malloc.
+			if _, err := Malloc[int32](pe, 16); err != nil {
+				return err
+			}
+		}
+		return pe.BarrierAll()
+	})
+}
+
+func TestStridedValidation(t *testing.T) {
+	runT(t, gxCfg(2), func(pe *PE) error {
+		x, err := Malloc[int64](pe, 10)
+		if err != nil {
+			return err
+		}
+		if err := IPut(pe, x, x, 0, 1, 3, 1); !errors.Is(err, ErrBounds) {
+			t.Errorf("zero stride: %v", err)
+		}
+		if err := IPut(pe, x, x, 4, 1, 4, 1); !errors.Is(err, ErrBounds) {
+			t.Errorf("overlong strided span: %v", err)
+		}
+		if err := IGet(pe, x, x, 1, 1, 0, 1); !errors.Is(err, ErrBounds) {
+			t.Errorf("zero elements: %v", err)
+		}
+		return nil
+	})
+}
+
+// TestFig6PutGetSymmetric checks the headline Figure 6 behavior: put and
+// get bandwidth closely align, and the dynamic-dynamic transfer cost
+// matches the shared-memory memcpy model (low overhead over Figure 3).
+func TestFig6PutGetSymmetric(t *testing.T) {
+	const nelems = 32 << 10 // 256 kB of int64
+	var putCost, getCost vtime.Duration
+	runT(t, gxCfg(2), func(pe *PE) error {
+		x, err := Malloc[int64](pe, nelems)
+		if err != nil {
+			return err
+		}
+		y, err := Malloc[int64](pe, nelems)
+		if err != nil {
+			return err
+		}
+		if err := pe.BarrierAll(); err != nil {
+			return err
+		}
+		if pe.MyPE() == 0 {
+			t0 := pe.Now()
+			if err := Put(pe, y, x, nelems, 1); err != nil {
+				return err
+			}
+			putCost = pe.Now().Sub(t0)
+			t0 = pe.Now()
+			if err := Get(pe, y, x, nelems, 1); err != nil {
+				return err
+			}
+			getCost = pe.Now().Sub(t0)
+		}
+		return pe.BarrierAll()
+	})
+	if putCost <= 0 || getCost <= 0 {
+		t.Fatal("costs not measured")
+	}
+	ratio := float64(putCost) / float64(getCost)
+	if ratio < 0.95 || ratio > 1.05 {
+		t.Errorf("put/get cost ratio %.3f, want ~1 (Figure 6)", ratio)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	rep := runT(t, gxCfg(2), func(pe *PE) error {
+		x, err := Malloc[int64](pe, 16)
+		if err != nil {
+			return err
+		}
+		if err := pe.BarrierAll(); err != nil {
+			return err
+		}
+		if pe.MyPE() == 0 {
+			if err := Put(pe, x, x, 16, 1); err != nil {
+				return err
+			}
+			buf := make([]int64, 4)
+			if err := GetSlice(pe, buf, x, 1); err != nil {
+				return err
+			}
+			st := pe.Stats()
+			if st.Puts != 1 || st.PutBytes != 128 {
+				t.Errorf("put stats: %+v", st)
+			}
+			if st.Gets != 1 || st.GetBytes != 32 {
+				t.Errorf("get stats: %+v", st)
+			}
+		}
+		return pe.BarrierAll()
+	})
+	if rep.PutBytes != 128 || rep.GetBytes != 32 {
+		t.Errorf("report aggregation: put %d get %d", rep.PutBytes, rep.GetBytes)
+	}
+	if rep.Barriers == 0 {
+		t.Error("barriers not counted")
+	}
+}

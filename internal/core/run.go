@@ -1,0 +1,424 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"tshmem/internal/alloc"
+	"tshmem/internal/arch"
+	"tshmem/internal/cache"
+	"tshmem/internal/mesh"
+	"tshmem/internal/mpipe"
+	"tshmem/internal/tmc"
+	"tshmem/internal/udn"
+	"tshmem/internal/vtime"
+)
+
+// BarrierImpl selects the implementation backing BarrierAll.
+type BarrierImpl int
+
+const (
+	// UDNBarrier is the paper's design: a linear wait+release signal chain
+	// over the UDN, tagged with an active-set ID (Section IV.C.1).
+	UDNBarrier BarrierImpl = iota
+	// TMCSpinBarrier backs BarrierAll with the TMC spin barrier, the
+	// optimization the paper proposes for the TILE-Gx, where the spin
+	// barrier outperforms the UDN chain (Section IV.E). Subset barriers
+	// still use the UDN chain.
+	TMCSpinBarrier
+)
+
+func (b BarrierImpl) String() string {
+	if b == TMCSpinBarrier {
+		return "tmc-spin"
+	}
+	return "udn-linear"
+}
+
+// BcastAlgo selects the default algorithm used by Broadcast.
+type BcastAlgo int
+
+const (
+	// PullBcast: every PE in the active set gets the data from the root.
+	// The paper's preferred design (Figure 10).
+	PullBcast BcastAlgo = iota
+	// PushBcast: the root puts to each PE sequentially (Figure 9).
+	PushBcast
+	// BinomialBcast: log-depth tree of puts; the paper's future-work
+	// algorithm, implemented here as an extension.
+	BinomialBcast
+)
+
+func (b BcastAlgo) String() string {
+	switch b {
+	case PushBcast:
+		return "push"
+	case BinomialBcast:
+		return "binomial"
+	default:
+		return "pull"
+	}
+}
+
+// Config describes a TSHMEM launch: the chip, the number of PEs, and the
+// symmetric heap size per PE, mirroring the environment the executable
+// launcher sets up in Section IV.A.
+type Config struct {
+	Chip      *arch.Chip // nil means TILE-Gx8036
+	NPEs      int        // number of processing elements (one per tile)
+	HeapPerPE int64      // symmetric partition size; 0 means 8 MiB
+
+	// ScratchBytes sizes the common-memory arena used for temporary
+	// buffers in static-static transfers (S IV.B.2); 0 means 4 MiB.
+	ScratchBytes int64
+
+	// Barrier selects the BarrierAll implementation.
+	Barrier BarrierImpl
+	// Bcast selects the default Broadcast algorithm.
+	Bcast BcastAlgo
+	// Reduce selects the default reduction algorithm.
+	Reduce ReduceAlgo
+	// Homing selects the memory-homing strategy for common memory. TSHMEM
+	// uses hash-for-home (the default and the paper's choice); local and
+	// remote homing are provided for the homing-strategy exploration the
+	// paper lists as future work.
+	Homing cache.Homing
+
+	// NChips spreads the PEs over multiple chips connected by mPIPE links —
+	// the multi-device shared-memory extension of the paper's future work
+	// (Section VI). 0 or 1 means a single chip. Requires a chip with an
+	// mPIPE engine (TILE-Gx). PEs are block-distributed: the first
+	// ceil(NPEs/NChips) ranks on chip 0, and so on. Cross-chip transfers
+	// pay mPIPE wire costs; static-variable redirection does not cross
+	// chips (UDN interrupts are chip-local).
+	NChips int
+}
+
+func (c *Config) fill() error {
+	if c.Chip == nil {
+		c.Chip = arch.Gx8036()
+	}
+	if err := c.Chip.Validate(); err != nil {
+		return err
+	}
+	if c.NPEs <= 0 {
+		return fmt.Errorf("tshmem: NPEs must be positive, got %d", c.NPEs)
+	}
+	if c.NChips == 0 {
+		c.NChips = 1
+	}
+	if c.NChips < 1 {
+		return fmt.Errorf("tshmem: NChips must be positive, got %d", c.NChips)
+	}
+	if c.NChips > 1 && !c.Chip.HasMPIPE {
+		return fmt.Errorf("tshmem: multi-chip runs need an mPIPE engine; %s has none", c.Chip.Name)
+	}
+	if c.NPEs > c.NChips*c.Chip.Tiles {
+		return fmt.Errorf("tshmem: %d PEs exceed %d x %s's %d tiles",
+			c.NPEs, c.NChips, c.Chip.Name, c.Chip.Tiles)
+	}
+	if c.HeapPerPE == 0 {
+		c.HeapPerPE = 8 << 20
+	}
+	if c.HeapPerPE < 4096 {
+		return fmt.Errorf("tshmem: HeapPerPE %d too small (min 4096)", c.HeapPerPE)
+	}
+	if c.ScratchBytes == 0 {
+		c.ScratchBytes = 4 << 20
+	}
+	return nil
+}
+
+// Report summarizes a completed run.
+type Report struct {
+	NPEs     int
+	Chip     string
+	PETimes  []vtime.Duration // virtual elapsed time per PE
+	MaxTime  vtime.Duration   // the program's virtual makespan
+	MinTime  vtime.Duration
+	PutBytes int64 // bytes moved by puts across all PEs
+	GetBytes int64 // bytes moved by gets across all PEs
+	Barriers int64 // barrier entries across all PEs
+}
+
+// Program is the shared state of one TSHMEM run: one or more chips, each
+// with its own iMesh/UDN, sharing one common-memory space (single chip: the
+// paper's system; multiple chips: the mPIPE future-work extension).
+type Program struct {
+	cfg     Config
+	chip    *arch.Chip
+	nchips  int
+	perChip int // PE ranks per chip (block distribution)
+	geos    []mesh.Geometry
+	nets    []*udn.Network
+	fabric  *mpipe.Fabric // nil on a single chip
+	cm      *tmc.CommonMemory
+	model   *cache.Model
+
+	partBase []int64 // common-memory offset of each PE's partition
+	partSize int64
+
+	scratchMu sync.Mutex
+	scratch   *alloc.Allocator
+	scratchAt int64 // common-memory offset of the scratch arena
+
+	spinBar *tmc.Barrier // TMC spin barrier across all PEs
+
+	statics staticRegistry
+	hubs    []watchHub // per-PE wait/wait_until hub
+
+	symCheck []int64 // per-PE slot for symmetry verification in Malloc
+
+	pes []*PE
+
+	abortOnce sync.Once
+	aborted   atomic.Bool
+	firstErr  error
+}
+
+// abort tears the program down after a PE failed, so PEs blocked in
+// collectives or waits observe the failure instead of hanging.
+func (p *Program) abort(cause error) {
+	p.abortOnce.Do(func() {
+		p.firstErr = cause
+		p.aborted.Store(true)
+		p.closeNets()
+		p.spinBar.Abort()
+		for i := range p.hubs {
+			p.hubs[i].abort()
+		}
+	})
+}
+
+func (p *Program) closeNets() {
+	for _, n := range p.nets {
+		n.Close()
+	}
+	if p.fabric != nil {
+		p.fabric.Close()
+	}
+}
+
+// Chip returns the chip model this program runs on.
+func (p *Program) Chip() *arch.Chip { return p.chip }
+
+// NChips reports the number of chips.
+func (p *Program) NChips() int { return p.nchips }
+
+// Geometry returns the tile test-area geometry of chip 0.
+func (p *Program) Geometry() mesh.Geometry { return p.geos[0] }
+
+// NPEs reports the number of processing elements.
+func (p *Program) NPEs() int { return len(p.pes) }
+
+// chipOf reports which chip hosts PE rank pe.
+func (p *Program) chipOf(pe int) int { return pe / p.perChip }
+
+// localIdx reports pe's tile index within its chip.
+func (p *Program) localIdx(pe int) int { return pe % p.perChip }
+
+// sameChip reports whether two ranks share a chip.
+func (p *Program) sameChip(a, b int) bool { return p.chipOf(a) == p.chipOf(b) }
+
+// chipPEs reports how many ranks chip c hosts.
+func (p *Program) chipPEs(c int) int {
+	n := p.cfg.NPEs - c*p.perChip
+	if n > p.perChip {
+		n = p.perChip
+	}
+	if n < 0 {
+		n = 0
+	}
+	return n
+}
+
+// Run launches a TSHMEM program: it performs the launcher's environment
+// setup (common memory, UDN), forks cfg.NPEs processing elements each bound
+// to a tile, runs body on every PE (body runs after the start_pes
+// initialization handshake), and tears the environment down afterwards —
+// the shmem_finalize behavior the paper proposes adding to OpenSHMEM.
+//
+// The first error (or panic) from any PE aborts the report. Run returns the
+// per-PE virtual-time report on success.
+func Run(cfg Config, body func(*PE) error) (*Report, error) {
+	prog, err := newProgram(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer prog.closeNets()
+
+	errs := make([]error, prog.NPEs())
+	var wg sync.WaitGroup
+	for i := range prog.pes {
+		wg.Add(1)
+		go func(pe *PE) {
+			defer wg.Done()
+			completed := false
+			defer func() {
+				if r := recover(); r != nil {
+					errs[pe.id] = fmt.Errorf("tshmem: PE %d panicked: %v", pe.id, r)
+				} else if !completed && errs[pe.id] == nil {
+					// The body bailed out via runtime.Goexit (e.g. a test
+					// Fatalf); treat it as a failure so peers don't hang.
+					errs[pe.id] = fmt.Errorf("tshmem: PE %d exited without completing", pe.id)
+				}
+				if errs[pe.id] != nil {
+					prog.abort(fmt.Errorf("PE %d: %w", pe.id, errs[pe.id]))
+				}
+			}()
+			if err := pe.startPEs(); err != nil {
+				errs[pe.id] = fmt.Errorf("start_pes: %w", err)
+				return
+			}
+			errs[pe.id] = body(pe)
+			completed = true
+		}(prog.pes[i])
+	}
+	wg.Wait()
+
+	if prog.firstErr != nil {
+		return nil, prog.firstErr
+	}
+
+	rep := &Report{
+		NPEs:    prog.NPEs(),
+		Chip:    prog.chip.Name,
+		PETimes: make([]vtime.Duration, prog.NPEs()),
+	}
+	rep.MinTime = vtime.Duration(1<<63 - 1)
+	for i, pe := range prog.pes {
+		d := vtime.Duration(pe.clock.Now())
+		rep.PETimes[i] = d
+		if d > rep.MaxTime {
+			rep.MaxTime = d
+		}
+		if d < rep.MinTime {
+			rep.MinTime = d
+		}
+		rep.PutBytes += pe.stats.PutBytes
+		rep.GetBytes += pe.stats.GetBytes
+		rep.Barriers += pe.stats.Barriers
+	}
+	return rep, nil
+}
+
+func newProgram(cfg Config) (*Program, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	p := &Program{
+		cfg:      cfg,
+		chip:     cfg.Chip,
+		nchips:   cfg.NChips,
+		perChip:  (cfg.NPEs + cfg.NChips - 1) / cfg.NChips,
+		model:    cache.NewModel(cfg.Chip),
+		partSize: cfg.HeapPerPE,
+	}
+	for c := 0; c < p.nchips; c++ {
+		n := p.chipPEs(c)
+		if n == 0 {
+			return nil, fmt.Errorf("tshmem: chip %d hosts no PEs; use fewer chips", c)
+		}
+		geo, err := mesh.AreaGeometry(cfg.Chip, n)
+		if err != nil {
+			return nil, err
+		}
+		p.geos = append(p.geos, geo)
+	}
+	var err error
+
+	// Each mapping may burn up to one page of alignment padding.
+	total := cfg.ScratchBytes + int64(cfg.NPEs)*(cfg.HeapPerPE+4096) + 64<<10
+	p.cm, err = tmc.NewCommonMemory(total)
+	if err != nil {
+		return nil, err
+	}
+	p.scratchAt, err = p.cm.Map(cfg.ScratchBytes, 4096)
+	if err != nil {
+		return nil, err
+	}
+	p.scratch, err = alloc.New(cfg.ScratchBytes)
+	if err != nil {
+		return nil, err
+	}
+	p.partBase = make([]int64, cfg.NPEs)
+	for i := range p.partBase {
+		if p.partBase[i], err = p.cm.Map(cfg.HeapPerPE, 4096); err != nil {
+			return nil, err
+		}
+	}
+
+	for c := 0; c < p.nchips; c++ {
+		p.nets = append(p.nets, udn.New(p.geos[c]))
+	}
+	if p.nchips > 1 {
+		p.fabric, err = mpipe.New(cfg.Chip, p.nchips, cfg.NPEs, p.chipOf)
+		if err != nil {
+			return nil, err
+		}
+	}
+	p.spinBar, err = tmc.NewBarrier(cfg.Chip, tmc.SpinBarrier, cfg.NPEs)
+	if err != nil {
+		return nil, err
+	}
+	p.statics.init()
+	p.hubs = make([]watchHub, cfg.NPEs)
+	for i := range p.hubs {
+		p.hubs[i].init()
+	}
+	p.symCheck = make([]int64, cfg.NPEs)
+
+	p.pes = make([]*PE, cfg.NPEs)
+	for i := range p.pes {
+		port, err := p.nets[p.chipOf(i)].Port(p.localIdx(i))
+		if err != nil {
+			return nil, err
+		}
+		heap, err := alloc.New(cfg.HeapPerPE)
+		if err != nil {
+			return nil, err
+		}
+		p.pes[i] = &PE{
+			prog:    p,
+			id:      i,
+			n:       cfg.NPEs,
+			port:    port,
+			heap:    heap,
+			barGen:  make(map[ActiveSet]uint32),
+			collGen: make(map[ActiveSet]uint32),
+		}
+	}
+
+	// On the TILE-Gx, install the UDN interrupt handler that services
+	// redirected static-variable transfers (S IV.B.2).
+	if cfg.Chip.UDNInterrupts {
+		for _, pe := range p.pes {
+			if err := pe.port.SetHandler(pe.serviceInterrupt); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return p, nil
+}
+
+// scratchGet carves size bytes out of the scratch arena, returning the
+// common-memory global offset.
+func (p *Program) scratchGet(size int64) (int64, error) {
+	p.scratchMu.Lock()
+	defer p.scratchMu.Unlock()
+	off, err := p.scratch.Alloc(size)
+	if err != nil {
+		return 0, err
+	}
+	return p.scratchAt + off, nil
+}
+
+func (p *Program) scratchPut(globalOff int64) {
+	p.scratchMu.Lock()
+	defer p.scratchMu.Unlock()
+	// Best effort: scratch bugs indicate internal misuse, not user error.
+	if err := p.scratch.Free(globalOff - p.scratchAt); err != nil {
+		panic(err)
+	}
+}

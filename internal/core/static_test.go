@@ -1,0 +1,305 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"tshmem/internal/vtime"
+)
+
+func TestStaticDeclare(t *testing.T) {
+	runT(t, gxCfg(3), func(pe *PE) error {
+		s, err := DeclareStatic[int32](pe, "counters", 8)
+		if err != nil {
+			return err
+		}
+		if !s.IsStatic() || s.Len() != 8 {
+			t.Errorf("static ref wrong: %+v", s)
+		}
+		v := MustLocal(pe, s)
+		v[0] = int32(pe.MyPE())
+		if err := pe.BarrierAll(); err != nil {
+			return err
+		}
+		// Each PE's instance is private: my write didn't leak.
+		if v[0] != int32(pe.MyPE()) {
+			t.Errorf("PE %d: private static clobbered: %d", pe.MyPE(), v[0])
+		}
+		// Statics are not directly addressable remotely.
+		if AddrAccessible(pe, s, (pe.MyPE()+1)%3) {
+			t.Error("static object reported addr-accessible")
+		}
+		if p := Ptr(pe, s, (pe.MyPE()+1)%3); p != nil {
+			t.Error("Ptr to a static object should be nil")
+		}
+		return pe.BarrierAll()
+	})
+}
+
+func TestStaticDeclareValidation(t *testing.T) {
+	_, err := Run(gxCfg(2), func(pe *PE) error {
+		// PEs disagree on the size: must be detected.
+		_, err := DeclareStatic[int32](pe, "bad", 4+pe.MyPE())
+		return err
+	})
+	if !errors.Is(err, ErrAsymmetric) {
+		t.Errorf("asymmetric static declare: %v", err)
+	}
+	runT(t, gxCfg(1), func(pe *PE) error {
+		if _, err := DeclareStatic[int32](pe, "", 4); err == nil {
+			t.Error("unnamed static accepted")
+		}
+		if _, err := DeclareStatic[int32](pe, "z", 0); err == nil {
+			t.Error("empty static accepted")
+		}
+		if _, err := DeclareStatic[int32](pe, "dup", 4); err != nil {
+			return err
+		}
+		if _, err := DeclareStatic[int32](pe, "dup", 4); err == nil {
+			t.Error("duplicate declare accepted")
+		}
+		return nil
+	})
+}
+
+// TestStaticTransferCombos exercises all four target-source combinations of
+// Figure 7 on the TILE-Gx and verifies the data as well as the redirection
+// accounting.
+func TestStaticTransferCombos(t *testing.T) {
+	const n = 64
+	runT(t, gxCfg(2), func(pe *PE) error {
+		dyn, err := Malloc[int64](pe, n)
+		if err != nil {
+			return err
+		}
+		st, err := DeclareStatic[int64](pe, "vec", n)
+		if err != nil {
+			return err
+		}
+		fill := func(r Ref[int64], base int64) {
+			v := MustLocal(pe, r)
+			for i := range v {
+				v[i] = base + int64(i)
+			}
+		}
+		check := func(r Ref[int64], base int64, what string) {
+			v := MustLocal(pe, r)
+			for i := range v {
+				if v[i] != base+int64(i) {
+					t.Fatalf("PE %d %s: [%d] = %d, want %d", pe.MyPE(), what, i, v[i], base+int64(i))
+				}
+			}
+		}
+		zero := func(r Ref[int64]) {
+			v := MustLocal(pe, r)
+			for i := range v {
+				v[i] = 0
+			}
+		}
+
+		// dynamic target <- static source put (direct: any source works).
+		fill(st, 1000*int64(pe.MyPE()))
+		if err := pe.BarrierAll(); err != nil {
+			return err
+		}
+		if pe.MyPE() == 0 {
+			if err := Put(pe, dyn, st, n, 1); err != nil {
+				return err
+			}
+			if pe.Stats().Redirects != 0 {
+				t.Error("dynamic-static put should not redirect")
+			}
+		}
+		if err := pe.BarrierAll(); err != nil {
+			return err
+		}
+		if pe.MyPE() == 1 {
+			check(dyn, 0, "dyn<-static put")
+			zero(dyn)
+		}
+		if err := pe.BarrierAll(); err != nil {
+			return err
+		}
+
+		// static target <- dynamic source put (redirected to remote tile).
+		fill(dyn, 2000+1000*int64(pe.MyPE()))
+		zero(st)
+		if err := pe.BarrierAll(); err != nil {
+			return err
+		}
+		if pe.MyPE() == 0 {
+			before := pe.Stats().Redirects
+			if err := Put(pe, st, dyn, n, 1); err != nil {
+				return err
+			}
+			if pe.Stats().Redirects != before+1 {
+				t.Error("static-dynamic put must redirect once")
+			}
+		}
+		if err := pe.BarrierAll(); err != nil {
+			return err
+		}
+		if pe.MyPE() == 1 {
+			check(st, 2000, "static<-dyn put")
+		}
+		if err := pe.BarrierAll(); err != nil {
+			return err
+		}
+
+		// static target <- static source put (temporary buffer, 2 copies).
+		fill(st, 5000+1000*int64(pe.MyPE()))
+		if err := pe.BarrierAll(); err != nil {
+			return err
+		}
+		if pe.MyPE() == 0 {
+			if err := Put(pe, st, st, n, 1); err != nil {
+				return err
+			}
+		}
+		if err := pe.BarrierAll(); err != nil {
+			return err
+		}
+		if pe.MyPE() == 1 {
+			check(st, 5000, "static<-static put")
+		}
+		if err := pe.BarrierAll(); err != nil {
+			return err
+		}
+
+		// dynamic target <- static source get (redirected).
+		fill(st, 7000+1000*int64(pe.MyPE()))
+		zero(dyn)
+		if err := pe.BarrierAll(); err != nil {
+			return err
+		}
+		if pe.MyPE() == 0 {
+			if err := Get(pe, dyn, st, n, 1); err != nil {
+				return err
+			}
+			check(dyn, 8000, "dyn<-static get")
+		}
+		if err := pe.BarrierAll(); err != nil {
+			return err
+		}
+
+		// static target <- static source get (temp buffer).
+		if pe.MyPE() == 0 {
+			if err := Get(pe, st, st, n, 1); err != nil {
+				return err
+			}
+			check(st, 8000, "static<-static get")
+		}
+		if err := pe.BarrierAll(); err != nil {
+			return err
+		}
+
+		// static target <- dynamic source get (direct: local write).
+		fill(dyn, 9000+1000*int64(pe.MyPE()))
+		if err := pe.BarrierAll(); err != nil {
+			return err
+		}
+		if pe.MyPE() == 0 {
+			if err := Get(pe, st, dyn, n, 1); err != nil {
+				return err
+			}
+			check(st, 10000, "static<-dyn get")
+		}
+		return pe.BarrierAll()
+	})
+}
+
+// TestStaticNotSupportedOnTILEPro pins the paper's limitation: "Static
+// symmetric variable transfers in TSHMEM are not currently supported on the
+// TILEPro architecture due to lack of support for UDN interrupts."
+func TestStaticNotSupportedOnTILEPro(t *testing.T) {
+	runT(t, proCfg(2), func(pe *PE) error {
+		dyn, err := Malloc[int64](pe, 8)
+		if err != nil {
+			return err
+		}
+		st, err := DeclareStatic[int64](pe, "vec", 8)
+		if err != nil {
+			return err
+		}
+		if err := pe.BarrierAll(); err != nil {
+			return err
+		}
+		if pe.MyPE() == 0 {
+			if err := Put(pe, st, dyn, 8, 1); !errors.Is(err, ErrNotSupported) {
+				t.Errorf("static put on TILEPro: %v", err)
+			}
+			if err := Get(pe, dyn, st, 8, 1); !errors.Is(err, ErrNotSupported) {
+				t.Errorf("static get on TILEPro: %v", err)
+			}
+			// Local static access still works.
+			if err := Put(pe, st, dyn, 8, 0); err != nil {
+				t.Errorf("local static put on TILEPro: %v", err)
+			}
+			// Dynamic-target put with a static source works (direct path).
+			if err := Put(pe, dyn, st, 8, 1); err != nil {
+				t.Errorf("dynamic-static put on TILEPro: %v", err)
+			}
+		}
+		return pe.BarrierAll()
+	})
+}
+
+// TestFig7CostOrdering pins the Figure 7 cost hierarchy on the TILE-Gx:
+// dynamic-dynamic == dynamic-static < redirected (static-dynamic) <
+// static-static (temporary buffer, extra copy).
+func TestFig7CostOrdering(t *testing.T) {
+	const n = 4096 // 32 kB of int64
+	var dd, ds, sd, ss vtime.Duration
+	runT(t, gxCfg(2), func(pe *PE) error {
+		dyn, err := Malloc[int64](pe, n)
+		if err != nil {
+			return err
+		}
+		dyn2, err := Malloc[int64](pe, n)
+		if err != nil {
+			return err
+		}
+		st, err := DeclareStatic[int64](pe, "v", n)
+		if err != nil {
+			return err
+		}
+		if err := pe.BarrierAll(); err != nil {
+			return err
+		}
+		if pe.MyPE() == 0 {
+			measure := func(f func() error) vtime.Duration {
+				t0 := pe.Now()
+				if err := f(); err != nil {
+					t.Fatal(err)
+				}
+				return pe.Now().Sub(t0)
+			}
+			dd = measure(func() error { return Put(pe, dyn2, dyn, n, 1) })
+			ds = measure(func() error { return Put(pe, dyn2, st, n, 1) })
+			sd = measure(func() error { return Put(pe, st, dyn, n, 1) })
+			ss = measure(func() error { return Put(pe, st, st, n, 1) })
+		}
+		return pe.BarrierAll()
+	})
+	if !(dd > 0 && ds > 0 && sd > 0 && ss > 0) {
+		t.Fatal("costs not measured")
+	}
+	// dynamic-static ~ dynamic-dynamic (same path).
+	if r := float64(ds) / float64(dd); r < 0.9 || r > 1.1 {
+		t.Errorf("ds/dd = %.2f, want ~1", r)
+	}
+	// Redirection: minor degradation only.
+	if sd <= dd {
+		t.Errorf("redirected put (%v) should cost more than direct (%v)", sd, dd)
+	}
+	if float64(sd) > 2.0*float64(dd) {
+		t.Errorf("redirected put (%v) should be a minor penalty over direct (%v)", sd, dd)
+	}
+	// Static-static pays the extra copy: roughly 2x the redirected cost.
+	if ss <= sd {
+		t.Errorf("static-static (%v) must exceed redirected (%v)", ss, sd)
+	}
+	if r := float64(ss) / float64(sd); r < 1.4 || r > 3.0 {
+		t.Errorf("ss/sd = %.2f, want ~2 (extra memcpy)", r)
+	}
+}

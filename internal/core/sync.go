@@ -1,0 +1,104 @@
+package core
+
+import (
+	"fmt"
+)
+
+// Cmp is a point-to-point synchronization comparison (SHMEM_CMP_*).
+type Cmp int
+
+const (
+	CmpEQ Cmp = iota // equal
+	CmpNE            // not equal
+	CmpGT            // greater than
+	CmpLE            // less than or equal
+	CmpLT            // less than
+	CmpGE            // greater than or equal
+)
+
+func (c Cmp) String() string {
+	switch c {
+	case CmpEQ:
+		return "=="
+	case CmpNE:
+		return "!="
+	case CmpGT:
+		return ">"
+	case CmpLE:
+		return "<="
+	case CmpLT:
+		return "<"
+	case CmpGE:
+		return ">="
+	default:
+		return fmt.Sprintf("Cmp(%d)", int(c))
+	}
+}
+
+// evalCmp applies the comparison. Integer is an ordered constraint, so
+// operators apply directly.
+func evalCmp[T Integer](c Cmp, have, want T) (bool, error) {
+	switch c {
+	case CmpEQ:
+		return have == want, nil
+	case CmpNE:
+		return have != want, nil
+	case CmpGT:
+		return have > want, nil
+	case CmpLE:
+		return have <= want, nil
+	case CmpLT:
+		return have < want, nil
+	case CmpGE:
+		return have >= want, nil
+	default:
+		return false, fmt.Errorf("tshmem: unknown comparison %d", int(c))
+	}
+}
+
+// WaitUntil blocks until the calling PE's instance of ivar (element 0)
+// satisfies cmp against value (shmem_wait_until). The variable must be a
+// dynamic symmetric object written by elemental puts or atomics — exactly
+// the discipline real SHMEM codes follow for synchronization flags.
+//
+// The waiter's clock merges with the virtual time at which the satisfying
+// store became visible.
+func WaitUntil[T Integer](pe *PE, ivar Ref[T], cmp Cmp, value T) error {
+	if err := pe.check(); err != nil {
+		return err
+	}
+	if !ivar.valid() || ivar.kind != dynamicRef {
+		return fmt.Errorf("%w: WaitUntil needs a dynamic symmetric variable", ErrStatic)
+	}
+	es := sizeOf[T]()
+	part := pe.partBytes(pe.id)
+	off := ivar.off
+
+	check := func() bool {
+		cur := fromBits[T](atomicLoadElem(part, off, es))
+		ok, cerr := evalCmp(cmp, cur, value)
+		return cerr == nil && ok
+	}
+	// Validate the comparison once up front so a bad Cmp errors instead of
+	// hanging.
+	if _, err := evalCmp(cmp, value, value); err != nil {
+		return err
+	}
+
+	hub := &pe.prog.hubs[pe.id]
+	t, ok := hub.await(off, check)
+	if !ok {
+		return fmt.Errorf("tshmem: program aborted while PE %d waited on a symmetric variable", pe.id)
+	}
+	pe.clock.Advance(pe.prog.chip.Cycles(2))
+	if t > 0 {
+		pe.clock.AdvanceTo(t)
+	}
+	return nil
+}
+
+// Wait blocks until the variable changes from value (shmem_wait: wait until
+// ivar != value).
+func Wait[T Integer](pe *PE, ivar Ref[T], value T) error {
+	return WaitUntil(pe, ivar, CmpNE, value)
+}

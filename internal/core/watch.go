@@ -1,0 +1,60 @@
+package core
+
+import (
+	"sync"
+
+	"tshmem/internal/vtime"
+)
+
+// watchHub is the per-PE synchronization hub behind Wait/WaitUntil. Writers
+// of watchable values (elemental puts, atomic operations) record the
+// virtual time at which their store became visible and wake any waiters;
+// a waiting PE re-evaluates its predicate on each wakeup and, once
+// satisfied, merges its clock with the store's visibility time — the
+// virtual-time analogue of the coherence fabric delivering the line to the
+// polling tile.
+type watchHub struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	times   map[int64]vtime.Time // partition byte offset -> visibility time
+	aborted bool
+}
+
+func (h *watchHub) init() {
+	h.cond = sync.NewCond(&h.mu)
+	h.times = make(map[int64]vtime.Time)
+}
+
+// record notes that the value at partition offset off became visible at t
+// and wakes all waiters on this PE.
+func (h *watchHub) record(off int64, t vtime.Time) {
+	h.mu.Lock()
+	if t > h.times[off] {
+		h.times[off] = t
+	}
+	h.mu.Unlock()
+	h.cond.Broadcast()
+}
+
+// await blocks until pred returns true, then reports the recorded
+// visibility time of offset off (zero if never recorded). ok is false when
+// the program aborted while waiting.
+func (h *watchHub) await(off int64, pred func() bool) (vtime.Time, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for !pred() {
+		if h.aborted {
+			return 0, false
+		}
+		h.cond.Wait()
+	}
+	return h.times[off], true
+}
+
+// abort wakes all waiters after a program failure.
+func (h *watchHub) abort() {
+	h.mu.Lock()
+	h.aborted = true
+	h.mu.Unlock()
+	h.cond.Broadcast()
+}

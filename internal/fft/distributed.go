@@ -1,0 +1,133 @@
+package fft
+
+import (
+	"fmt"
+
+	"tshmem/internal/core"
+	"tshmem/internal/vtime"
+)
+
+// Result reports one PE's view of a distributed 2D-FFT run.
+type Result struct {
+	N       int
+	PEs     int
+	Elapsed vtime.Duration // virtual time from aligned start to completion
+	Output  []complex64    // the transformed image; non-nil only on PE 0
+}
+
+// Distributed2D runs the paper's parallel 2D-FFT on an n x n complex-float
+// image across all PEs of the program. Rows are block-distributed; each PE
+// transforms its rows, a distributed transpose (strided puts, all-to-all)
+// redistributes the data, each PE transforms the columns, and PE 0 gathers
+// the blocks and performs the final transpose serially — reproducing the
+// serialization that caps the Figure 13 speedup.
+//
+// Every PE fills its own row block from the deterministic TestImage
+// generator (the data starts distributed, as in the paper's application);
+// generation is excluded from the timed region.
+func Distributed2D(pe *core.PE, n int) (Result, error) {
+	p := pe.NumPEs()
+	if !IsPow2(n) {
+		return Result{}, fmt.Errorf("fft: n=%d not a power of two", n)
+	}
+	if n%p != 0 {
+		return Result{}, fmt.Errorf("fft: %d rows do not divide over %d PEs", n, p)
+	}
+	rows := n / p
+	me := pe.MyPE()
+
+	work, err := core.Malloc[complex64](pe, rows*n)
+	if err != nil {
+		return Result{}, err
+	}
+	recv, err := core.Malloc[complex64](pe, rows*n)
+	if err != nil {
+		return Result{}, err
+	}
+	defer core.Free(pe, work)
+	defer core.Free(pe, recv)
+
+	// Untimed setup: materialize my block of the input image.
+	w := core.MustLocal(pe, work)
+	fillRows(w, n, me*rows, rows)
+
+	if err := pe.AlignClocks(); err != nil {
+		return Result{}, err
+	}
+	start := pe.Now()
+
+	// Pass 1: 1D FFTs over my rows.
+	if err := fftRows(pe, w, n, rows); err != nil {
+		return Result{}, err
+	}
+
+	// Distributed transpose: my element (g, c) must land at (c, g) on the
+	// PE owning row c. For each destination PE q and each of my rows g,
+	// the elements in q's column range form a strided put: consecutive
+	// source columns map to consecutive destination rows (stride n) at
+	// fixed destination column g.
+	if err := pe.BarrierAll(); err != nil {
+		return Result{}, err
+	}
+	for q := 0; q < p; q++ {
+		for r := 0; r < rows; r++ {
+			g := me*rows + r
+			target := recv.Slice(g, recv.Len())
+			source := work.Slice(r*n+q*rows, r*n+q*rows+rows)
+			if err := core.IPut(pe, target, source, int64(n), 1, rows, q); err != nil {
+				return Result{}, err
+			}
+		}
+	}
+	pe.Quiet()
+	if err := pe.BarrierAll(); err != nil {
+		return Result{}, err
+	}
+
+	// Pass 2: 1D FFTs over the columns (now my rows of recv).
+	rv := core.MustLocal(pe, recv)
+	if err := fftRows(pe, rv, n, rows); err != nil {
+		return Result{}, err
+	}
+	if err := pe.BarrierAll(); err != nil {
+		return Result{}, err
+	}
+
+	// Final stage, serialized on PE 0: gather all blocks into private
+	// memory and transpose. "Parallelization of this final transpose is
+	// left for future work" (S V.A).
+	var out []complex64
+	if me == 0 {
+		out = make([]complex64, n*n)
+		for q := 0; q < p; q++ {
+			if err := core.GetSlice(pe, out[q*rows*n:(q+1)*rows*n], recv, q); err != nil {
+				return Result{}, err
+			}
+		}
+		Transpose(out, n)
+		pe.ComputeRandomAccesses(int64(n) * int64(n))
+	}
+	if err := pe.BarrierAll(); err != nil {
+		return Result{}, err
+	}
+	return Result{N: n, PEs: p, Elapsed: pe.Now().Sub(start), Output: out}, nil
+}
+
+// fftRows transforms each of the given rows in place and charges the flop
+// cost to the PE's clock.
+func fftRows(pe *core.PE, block []complex64, n, rows int) error {
+	for r := 0; r < rows; r++ {
+		if err := Forward(block[r*n : (r+1)*n]); err != nil {
+			return err
+		}
+	}
+	pe.ComputeFlops(int64(rows) * Flops1D(n))
+	return nil
+}
+
+// fillRows writes rows [first, first+rows) of the deterministic test image
+// into block.
+func fillRows(block []complex64, n, first, rows int) {
+	full := TestImage(n) // deterministic; recomputed per PE for simplicity
+	copy(block, full[first*n:(first+rows)*n])
+}

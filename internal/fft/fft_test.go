@@ -1,0 +1,290 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+
+	"tshmem/internal/arch"
+	"tshmem/internal/core"
+)
+
+func TestIsPow2(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 1024} {
+		if !IsPow2(n) {
+			t.Errorf("IsPow2(%d) = false", n)
+		}
+	}
+	for _, n := range []int{0, -2, 3, 12, 1000} {
+		if IsPow2(n) {
+			t.Errorf("IsPow2(%d) = true", n)
+		}
+	}
+}
+
+func TestFlopCounts(t *testing.T) {
+	if got := Flops1D(1024); got != 512*10*10 {
+		t.Errorf("Flops1D(1024) = %d, want 51200", got)
+	}
+	if got := Flops2D(1024); got != 2*1024*51200 {
+		t.Errorf("Flops2D(1024) = %d", got)
+	}
+	if Flops1D(1) != 0 {
+		t.Error("Flops1D(1) should be 0")
+	}
+}
+
+func TestForwardKnownValues(t *testing.T) {
+	// FFT of a constant is an impulse at bin 0.
+	x := []complex64{1, 1, 1, 1}
+	if err := Forward(x); err != nil {
+		t.Fatal(err)
+	}
+	want := []complex64{4, 0, 0, 0}
+	for i := range x {
+		if d := cmplx.Abs(complex128(x[i] - want[i])); d > 1e-5 {
+			t.Errorf("constant FFT[%d] = %v, want %v", i, x[i], want[i])
+		}
+	}
+	// FFT of a unit impulse is all ones.
+	y := []complex64{1, 0, 0, 0, 0, 0, 0, 0}
+	if err := Forward(y); err != nil {
+		t.Fatal(err)
+	}
+	for i := range y {
+		if d := cmplx.Abs(complex128(y[i] - 1)); d > 1e-5 {
+			t.Errorf("impulse FFT[%d] = %v, want 1", i, y[i])
+		}
+	}
+	// A pure tone concentrates in its bin.
+	n := 64
+	z := make([]complex64, n)
+	for i := range z {
+		ang := 2 * math.Pi * 5 * float64(i) / float64(n)
+		z[i] = complex(float32(math.Cos(ang)), float32(math.Sin(ang)))
+	}
+	if err := Forward(z); err != nil {
+		t.Fatal(err)
+	}
+	for i := range z {
+		mag := cmplx.Abs(complex128(z[i]))
+		if i == 5 && math.Abs(mag-float64(n)) > 1e-2 {
+			t.Errorf("tone bin magnitude = %v, want %d", mag, n)
+		}
+		if i != 5 && mag > 1e-2 {
+			t.Errorf("leakage at bin %d: %v", i, mag)
+		}
+	}
+}
+
+func TestForwardRejectsBadLength(t *testing.T) {
+	if err := Forward(make([]complex64, 3)); err == nil {
+		t.Error("non-power-of-two length accepted")
+	}
+	if err := Forward(nil); err == nil {
+		t.Error("empty input accepted")
+	}
+	if err := Forward(make([]complex64, 1)); err != nil {
+		t.Errorf("length-1 FFT: %v", err)
+	}
+}
+
+// TestRoundTrip is the core property: Inverse(Forward(x)) == x.
+func TestRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		n := 256
+		x := make([]complex64, n)
+		s := uint64(seed)
+		for i := range x {
+			s = s*6364136223846793005 + 1442695040888963407
+			re := float32(int32(s>>33)) / (1 << 30)
+			s = s*6364136223846793005 + 1442695040888963407
+			im := float32(int32(s>>33)) / (1 << 30)
+			x[i] = complex(re, im)
+		}
+		orig := append([]complex64(nil), x...)
+		if Forward(x) != nil || Inverse(x) != nil {
+			return false
+		}
+		for i := range x {
+			if cmplx.Abs(complex128(x[i]-orig[i])) > 1e-3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParseval checks energy conservation: sum|x|^2 == sum|X|^2 / n.
+func TestParseval(t *testing.T) {
+	n := 512
+	sig := make([]complex64, n)
+	for i := range sig {
+		sig[i] = complex(float32(math.Sin(float64(i))), float32(math.Cos(3*float64(i))))
+	}
+	var before float64
+	for _, v := range sig {
+		before += float64(real(v)*real(v) + imag(v)*imag(v))
+	}
+	if err := Forward(sig); err != nil {
+		t.Fatal(err)
+	}
+	var after float64
+	for _, v := range sig {
+		after += float64(real(v)*real(v) + imag(v)*imag(v))
+	}
+	after /= float64(n)
+	if math.Abs(before-after)/before > 1e-4 {
+		t.Errorf("Parseval violated: %v vs %v", before, after)
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	n := 8
+	m := make([]complex64, n*n)
+	for i := range m {
+		m[i] = complex(float32(i), 0)
+	}
+	Transpose(m, n)
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			if m[r*n+c] != complex(float32(c*n+r), 0) {
+				t.Fatalf("transpose wrong at (%d,%d)", r, c)
+			}
+		}
+	}
+	Transpose(m, n)
+	for i := range m {
+		if m[i] != complex(float32(i), 0) {
+			t.Fatal("double transpose is not identity")
+		}
+	}
+}
+
+func TestSerial2D(t *testing.T) {
+	// 2D FFT of a constant image: all energy in bin (0,0).
+	n := 16
+	img := make([]complex64, n*n)
+	for i := range img {
+		img[i] = 1
+	}
+	if err := Serial2D(img, n); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range img {
+		mag := cmplx.Abs(complex128(v))
+		if i == 0 && math.Abs(mag-float64(n*n)) > 1e-2 {
+			t.Errorf("DC bin = %v, want %d", mag, n*n)
+		}
+		if i != 0 && mag > 1e-2 {
+			t.Errorf("leakage at %d: %v", i, mag)
+		}
+	}
+	if err := Serial2D(img, n+1); err == nil {
+		t.Error("bad dimensions accepted")
+	}
+}
+
+// TestDistributedMatchesSerial verifies the SPMD 2D-FFT against the serial
+// reference for several PE counts.
+func TestDistributedMatchesSerial(t *testing.T) {
+	const n = 64
+	ref := TestImage(n)
+	if err := Serial2D(ref, n); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []int{1, 2, 4, 8} {
+		p := p
+		var out []complex64
+		cfg := core.Config{Chip: arch.Gx8036(), NPEs: p, HeapPerPE: 1 << 20}
+		_, err := core.Run(cfg, func(pe *core.PE) error {
+			res, err := Distributed2D(pe, n)
+			if err != nil {
+				return err
+			}
+			if pe.MyPE() == 0 {
+				out = res.Output
+			} else if res.Output != nil {
+				t.Errorf("PE %d returned an output image", pe.MyPE())
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		if len(out) != n*n {
+			t.Fatalf("p=%d: output has %d elements", p, len(out))
+		}
+		var maxErr float64
+		var scale float64
+		for i := range ref {
+			if d := cmplx.Abs(complex128(out[i] - ref[i])); d > maxErr {
+				maxErr = d
+			}
+			if m := cmplx.Abs(complex128(ref[i])); m > scale {
+				scale = m
+			}
+		}
+		if maxErr/scale > 1e-4 {
+			t.Errorf("p=%d: max relative error %v", p, maxErr/scale)
+		}
+	}
+}
+
+// TestDistributedSpeedupShape reproduces the Figure 13 structure at reduced
+// scale: speedup grows with tiles but levels off due to the serialized
+// final transpose, and the TILEPro is far slower in absolute terms.
+func TestDistributedSpeedupShape(t *testing.T) {
+	const n = 256
+	run := func(chip *arch.Chip, p int) float64 {
+		var elapsed float64
+		cfg := core.Config{Chip: chip, NPEs: p, HeapPerPE: 4 << 20}
+		_, err := core.Run(cfg, func(pe *core.PE) error {
+			res, err := Distributed2D(pe, n)
+			if err != nil {
+				return err
+			}
+			if pe.MyPE() == 0 {
+				elapsed = res.Elapsed.Seconds()
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return elapsed
+	}
+	gx1, gx16 := run(arch.Gx8036(), 1), run(arch.Gx8036(), 16)
+	pro1 := run(arch.Pro64(), 1)
+	if gx16 >= gx1 {
+		t.Errorf("no speedup: %v vs %v", gx16, gx1)
+	}
+	sp := gx1 / gx16
+	if sp < 2 || sp > 16 {
+		t.Errorf("speedup at 16 tiles = %.1f, want sublinear but real", sp)
+	}
+	// Softfloat penalty: Pro serial time far above Gx serial time.
+	if pro1 < 3*gx1 {
+		t.Errorf("Pro (%v) should be several times slower than Gx (%v)", pro1, gx1)
+	}
+}
+
+func TestDistributedValidation(t *testing.T) {
+	cfg := core.Config{Chip: arch.Gx8036(), NPEs: 3, HeapPerPE: 1 << 20}
+	_, err := core.Run(cfg, func(pe *core.PE) error {
+		if _, err := Distributed2D(pe, 64); err == nil {
+			t.Error("64 rows over 3 PEs accepted")
+		}
+		if _, err := Distributed2D(pe, 60); err == nil {
+			t.Error("non-power-of-two image accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

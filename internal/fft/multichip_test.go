@@ -1,0 +1,60 @@
+package fft
+
+import (
+	"math/cmplx"
+	"testing"
+
+	"tshmem/internal/arch"
+	"tshmem/internal/core"
+)
+
+// TestDistributedAcrossChips runs the 2D-FFT case study on the mPIPE
+// multi-chip extension: the distributed transpose's strided puts and the
+// final gather cross the chip boundary, and the result must still match the
+// serial reference exactly.
+func TestDistributedAcrossChips(t *testing.T) {
+	const n = 64
+	ref := TestImage(n)
+	if err := Serial2D(ref, n); err != nil {
+		t.Fatal(err)
+	}
+	var out []complex64
+	var single, double float64
+	for _, chips := range []int{1, 2} {
+		cfg := core.Config{Chip: arch.Gx8036(), NPEs: 8, NChips: chips, HeapPerPE: 1 << 20}
+		_, err := core.Run(cfg, func(pe *core.PE) error {
+			res, err := Distributed2D(pe, n)
+			if err != nil {
+				return err
+			}
+			if pe.MyPE() == 0 {
+				out = res.Output
+				if chips == 1 {
+					single = res.Elapsed.Seconds()
+				} else {
+					double = res.Elapsed.Seconds()
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("chips=%d: %v", chips, err)
+		}
+		var maxErr, scale float64
+		for i := range ref {
+			if d := cmplx.Abs(complex128(out[i] - ref[i])); d > maxErr {
+				maxErr = d
+			}
+			if m := cmplx.Abs(complex128(ref[i])); m > scale {
+				scale = m
+			}
+		}
+		if maxErr/scale > 1e-4 {
+			t.Errorf("chips=%d: max relative error %v", chips, maxErr/scale)
+		}
+	}
+	// The all-to-all transpose crossing mPIPE must cost extra virtual time.
+	if double <= single {
+		t.Errorf("2-chip FFT (%v s) should be slower than 1-chip (%v s)", double, single)
+	}
+}

@@ -1,0 +1,268 @@
+// Package mesh models the Tilera iMesh: the 2D grid of tiles and the
+// dimension-order-routed dynamic networks connecting them.
+//
+// Packets are cut-through switched at one word per hop per clock cycle, so
+// the one-way latency of a packet decomposes into a fixed software
+// setup-and-teardown cost plus hop count times the cycle time, plus one
+// cycle per additional payload word (Section III.C of the paper, whose
+// Table III validates exactly this decomposition).
+//
+// The package also implements the paper's "effective test area": latency
+// experiments use a 6x6 area on both devices, which on the 8x8 TILEPro64 is
+// a subset of the chip, giving rise to the virtual-vs-physical CPU
+// numbering discussed under Table III.
+package mesh
+
+import (
+	"fmt"
+
+	"tshmem/internal/arch"
+	"tshmem/internal/vtime"
+)
+
+// Coord is a tile position in the physical grid.
+type Coord struct {
+	X, Y int
+}
+
+func (c Coord) String() string { return fmt.Sprintf("(%d,%d)", c.X, c.Y) }
+
+// Hops returns the XY dimension-order-routing hop count from a to b.
+func Hops(a, b Coord) int {
+	return abs(a.X-b.X) + abs(a.Y-b.Y)
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Geometry maps virtual CPU numbers (PE ranks in the test area) onto
+// physical tiles of a chip. Width/Height describe the test area; the area
+// is anchored at the chip's top-left corner, matching the paper's setup
+// where virtual numbers equal physical numbers on the TILE-Gx36 but stride
+// over the wider TILEPro64 grid (virtual tile 6 is physical tile 8).
+type Geometry struct {
+	chip          *arch.Chip
+	Width, Height int
+}
+
+// NewGeometry builds a test-area geometry of w x h tiles on chip.
+func NewGeometry(chip *arch.Chip, w, h int) (Geometry, error) {
+	if w <= 0 || h <= 0 {
+		return Geometry{}, fmt.Errorf("mesh: non-positive test area %dx%d", w, h)
+	}
+	if w > chip.GridW || h > chip.GridH {
+		return Geometry{}, fmt.Errorf("mesh: test area %dx%d exceeds %s grid %dx%d",
+			w, h, chip.Name, chip.GridW, chip.GridH)
+	}
+	return Geometry{chip: chip, Width: w, Height: h}, nil
+}
+
+// FullGeometry covers the entire chip.
+func FullGeometry(chip *arch.Chip) Geometry {
+	return Geometry{chip: chip, Width: chip.GridW, Height: chip.GridH}
+}
+
+// AreaGeometry returns the smallest square test area holding at least n
+// tiles, mirroring how the paper grows the active tile set.
+func AreaGeometry(chip *arch.Chip, n int) (Geometry, error) {
+	if n <= 0 {
+		return Geometry{}, fmt.Errorf("mesh: need at least one tile, got %d", n)
+	}
+	side := 1
+	for side*side < n {
+		side++
+	}
+	w, h := side, side
+	if w > chip.GridW {
+		w = chip.GridW
+	}
+	if h > chip.GridH {
+		h = chip.GridH
+	}
+	for w*h < n && h < chip.GridH {
+		h++
+	}
+	for w*h < n && w < chip.GridW {
+		w++
+	}
+	if w*h < n {
+		return Geometry{}, fmt.Errorf("mesh: %d tiles exceed %s capacity %d", n, chip.Name, chip.Tiles)
+	}
+	return Geometry{chip: chip, Width: w, Height: h}, nil
+}
+
+// Chip returns the chip this geometry is laid out on.
+func (g Geometry) Chip() *arch.Chip { return g.chip }
+
+// Tiles reports the number of tiles in the test area.
+func (g Geometry) Tiles() int { return g.Width * g.Height }
+
+// Coord returns the physical tile coordinate of virtual CPU v.
+func (g Geometry) Coord(v int) (Coord, error) {
+	if v < 0 || v >= g.Tiles() {
+		return Coord{}, fmt.Errorf("mesh: virtual CPU %d outside %dx%d area", v, g.Width, g.Height)
+	}
+	return Coord{X: v % g.Width, Y: v / g.Width}, nil
+}
+
+// PhysicalCPU maps a virtual CPU number to the physical CPU number on the
+// full chip grid. On a chip whose grid equals the test area they coincide;
+// on the TILEPro64 a 6x6 area makes virtual 6 physical 8, as noted under
+// Table III.
+func (g Geometry) PhysicalCPU(v int) (int, error) {
+	c, err := g.Coord(v)
+	if err != nil {
+		return 0, err
+	}
+	return c.Y*g.chip.GridW + c.X, nil
+}
+
+// VirtualCPU is the inverse of PhysicalCPU. It reports ok=false when the
+// physical CPU lies outside the test area.
+func (g Geometry) VirtualCPU(phys int) (v int, ok bool) {
+	if phys < 0 || phys >= g.chip.Tiles {
+		return 0, false
+	}
+	x, y := phys%g.chip.GridW, phys/g.chip.GridW
+	if x >= g.Width || y >= g.Height {
+		return 0, false
+	}
+	return y*g.Width + x, true
+}
+
+// HopsBetween reports the routing hop count between two virtual CPUs.
+func (g Geometry) HopsBetween(a, b int) (int, error) {
+	ca, err := g.Coord(a)
+	if err != nil {
+		return 0, err
+	}
+	cb, err := g.Coord(b)
+	if err != nil {
+		return 0, err
+	}
+	return Hops(ca, cb), nil
+}
+
+// Direction classifies the first routing leg of a transfer, used for the
+// Table III direction labels. XY routing travels horizontally first.
+type Direction int
+
+const (
+	Self Direction = iota
+	Left
+	Right
+	Up
+	Down
+)
+
+func (d Direction) String() string {
+	switch d {
+	case Self:
+		return "self"
+	case Left:
+		return "left"
+	case Right:
+		return "right"
+	case Up:
+		return "up"
+	case Down:
+		return "down"
+	default:
+		return fmt.Sprintf("Direction(%d)", int(d))
+	}
+}
+
+// DirectionOf reports the initial routing direction from a to b under XY
+// dimension-order routing.
+func DirectionOf(a, b Coord) Direction {
+	switch {
+	case b.X < a.X:
+		return Left
+	case b.X > a.X:
+		return Right
+	case b.Y < a.Y:
+		return Up
+	case b.Y > a.Y:
+		return Down
+	default:
+		return Self
+	}
+}
+
+// OneWayLatency models the one-way latency of a words-long packet from
+// virtual CPU src to dst: setup-and-teardown + hops*cycle + (words-1)*cycle
+// for the trailing payload words of the cut-through wormhole.
+//
+// A small deterministic per-direction epsilon (+-0.5 ns) reproduces the
+// 1 ns directional spread visible in Table III.
+func (g Geometry) OneWayLatency(src, dst, words int) (vtime.Duration, error) {
+	if words < 1 {
+		return 0, fmt.Errorf("mesh: packet needs at least 1 word, got %d", words)
+	}
+	if words > g.chip.UDNMaxWords {
+		return 0, fmt.Errorf("mesh: %d words exceed UDN payload limit %d", words, g.chip.UDNMaxWords)
+	}
+	ca, err := g.Coord(src)
+	if err != nil {
+		return 0, err
+	}
+	cb, err := g.Coord(dst)
+	if err != nil {
+		return 0, err
+	}
+	hops := Hops(ca, cb)
+	ns := g.chip.UDNSetupNs + float64(hops)*g.chip.HopNs() + float64(words-1)*g.chip.CycleNs()
+	ns += directionEps(DirectionOf(ca, cb))
+	return vtime.FromNs(ns), nil
+}
+
+// directionEps is the deterministic sub-nanosecond skew per initial routing
+// direction. Table III shows left-going transfers arriving ~1 ns earlier
+// than the other directions on the TILE-Gx.
+func directionEps(d Direction) float64 {
+	switch d {
+	case Left:
+		return -0.4
+	case Up:
+		return -0.1
+	case Right:
+		return 0.3
+	case Down:
+		return 0.1
+	default:
+		return 0
+	}
+}
+
+// SendLatency and RecvLatency split OneWayLatency between the sender-side
+// injection cost and the in-flight plus receiver-side cost, per the chip's
+// UDNSendShare. The sum of both halves equals OneWayLatency.
+func (g Geometry) SendLatency(src, dst, words int) (vtime.Duration, error) {
+	total, err := g.OneWayLatency(src, dst, words)
+	if err != nil {
+		return 0, err
+	}
+	setup := vtime.FromNs(g.chip.UDNSetupNs * g.chip.UDNSendShare)
+	if setup > total {
+		setup = total
+	}
+	return setup, nil
+}
+
+// WireLatency is the remainder of OneWayLatency after the sender-side
+// share: time from injection until the packet is ready at the receiver.
+func (g Geometry) WireLatency(src, dst, words int) (vtime.Duration, error) {
+	total, err := g.OneWayLatency(src, dst, words)
+	if err != nil {
+		return 0, err
+	}
+	send, err := g.SendLatency(src, dst, words)
+	if err != nil {
+		return 0, err
+	}
+	return total - send, nil
+}

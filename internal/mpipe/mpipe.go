@@ -1,0 +1,202 @@
+// Package mpipe models the TILE-Gx mPIPE (multicore Programmable
+// Intelligent Packet Engine) as a chip-to-chip fabric, implementing the
+// multi-device shared-memory extension the paper proposes as future work:
+// "we plan to leverage novel architectural features of the TILE-Gx such as
+// the mPIPE packet engine as we explore designs for expanding the
+// shared-memory abstraction in TSHMEM across multiple many-core devices"
+// (Section VI).
+//
+// The model: chips are fully connected by MPIPELinks parallel 10GbE links.
+// A control message costs the one-way mPIPE latency (classification, wire,
+// load-balanced delivery); bulk data streams at the aggregate link rate,
+// serialized per chip pair through a virtual-time resource so concurrent
+// cross-chip transfers contend for the wire, unlike the on-chip iMesh.
+package mpipe
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"tshmem/internal/arch"
+	"tshmem/internal/vtime"
+)
+
+// Errors.
+var (
+	ErrNoMPIPE = errors.New("mpipe: chip has no mPIPE engine")
+	ErrClosed  = errors.New("mpipe: fabric closed")
+	ErrBadPE   = errors.New("mpipe: destination PE out of range")
+)
+
+// Msg is one cross-chip control message.
+type Msg struct {
+	SrcPE  int
+	Tag    uint32
+	Words  []uint64
+	Arrive vtime.Time
+}
+
+// Fabric connects the PEs of a multi-chip program. Control messages are
+// addressed to PEs (each PE has an inbox); bulk transfers are charged
+// against the per-chip-pair wire resource.
+type Fabric struct {
+	chip   *arch.Chip
+	nchips int
+	chipOf func(pe int) int
+
+	inbox []chan Msg
+	wires map[[2]int]*vtime.Resource
+	mu    sync.Mutex
+
+	closed    chan struct{}
+	closeOnce sync.Once
+}
+
+// New creates a fabric for npes PEs spread over nchips chips; chipOf maps a
+// PE to its chip.
+func New(chip *arch.Chip, nchips, npes int, chipOf func(pe int) int) (*Fabric, error) {
+	if !chip.HasMPIPE {
+		return nil, fmt.Errorf("%w: %s", ErrNoMPIPE, chip.Name)
+	}
+	if nchips < 2 {
+		return nil, fmt.Errorf("mpipe: a fabric needs at least 2 chips, got %d", nchips)
+	}
+	f := &Fabric{
+		chip:   chip,
+		nchips: nchips,
+		chipOf: chipOf,
+		inbox:  make([]chan Msg, npes),
+		wires:  make(map[[2]int]*vtime.Resource),
+		closed: make(chan struct{}),
+	}
+	for i := range f.inbox {
+		f.inbox[i] = make(chan Msg, 128)
+	}
+	return f, nil
+}
+
+// Chips reports the number of chips.
+func (f *Fabric) Chips() int { return f.nchips }
+
+// SameChip reports whether two PEs share a chip.
+func (f *Fabric) SameChip(a, b int) bool { return f.chipOf(a) == f.chipOf(b) }
+
+// latency is the one-way control-message latency.
+func (f *Fabric) latency() vtime.Duration {
+	return vtime.FromNs(f.chip.MPIPELatencyNs)
+}
+
+// aggMBs is the aggregate chip-pair data rate in MB/s.
+func (f *Fabric) aggMBs() float64 {
+	return float64(f.chip.MPIPELinks) * f.chip.MPIPELinkGbps * 1000 / 8
+}
+
+// wire returns the virtual-time resource serializing bulk data between a
+// chip pair.
+func (f *Fabric) wire(a, b int) *vtime.Resource {
+	if a > b {
+		a, b = b, a
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	key := [2]int{a, b}
+	r, ok := f.wires[key]
+	if !ok {
+		r = &vtime.Resource{}
+		f.wires[key] = r
+	}
+	return r
+}
+
+// Send delivers a control message to PE dst on another chip. The sender's
+// clock advances by the injection share; the message carries the arrival
+// time.
+func (f *Fabric) Send(clock *vtime.Clock, srcPE, dstPE int, tag uint32, words []uint64) error {
+	if dstPE < 0 || dstPE >= len(f.inbox) {
+		return fmt.Errorf("%w: %d", ErrBadPE, dstPE)
+	}
+	// Injection: the sending tile hands the packet to mPIPE.
+	clock.Advance(f.latency() / 4)
+	msg := Msg{
+		SrcPE:  srcPE,
+		Tag:    tag,
+		Words:  words,
+		Arrive: clock.Now().Add(f.latency() * 3 / 4),
+	}
+	select {
+	case f.inbox[dstPE] <- msg:
+		return nil
+	case <-f.closed:
+		return ErrClosed
+	}
+}
+
+// Recv blocks until a message for PE pe arrives, merging the clock with its
+// arrival time. Callers needing tag matching should stash mismatches
+// themselves (as the UDN users do).
+func (f *Fabric) Recv(clock *vtime.Clock, pe int) (Msg, error) {
+	if pe < 0 || pe >= len(f.inbox) {
+		return Msg{}, fmt.Errorf("%w: %d", ErrBadPE, pe)
+	}
+	select {
+	case m := <-f.inbox[pe]:
+		clock.AdvanceTo(m.Arrive)
+		return m, nil
+	case <-f.closed:
+		// Drain what is already queued before reporting closure.
+		select {
+		case m := <-f.inbox[pe]:
+			clock.AdvanceTo(m.Arrive)
+			return m, nil
+		default:
+			return Msg{}, ErrClosed
+		}
+	}
+}
+
+// RecvRaw is Recv without the clock merge; callers that stash out-of-order
+// messages merge with Msg.Arrive when they actually consume one.
+func (f *Fabric) RecvRaw(pe int) (Msg, error) {
+	if pe < 0 || pe >= len(f.inbox) {
+		return Msg{}, fmt.Errorf("%w: %d", ErrBadPE, pe)
+	}
+	select {
+	case m := <-f.inbox[pe]:
+		return m, nil
+	case <-f.closed:
+		select {
+		case m := <-f.inbox[pe]:
+			return m, nil
+		default:
+			return Msg{}, ErrClosed
+		}
+	}
+}
+
+// ChargeData books a bulk transfer of size bytes between the chips of
+// srcPE and dstPE: the caller's clock advances past the wire time,
+// contending with other transfers on the same chip pair.
+func (f *Fabric) ChargeData(clock *vtime.Clock, srcPE, dstPE int, size int64) {
+	if size <= 0 {
+		clock.Advance(f.latency())
+		return
+	}
+	wireTime := vtime.FromNs(float64(size) / f.aggMBs() * 1e3)
+	done := f.wire(f.chipOf(srcPE), f.chipOf(dstPE)).Acquire(clock.Now(), wireTime)
+	clock.AdvanceTo(done.Add(f.latency()))
+}
+
+// DataCost reports the uncontended wire time for size bytes (for
+// inspection and tests).
+func (f *Fabric) DataCost(size int64) vtime.Duration {
+	if size <= 0 {
+		return f.latency()
+	}
+	return f.latency() + vtime.FromNs(float64(size)/f.aggMBs()*1e3)
+}
+
+// Close shuts the fabric down; blocked receivers get ErrClosed.
+func (f *Fabric) Close() {
+	f.closeOnce.Do(func() { close(f.closed) })
+}

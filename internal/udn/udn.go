@@ -1,0 +1,359 @@
+// Package udn models the Tilera User Dynamic Network: the low-latency,
+// user-accessible dynamic network of the iMesh (Section III.C).
+//
+// Developers attach a one-word header to each payload naming the
+// destination tile and demultiplexing queue; packets travel at one word per
+// hop per cycle into one of four receive queues at the destination, each
+// holding up to 127 words. The TMC library wraps this in blocking
+// send-and-receive helpers, which this package mirrors.
+//
+// On the TILE-Gx the UDN can also raise interrupts at the destination tile;
+// TSHMEM uses this to redirect transfers involving static symmetric
+// variables (Section IV.B.2). The TILEPro lacks UDN interrupt support, so
+// ports on a TILEPro network return ErrNoInterrupts.
+package udn
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"tshmem/internal/mesh"
+	"tshmem/internal/vtime"
+)
+
+// Errors returned by UDN operations.
+var (
+	ErrClosed       = errors.New("udn: port closed")
+	ErrBadQueue     = errors.New("udn: demux queue out of range")
+	ErrBadCPU       = errors.New("udn: destination CPU out of range")
+	ErrPayload      = errors.New("udn: payload size out of range")
+	ErrNoInterrupts = errors.New("udn: chip does not support UDN interrupts")
+	ErrNoHandler    = errors.New("udn: destination tile has no interrupt handler")
+)
+
+// queueCap bounds in-flight packets per demux queue. The hardware queue
+// holds up to 127 payload words, i.e. on the order of 127 minimum-sized
+// packets, before the network backpressures the sender. The library's
+// protocols keep at most NPEs-1 <= 63 small packets in flight toward any
+// one queue (the start_pes all-to-all address exchange), so this capacity
+// also guarantees those protocols cannot deadlock on backpressure.
+const queueCap = 128
+
+// Packet is one UDN message as seen by the receiver.
+type Packet struct {
+	Src    int        // sender's virtual CPU
+	Tag    uint32     // application tag from the header word
+	Words  []uint64   // payload (1..UDNMaxWords words)
+	Arrive vtime.Time // virtual time the packet is available at the queue
+}
+
+// Handler services a UDN interrupt on the destination tile. It runs on the
+// tile's interrupt context (a dedicated goroutine), performs the requested
+// operation, and returns reply payload words plus the virtual service time
+// the operation consumed on the remote tile.
+type Handler func(req Packet) (reply []uint64, service vtime.Duration)
+
+// Network is the chip-wide UDN: one port per tile of the test-area
+// geometry.
+type Network struct {
+	geo   mesh.Geometry
+	ports []*Port
+}
+
+// New builds a UDN over the given test-area geometry.
+func New(geo mesh.Geometry) *Network {
+	n := &Network{geo: geo}
+	n.ports = make([]*Port, geo.Tiles())
+	for i := range n.ports {
+		p := &Port{net: n, cpu: i}
+		for q := range p.queues {
+			p.queues[q] = make(chan Packet, queueCap)
+		}
+		n.ports[i] = p
+	}
+	return n
+}
+
+// Geometry returns the network's test-area geometry.
+func (n *Network) Geometry() mesh.Geometry { return n.geo }
+
+// Tiles reports the number of attached tiles.
+func (n *Network) Tiles() int { return len(n.ports) }
+
+// Port returns tile cpu's UDN port.
+func (n *Network) Port(cpu int) (*Port, error) {
+	if cpu < 0 || cpu >= len(n.ports) {
+		return nil, fmt.Errorf("%w: %d", ErrBadCPU, cpu)
+	}
+	return n.ports[cpu], nil
+}
+
+// Close shuts down every port. Pending receivers unblock with ErrClosed.
+// Mirrors the teardown the paper's proposed shmem_finalize() performs:
+// leaving the UDN engaged risks platform lockup.
+func (n *Network) Close() {
+	for _, p := range n.ports {
+		p.close()
+	}
+}
+
+// Port is one tile's attachment to the UDN: four demultiplexing receive
+// queues plus an optional interrupt lane.
+type Port struct {
+	net *Network
+	cpu int
+
+	queues [4]chan Packet
+
+	intrMu   sync.Mutex
+	intrSvc  *intrServicer
+	closed   atomic.Bool
+	closeOne sync.Once
+	done     chan struct{}
+	doneOnce sync.Once
+}
+
+// CPU reports the virtual CPU this port belongs to.
+func (p *Port) CPU() int { return p.cpu }
+
+func (p *Port) doneCh() chan struct{} {
+	p.doneOnce.Do(func() { p.done = make(chan struct{}) })
+	return p.done
+}
+
+// Send transmits words to queue dq of tile dst, blocking while the
+// destination queue is full (hardware backpressure). The sender's clock
+// advances by the injection share of the one-way latency; the packet
+// carries the full arrival timestamp.
+func (p *Port) Send(clock *vtime.Clock, dst, dq int, tag uint32, words []uint64) error {
+	if p.closed.Load() {
+		return ErrClosed
+	}
+	if dq < 0 || dq >= len(p.queues) {
+		return fmt.Errorf("%w: %d", ErrBadQueue, dq)
+	}
+	dp, err := p.net.Port(dst)
+	if err != nil {
+		return err
+	}
+	if dp.closed.Load() {
+		return ErrClosed
+	}
+	nw := len(words)
+	if nw < 1 || nw > p.net.geo.Chip().UDNMaxWords {
+		return fmt.Errorf("%w: %d words", ErrPayload, nw)
+	}
+	send, err := p.net.geo.SendLatency(p.cpu, dst, nw)
+	if err != nil {
+		return err
+	}
+	wire, err := p.net.geo.WireLatency(p.cpu, dst, nw)
+	if err != nil {
+		return err
+	}
+	clock.Advance(send)
+	pkt := Packet{
+		Src:    p.cpu,
+		Tag:    tag,
+		Words:  words,
+		Arrive: clock.Now().Add(wire),
+	}
+	select {
+	case dp.queues[dq] <- pkt:
+		return nil
+	case <-dp.doneCh():
+		return ErrClosed
+	}
+}
+
+// Recv blocks until a packet is available on demux queue dq, merges the
+// receiver's clock with the packet arrival time, and returns the packet.
+func (p *Port) Recv(clock *vtime.Clock, dq int) (Packet, error) {
+	if dq < 0 || dq >= len(p.queues) {
+		return Packet{}, fmt.Errorf("%w: %d", ErrBadQueue, dq)
+	}
+	select {
+	case pkt := <-p.queues[dq]:
+		clock.AdvanceTo(pkt.Arrive)
+		return pkt, nil
+	case <-p.doneCh():
+		// Drain anything already queued before reporting closure.
+		select {
+		case pkt := <-p.queues[dq]:
+			clock.AdvanceTo(pkt.Arrive)
+			return pkt, nil
+		default:
+			return Packet{}, ErrClosed
+		}
+	}
+}
+
+// RecvRaw blocks until a packet is available on demux queue dq and returns
+// it WITHOUT merging any clock: the caller decides when the packet is
+// logically processed and merges with pkt.Arrive itself. Protocol loops
+// that stash out-of-order packets use this so that stashed arrivals do not
+// perturb the virtual clock before they are consumed.
+func (p *Port) RecvRaw(dq int) (Packet, error) {
+	if dq < 0 || dq >= len(p.queues) {
+		return Packet{}, fmt.Errorf("%w: %d", ErrBadQueue, dq)
+	}
+	select {
+	case pkt := <-p.queues[dq]:
+		return pkt, nil
+	case <-p.doneCh():
+		select {
+		case pkt := <-p.queues[dq]:
+			return pkt, nil
+		default:
+			return Packet{}, ErrClosed
+		}
+	}
+}
+
+// TryRecv is the non-blocking variant of Recv. ok reports whether a packet
+// was available.
+func (p *Port) TryRecv(clock *vtime.Clock, dq int) (Packet, bool, error) {
+	if dq < 0 || dq >= len(p.queues) {
+		return Packet{}, false, fmt.Errorf("%w: %d", ErrBadQueue, dq)
+	}
+	select {
+	case pkt := <-p.queues[dq]:
+		clock.AdvanceTo(pkt.Arrive)
+		return pkt, true, nil
+	default:
+		if p.closed.Load() {
+			return Packet{}, false, ErrClosed
+		}
+		return Packet{}, false, nil
+	}
+}
+
+// intrServicer drains a tile's interrupt lane on a dedicated goroutine,
+// modeling the tile being forced to service operations (S IV.B.2). A
+// vtime.Resource serializes overlapping interrupts in virtual time: a tile
+// services one interrupt at a time.
+type intrServicer struct {
+	handler Handler
+	reqs    chan intrRequest
+	busy    vtime.Resource
+	wg      sync.WaitGroup
+}
+
+type intrRequest struct {
+	pkt   Packet
+	reply chan Packet // carries reply words + arrival timestamp back
+}
+
+// SetHandler installs the interrupt handler for this tile and starts its
+// interrupt context. Only chips with UDN interrupt support (TILE-Gx) accept
+// a handler.
+func (p *Port) SetHandler(h Handler) error {
+	if !p.net.geo.Chip().UDNInterrupts {
+		return ErrNoInterrupts
+	}
+	if p.closed.Load() {
+		return ErrClosed
+	}
+	p.intrMu.Lock()
+	defer p.intrMu.Unlock()
+	if p.intrSvc != nil {
+		p.intrSvc.handler = h
+		return nil
+	}
+	svc := &intrServicer{handler: h, reqs: make(chan intrRequest, queueCap)}
+	p.intrSvc = svc
+	svc.wg.Add(1)
+	go svc.run(p)
+	return nil
+}
+
+func (s *intrServicer) run(p *Port) {
+	defer s.wg.Done()
+	intrOvh := vtime.FromNs(p.net.geo.Chip().UDNInterruptNs)
+	for {
+		select {
+		case req := <-s.reqs:
+			words, service := s.handler(req.pkt)
+			// The tile enters the interrupt no earlier than the request's
+			// arrival and no earlier than the end of the previous interrupt.
+			done := s.busy.Acquire(req.pkt.Arrive, intrOvh+service)
+			req.reply <- Packet{Src: p.cpu, Tag: req.pkt.Tag, Words: words, Arrive: done}
+		case <-p.doneCh():
+			return
+		}
+	}
+}
+
+// Interrupt raises a UDN interrupt on tile dst: the caller blocks until the
+// destination tile has serviced the request and the reply has traveled
+// back. The caller's clock ends at reply arrival. This is the primitive
+// TSHMEM's static-variable redirection is built on.
+func (p *Port) Interrupt(clock *vtime.Clock, dst int, tag uint32, words []uint64) (Packet, error) {
+	if !p.net.geo.Chip().UDNInterrupts {
+		return Packet{}, ErrNoInterrupts
+	}
+	if p.closed.Load() {
+		return Packet{}, ErrClosed
+	}
+	dp, err := p.net.Port(dst)
+	if err != nil {
+		return Packet{}, err
+	}
+	dp.intrMu.Lock()
+	svc := dp.intrSvc
+	dp.intrMu.Unlock()
+	if svc == nil {
+		return Packet{}, ErrNoHandler
+	}
+	nw := len(words)
+	if nw < 1 || nw > p.net.geo.Chip().UDNMaxWords {
+		return Packet{}, fmt.Errorf("%w: %d words", ErrPayload, nw)
+	}
+	send, err := p.net.geo.SendLatency(p.cpu, dst, nw)
+	if err != nil {
+		return Packet{}, err
+	}
+	wire, err := p.net.geo.WireLatency(p.cpu, dst, nw)
+	if err != nil {
+		return Packet{}, err
+	}
+	clock.Advance(send)
+	req := intrRequest{
+		pkt:   Packet{Src: p.cpu, Tag: tag, Words: words, Arrive: clock.Now().Add(wire)},
+		reply: make(chan Packet, 1),
+	}
+	select {
+	case svc.reqs <- req:
+	case <-dp.doneCh():
+		return Packet{}, ErrClosed
+	}
+	select {
+	case rep := <-req.reply:
+		// Reply travels back over the UDN.
+		back, err := p.net.geo.OneWayLatency(dst, p.cpu, max(1, len(rep.Words)))
+		if err != nil {
+			return Packet{}, err
+		}
+		rep.Arrive = rep.Arrive.Add(back)
+		clock.AdvanceTo(rep.Arrive)
+		return rep, nil
+	case <-p.doneCh():
+		return Packet{}, ErrClosed
+	}
+}
+
+func (p *Port) close() {
+	p.closeOne.Do(func() {
+		p.closed.Store(true)
+		close(p.doneCh())
+	})
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

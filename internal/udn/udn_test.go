@@ -1,0 +1,366 @@
+package udn
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+
+	"tshmem/internal/arch"
+	"tshmem/internal/mesh"
+	"tshmem/internal/vtime"
+)
+
+func gxNet(t *testing.T) *Network {
+	t.Helper()
+	geo, err := mesh.NewGeometry(arch.Gx8036(), 6, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(geo)
+}
+
+func proNet(t *testing.T) *Network {
+	t.Helper()
+	geo, err := mesh.NewGeometry(arch.Pro64(), 6, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(geo)
+}
+
+func port(t *testing.T, n *Network, cpu int) *Port {
+	t.Helper()
+	p, err := n.Port(cpu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestPortLookup(t *testing.T) {
+	n := gxNet(t)
+	if n.Tiles() != 36 {
+		t.Fatalf("Tiles = %d, want 36", n.Tiles())
+	}
+	if _, err := n.Port(-1); err == nil {
+		t.Error("negative CPU accepted")
+	}
+	if _, err := n.Port(36); err == nil {
+		t.Error("out-of-range CPU accepted")
+	}
+	if p := port(t, n, 7); p.CPU() != 7 {
+		t.Errorf("CPU() = %d, want 7", p.CPU())
+	}
+}
+
+func TestSendRecvDelivers(t *testing.T) {
+	n := gxNet(t)
+	defer n.Close()
+	var sc, rc vtime.Clock
+	sender, receiver := port(t, n, 14), port(t, n, 13)
+
+	if err := sender.Send(&sc, 13, 2, 0xBEEF, []uint64{42, 43}); err != nil {
+		t.Fatal(err)
+	}
+	pkt, err := receiver.Recv(&rc, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkt.Src != 14 || pkt.Tag != 0xBEEF || len(pkt.Words) != 2 || pkt.Words[0] != 42 {
+		t.Errorf("packet corrupted: %+v", pkt)
+	}
+	// Receiver's clock advanced to the arrival time.
+	if rc.Now() != pkt.Arrive {
+		t.Errorf("receiver clock %v != arrival %v", rc.Now(), pkt.Arrive)
+	}
+	if rc.Now() <= 0 || sc.Now() <= 0 {
+		t.Error("clocks did not advance")
+	}
+}
+
+// TestOneWayLatencyMatchesTableIII measures a ping-pong exactly like the
+// paper: the halved round-trip of a 1-word send and a 1-word ack must land
+// on the Table III neighbor latency.
+func TestOneWayLatencyMatchesTableIII(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		mk     func(*testing.T) *Network
+		lo, hi float64
+		s, r   int
+	}{
+		{"Gx neighbors", gxNet, 20.5, 22.5, 14, 13},
+		{"Pro neighbors", proNet, 17.5, 19.5, 14, 13},
+		{"Gx corners", gxNet, 30.5, 32.5, 0, 35},
+		{"Pro corners", proNet, 31.5, 33.5, 0, 35},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			n := tc.mk(t)
+			defer n.Close()
+			var sc, rc vtime.Clock
+			a, b := port(t, n, tc.s), port(t, n, tc.r)
+
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				pkt, err := b.Recv(&rc, 0)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if err := b.Send(&rc, pkt.Src, 0, 0, []uint64{1}); err != nil {
+					t.Error(err)
+				}
+			}()
+			start := sc.Now()
+			if err := a.Send(&sc, tc.r, 0, 0, []uint64{1}); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := a.Recv(&sc, 0); err != nil {
+				t.Fatal(err)
+			}
+			wg.Wait()
+			half := sc.Now().Sub(start).Ns() / 2
+			if half < tc.lo || half > tc.hi {
+				t.Errorf("halved RTT = %.1f ns, want [%.1f, %.1f]", half, tc.lo, tc.hi)
+			}
+		})
+	}
+}
+
+func TestSendValidation(t *testing.T) {
+	n := gxNet(t)
+	defer n.Close()
+	var c vtime.Clock
+	p := port(t, n, 0)
+	if err := p.Send(&c, 1, 4, 0, []uint64{1}); !errors.Is(err, ErrBadQueue) {
+		t.Errorf("bad queue: %v", err)
+	}
+	if err := p.Send(&c, 1, -1, 0, []uint64{1}); !errors.Is(err, ErrBadQueue) {
+		t.Errorf("negative queue: %v", err)
+	}
+	if err := p.Send(&c, 99, 0, 0, []uint64{1}); !errors.Is(err, ErrBadCPU) {
+		t.Errorf("bad cpu: %v", err)
+	}
+	if err := p.Send(&c, 1, 0, 0, nil); !errors.Is(err, ErrPayload) {
+		t.Errorf("empty payload: %v", err)
+	}
+	if err := p.Send(&c, 1, 0, 0, make([]uint64, 128)); !errors.Is(err, ErrPayload) {
+		t.Errorf("oversize payload: %v", err)
+	}
+	if _, err := p.Recv(&c, 9); !errors.Is(err, ErrBadQueue) {
+		t.Errorf("recv bad queue: %v", err)
+	}
+	if _, _, err := p.TryRecv(&c, 9); !errors.Is(err, ErrBadQueue) {
+		t.Errorf("tryrecv bad queue: %v", err)
+	}
+}
+
+func TestDemuxQueuesIndependent(t *testing.T) {
+	n := gxNet(t)
+	defer n.Close()
+	var sc, rc vtime.Clock
+	s, r := port(t, n, 0), port(t, n, 1)
+	// Fill queue 0 and 1 with distinct tags; drain 1 first.
+	if err := s.Send(&sc, 1, 0, 100, []uint64{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Send(&sc, 1, 1, 200, []uint64{2}); err != nil {
+		t.Fatal(err)
+	}
+	pkt, err := r.Recv(&rc, 1)
+	if err != nil || pkt.Tag != 200 {
+		t.Fatalf("queue 1: %+v, %v", pkt, err)
+	}
+	pkt, err = r.Recv(&rc, 0)
+	if err != nil || pkt.Tag != 100 {
+		t.Fatalf("queue 0: %+v, %v", pkt, err)
+	}
+}
+
+func TestTryRecv(t *testing.T) {
+	n := gxNet(t)
+	defer n.Close()
+	var sc, rc vtime.Clock
+	s, r := port(t, n, 0), port(t, n, 1)
+	if _, ok, err := r.TryRecv(&rc, 0); ok || err != nil {
+		t.Fatalf("TryRecv on empty queue: ok=%v err=%v", ok, err)
+	}
+	if err := s.Send(&sc, 1, 0, 7, []uint64{9}); err != nil {
+		t.Fatal(err)
+	}
+	pkt, ok, err := r.TryRecv(&rc, 0)
+	if !ok || err != nil || pkt.Tag != 7 {
+		t.Fatalf("TryRecv after send: ok=%v err=%v pkt=%+v", ok, err, pkt)
+	}
+}
+
+func TestInterruptRoundTrip(t *testing.T) {
+	n := gxNet(t)
+	defer n.Close()
+	var callerClock vtime.Clock
+	caller, target := port(t, n, 0), port(t, n, 35)
+
+	const svcNs = 500.0
+	err := target.SetHandler(func(req Packet) ([]uint64, vtime.Duration) {
+		return []uint64{req.Words[0] * 2}, vtime.FromNs(svcNs)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := caller.Interrupt(&callerClock, 35, 1, []uint64{21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Words) != 1 || rep.Words[0] != 42 {
+		t.Errorf("reply = %+v, want [42]", rep.Words)
+	}
+	// Elapsed must cover two corner traversals (~31.5 ns each), the
+	// interrupt overhead (110 ns on the Gx) and the service time.
+	elapsed := callerClock.Now().Sub(0).Ns()
+	wantMin := 2*30 + 110 + svcNs
+	if elapsed < wantMin || elapsed > wantMin+40 {
+		t.Errorf("interrupt RTT = %.0f ns, want ~%.0f", elapsed, wantMin+15)
+	}
+}
+
+func TestInterruptSerializes(t *testing.T) {
+	// Two interrupts arriving together must be serviced back to back in
+	// virtual time: the later reply reflects both service windows.
+	n := gxNet(t)
+	defer n.Close()
+	target := port(t, n, 1)
+	const svcNs = 1000.0
+	if err := target.SetHandler(func(req Packet) ([]uint64, vtime.Duration) {
+		return []uint64{0}, vtime.FromNs(svcNs)
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	ends := make([]vtime.Time, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var c vtime.Clock
+			p := port(t, n, 2+i)
+			if _, err := p.Interrupt(&c, 1, 0, []uint64{1}); err != nil {
+				t.Error(err)
+				return
+			}
+			ends[i] = c.Now()
+		}(i)
+	}
+	wg.Wait()
+	later := math.Max(ends[0].Ns(), ends[1].Ns())
+	if later < 2*svcNs {
+		t.Errorf("later completion %.0f ns does not reflect serialization (want >= %.0f)", later, 2*svcNs)
+	}
+}
+
+func TestInterruptErrors(t *testing.T) {
+	gx := gxNet(t)
+	defer gx.Close()
+	var c vtime.Clock
+
+	// No handler installed.
+	if _, err := port(t, gx, 0).Interrupt(&c, 1, 0, []uint64{1}); !errors.Is(err, ErrNoHandler) {
+		t.Errorf("no handler: %v", err)
+	}
+	// TILEPro has no UDN interrupts at all.
+	pro := proNet(t)
+	defer pro.Close()
+	if err := port(t, pro, 0).SetHandler(func(Packet) ([]uint64, vtime.Duration) { return nil, 0 }); !errors.Is(err, ErrNoInterrupts) {
+		t.Errorf("Pro SetHandler: %v", err)
+	}
+	if _, err := port(t, pro, 0).Interrupt(&c, 1, 0, []uint64{1}); !errors.Is(err, ErrNoInterrupts) {
+		t.Errorf("Pro Interrupt: %v", err)
+	}
+	// Payload validation.
+	if err := port(t, gx, 5).SetHandler(func(Packet) ([]uint64, vtime.Duration) { return nil, 0 }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := port(t, gx, 0).Interrupt(&c, 5, 0, nil); !errors.Is(err, ErrPayload) {
+		t.Errorf("empty interrupt payload: %v", err)
+	}
+	if _, err := port(t, gx, 0).Interrupt(&c, 99, 0, []uint64{1}); !errors.Is(err, ErrBadCPU) {
+		t.Errorf("bad cpu: %v", err)
+	}
+}
+
+func TestCloseUnblocksReceivers(t *testing.T) {
+	n := gxNet(t)
+	r := port(t, n, 3)
+	errc := make(chan error, 1)
+	go func() {
+		var c vtime.Clock
+		_, err := r.Recv(&c, 0)
+		errc <- err
+	}()
+	n.Close()
+	if err := <-errc; !errors.Is(err, ErrClosed) {
+		t.Errorf("Recv after close: %v", err)
+	}
+	var c vtime.Clock
+	if err := r.Send(&c, 4, 0, 0, []uint64{1}); !errors.Is(err, ErrClosed) {
+		t.Errorf("Send after close: %v", err)
+	}
+	if err := r.SetHandler(func(Packet) ([]uint64, vtime.Duration) { return nil, 0 }); !errors.Is(err, ErrClosed) {
+		t.Errorf("SetHandler after close: %v", err)
+	}
+}
+
+func TestRecvDrainsQueuedAfterClose(t *testing.T) {
+	n := gxNet(t)
+	var sc, rc vtime.Clock
+	s, r := port(t, n, 0), port(t, n, 1)
+	if err := s.Send(&sc, 1, 0, 11, []uint64{5}); err != nil {
+		t.Fatal(err)
+	}
+	n.Close()
+	pkt, err := r.Recv(&rc, 0)
+	if err != nil || pkt.Tag != 11 {
+		t.Errorf("queued packet lost on close: %+v, %v", pkt, err)
+	}
+	if _, err := r.Recv(&rc, 0); !errors.Is(err, ErrClosed) {
+		t.Errorf("empty closed queue: %v", err)
+	}
+}
+
+func TestManyToOneOrdering(t *testing.T) {
+	// All 35 other tiles send to tile 0; every packet must arrive exactly
+	// once with a positive, bounded arrival timestamp.
+	n := gxNet(t)
+	defer n.Close()
+	recvPort := port(t, n, 0)
+	var wg sync.WaitGroup
+	for cpu := 1; cpu < 36; cpu++ {
+		wg.Add(1)
+		go func(cpu int) {
+			defer wg.Done()
+			var c vtime.Clock
+			if err := port(t, n, cpu).Send(&c, 0, 3, uint32(cpu), []uint64{uint64(cpu)}); err != nil {
+				t.Error(err)
+			}
+		}(cpu)
+	}
+	var rc vtime.Clock
+	seen := make(map[uint32]bool)
+	for i := 0; i < 35; i++ {
+		pkt, err := recvPort.Recv(&rc, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[pkt.Tag] {
+			t.Fatalf("duplicate packet from %d", pkt.Tag)
+		}
+		seen[pkt.Tag] = true
+	}
+	wg.Wait()
+	if len(seen) != 35 {
+		t.Errorf("received %d distinct packets, want 35", len(seen))
+	}
+}

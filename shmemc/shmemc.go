@@ -1,0 +1,566 @@
+// Package shmemc provides the C-flavored OpenSHMEM 1.0 surface on top of
+// the generic tshmem API, easing ports of existing SHMEM codes: every
+// function carries its C name (shmem_int_put becomes shmemc.IntPut, and so
+// on) with the C type mapped to its LP64 Go equivalent (short=int16,
+// int=int32, long=long long=int64, float=float32, double=float64).
+//
+// Environment and synchronization calls that are methods on tshmem.PE
+// (BarrierAll, Fence, Quiet, SetLock, ...) are not duplicated here.
+package shmemc
+
+import "tshmem"
+
+// PE re-exports the processing-element handle.
+type PE = tshmem.PE
+
+// ShortPut is shmem_short_put: copy nelems elements of the local
+// source slice into target on PE pe (non-blocking put semantics).
+func ShortPut(p *PE, target tshmem.Ref[int16], source []int16, nelems, pe int) error {
+	if err := checkN(len(source), nelems); err != nil {
+		return err
+	}
+	return tshmem.PutSlice(p, target.Slice(0, min(nelems, target.Len())), source[:nelems], pe)
+}
+
+// ShortGet is shmem_short_get: copy nelems elements of source on PE pe
+// into the local target slice (blocking).
+func ShortGet(p *PE, target []int16, source tshmem.Ref[int16], nelems, pe int) error {
+	if err := checkN(len(target), nelems); err != nil {
+		return err
+	}
+	return tshmem.GetSlice(p, target[:nelems], source.Slice(0, min(nelems, source.Len())), pe)
+}
+
+// ShortP is shmem_short_p: the elemental put.
+func ShortP(p *PE, target tshmem.Ref[int16], value int16, pe int) error {
+	return tshmem.P(p, target, value, pe)
+}
+
+// ShortG is shmem_short_g: the elemental get.
+func ShortG(p *PE, source tshmem.Ref[int16], pe int) (int16, error) {
+	return tshmem.G(p, source, pe)
+}
+
+// ShortIPut is shmem_short_iput: the strided put (strides in elements).
+func ShortIPut(p *PE, target, source tshmem.Ref[int16], tst, sst int64, nelems, pe int) error {
+	return tshmem.IPut(p, target, source, tst, sst, nelems, pe)
+}
+
+// ShortIGet is shmem_short_iget: the strided get.
+func ShortIGet(p *PE, target, source tshmem.Ref[int16], tst, sst int64, nelems, pe int) error {
+	return tshmem.IGet(p, target, source, tst, sst, nelems, pe)
+}
+
+// IntPut is shmem_int_put: copy nelems elements of the local
+// source slice into target on PE pe (non-blocking put semantics).
+func IntPut(p *PE, target tshmem.Ref[int32], source []int32, nelems, pe int) error {
+	if err := checkN(len(source), nelems); err != nil {
+		return err
+	}
+	return tshmem.PutSlice(p, target.Slice(0, min(nelems, target.Len())), source[:nelems], pe)
+}
+
+// IntGet is shmem_int_get: copy nelems elements of source on PE pe
+// into the local target slice (blocking).
+func IntGet(p *PE, target []int32, source tshmem.Ref[int32], nelems, pe int) error {
+	if err := checkN(len(target), nelems); err != nil {
+		return err
+	}
+	return tshmem.GetSlice(p, target[:nelems], source.Slice(0, min(nelems, source.Len())), pe)
+}
+
+// IntP is shmem_int_p: the elemental put.
+func IntP(p *PE, target tshmem.Ref[int32], value int32, pe int) error {
+	return tshmem.P(p, target, value, pe)
+}
+
+// IntG is shmem_int_g: the elemental get.
+func IntG(p *PE, source tshmem.Ref[int32], pe int) (int32, error) {
+	return tshmem.G(p, source, pe)
+}
+
+// IntIPut is shmem_int_iput: the strided put (strides in elements).
+func IntIPut(p *PE, target, source tshmem.Ref[int32], tst, sst int64, nelems, pe int) error {
+	return tshmem.IPut(p, target, source, tst, sst, nelems, pe)
+}
+
+// IntIGet is shmem_int_iget: the strided get.
+func IntIGet(p *PE, target, source tshmem.Ref[int32], tst, sst int64, nelems, pe int) error {
+	return tshmem.IGet(p, target, source, tst, sst, nelems, pe)
+}
+
+// LongPut is shmem_long_put: copy nelems elements of the local
+// source slice into target on PE pe (non-blocking put semantics).
+func LongPut(p *PE, target tshmem.Ref[int64], source []int64, nelems, pe int) error {
+	if err := checkN(len(source), nelems); err != nil {
+		return err
+	}
+	return tshmem.PutSlice(p, target.Slice(0, min(nelems, target.Len())), source[:nelems], pe)
+}
+
+// LongGet is shmem_long_get: copy nelems elements of source on PE pe
+// into the local target slice (blocking).
+func LongGet(p *PE, target []int64, source tshmem.Ref[int64], nelems, pe int) error {
+	if err := checkN(len(target), nelems); err != nil {
+		return err
+	}
+	return tshmem.GetSlice(p, target[:nelems], source.Slice(0, min(nelems, source.Len())), pe)
+}
+
+// LongP is shmem_long_p: the elemental put.
+func LongP(p *PE, target tshmem.Ref[int64], value int64, pe int) error {
+	return tshmem.P(p, target, value, pe)
+}
+
+// LongG is shmem_long_g: the elemental get.
+func LongG(p *PE, source tshmem.Ref[int64], pe int) (int64, error) {
+	return tshmem.G(p, source, pe)
+}
+
+// LongIPut is shmem_long_iput: the strided put (strides in elements).
+func LongIPut(p *PE, target, source tshmem.Ref[int64], tst, sst int64, nelems, pe int) error {
+	return tshmem.IPut(p, target, source, tst, sst, nelems, pe)
+}
+
+// LongIGet is shmem_long_iget: the strided get.
+func LongIGet(p *PE, target, source tshmem.Ref[int64], tst, sst int64, nelems, pe int) error {
+	return tshmem.IGet(p, target, source, tst, sst, nelems, pe)
+}
+
+// LonglongPut is shmem_longlong_put: copy nelems elements of the local
+// source slice into target on PE pe (non-blocking put semantics).
+func LonglongPut(p *PE, target tshmem.Ref[int64], source []int64, nelems, pe int) error {
+	if err := checkN(len(source), nelems); err != nil {
+		return err
+	}
+	return tshmem.PutSlice(p, target.Slice(0, min(nelems, target.Len())), source[:nelems], pe)
+}
+
+// LonglongGet is shmem_longlong_get: copy nelems elements of source on PE pe
+// into the local target slice (blocking).
+func LonglongGet(p *PE, target []int64, source tshmem.Ref[int64], nelems, pe int) error {
+	if err := checkN(len(target), nelems); err != nil {
+		return err
+	}
+	return tshmem.GetSlice(p, target[:nelems], source.Slice(0, min(nelems, source.Len())), pe)
+}
+
+// LonglongP is shmem_longlong_p: the elemental put.
+func LonglongP(p *PE, target tshmem.Ref[int64], value int64, pe int) error {
+	return tshmem.P(p, target, value, pe)
+}
+
+// LonglongG is shmem_longlong_g: the elemental get.
+func LonglongG(p *PE, source tshmem.Ref[int64], pe int) (int64, error) {
+	return tshmem.G(p, source, pe)
+}
+
+// LonglongIPut is shmem_longlong_iput: the strided put (strides in elements).
+func LonglongIPut(p *PE, target, source tshmem.Ref[int64], tst, sst int64, nelems, pe int) error {
+	return tshmem.IPut(p, target, source, tst, sst, nelems, pe)
+}
+
+// LonglongIGet is shmem_longlong_iget: the strided get.
+func LonglongIGet(p *PE, target, source tshmem.Ref[int64], tst, sst int64, nelems, pe int) error {
+	return tshmem.IGet(p, target, source, tst, sst, nelems, pe)
+}
+
+// FloatPut is shmem_float_put: copy nelems elements of the local
+// source slice into target on PE pe (non-blocking put semantics).
+func FloatPut(p *PE, target tshmem.Ref[float32], source []float32, nelems, pe int) error {
+	if err := checkN(len(source), nelems); err != nil {
+		return err
+	}
+	return tshmem.PutSlice(p, target.Slice(0, min(nelems, target.Len())), source[:nelems], pe)
+}
+
+// FloatGet is shmem_float_get: copy nelems elements of source on PE pe
+// into the local target slice (blocking).
+func FloatGet(p *PE, target []float32, source tshmem.Ref[float32], nelems, pe int) error {
+	if err := checkN(len(target), nelems); err != nil {
+		return err
+	}
+	return tshmem.GetSlice(p, target[:nelems], source.Slice(0, min(nelems, source.Len())), pe)
+}
+
+// FloatP is shmem_float_p: the elemental put.
+func FloatP(p *PE, target tshmem.Ref[float32], value float32, pe int) error {
+	return tshmem.P(p, target, value, pe)
+}
+
+// FloatG is shmem_float_g: the elemental get.
+func FloatG(p *PE, source tshmem.Ref[float32], pe int) (float32, error) {
+	return tshmem.G(p, source, pe)
+}
+
+// FloatIPut is shmem_float_iput: the strided put (strides in elements).
+func FloatIPut(p *PE, target, source tshmem.Ref[float32], tst, sst int64, nelems, pe int) error {
+	return tshmem.IPut(p, target, source, tst, sst, nelems, pe)
+}
+
+// FloatIGet is shmem_float_iget: the strided get.
+func FloatIGet(p *PE, target, source tshmem.Ref[float32], tst, sst int64, nelems, pe int) error {
+	return tshmem.IGet(p, target, source, tst, sst, nelems, pe)
+}
+
+// DoublePut is shmem_double_put: copy nelems elements of the local
+// source slice into target on PE pe (non-blocking put semantics).
+func DoublePut(p *PE, target tshmem.Ref[float64], source []float64, nelems, pe int) error {
+	if err := checkN(len(source), nelems); err != nil {
+		return err
+	}
+	return tshmem.PutSlice(p, target.Slice(0, min(nelems, target.Len())), source[:nelems], pe)
+}
+
+// DoubleGet is shmem_double_get: copy nelems elements of source on PE pe
+// into the local target slice (blocking).
+func DoubleGet(p *PE, target []float64, source tshmem.Ref[float64], nelems, pe int) error {
+	if err := checkN(len(target), nelems); err != nil {
+		return err
+	}
+	return tshmem.GetSlice(p, target[:nelems], source.Slice(0, min(nelems, source.Len())), pe)
+}
+
+// DoubleP is shmem_double_p: the elemental put.
+func DoubleP(p *PE, target tshmem.Ref[float64], value float64, pe int) error {
+	return tshmem.P(p, target, value, pe)
+}
+
+// DoubleG is shmem_double_g: the elemental get.
+func DoubleG(p *PE, source tshmem.Ref[float64], pe int) (float64, error) {
+	return tshmem.G(p, source, pe)
+}
+
+// DoubleIPut is shmem_double_iput: the strided put (strides in elements).
+func DoubleIPut(p *PE, target, source tshmem.Ref[float64], tst, sst int64, nelems, pe int) error {
+	return tshmem.IPut(p, target, source, tst, sst, nelems, pe)
+}
+
+// DoubleIGet is shmem_double_iget: the strided get.
+func DoubleIGet(p *PE, target, source tshmem.Ref[float64], tst, sst int64, nelems, pe int) error {
+	return tshmem.IGet(p, target, source, tst, sst, nelems, pe)
+}
+
+// ShortSumToAll is shmem_short_sum_to_all.
+func ShortSumToAll(p *PE, target, source tshmem.Ref[int16], nreduce int, as tshmem.ActiveSet, pWrk tshmem.Ref[int16], pSync tshmem.PSync) error {
+	return tshmem.SumToAll(p, target, source, nreduce, as, pWrk, pSync)
+}
+
+// ShortProdToAll is shmem_short_prod_to_all.
+func ShortProdToAll(p *PE, target, source tshmem.Ref[int16], nreduce int, as tshmem.ActiveSet, pWrk tshmem.Ref[int16], pSync tshmem.PSync) error {
+	return tshmem.ProdToAll(p, target, source, nreduce, as, pWrk, pSync)
+}
+
+// ShortMinToAll is shmem_short_min_to_all.
+func ShortMinToAll(p *PE, target, source tshmem.Ref[int16], nreduce int, as tshmem.ActiveSet, pWrk tshmem.Ref[int16], pSync tshmem.PSync) error {
+	return tshmem.MinToAll(p, target, source, nreduce, as, pWrk, pSync)
+}
+
+// ShortMaxToAll is shmem_short_max_to_all.
+func ShortMaxToAll(p *PE, target, source tshmem.Ref[int16], nreduce int, as tshmem.ActiveSet, pWrk tshmem.Ref[int16], pSync tshmem.PSync) error {
+	return tshmem.MaxToAll(p, target, source, nreduce, as, pWrk, pSync)
+}
+
+// ShortAndToAll is shmem_short_and_to_all.
+func ShortAndToAll(p *PE, target, source tshmem.Ref[int16], nreduce int, as tshmem.ActiveSet, pWrk tshmem.Ref[int16], pSync tshmem.PSync) error {
+	return tshmem.AndToAll(p, target, source, nreduce, as, pWrk, pSync)
+}
+
+// ShortOrToAll is shmem_short_or_to_all.
+func ShortOrToAll(p *PE, target, source tshmem.Ref[int16], nreduce int, as tshmem.ActiveSet, pWrk tshmem.Ref[int16], pSync tshmem.PSync) error {
+	return tshmem.OrToAll(p, target, source, nreduce, as, pWrk, pSync)
+}
+
+// ShortXorToAll is shmem_short_xor_to_all.
+func ShortXorToAll(p *PE, target, source tshmem.Ref[int16], nreduce int, as tshmem.ActiveSet, pWrk tshmem.Ref[int16], pSync tshmem.PSync) error {
+	return tshmem.XorToAll(p, target, source, nreduce, as, pWrk, pSync)
+}
+
+// IntSumToAll is shmem_int_sum_to_all.
+func IntSumToAll(p *PE, target, source tshmem.Ref[int32], nreduce int, as tshmem.ActiveSet, pWrk tshmem.Ref[int32], pSync tshmem.PSync) error {
+	return tshmem.SumToAll(p, target, source, nreduce, as, pWrk, pSync)
+}
+
+// IntProdToAll is shmem_int_prod_to_all.
+func IntProdToAll(p *PE, target, source tshmem.Ref[int32], nreduce int, as tshmem.ActiveSet, pWrk tshmem.Ref[int32], pSync tshmem.PSync) error {
+	return tshmem.ProdToAll(p, target, source, nreduce, as, pWrk, pSync)
+}
+
+// IntMinToAll is shmem_int_min_to_all.
+func IntMinToAll(p *PE, target, source tshmem.Ref[int32], nreduce int, as tshmem.ActiveSet, pWrk tshmem.Ref[int32], pSync tshmem.PSync) error {
+	return tshmem.MinToAll(p, target, source, nreduce, as, pWrk, pSync)
+}
+
+// IntMaxToAll is shmem_int_max_to_all.
+func IntMaxToAll(p *PE, target, source tshmem.Ref[int32], nreduce int, as tshmem.ActiveSet, pWrk tshmem.Ref[int32], pSync tshmem.PSync) error {
+	return tshmem.MaxToAll(p, target, source, nreduce, as, pWrk, pSync)
+}
+
+// IntAndToAll is shmem_int_and_to_all.
+func IntAndToAll(p *PE, target, source tshmem.Ref[int32], nreduce int, as tshmem.ActiveSet, pWrk tshmem.Ref[int32], pSync tshmem.PSync) error {
+	return tshmem.AndToAll(p, target, source, nreduce, as, pWrk, pSync)
+}
+
+// IntOrToAll is shmem_int_or_to_all.
+func IntOrToAll(p *PE, target, source tshmem.Ref[int32], nreduce int, as tshmem.ActiveSet, pWrk tshmem.Ref[int32], pSync tshmem.PSync) error {
+	return tshmem.OrToAll(p, target, source, nreduce, as, pWrk, pSync)
+}
+
+// IntXorToAll is shmem_int_xor_to_all.
+func IntXorToAll(p *PE, target, source tshmem.Ref[int32], nreduce int, as tshmem.ActiveSet, pWrk tshmem.Ref[int32], pSync tshmem.PSync) error {
+	return tshmem.XorToAll(p, target, source, nreduce, as, pWrk, pSync)
+}
+
+// LongSumToAll is shmem_long_sum_to_all.
+func LongSumToAll(p *PE, target, source tshmem.Ref[int64], nreduce int, as tshmem.ActiveSet, pWrk tshmem.Ref[int64], pSync tshmem.PSync) error {
+	return tshmem.SumToAll(p, target, source, nreduce, as, pWrk, pSync)
+}
+
+// LongProdToAll is shmem_long_prod_to_all.
+func LongProdToAll(p *PE, target, source tshmem.Ref[int64], nreduce int, as tshmem.ActiveSet, pWrk tshmem.Ref[int64], pSync tshmem.PSync) error {
+	return tshmem.ProdToAll(p, target, source, nreduce, as, pWrk, pSync)
+}
+
+// LongMinToAll is shmem_long_min_to_all.
+func LongMinToAll(p *PE, target, source tshmem.Ref[int64], nreduce int, as tshmem.ActiveSet, pWrk tshmem.Ref[int64], pSync tshmem.PSync) error {
+	return tshmem.MinToAll(p, target, source, nreduce, as, pWrk, pSync)
+}
+
+// LongMaxToAll is shmem_long_max_to_all.
+func LongMaxToAll(p *PE, target, source tshmem.Ref[int64], nreduce int, as tshmem.ActiveSet, pWrk tshmem.Ref[int64], pSync tshmem.PSync) error {
+	return tshmem.MaxToAll(p, target, source, nreduce, as, pWrk, pSync)
+}
+
+// LongAndToAll is shmem_long_and_to_all.
+func LongAndToAll(p *PE, target, source tshmem.Ref[int64], nreduce int, as tshmem.ActiveSet, pWrk tshmem.Ref[int64], pSync tshmem.PSync) error {
+	return tshmem.AndToAll(p, target, source, nreduce, as, pWrk, pSync)
+}
+
+// LongOrToAll is shmem_long_or_to_all.
+func LongOrToAll(p *PE, target, source tshmem.Ref[int64], nreduce int, as tshmem.ActiveSet, pWrk tshmem.Ref[int64], pSync tshmem.PSync) error {
+	return tshmem.OrToAll(p, target, source, nreduce, as, pWrk, pSync)
+}
+
+// LongXorToAll is shmem_long_xor_to_all.
+func LongXorToAll(p *PE, target, source tshmem.Ref[int64], nreduce int, as tshmem.ActiveSet, pWrk tshmem.Ref[int64], pSync tshmem.PSync) error {
+	return tshmem.XorToAll(p, target, source, nreduce, as, pWrk, pSync)
+}
+
+// LonglongSumToAll is shmem_longlong_sum_to_all.
+func LonglongSumToAll(p *PE, target, source tshmem.Ref[int64], nreduce int, as tshmem.ActiveSet, pWrk tshmem.Ref[int64], pSync tshmem.PSync) error {
+	return tshmem.SumToAll(p, target, source, nreduce, as, pWrk, pSync)
+}
+
+// LonglongProdToAll is shmem_longlong_prod_to_all.
+func LonglongProdToAll(p *PE, target, source tshmem.Ref[int64], nreduce int, as tshmem.ActiveSet, pWrk tshmem.Ref[int64], pSync tshmem.PSync) error {
+	return tshmem.ProdToAll(p, target, source, nreduce, as, pWrk, pSync)
+}
+
+// LonglongMinToAll is shmem_longlong_min_to_all.
+func LonglongMinToAll(p *PE, target, source tshmem.Ref[int64], nreduce int, as tshmem.ActiveSet, pWrk tshmem.Ref[int64], pSync tshmem.PSync) error {
+	return tshmem.MinToAll(p, target, source, nreduce, as, pWrk, pSync)
+}
+
+// LonglongMaxToAll is shmem_longlong_max_to_all.
+func LonglongMaxToAll(p *PE, target, source tshmem.Ref[int64], nreduce int, as tshmem.ActiveSet, pWrk tshmem.Ref[int64], pSync tshmem.PSync) error {
+	return tshmem.MaxToAll(p, target, source, nreduce, as, pWrk, pSync)
+}
+
+// LonglongAndToAll is shmem_longlong_and_to_all.
+func LonglongAndToAll(p *PE, target, source tshmem.Ref[int64], nreduce int, as tshmem.ActiveSet, pWrk tshmem.Ref[int64], pSync tshmem.PSync) error {
+	return tshmem.AndToAll(p, target, source, nreduce, as, pWrk, pSync)
+}
+
+// LonglongOrToAll is shmem_longlong_or_to_all.
+func LonglongOrToAll(p *PE, target, source tshmem.Ref[int64], nreduce int, as tshmem.ActiveSet, pWrk tshmem.Ref[int64], pSync tshmem.PSync) error {
+	return tshmem.OrToAll(p, target, source, nreduce, as, pWrk, pSync)
+}
+
+// LonglongXorToAll is shmem_longlong_xor_to_all.
+func LonglongXorToAll(p *PE, target, source tshmem.Ref[int64], nreduce int, as tshmem.ActiveSet, pWrk tshmem.Ref[int64], pSync tshmem.PSync) error {
+	return tshmem.XorToAll(p, target, source, nreduce, as, pWrk, pSync)
+}
+
+// FloatSumToAll is shmem_float_sum_to_all.
+func FloatSumToAll(p *PE, target, source tshmem.Ref[float32], nreduce int, as tshmem.ActiveSet, pWrk tshmem.Ref[float32], pSync tshmem.PSync) error {
+	return tshmem.SumToAll(p, target, source, nreduce, as, pWrk, pSync)
+}
+
+// FloatProdToAll is shmem_float_prod_to_all.
+func FloatProdToAll(p *PE, target, source tshmem.Ref[float32], nreduce int, as tshmem.ActiveSet, pWrk tshmem.Ref[float32], pSync tshmem.PSync) error {
+	return tshmem.ProdToAll(p, target, source, nreduce, as, pWrk, pSync)
+}
+
+// FloatMinToAll is shmem_float_min_to_all.
+func FloatMinToAll(p *PE, target, source tshmem.Ref[float32], nreduce int, as tshmem.ActiveSet, pWrk tshmem.Ref[float32], pSync tshmem.PSync) error {
+	return tshmem.MinToAll(p, target, source, nreduce, as, pWrk, pSync)
+}
+
+// FloatMaxToAll is shmem_float_max_to_all.
+func FloatMaxToAll(p *PE, target, source tshmem.Ref[float32], nreduce int, as tshmem.ActiveSet, pWrk tshmem.Ref[float32], pSync tshmem.PSync) error {
+	return tshmem.MaxToAll(p, target, source, nreduce, as, pWrk, pSync)
+}
+
+// DoubleSumToAll is shmem_double_sum_to_all.
+func DoubleSumToAll(p *PE, target, source tshmem.Ref[float64], nreduce int, as tshmem.ActiveSet, pWrk tshmem.Ref[float64], pSync tshmem.PSync) error {
+	return tshmem.SumToAll(p, target, source, nreduce, as, pWrk, pSync)
+}
+
+// DoubleProdToAll is shmem_double_prod_to_all.
+func DoubleProdToAll(p *PE, target, source tshmem.Ref[float64], nreduce int, as tshmem.ActiveSet, pWrk tshmem.Ref[float64], pSync tshmem.PSync) error {
+	return tshmem.ProdToAll(p, target, source, nreduce, as, pWrk, pSync)
+}
+
+// DoubleMinToAll is shmem_double_min_to_all.
+func DoubleMinToAll(p *PE, target, source tshmem.Ref[float64], nreduce int, as tshmem.ActiveSet, pWrk tshmem.Ref[float64], pSync tshmem.PSync) error {
+	return tshmem.MinToAll(p, target, source, nreduce, as, pWrk, pSync)
+}
+
+// DoubleMaxToAll is shmem_double_max_to_all.
+func DoubleMaxToAll(p *PE, target, source tshmem.Ref[float64], nreduce int, as tshmem.ActiveSet, pWrk tshmem.Ref[float64], pSync tshmem.PSync) error {
+	return tshmem.MaxToAll(p, target, source, nreduce, as, pWrk, pSync)
+}
+
+// IntSwap is shmem_int_swap.
+func IntSwap(p *PE, target tshmem.Ref[int32], value int32, pe int) (int32, error) {
+	return tshmem.Swap(p, target, value, pe)
+}
+
+// LongSwap is shmem_long_swap.
+func LongSwap(p *PE, target tshmem.Ref[int64], value int64, pe int) (int64, error) {
+	return tshmem.Swap(p, target, value, pe)
+}
+
+// LonglongSwap is shmem_longlong_swap.
+func LonglongSwap(p *PE, target tshmem.Ref[int64], value int64, pe int) (int64, error) {
+	return tshmem.Swap(p, target, value, pe)
+}
+
+// FloatSwap is shmem_float_swap.
+func FloatSwap(p *PE, target tshmem.Ref[float32], value float32, pe int) (float32, error) {
+	return tshmem.Swap(p, target, value, pe)
+}
+
+// DoubleSwap is shmem_double_swap.
+func DoubleSwap(p *PE, target tshmem.Ref[float64], value float64, pe int) (float64, error) {
+	return tshmem.Swap(p, target, value, pe)
+}
+
+// IntCSwap is shmem_int_cswap.
+func IntCSwap(p *PE, target tshmem.Ref[int32], cond, value int32, pe int) (int32, error) {
+	return tshmem.CSwap(p, target, cond, value, pe)
+}
+
+// IntFAdd is shmem_int_fadd.
+func IntFAdd(p *PE, target tshmem.Ref[int32], value int32, pe int) (int32, error) {
+	return tshmem.FAdd(p, target, value, pe)
+}
+
+// IntFInc is shmem_int_finc.
+func IntFInc(p *PE, target tshmem.Ref[int32], pe int) (int32, error) {
+	return tshmem.FInc(p, target, pe)
+}
+
+// IntAdd is shmem_int_add.
+func IntAdd(p *PE, target tshmem.Ref[int32], value int32, pe int) error {
+	return tshmem.Add(p, target, value, pe)
+}
+
+// IntInc is shmem_int_inc.
+func IntInc(p *PE, target tshmem.Ref[int32], pe int) error {
+	return tshmem.Inc(p, target, pe)
+}
+
+// LongCSwap is shmem_long_cswap.
+func LongCSwap(p *PE, target tshmem.Ref[int64], cond, value int64, pe int) (int64, error) {
+	return tshmem.CSwap(p, target, cond, value, pe)
+}
+
+// LongFAdd is shmem_long_fadd.
+func LongFAdd(p *PE, target tshmem.Ref[int64], value int64, pe int) (int64, error) {
+	return tshmem.FAdd(p, target, value, pe)
+}
+
+// LongFInc is shmem_long_finc.
+func LongFInc(p *PE, target tshmem.Ref[int64], pe int) (int64, error) {
+	return tshmem.FInc(p, target, pe)
+}
+
+// LongAdd is shmem_long_add.
+func LongAdd(p *PE, target tshmem.Ref[int64], value int64, pe int) error {
+	return tshmem.Add(p, target, value, pe)
+}
+
+// LongInc is shmem_long_inc.
+func LongInc(p *PE, target tshmem.Ref[int64], pe int) error {
+	return tshmem.Inc(p, target, pe)
+}
+
+// LonglongCSwap is shmem_longlong_cswap.
+func LonglongCSwap(p *PE, target tshmem.Ref[int64], cond, value int64, pe int) (int64, error) {
+	return tshmem.CSwap(p, target, cond, value, pe)
+}
+
+// LonglongFAdd is shmem_longlong_fadd.
+func LonglongFAdd(p *PE, target tshmem.Ref[int64], value int64, pe int) (int64, error) {
+	return tshmem.FAdd(p, target, value, pe)
+}
+
+// LonglongFInc is shmem_longlong_finc.
+func LonglongFInc(p *PE, target tshmem.Ref[int64], pe int) (int64, error) {
+	return tshmem.FInc(p, target, pe)
+}
+
+// LonglongAdd is shmem_longlong_add.
+func LonglongAdd(p *PE, target tshmem.Ref[int64], value int64, pe int) error {
+	return tshmem.Add(p, target, value, pe)
+}
+
+// LonglongInc is shmem_longlong_inc.
+func LonglongInc(p *PE, target tshmem.Ref[int64], pe int) error {
+	return tshmem.Inc(p, target, pe)
+}
+
+// ShortWait is shmem_short_wait: block until the variable changes
+// from value.
+func ShortWait(p *PE, ivar tshmem.Ref[int16], value int16) error {
+	return tshmem.Wait(p, ivar, value)
+}
+
+// ShortWaitUntil is shmem_short_wait_until.
+func ShortWaitUntil(p *PE, ivar tshmem.Ref[int16], cmp tshmem.Cmp, value int16) error {
+	return tshmem.WaitUntil(p, ivar, cmp, value)
+}
+
+// IntWait is shmem_int_wait: block until the variable changes
+// from value.
+func IntWait(p *PE, ivar tshmem.Ref[int32], value int32) error {
+	return tshmem.Wait(p, ivar, value)
+}
+
+// IntWaitUntil is shmem_int_wait_until.
+func IntWaitUntil(p *PE, ivar tshmem.Ref[int32], cmp tshmem.Cmp, value int32) error {
+	return tshmem.WaitUntil(p, ivar, cmp, value)
+}
+
+// LongWait is shmem_long_wait: block until the variable changes
+// from value.
+func LongWait(p *PE, ivar tshmem.Ref[int64], value int64) error {
+	return tshmem.Wait(p, ivar, value)
+}
+
+// LongWaitUntil is shmem_long_wait_until.
+func LongWaitUntil(p *PE, ivar tshmem.Ref[int64], cmp tshmem.Cmp, value int64) error {
+	return tshmem.WaitUntil(p, ivar, cmp, value)
+}
+
+// LonglongWait is shmem_longlong_wait: block until the variable changes
+// from value.
+func LonglongWait(p *PE, ivar tshmem.Ref[int64], value int64) error {
+	return tshmem.Wait(p, ivar, value)
+}
+
+// LonglongWaitUntil is shmem_longlong_wait_until.
+func LonglongWaitUntil(p *PE, ivar tshmem.Ref[int64], cmp tshmem.Cmp, value int64) error {
+	return tshmem.WaitUntil(p, ivar, cmp, value)
+}

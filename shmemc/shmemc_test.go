@@ -1,0 +1,480 @@
+package shmemc_test
+
+import (
+	"errors"
+	"testing"
+
+	"tshmem"
+	"tshmem/shmemc"
+)
+
+func run(t *testing.T, npes int, body func(pe *shmemc.PE) error) {
+	t.Helper()
+	cfg := tshmem.Config{Chip: tshmem.TileGx8036(), NPEs: npes, HeapPerPE: 1 << 20}
+	if _, err := tshmem.Run(cfg, body); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTypedPutGetFamilies exercises one put/get/p/g/iput/iget round per C
+// type family.
+func TestTypedPutGetFamilies(t *testing.T) {
+	run(t, 2, func(pe *shmemc.PE) error {
+		me := pe.MyPE()
+		other := 1 - me
+
+		// short
+		s16, err := tshmem.Malloc[int16](pe, 8)
+		if err != nil {
+			return err
+		}
+		// int
+		s32, err := tshmem.Malloc[int32](pe, 8)
+		if err != nil {
+			return err
+		}
+		// long / long long
+		s64, err := tshmem.Malloc[int64](pe, 8)
+		if err != nil {
+			return err
+		}
+		// float / double
+		f32, err := tshmem.Malloc[float32](pe, 8)
+		if err != nil {
+			return err
+		}
+		f64, err := tshmem.Malloc[float64](pe, 8)
+		if err != nil {
+			return err
+		}
+		if err := pe.BarrierAll(); err != nil {
+			return err
+		}
+
+		if me == 0 {
+			if err := shmemc.ShortPut(pe, s16, []int16{1, 2, 3, 4}, 4, other); err != nil {
+				return err
+			}
+			if err := shmemc.IntPut(pe, s32, []int32{10, 20}, 2, other); err != nil {
+				return err
+			}
+			if err := shmemc.LongPut(pe, s64, []int64{100}, 1, other); err != nil {
+				return err
+			}
+			if err := shmemc.FloatPut(pe, f32, []float32{1.5}, 1, other); err != nil {
+				return err
+			}
+			if err := shmemc.DoublePut(pe, f64, []float64{2.5}, 1, other); err != nil {
+				return err
+			}
+			if err := shmemc.LonglongP(pe, s64.At(7), int64(-7), other); err != nil {
+				return err
+			}
+		}
+		if err := pe.BarrierAll(); err != nil {
+			return err
+		}
+		if me == 1 {
+			got16 := make([]int16, 4)
+			if err := shmemc.ShortGet(pe, got16, s16, 4, me); err != nil {
+				return err
+			}
+			if got16[3] != 4 {
+				t.Errorf("short: %v", got16)
+			}
+			v32, err := shmemc.IntG(pe, s32.At(1), me)
+			if err != nil || v32 != 20 {
+				t.Errorf("int g: %v %v", v32, err)
+			}
+			v64, err := shmemc.LongG(pe, s64, me)
+			if err != nil || v64 != 100 {
+				t.Errorf("long g: %v %v", v64, err)
+			}
+			vf, err := shmemc.FloatG(pe, f32, me)
+			if err != nil || vf != 1.5 {
+				t.Errorf("float g: %v %v", vf, err)
+			}
+			vd, err := shmemc.DoubleG(pe, f64, me)
+			if err != nil || vd != 2.5 {
+				t.Errorf("double g: %v %v", vd, err)
+			}
+			vll, err := shmemc.LonglongG(pe, s64.At(7), me)
+			if err != nil || vll != -7 {
+				t.Errorf("longlong g: %v %v", vll, err)
+			}
+		}
+		if err := pe.BarrierAll(); err != nil {
+			return err
+		}
+
+		// Strided round trip: int family.
+		if me == 0 {
+			src := tshmem.MustLocal(pe, s32)
+			for i := range src {
+				src[i] = int32(i)
+			}
+			if err := shmemc.IntIPut(pe, s32, s32, 2, 1, 4, other); err != nil {
+				return err
+			}
+		}
+		if err := pe.BarrierAll(); err != nil {
+			return err
+		}
+		if me == 1 {
+			v := tshmem.MustLocal(pe, s32)
+			for i := 0; i < 4; i++ {
+				if v[2*i] != int32(i) {
+					t.Errorf("iput: v[%d] = %d", 2*i, v[2*i])
+				}
+			}
+			if err := shmemc.ShortIGet(pe, s16, s16, 1, 1, 4, me); err != nil {
+				return err
+			}
+		}
+		return pe.BarrierAll()
+	})
+}
+
+func TestSizedAndMem(t *testing.T) {
+	run(t, 2, func(pe *shmemc.PE) error {
+		b, err := tshmem.Malloc[byte](pe, 16)
+		if err != nil {
+			return err
+		}
+		w32, err := tshmem.Malloc[int32](pe, 4)
+		if err != nil {
+			return err
+		}
+		w64, err := tshmem.Malloc[int64](pe, 4)
+		if err != nil {
+			return err
+		}
+		if err := pe.BarrierAll(); err != nil {
+			return err
+		}
+		if pe.MyPE() == 0 {
+			if err := shmemc.Putmem(pe, b, []byte("hello"), 5, 1); err != nil {
+				return err
+			}
+			if err := shmemc.Put32(pe, w32, []int32{7, 8}, 2, 1); err != nil {
+				return err
+			}
+			if err := shmemc.Put64(pe, w64, []int64{9}, 1, 1); err != nil {
+				return err
+			}
+		}
+		if err := pe.BarrierAll(); err != nil {
+			return err
+		}
+		if pe.MyPE() == 1 {
+			got := make([]byte, 5)
+			if err := shmemc.Getmem(pe, got, b, 5, 1); err != nil {
+				return err
+			}
+			if string(got) != "hello" {
+				t.Errorf("putmem: %q", got)
+			}
+			g32 := make([]int32, 2)
+			if err := shmemc.Get32(pe, g32, w32, 2, 1); err != nil {
+				return err
+			}
+			if g32[1] != 8 {
+				t.Errorf("put32: %v", g32)
+			}
+			g64 := make([]int64, 1)
+			if err := shmemc.Get64(pe, g64, w64, 1, 1); err != nil {
+				return err
+			}
+			if g64[0] != 9 {
+				t.Errorf("put64: %v", g64)
+			}
+		}
+		// Count validation.
+		if err := shmemc.Putmem(pe, b, []byte("x"), 5, 0); !errors.Is(err, tshmem.ErrBounds) {
+			t.Errorf("oversize putmem count: %v", err)
+		}
+		if err := shmemc.IntPut(pe, w32, []int32{1}, -1, 0); !errors.Is(err, tshmem.ErrBounds) {
+			t.Errorf("negative count: %v", err)
+		}
+		return pe.BarrierAll()
+	})
+}
+
+// TestReductionsAllTypesAllOps drives every generated reduction wrapper.
+func TestReductionsAllTypesAllOps(t *testing.T) {
+	const n = 4
+	run(t, n, func(pe *shmemc.PE) error {
+		as := tshmem.AllPEs(n)
+		me := int64(pe.MyPE() + 1)
+
+		check := func(got, want int64, what string) {
+			if got != want {
+				t.Errorf("%s = %d, want %d", what, got, want)
+			}
+		}
+
+		// int64 family: all seven ops.
+		t64, _ := tshmem.Malloc[int64](pe, 1)
+		s64, _ := tshmem.Malloc[int64](pe, 1)
+		w64, _ := tshmem.Malloc[int64](pe, tshmem.ReduceMinWrkSize)
+		ps, err := tshmem.Malloc[int64](pe, tshmem.ReduceSyncSize)
+		if err != nil {
+			return err
+		}
+		tshmem.MustLocal(pe, s64)[0] = me
+		if err := shmemc.LongSumToAll(pe, t64, s64, 1, as, w64, ps); err != nil {
+			return err
+		}
+		check(tshmem.MustLocal(pe, t64)[0], 10, "long sum")
+		if err := shmemc.LonglongProdToAll(pe, t64, s64, 1, as, w64, ps); err != nil {
+			return err
+		}
+		check(tshmem.MustLocal(pe, t64)[0], 24, "longlong prod")
+		if err := shmemc.LongMinToAll(pe, t64, s64, 1, as, w64, ps); err != nil {
+			return err
+		}
+		check(tshmem.MustLocal(pe, t64)[0], 1, "long min")
+		if err := shmemc.LongMaxToAll(pe, t64, s64, 1, as, w64, ps); err != nil {
+			return err
+		}
+		check(tshmem.MustLocal(pe, t64)[0], 4, "long max")
+		tshmem.MustLocal(pe, s64)[0] = 1 << uint(pe.MyPE())
+		if err := shmemc.LongOrToAll(pe, t64, s64, 1, as, w64, ps); err != nil {
+			return err
+		}
+		check(tshmem.MustLocal(pe, t64)[0], 15, "long or")
+		if err := shmemc.LongAndToAll(pe, t64, s64, 1, as, w64, ps); err != nil {
+			return err
+		}
+		check(tshmem.MustLocal(pe, t64)[0], 0, "long and")
+		if err := shmemc.LongXorToAll(pe, t64, s64, 1, as, w64, ps); err != nil {
+			return err
+		}
+		check(tshmem.MustLocal(pe, t64)[0], 15, "long xor")
+
+		// short and int families: sum.
+		t16, _ := tshmem.Malloc[int16](pe, 1)
+		s16, _ := tshmem.Malloc[int16](pe, 1)
+		w16, err := tshmem.Malloc[int16](pe, tshmem.ReduceMinWrkSize)
+		if err != nil {
+			return err
+		}
+		tshmem.MustLocal(pe, s16)[0] = int16(me)
+		if err := shmemc.ShortSumToAll(pe, t16, s16, 1, as, w16, ps); err != nil {
+			return err
+		}
+		check(int64(tshmem.MustLocal(pe, t16)[0]), 10, "short sum")
+
+		t32, _ := tshmem.Malloc[int32](pe, 1)
+		s32, _ := tshmem.Malloc[int32](pe, 1)
+		w32, err := tshmem.Malloc[int32](pe, tshmem.ReduceMinWrkSize)
+		if err != nil {
+			return err
+		}
+		tshmem.MustLocal(pe, s32)[0] = int32(me)
+		if err := shmemc.IntXorToAll(pe, t32, s32, 1, as, w32, ps); err != nil {
+			return err
+		}
+		check(int64(tshmem.MustLocal(pe, t32)[0]), 1^2^3^4, "int xor")
+
+		// float and double: sum and max.
+		tf, _ := tshmem.Malloc[float32](pe, 1)
+		sf, _ := tshmem.Malloc[float32](pe, 1)
+		wf, err := tshmem.Malloc[float32](pe, tshmem.ReduceMinWrkSize)
+		if err != nil {
+			return err
+		}
+		tshmem.MustLocal(pe, sf)[0] = float32(me) / 2
+		if err := shmemc.FloatSumToAll(pe, tf, sf, 1, as, wf, ps); err != nil {
+			return err
+		}
+		if got := tshmem.MustLocal(pe, tf)[0]; got != 5 {
+			t.Errorf("float sum = %v", got)
+		}
+		td, _ := tshmem.Malloc[float64](pe, 1)
+		sd, _ := tshmem.Malloc[float64](pe, 1)
+		wd, err := tshmem.Malloc[float64](pe, tshmem.ReduceMinWrkSize)
+		if err != nil {
+			return err
+		}
+		tshmem.MustLocal(pe, sd)[0] = float64(me)
+		if err := shmemc.DoubleMaxToAll(pe, td, sd, 1, as, wd, ps); err != nil {
+			return err
+		}
+		if got := tshmem.MustLocal(pe, td)[0]; got != 4 {
+			t.Errorf("double max = %v", got)
+		}
+		return pe.BarrierAll()
+	})
+}
+
+func TestCollectivesAndAtomics(t *testing.T) {
+	const n = 3
+	run(t, n, func(pe *shmemc.PE) error {
+		as := tshmem.AllPEs(n)
+		ps, err := tshmem.Malloc[int64](pe, tshmem.CollectSyncSize)
+		if err != nil {
+			return err
+		}
+		src, _ := tshmem.Malloc[int32](pe, 2)
+		dst, _ := tshmem.Malloc[int32](pe, 2*n)
+		tshmem.MustLocal(pe, src)[0] = int32(pe.MyPE())
+		tshmem.MustLocal(pe, src)[1] = int32(pe.MyPE() * 10)
+		if err := shmemc.FCollect32(pe, dst, src, 2, as, ps); err != nil {
+			return err
+		}
+		got := tshmem.MustLocal(pe, dst)
+		if got[4] != 2 || got[5] != 20 {
+			t.Errorf("fcollect32: %v", got)
+		}
+		if err := shmemc.Broadcast32(pe, dst, src, 2, 1, as, ps); err != nil {
+			return err
+		}
+		if pe.MyPE() != 1 && tshmem.MustLocal(pe, dst)[0] != 1 {
+			t.Errorf("broadcast32: %v", tshmem.MustLocal(pe, dst)[0])
+		}
+		if err := shmemc.Collect32(pe, dst, src, pe.MyPE(), as, ps); err != nil {
+			return err
+		}
+		b64s, _ := tshmem.Malloc[int64](pe, 2)
+		b64d, _ := tshmem.Malloc[int64](pe, 2*n)
+		if err := shmemc.Broadcast64(pe, b64d, b64s, 2, 0, as, ps); err != nil {
+			return err
+		}
+		if err := shmemc.FCollect64(pe, b64d, b64s, 2, as, ps); err != nil {
+			return err
+		}
+		if err := shmemc.Collect64(pe, b64d, b64s, 1, as, ps); err != nil {
+			return err
+		}
+
+		// Atomics.
+		ctr, err := tshmem.Malloc[int64](pe, 1)
+		if err != nil {
+			return err
+		}
+		if err := pe.BarrierAll(); err != nil {
+			return err
+		}
+		if err := shmemc.LongInc(pe, ctr, 0); err != nil {
+			return err
+		}
+		if err := shmemc.LonglongAdd(pe, ctr, 2, 0); err != nil {
+			return err
+		}
+		if _, err := shmemc.IntFInc(pe, mustMalloc32(pe), pe.MyPE()); err != nil {
+			return err
+		}
+		if err := pe.BarrierAll(); err != nil {
+			return err
+		}
+		if pe.MyPE() == 0 {
+			if got := tshmem.MustLocal(pe, ctr)[0]; got != 9 {
+				t.Errorf("counter = %d, want 9", got)
+			}
+			old, err := shmemc.Swap(pe, ctr, 0, 0)
+			if err != nil || old != 9 {
+				t.Errorf("swap: %d %v", old, err)
+			}
+			if _, err := shmemc.DoubleSwap(pe, mustMallocF64(pe), 1.5, 0); err != nil {
+				return err
+			}
+			if _, err := shmemc.LongCSwap(pe, ctr, 0, 5, 0); err != nil {
+				return err
+			}
+			if v, err := shmemc.LongFAdd(pe, ctr, 5, 0); err != nil || v != 5 {
+				t.Errorf("fadd: %d %v", v, err)
+			}
+		} else {
+			mustMallocF64(pe)
+		}
+		return pe.BarrierAll()
+	})
+}
+
+// mustMalloc32 allocates a one-element int32 symmetric object; collective.
+func mustMalloc32(pe *shmemc.PE) tshmem.Ref[int32] {
+	r, err := tshmem.Malloc[int32](pe, 1)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+func mustMallocF64(pe *shmemc.PE) tshmem.Ref[float64] {
+	r, err := tshmem.Malloc[float64](pe, 1)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+func TestEnvWrappers(t *testing.T) {
+	run(t, 3, func(pe *shmemc.PE) error {
+		if shmemc.MyPE(pe) != pe.MyPE() || shmemc.NPEs(pe) != 3 {
+			t.Error("env wrappers wrong")
+		}
+		if !shmemc.PEAccessible(pe, 2) || shmemc.PEAccessible(pe, 5) {
+			t.Error("accessibility wrapper wrong")
+		}
+		if err := shmemc.BarrierAll(pe); err != nil {
+			return err
+		}
+		if err := shmemc.Barrier(pe, 0, 0, 3); err != nil {
+			return err
+		}
+		shmemc.Fence(pe)
+		shmemc.Quiet(pe)
+		lock, err := tshmem.Malloc[int64](pe, 1)
+		if err != nil {
+			return err
+		}
+		if err := shmemc.SetLock(pe, lock); err != nil {
+			return err
+		}
+		if held, err := shmemc.TestLock(pe, lock); err == nil && !held && pe.MyPE() >= 0 {
+			// TestLock acquired it if SetLock raced; tolerate either.
+			_ = held
+		}
+		if err := shmemc.ClearLock(pe, lock); err != nil {
+			return err
+		}
+		return shmemc.Finalize(pe)
+	})
+}
+
+func TestWaits(t *testing.T) {
+	run(t, 2, func(pe *shmemc.PE) error {
+		f16, _ := tshmem.Malloc[int16](pe, 1)
+		f32, _ := tshmem.Malloc[int32](pe, 1)
+		f64, _ := tshmem.Malloc[int64](pe, 1)
+		if err := pe.BarrierAll(); err != nil {
+			return err
+		}
+		if pe.MyPE() == 0 {
+			if err := shmemc.ShortP(pe, f16, 5, 1); err != nil {
+				return err
+			}
+			if err := shmemc.IntP(pe, f32, 6, 1); err != nil {
+				return err
+			}
+			if err := shmemc.LongP(pe, f64, 7, 1); err != nil {
+				return err
+			}
+		} else {
+			if err := shmemc.ShortWaitUntil(pe, f16, tshmem.CmpEQ, 5); err != nil {
+				return err
+			}
+			if err := shmemc.IntWait(pe, f32, 0); err != nil {
+				return err
+			}
+			if err := shmemc.LongWaitUntil(pe, f64, tshmem.CmpGE, 7); err != nil {
+				return err
+			}
+			if err := shmemc.LonglongWait(pe, f64, 0); err != nil {
+				return err
+			}
+		}
+		return pe.BarrierAll()
+	})
+}

@@ -1,0 +1,120 @@
+package shmemc
+
+import "tshmem"
+
+// Sized and raw-memory operations (shmem_put32/64, shmem_putmem, the sized
+// broadcast/collect collectives).
+
+func checkN(have, want int) error {
+	if want < 0 || want > have {
+		return tshmem.ErrBounds
+	}
+	return nil
+}
+
+// Put32 is shmem_put32: a block put of 32-bit elements.
+func Put32(p *PE, target tshmem.Ref[int32], source []int32, nelems, pe int) error {
+	return IntPut(p, target, source, nelems, pe)
+}
+
+// Put64 is shmem_put64: a block put of 64-bit elements.
+func Put64(p *PE, target tshmem.Ref[int64], source []int64, nelems, pe int) error {
+	return LongPut(p, target, source, nelems, pe)
+}
+
+// Get32 is shmem_get32.
+func Get32(p *PE, target []int32, source tshmem.Ref[int32], nelems, pe int) error {
+	return IntGet(p, target, source, nelems, pe)
+}
+
+// Get64 is shmem_get64.
+func Get64(p *PE, target []int64, source tshmem.Ref[int64], nelems, pe int) error {
+	return LongGet(p, target, source, nelems, pe)
+}
+
+// Putmem is shmem_putmem: a raw byte put.
+func Putmem(p *PE, target tshmem.Ref[byte], source []byte, nbytes, pe int) error {
+	if err := checkN(len(source), nbytes); err != nil {
+		return err
+	}
+	return tshmem.PutSlice(p, target.Slice(0, min(nbytes, target.Len())), source[:nbytes], pe)
+}
+
+// Getmem is shmem_getmem: a raw byte get.
+func Getmem(p *PE, target []byte, source tshmem.Ref[byte], nbytes, pe int) error {
+	if err := checkN(len(target), nbytes); err != nil {
+		return err
+	}
+	return tshmem.GetSlice(p, target[:nbytes], source.Slice(0, min(nbytes, source.Len())), pe)
+}
+
+// Broadcast32 is shmem_broadcast32: broadcast of 32-bit elements.
+func Broadcast32(p *PE, target, source tshmem.Ref[int32], nelems, peRoot int, as tshmem.ActiveSet, pSync tshmem.PSync) error {
+	return tshmem.Broadcast(p, target, source, nelems, peRoot, as, pSync)
+}
+
+// Broadcast64 is shmem_broadcast64.
+func Broadcast64(p *PE, target, source tshmem.Ref[int64], nelems, peRoot int, as tshmem.ActiveSet, pSync tshmem.PSync) error {
+	return tshmem.Broadcast(p, target, source, nelems, peRoot, as, pSync)
+}
+
+// Collect32 is shmem_collect32: variable-size collection of 32-bit
+// elements.
+func Collect32(p *PE, target, source tshmem.Ref[int32], nelems int, as tshmem.ActiveSet, pSync tshmem.PSync) error {
+	return tshmem.Collect(p, target, source, nelems, as, pSync)
+}
+
+// Collect64 is shmem_collect64.
+func Collect64(p *PE, target, source tshmem.Ref[int64], nelems int, as tshmem.ActiveSet, pSync tshmem.PSync) error {
+	return tshmem.Collect(p, target, source, nelems, as, pSync)
+}
+
+// FCollect32 is shmem_fcollect32: same-size collection of 32-bit elements.
+func FCollect32(p *PE, target, source tshmem.Ref[int32], nelems int, as tshmem.ActiveSet, pSync tshmem.PSync) error {
+	return tshmem.FCollect(p, target, source, nelems, as, pSync)
+}
+
+// FCollect64 is shmem_fcollect64.
+func FCollect64(p *PE, target, source tshmem.Ref[int64], nelems int, as tshmem.ActiveSet, pSync tshmem.PSync) error {
+	return tshmem.FCollect(p, target, source, nelems, as, pSync)
+}
+
+// Swap is shmem_swap: the untyped (long) swap.
+func Swap(p *PE, target tshmem.Ref[int64], value int64, pe int) (int64, error) {
+	return tshmem.Swap(p, target, value, pe)
+}
+
+// MyPE is shmem_my_pe / _my_pe.
+func MyPE(p *PE) int { return p.MyPE() }
+
+// NPEs is shmem_n_pes / _num_pes.
+func NPEs(p *PE) int { return p.NumPEs() }
+
+// PEAccessible is shmem_pe_accessible.
+func PEAccessible(p *PE, pe int) bool { return p.PEAccessible(pe) }
+
+// BarrierAll is shmem_barrier_all.
+func BarrierAll(p *PE) error { return p.BarrierAll() }
+
+// Barrier is shmem_barrier over the active-set triplet.
+func Barrier(p *PE, peStart, logPEStride, peSize int) error {
+	return p.Barrier(tshmem.ActiveSet{Start: peStart, LogStride: logPEStride, Size: peSize})
+}
+
+// Fence is shmem_fence.
+func Fence(p *PE) { p.Fence() }
+
+// Quiet is shmem_quiet.
+func Quiet(p *PE) { p.Quiet() }
+
+// SetLock is shmem_set_lock.
+func SetLock(p *PE, lock tshmem.Ref[int64]) error { return p.SetLock(lock) }
+
+// ClearLock is shmem_clear_lock.
+func ClearLock(p *PE, lock tshmem.Ref[int64]) error { return p.ClearLock(lock) }
+
+// TestLock is shmem_test_lock.
+func TestLock(p *PE, lock tshmem.Ref[int64]) (bool, error) { return p.TestLock(lock) }
+
+// Finalize is the shmem_finalize extension the paper proposes.
+func Finalize(p *PE) error { return p.Finalize() }

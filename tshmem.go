@@ -1,0 +1,195 @@
+// Package tshmem is the public API of TSHMEM (TileSHMEM): an OpenSHMEM 1.0
+// library for the Tilera TILE-Gx and TILEPro many-core processors,
+// reproducing Lam, George and Lam, "TSHMEM: Shared-Memory Parallel
+// Computing on Tilera Many-Core Processors" (IPPS 2013).
+//
+// Because Tilera silicon is unobtainable, the library runs on a faithful
+// simulation substrate: the iMesh networks, UDN, per-tile cache hierarchy
+// with the Dynamic Distributed Cache, and the TMC library are modeled in
+// internal packages, with every processing element (PE) executing as a
+// goroutine bound to a simulated tile and carrying a deterministic virtual
+// clock. Programs compute real results through real shared memory; the
+// virtual clocks reproduce the paper's latency and bandwidth behavior.
+//
+// # Quick start
+//
+//	cfg := tshmem.Config{Chip: tshmem.TileGx8036(), NPEs: 4}
+//	rep, err := tshmem.Run(cfg, func(pe *tshmem.PE) error {
+//	    x, err := tshmem.Malloc[int64](pe, 16) // collective shmalloc
+//	    if err != nil {
+//	        return err
+//	    }
+//	    src := tshmem.MustLocal(pe, x)
+//	    for i := range src {
+//	        src[i] = int64(pe.MyPE())
+//	    }
+//	    if err := pe.BarrierAll(); err != nil {
+//	        return err
+//	    }
+//	    next := (pe.MyPE() + 1) % pe.NumPEs()
+//	    return tshmem.Put(pe, x, x, 16, next) // one-sided put to a neighbor
+//	})
+//
+// The mapping from OpenSHMEM C names: start_pes is Run; _my_pe/_num_pes are
+// PE.MyPE/PE.NumPEs; shmalloc/shfree/shrealloc/shmemalign are
+// Malloc/Free/Realloc/MallocAlign; shmem_putmem and typed block puts are
+// Put/PutSlice; elemental shmem_TYPE_p/g are P/G; strided iput/iget are
+// IPut/IGet; shmem_barrier_all/shmem_barrier are PE.BarrierAll/PE.Barrier;
+// shmem_fence/quiet are PE.Fence/PE.Quiet; shmem_wait/wait_until are
+// Wait/WaitUntil; broadcast/collect/fcollect and the to_all reductions keep
+// their names; shmem_swap/cswap/fadd/finc/add/inc are Swap/CSwap/FAdd/
+// FInc/Add/Inc; shmem_ptr is Ptr; and Finalize implements the paper's
+// proposed shmem_finalize extension.
+package tshmem
+
+import (
+	"tshmem/internal/arch"
+	"tshmem/internal/cache"
+	"tshmem/internal/core"
+)
+
+// Homing is a memory-homing strategy for common memory (paper S III.A).
+type Homing = cache.Homing
+
+// Memory-homing strategies (Config.Homing).
+const (
+	// HashForHome distributes cache lines across all tiles' L2s (the DDC);
+	// the default, and what the paper's TSHMEM uses.
+	HashForHome = cache.HashForHome
+	// LocalHome pins pages to the accessing tile: fast while data fits its
+	// L2, no DDC beyond it.
+	LocalHome = cache.LocalHome
+	// RemoteHome pins pages to a single other tile: good for
+	// producer-consumer pairs, a serialization bottleneck under fan-in.
+	RemoteHome = cache.RemoteHome
+)
+
+// Core types.
+type (
+	// Config describes a launch: chip, PE count, heap sizes, and algorithm
+	// selections.
+	Config = core.Config
+	// PE is one processing element, bound to a tile.
+	PE = core.PE
+	// Report summarizes a completed run (per-PE virtual times, traffic).
+	Report = core.Report
+	// Stats counts one PE's traffic.
+	Stats = core.Stats
+	// ActiveSet is the OpenSHMEM (PE_start, logPE_stride, PE_size) triplet.
+	ActiveSet = core.ActiveSet
+	// Chip is a Tilera processor model.
+	Chip = arch.Chip
+	// Cmp is a point-to-point synchronization comparison (SHMEM_CMP_*).
+	Cmp = core.Cmp
+	// BarrierImpl selects the BarrierAll backend.
+	BarrierImpl = core.BarrierImpl
+	// BcastAlgo selects the default broadcast algorithm.
+	BcastAlgo = core.BcastAlgo
+	// ReduceAlgo selects the default reduction algorithm.
+	ReduceAlgo = core.ReduceAlgo
+)
+
+// Ref is a handle to a symmetric object of element type T, valid on every
+// PE.
+type Ref[T Elem] = core.Ref[T]
+
+// PSync is the symmetric synchronization work array collectives take.
+type PSync = core.PSync
+
+// Type constraints.
+type (
+	// Elem covers all transferable element types.
+	Elem = core.Elem
+	// Integer covers the integer types (bitwise reductions, waits).
+	Integer = core.Integer
+	// Numeric covers the arithmetic reduction types.
+	Numeric = core.Numeric
+	// AtomicT covers shmem_swap types.
+	AtomicT = core.AtomicT
+	// AtomicInt covers the integer-only atomics.
+	AtomicInt = core.AtomicInt
+)
+
+// Chip models (Table II).
+var (
+	// TileGx8036 is the 36-tile, 64-bit TILE-Gx at 1 GHz (the paper's
+	// TILEmpower-Gx platform).
+	TileGx8036 = arch.Gx8036
+	// TilePro64 is the 64-tile, 32-bit TILEPro at 700 MHz (the paper's
+	// TILEncorePro-64 platform).
+	TilePro64 = arch.Pro64
+	// TileGx8016 is the 16-tile TILE-Gx variant.
+	TileGx8016 = arch.Gx8016
+	// TilePro36 is the 36-tile TILEPro variant.
+	TilePro36 = arch.Pro36
+	// ChipByName looks a chip model up by name.
+	ChipByName = arch.ByName
+	// Chips lists all modeled processors.
+	Chips = arch.Chips
+)
+
+// Launch.
+
+// Run launches an SPMD TSHMEM program: it sets up common memory and the
+// UDN, forks cfg.NPEs processing elements bound one-to-one to tiles, runs
+// body on each after start_pes initialization, and tears everything down
+// (the shmem_finalize behavior).
+func Run(cfg Config, body func(*PE) error) (*Report, error) { return core.Run(cfg, body) }
+
+// Barrier backends (Config.Barrier).
+const (
+	// UDNBarrier is the paper's linear wait+release UDN chain.
+	UDNBarrier = core.UDNBarrier
+	// TMCSpinBarrier backs BarrierAll with the TMC spin barrier (the
+	// TILE-Gx optimization from the paper's open issues).
+	TMCSpinBarrier = core.TMCSpinBarrier
+)
+
+// Broadcast algorithms (Config.Bcast).
+const (
+	PullBcast     = core.PullBcast
+	PushBcast     = core.PushBcast
+	BinomialBcast = core.BinomialBcast
+)
+
+// Reduction algorithms (Config.Reduce).
+const (
+	NaiveReduce       = core.NaiveReduce
+	RecursiveDoubling = core.RecursiveDoubling
+)
+
+// Comparison operators for Wait/WaitUntil.
+const (
+	CmpEQ = core.CmpEQ
+	CmpNE = core.CmpNE
+	CmpGT = core.CmpGT
+	CmpLE = core.CmpLE
+	CmpLT = core.CmpLT
+	CmpGE = core.CmpGE
+)
+
+// Collective work-array sizes (OpenSHMEM constants).
+const (
+	BarrierSyncSize  = core.BarrierSyncSize
+	BcastSyncSize    = core.BcastSyncSize
+	CollectSyncSize  = core.CollectSyncSize
+	ReduceSyncSize   = core.ReduceSyncSize
+	ReduceMinWrkSize = core.ReduceMinWrkSize
+	SyncValue        = core.SyncValue
+)
+
+// Errors.
+var (
+	ErrNotSupported  = core.ErrNotSupported
+	ErrBadPE         = core.ErrBadPE
+	ErrBadActiveSet  = core.ErrBadActiveSet
+	ErrNotInSet      = core.ErrNotInSet
+	ErrBounds        = core.ErrBounds
+	ErrAsymmetric    = core.ErrAsymmetric
+	ErrFinalized     = core.ErrFinalized
+	ErrStatic        = core.ErrStatic
+	ErrUnknownStatic = core.ErrUnknownStatic
+)
+
+// AllPEs is the active set covering every PE of an n-PE program.
+func AllPEs(n int) ActiveSet { return core.AllPEs(n) }
