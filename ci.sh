@@ -1,0 +1,22 @@
+#!/bin/sh
+# Tier-1 gate: every change must pass this before merging.
+#
+#   ./ci.sh          # vet + race-enabled tests
+#   ./ci.sh -short   # skip the slow shape tests (Figure 13/14 case studies)
+#
+# Pure Go, standard library only — no tools beyond the go toolchain.
+set -eu
+cd "$(dirname "$0")"
+
+echo "== go vet ./... =="
+go vet ./...
+
+echo "== go build ./... =="
+go build ./...
+
+# -race slows the case-study shape tests past go test's default 10m
+# per-package timeout; -short skips them, the full run needs the headroom.
+echo "== go test -race -timeout 45m ./... $* =="
+go test -race -timeout 45m "$@" ./...
+
+echo "ci: OK"

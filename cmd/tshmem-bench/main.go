@@ -9,6 +9,13 @@
 //	tshmem-bench -exp fig10      # run one experiment
 //	tshmem-bench -list           # list experiment IDs
 //	tshmem-bench -full           # paper-scale case studies (1024x1024 FFT, 22k images)
+//	tshmem-bench -stats          # also print substrate counter tables
+//	tshmem-bench -probe barrier  # run one observability probe, print counters
+//	tshmem-bench -trace out.json # probe + Chrome trace_event JSON (Perfetto)
+//
+// Probes are single-run instrumented microbenchmarks (-probe, listed by
+// -list); -trace implies the barrier probe when -probe is not given. See
+// docs/OBSERVABILITY.md for the counter taxonomy and a worked example.
 package main
 
 import (
@@ -18,14 +25,18 @@ import (
 	"time"
 
 	"tshmem/internal/bench"
+	"tshmem/internal/stats"
 )
 
 func main() {
 	var (
-		exp  = flag.String("exp", "", "experiment ID to run (default: all)")
-		list = flag.Bool("list", false, "list experiment IDs and exit")
-		full = flag.Bool("full", false, "run case studies at full paper scale")
-		plot = flag.Bool("plot", false, "render each experiment as an ASCII chart too")
+		exp   = flag.String("exp", "", "experiment ID to run (default: all)")
+		list  = flag.Bool("list", false, "list experiment and probe IDs and exit")
+		full  = flag.Bool("full", false, "run case studies at full paper scale")
+		plot  = flag.Bool("plot", false, "render each experiment as an ASCII chart too")
+		stat  = flag.Bool("stats", false, "print aggregate substrate counters next to each result")
+		probe = flag.String("probe", "", "observability probe to run instead of experiments (try -list)")
+		trace = flag.String("trace", "", "write the probe's Chrome trace_event JSON to this file (implies -probe barrier)")
 	)
 	flag.Parse()
 
@@ -33,10 +44,23 @@ func main() {
 		for _, r := range bench.Runners() {
 			fmt.Printf("%-8s %s\n", r.ID, r.Title)
 		}
+		for _, p := range bench.Probes() {
+			fmt.Printf("%-8s probe: %s\n", p.ID, p.Title)
+		}
 		return
 	}
-	opt := bench.Options{Quick: !*full}
+	if *trace != "" && *probe == "" {
+		*probe = "barrier"
+	}
+	if *probe != "" {
+		if err := runProbe(*probe, *trace); err != nil {
+			fmt.Fprintf(os.Stderr, "tshmem-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
+	opt := bench.Options{Quick: !*full}
 	runners := bench.Runners()
 	if *exp != "" {
 		r, ok := bench.Lookup(*exp)
@@ -47,6 +71,9 @@ func main() {
 		runners = []bench.Runner{r}
 	}
 	for _, r := range runners {
+		if *stat {
+			opt.Obs = new(stats.Collector)
+		}
 		start := time.Now()
 		e, err := r.Run(opt)
 		if err != nil {
@@ -57,6 +84,44 @@ func main() {
 		if *plot {
 			fmt.Print(e.Plot(72, 18))
 		}
+		if *stat {
+			fmt.Print(opt.Obs.Table())
+		}
 		fmt.Printf("(regenerated in %.1fs wall time)\n\n", time.Since(start).Seconds())
 	}
+}
+
+// runProbe runs one observability probe, prints its counter table, and
+// optionally exports the virtual-time event trace.
+func runProbe(id, tracePath string) error {
+	p, ok := bench.LookupProbe(id)
+	if !ok {
+		return fmt.Errorf("unknown probe %q (try -list)", id)
+	}
+	start := time.Now()
+	rep, err := p.Run(tracePath != "")
+	if err != nil {
+		return fmt.Errorf("probe %s: %w", id, err)
+	}
+	fmt.Printf("== probe %s: %s ==\n", p.ID, p.Title)
+	fmt.Printf("virtual makespan: %.3f us over %d PEs\n", rep.MaxTime.Us(), len(rep.PECounters))
+	agg := rep.Stats()
+	fmt.Print(agg.Table())
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		if err := rep.TraceTo(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("trace: %d events -> %s (open at https://ui.perfetto.dev)\n",
+			len(rep.Trace()), tracePath)
+	}
+	fmt.Printf("(regenerated in %.1fs wall time)\n", time.Since(start).Seconds())
+	return nil
 }

@@ -1,5 +1,6 @@
 // Command tshmem-info prints the modeled Tilera processor catalogue,
-// including the paper's Table II architecture comparison.
+// including the paper's Table II architecture comparison, and the
+// substrate observability counter taxonomy (-counters).
 package main
 
 import (
@@ -7,12 +8,19 @@ import (
 	"fmt"
 
 	"tshmem/internal/arch"
+	"tshmem/internal/stats"
 )
 
 func main() {
 	var chips = flag.String("chips", "TILE-Gx8036,TILEPro64", "comma-separated chip names (see -all)")
 	var all = flag.Bool("all", false, "print every modeled chip")
+	var counters = flag.Bool("counters", false, "print the observability counter taxonomy and exit")
 	flag.Parse()
+
+	if *counters {
+		fmt.Print(stats.Taxonomy())
+		return
+	}
 
 	var list []*arch.Chip
 	if *all {

@@ -1,13 +1,3 @@
-// Package alloc implements the symmetric-heap allocator behind TSHMEM's
-// shmalloc()/shfree(): a doubly-linked list tracking the memory segments in
-// use within one tile's symmetric partition (Section IV.A of the paper).
-//
-// Symmetry is implicit: every PE runs the same allocation sequence (the
-// OpenSHMEM requirement that shmalloc be called collectively with the same
-// size at the same point in the program), and because the allocator is
-// deterministic, identical call sequences yield identical offsets on every
-// PE. Offsets are relative to the partition start, which is exactly how a
-// tile computes a remote object's address (partition base + offset).
 package alloc
 
 import (

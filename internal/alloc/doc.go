@@ -1,0 +1,30 @@
+// Package alloc implements the symmetric-heap allocator behind TSHMEM's
+// shmalloc()/shfree(): a doubly-linked list tracking the memory segments
+// in use within one tile's symmetric partition (Section IV.A of the
+// paper).
+//
+// # Symmetry by determinism
+//
+// Symmetry is implicit: every PE runs the same allocation sequence (the
+// OpenSHMEM requirement that shmalloc be called collectively with the same
+// size at the same point in the program), and because the allocator is
+// deterministic, identical call sequences yield identical offsets on every
+// PE. Offsets are relative to the partition start, which is exactly how a
+// tile computes a remote object's address (partition base + offset) —
+// TSHMEM needs no address-translation table and no communication to
+// resolve a remote symmetric reference.
+//
+// # Mechanics
+//
+// The free/used state lives in a doubly-linked block list kept in address
+// order. Malloc is first-fit with MinAlign (8-byte) alignment — enough for
+// any elemental SHMEM type — absorbing alignment padding into the
+// allocated block; Free coalesces with free neighbors so fragmentation
+// stays bounded under the alloc/free churn of Memalloc-style workloads.
+// AllocAlign and Realloc mirror the shmemalign/shrealloc entry points of
+// the SHMEM malloc family.
+//
+// The allocator performs no locking: each PE mutates only its own
+// partition's allocator from its own goroutine, the same way each Tilera
+// tile manages its own partition of the common-memory segment.
+package alloc

@@ -36,7 +36,7 @@ func fig13(o Options) (Experiment, error) {
 		speedup := Series{Label: shortName(chip) + " speedup"}
 		var t1 float64
 		for _, p := range appTiles {
-			sec, err := runFFT(chip, p, n)
+			sec, err := runFFT(o, chip, p, n)
 			if err != nil {
 				return e, err
 			}
@@ -56,11 +56,11 @@ func fig13(o Options) (Experiment, error) {
 	return e, nil
 }
 
-func runFFT(chip *arch.Chip, p, n int) (float64, error) {
+func runFFT(opt Options, chip *arch.Chip, p, n int) (float64, error) {
 	blockBytes := int64(n) * int64(n) * 8 / int64(p)
 	cfg := core.Config{Chip: chip, NPEs: p, HeapPerPE: 2*blockBytes + 1<<20}
 	var sec float64
-	_, err := core.Run(cfg, func(pe *core.PE) error {
+	_, err := observedRun(opt, cfg, func(pe *core.PE) error {
 		res, err := fft.Distributed2D(pe, n)
 		if err != nil {
 			return err
@@ -94,7 +94,7 @@ func fig14(o Options) (Experiment, error) {
 		speedup := Series{Label: shortName(chip) + " speedup"}
 		var t1 float64
 		for _, tiles := range appTiles {
-			sec, err := runCBIR(chip, tiles, images, p)
+			sec, err := runCBIR(o, chip, tiles, images, p)
 			if err != nil {
 				return e, err
 			}
@@ -114,11 +114,11 @@ func fig14(o Options) (Experiment, error) {
 	return e, nil
 }
 
-func runCBIR(chip *arch.Chip, tiles, images int, p cbir.Params) (float64, error) {
+func runCBIR(opt Options, chip *arch.Chip, tiles, images int, p cbir.Params) (float64, error) {
 	heap := cbir.BlockBytes(images, tiles, p) + 1<<20
 	cfg := core.Config{Chip: chip, NPEs: tiles, HeapPerPE: heap}
 	var sec float64
-	_, err := core.Run(cfg, func(pe *core.PE) error {
+	_, err := observedRun(opt, cfg, func(pe *core.PE) error {
 		res, err := cbir.Distributed(pe, images, images/2, 10, p)
 		if err != nil {
 			return err

@@ -14,10 +14,10 @@ func init() {
 // measureTSHMEMBarrier measures one barrier_all with all PEs entering at
 // the same virtual instant, reporting the earliest (best-case: the start
 // tile) and latest (worst-case: the last tile of the chain) departures.
-func measureTSHMEMBarrier(chip *arch.Chip, n int, impl core.BarrierImpl) (best, worst vtime.Duration, err error) {
+func measureTSHMEMBarrier(opt Options, chip *arch.Chip, n int, impl core.BarrierImpl) (best, worst vtime.Duration, err error) {
 	lefts := make([]vtime.Duration, n)
 	cfg := core.Config{Chip: chip, NPEs: n, HeapPerPE: 64 << 10, Barrier: impl}
-	_, err = core.Run(cfg, func(pe *core.PE) error {
+	_, err = observedRun(opt, cfg, func(pe *core.PE) error {
 		if err := pe.AlignClocks(); err != nil {
 			return err
 		}
@@ -46,7 +46,7 @@ func measureTSHMEMBarrier(chip *arch.Chip, n int, impl core.BarrierImpl) (best, 
 // fig8c compares the linear wait+release chain against the design the
 // paper evaluated and rejected: the start tile broadcasting the release
 // with standalone sends ("latencies were two times slower", S IV.C.1).
-func fig8c(Options) (Experiment, error) {
+func fig8c(opt Options) (Experiment, error) {
 	e := Experiment{
 		ID:     "fig8c",
 		Title:  "Barrier release strategies on the TILE-Gx36",
@@ -57,11 +57,11 @@ func fig8c(Options) (Experiment, error) {
 	chain := Series{Label: "linear chain release"}
 	rootRel := Series{Label: "root-broadcast release"}
 	for _, n := range []int{4, 8, 16, 24, 32, 36} {
-		_, w, err := measureTSHMEMBarrier(gx, n, core.UDNBarrier)
+		_, w, err := measureTSHMEMBarrier(opt, gx, n, core.UDNBarrier)
 		if err != nil {
 			return e, err
 		}
-		wr, err := measureRootReleaseBarrier(gx, n)
+		wr, err := measureRootReleaseBarrier(opt, gx, n)
 		if err != nil {
 			return e, err
 		}
@@ -77,10 +77,10 @@ func fig8c(Options) (Experiment, error) {
 	return e, nil
 }
 
-func measureRootReleaseBarrier(chip *arch.Chip, n int) (vtime.Duration, error) {
+func measureRootReleaseBarrier(opt Options, chip *arch.Chip, n int) (vtime.Duration, error) {
 	lefts := make([]vtime.Duration, n)
 	cfg := core.Config{Chip: chip, NPEs: n, HeapPerPE: 64 << 10}
-	_, err := core.Run(cfg, func(pe *core.PE) error {
+	_, err := observedRun(opt, cfg, func(pe *core.PE) error {
 		if err := pe.AlignClocks(); err != nil {
 			return err
 		}
@@ -96,7 +96,7 @@ func measureRootReleaseBarrier(chip *arch.Chip, n int) (vtime.Duration, error) {
 
 // fig8 sweeps the TSHMEM UDN barrier across tile counts on both chips,
 // with the TILE-Gx TMC spin barrier for comparison (Figure 8).
-func fig8(Options) (Experiment, error) {
+func fig8(opt Options) (Experiment, error) {
 	e := Experiment{
 		ID:     "fig8",
 		Title:  "TSHMEM barrier latency vs tiles",
@@ -112,7 +112,7 @@ func fig8(Options) (Experiment, error) {
 	proWorst.Label = "Pro64 worst-case"
 	spin.Label = "Gx36 TMC spin"
 	for _, n := range tiles {
-		b, w, err := measureTSHMEMBarrier(gx, n, core.UDNBarrier)
+		b, w, err := measureTSHMEMBarrier(opt, gx, n, core.UDNBarrier)
 		if err != nil {
 			return e, err
 		}
@@ -121,7 +121,7 @@ func fig8(Options) (Experiment, error) {
 		gxWorst.X = append(gxWorst.X, float64(n))
 		gxWorst.Y = append(gxWorst.Y, w.Us())
 
-		_, wp, err := measureTSHMEMBarrier(pro, n, core.UDNBarrier)
+		_, wp, err := measureTSHMEMBarrier(opt, pro, n, core.UDNBarrier)
 		if err != nil {
 			return e, err
 		}

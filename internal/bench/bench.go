@@ -12,6 +12,9 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"tshmem/internal/core"
+	"tshmem/internal/stats"
 )
 
 // Series is one plotted curve: Y(X), with an optional per-point annotation.
@@ -37,6 +40,25 @@ type Options struct {
 	// fewer CBIR images) so the full suite runs in seconds. Microbenchmark
 	// experiments are unaffected — they are cheap at full scale.
 	Quick bool
+
+	// Obs, when non-nil, enables substrate counters on every program an
+	// experiment launches and folds each run's aggregate into the
+	// collector. tshmem-bench -stats prints the folded table next to the
+	// experiment's results.
+	Obs *stats.Collector
+}
+
+// observedRun launches a program like core.Run does, with substrate
+// observability wired to opt.Obs when the caller asked for it.
+func observedRun(opt Options, cfg core.Config, body func(*core.PE) error) (*core.Report, error) {
+	if opt.Obs != nil {
+		cfg.Observe = true
+	}
+	rep, err := core.Run(cfg, body)
+	if err == nil && opt.Obs != nil {
+		opt.Obs.Fold(rep.Stats())
+	}
+	return rep, err
 }
 
 // Runner produces one experiment.

@@ -329,6 +329,9 @@ func TestAblations(t *testing.T) {
 // TestFig13Shape at quick scale: sublinear FFT speedup that levels off, and
 // the TILEPro roughly an order of magnitude slower serially.
 func TestFig13Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("case-study shape test (minutes under -race); run without -short")
+	}
 	e := runExp(t, "fig13")
 	gxT := seriesByLabel(t, e, "Gx36 time (s)")
 	gxS := seriesByLabel(t, e, "Gx36 speedup")
@@ -351,6 +354,9 @@ func TestFig13Shape(t *testing.T) {
 // TestFig14Shape at quick scale: near-linear CBIR speedup, Pro >= Gx
 // speedup, Gx faster absolutely.
 func TestFig14Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("case-study shape test (minutes under -race); run without -short")
+	}
 	e := runExp(t, "fig14")
 	gxT := seriesByLabel(t, e, "Gx36 time (s)")
 	gxS := seriesByLabel(t, e, "Gx36 speedup")

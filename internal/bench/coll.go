@@ -25,11 +25,11 @@ type collOp func(pe *core.PE, target, source core.Ref[int32], nelems int, as cor
 
 // measureCollective runs op once on n PEs with nelems int32 per PE and
 // returns the makespan (max per-PE elapsed, aligned start).
-func measureCollective(chip *arch.Chip, n, nelems, targetElems int, op collOp) (vtime.Duration, error) {
+func measureCollective(opt Options, chip *arch.Chip, n, nelems, targetElems int, op collOp) (vtime.Duration, error) {
 	heap := int64(targetElems+nelems)*4 + 1<<20
 	elapsed := make([]vtime.Duration, n)
 	cfg := core.Config{Chip: chip, NPEs: n, HeapPerPE: heap}
-	_, err := core.Run(cfg, func(pe *core.PE) error {
+	_, err := observedRun(opt, cfg, func(pe *core.PE) error {
 		target, err := core.Malloc[int32](pe, targetElems)
 		if err != nil {
 			return err
@@ -73,7 +73,7 @@ func maxDur(ds []vtime.Duration) vtime.Duration {
 // variant. Aggregate bandwidth is the paper's definition: the sum of each
 // participating tile's bandwidth, n*M/T.
 func bcastSweep(title, id string, op collOp, note string) func(Options) (Experiment, error) {
-	return func(Options) (Experiment, error) {
+	return func(opt Options) (Experiment, error) {
 		e := Experiment{ID: id, Title: title, XLabel: "bytes/PE", YLabel: "aggregate MB/s"}
 		sizes := powersOfTwo(1<<10, 2<<20) // per-transfer bytes
 		tileCounts := []int{2, 8, 16, 24, 29, 36}
@@ -83,7 +83,7 @@ func bcastSweep(title, id string, op collOp, note string) func(Options) (Experim
 				s := Series{Label: fmt.Sprintf("%s %dT", shortName(chip), n)}
 				for _, size := range sizes {
 					nelems := int(size / 4)
-					t, err := measureCollective(chip, n, nelems, nelems, op)
+					t, err := measureCollective(opt, chip, n, nelems, nelems, op)
 					if err != nil {
 						return e, err
 					}
@@ -139,7 +139,7 @@ func fig10b(o Options) (Experiment, error) {
 // fig11: fcollect. Aggregate counts the concatenated result every tile
 // receives (n*M per tile), which is what makes the total data quadratic in
 // tiles and shifts the peaks toward smaller sizes as tiles grow.
-func fig11(Options) (Experiment, error) {
+func fig11(opt Options) (Experiment, error) {
 	e := Experiment{
 		ID:     "fig11",
 		Title:  "Fast collection aggregate bandwidth",
@@ -155,7 +155,7 @@ func fig11(Options) (Experiment, error) {
 			bestAgg, bestSize := 0.0, 0.0
 			for _, size := range sizes {
 				nelems := int(size / 4)
-				t, err := measureCollective(chip, n, nelems, nelems*n,
+				t, err := measureCollective(opt, chip, n, nelems, nelems*n,
 					func(pe *core.PE, tg, sc core.Ref[int32], ne int, as core.ActiveSet, ps core.PSync) error {
 						return core.FCollect(pe, tg, sc, ne, as, ps)
 					})
@@ -183,7 +183,7 @@ func fig11(Options) (Experiment, error) {
 
 // fig11b: the recursive-doubling allgather against the naive fcollect, at
 // power-of-two tile counts.
-func fig11b(Options) (Experiment, error) {
+func fig11b(opt Options) (Experiment, error) {
 	e := Experiment{
 		ID:     "fig11b",
 		Title:  "fcollect: naive vs recursive doubling (TILE-Gx36)",
@@ -205,7 +205,7 @@ func fig11b(Options) (Experiment, error) {
 		s := Series{Label: algo.label}
 		for _, size := range powersOfTwo(256, 64<<10) {
 			nelems := int(size / 4)
-			t, err := measureCollective(gx, 32, nelems, nelems*32, algo.op)
+			t, err := measureCollective(opt, gx, 32, nelems, nelems*32, algo.op)
 			if err != nil {
 				return e, err
 			}
@@ -222,8 +222,8 @@ func fig11b(Options) (Experiment, error) {
 
 // fig12: naive integer sum reduction; aggregate counts each tile's M-byte
 // contribution.
-func fig12(Options) (Experiment, error) {
-	return reduceSweep("fig12", "Integer summation reduction aggregate bandwidth (naive)",
+func fig12(opt Options) (Experiment, error) {
+	return reduceSweep(opt, "fig12", "Integer summation reduction aggregate bandwidth (naive)",
 		func(pe *core.PE, t, s core.Ref[int32], n int, as core.ActiveSet, w core.Ref[int32], ps core.PSync) error {
 			return core.SumToAllNaive(pe, t, s, n, as, w, ps)
 		},
@@ -231,8 +231,8 @@ func fig12(Options) (Experiment, error) {
 		"paper: serialization at the root keeps aggregate flat vs tiles, peaking ~150 MB/s at 36 (Gx)")
 }
 
-func fig12b(Options) (Experiment, error) {
-	return reduceSweep("fig12b", "Integer summation reduction aggregate bandwidth (recursive doubling)",
+func fig12b(opt Options) (Experiment, error) {
+	return reduceSweep(opt, "fig12b", "Integer summation reduction aggregate bandwidth (recursive doubling)",
 		func(pe *core.PE, t, s core.Ref[int32], n int, as core.ActiveSet, w core.Ref[int32], ps core.PSync) error {
 			return core.SumToAllRD(pe, t, s, n, as, w, ps)
 		},
@@ -242,7 +242,7 @@ func fig12b(Options) (Experiment, error) {
 
 type reduceOp func(pe *core.PE, t, s core.Ref[int32], n int, as core.ActiveSet, w core.Ref[int32], ps core.PSync) error
 
-func reduceSweep(id, title string, op reduceOp, pow2Only bool, note string) (Experiment, error) {
+func reduceSweep(opt Options, id, title string, op reduceOp, pow2Only bool, note string) (Experiment, error) {
 	e := Experiment{ID: id, Title: title, XLabel: "bytes/PE", YLabel: "aggregate MB/s"}
 	sizes := powersOfTwo(1<<10, 512<<10)
 	tileCounts := []int{2, 8, 16, 24, 36}
@@ -262,7 +262,7 @@ func reduceSweep(id, title string, op reduceOp, pow2Only bool, note string) (Exp
 				if pow2Only {
 					wrk = nelems * 6 // recursive doubling: per-round buffers
 				}
-				t, err := measureReduce(chip, n, nelems, wrk, op)
+				t, err := measureReduce(opt, chip, n, nelems, wrk, op)
 				if err != nil {
 					return e, err
 				}
@@ -283,11 +283,11 @@ func reduceSweep(id, title string, op reduceOp, pow2Only bool, note string) (Exp
 	return e, nil
 }
 
-func measureReduce(chip *arch.Chip, n, nelems, wrk int, op reduceOp) (vtime.Duration, error) {
+func measureReduce(opt Options, chip *arch.Chip, n, nelems, wrk int, op reduceOp) (vtime.Duration, error) {
 	heap := int64(2*nelems+wrk)*4 + 1<<20
 	elapsed := make([]vtime.Duration, n)
 	cfg := core.Config{Chip: chip, NPEs: n, HeapPerPE: heap}
-	_, err := core.Run(cfg, func(pe *core.PE) error {
+	_, err := observedRun(opt, cfg, func(pe *core.PE) error {
 		target, err := core.Malloc[int32](pe, nelems)
 		if err != nil {
 			return err
@@ -323,7 +323,7 @@ func measureReduce(chip *arch.Chip, n, nelems, wrk int, op reduceOp) (vtime.Dura
 
 // fig8b compares BarrierAll backed by the UDN chain against the TMC spin
 // barrier on the TILE-Gx — the adoption the paper proposes.
-func fig8b(Options) (Experiment, error) {
+func fig8b(opt Options) (Experiment, error) {
 	e := Experiment{
 		ID:     "fig8b",
 		Title:  "barrier_all: UDN chain vs TMC spin backend (TILE-Gx36)",
@@ -335,11 +335,11 @@ func fig8b(Options) (Experiment, error) {
 	udnS.Label = "UDN chain (worst)"
 	spinS.Label = "TMC spin backend"
 	for _, n := range []int{2, 4, 8, 16, 24, 32, 36} {
-		_, w, err := measureTSHMEMBarrier(gx, n, core.UDNBarrier)
+		_, w, err := measureTSHMEMBarrier(opt, gx, n, core.UDNBarrier)
 		if err != nil {
 			return e, err
 		}
-		_, ws, err := measureTSHMEMBarrier(gx, n, core.TMCSpinBarrier)
+		_, ws, err := measureTSHMEMBarrier(opt, gx, n, core.TMCSpinBarrier)
 		if err != nil {
 			return e, err
 		}

@@ -15,7 +15,7 @@ func init() {
 // how TSHMEM's transfers would behave if common memory were local- or
 // remote-homed instead of hash-for-home (S III.A describes the trade-offs
 // qualitatively; this encodes them).
-func homing(Options) (Experiment, error) {
+func homing(opt Options) (Experiment, error) {
 	e := Experiment{
 		ID:     "homing",
 		Title:  "Put bandwidth by memory-homing strategy (TILE-Gx36)",
@@ -30,7 +30,7 @@ func homing(Options) (Experiment, error) {
 	for _, h := range strategies {
 		s := Series{Label: "put " + h.String()}
 		for _, size := range sizes {
-			bw, err := measureHomedPut(gx, h, size)
+			bw, err := measureHomedPut(opt, gx, h, size)
 			if err != nil {
 				return e, err
 			}
@@ -44,7 +44,7 @@ func homing(Options) (Experiment, error) {
 	for _, h := range strategies {
 		s := Series{Label: "bcast " + h.String()}
 		for _, n := range []int{2, 8, 16, 24, 36} {
-			t, err := measureHomedBcast(gx, h, n, 64<<10)
+			t, err := measureHomedBcast(opt, gx, h, n, 64<<10)
 			if err != nil {
 				return e, err
 			}
@@ -61,11 +61,11 @@ func homing(Options) (Experiment, error) {
 	return e, nil
 }
 
-func measureHomedPut(chip *arch.Chip, h cache.Homing, size int64) (float64, error) {
+func measureHomedPut(opt Options, chip *arch.Chip, h cache.Homing, size int64) (float64, error) {
 	nelems := int(size / 8)
 	var elapsed vtime.Duration
 	cfg := core.Config{Chip: chip, NPEs: 2, HeapPerPE: 2*size + 1<<20, Homing: h}
-	_, err := core.Run(cfg, func(pe *core.PE) error {
+	_, err := observedRun(opt, cfg, func(pe *core.PE) error {
 		t, err := core.Malloc[int64](pe, nelems)
 		if err != nil {
 			return err
@@ -92,11 +92,11 @@ func measureHomedPut(chip *arch.Chip, h cache.Homing, size int64) (float64, erro
 	return float64(size) / elapsed.Seconds() / 1e6, nil
 }
 
-func measureHomedBcast(chip *arch.Chip, h cache.Homing, n int, size int64) (vtime.Duration, error) {
+func measureHomedBcast(opt Options, chip *arch.Chip, h cache.Homing, n int, size int64) (vtime.Duration, error) {
 	nelems := int(size / 4)
 	elapsed := make([]vtime.Duration, n)
 	cfg := core.Config{Chip: chip, NPEs: n, HeapPerPE: 4*size + 1<<20, Homing: h}
-	_, err := core.Run(cfg, func(pe *core.PE) error {
+	_, err := observedRun(opt, cfg, func(pe *core.PE) error {
 		target, err := core.Malloc[int32](pe, nelems)
 		if err != nil {
 			return err

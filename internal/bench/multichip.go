@@ -16,7 +16,7 @@ func init() {
 // expanding the shared-memory abstraction across multiple TILE-Gx devices.
 // It contrasts on-chip and cross-chip one-sided transfer bandwidth and the
 // chip-local vs hierarchical barrier.
-func multichip(Options) (Experiment, error) {
+func multichip(opt Options) (Experiment, error) {
 	e := Experiment{
 		ID:     "mpipe",
 		Title:  "Cross-chip transfers and barriers over mPIPE (2x TILE-Gx8036)",
@@ -28,7 +28,7 @@ func multichip(Options) (Experiment, error) {
 	onChip := Series{Label: "put on-chip"}
 	offChip := Series{Label: "put cross-chip"}
 	for _, size := range powersOfTwo(1<<10, 16<<20) {
-		on, off, err := measureChipPut(gx, size)
+		on, off, err := measureChipPut(opt, gx, size)
 		if err != nil {
 			return e, err
 		}
@@ -42,7 +42,7 @@ func multichip(Options) (Experiment, error) {
 	// Barrier latency vs chip count at a fixed 32 PEs.
 	bar := Series{Label: "barrier_all (32 PEs)"}
 	for _, chips := range []int{1, 2, 4} {
-		w, err := measureChipsBarrier(gx, 32, chips)
+		w, err := measureChipsBarrier(opt, gx, 32, chips)
 		if err != nil {
 			return e, err
 		}
@@ -58,10 +58,10 @@ func multichip(Options) (Experiment, error) {
 	return e, nil
 }
 
-func measureChipPut(chip *arch.Chip, size int64) (on, off vtime.Duration, err error) {
+func measureChipPut(opt Options, chip *arch.Chip, size int64) (on, off vtime.Duration, err error) {
 	nelems := int(size / 8)
 	cfg := core.Config{Chip: chip, NPEs: 8, NChips: 2, HeapPerPE: 2*size + 1<<20}
-	_, err = core.Run(cfg, func(pe *core.PE) error {
+	_, err = observedRun(opt, cfg, func(pe *core.PE) error {
 		x, err := core.Malloc[int64](pe, nelems)
 		if err != nil {
 			return err
@@ -86,10 +86,10 @@ func measureChipPut(chip *arch.Chip, size int64) (on, off vtime.Duration, err er
 	return on, off, err
 }
 
-func measureChipsBarrier(chip *arch.Chip, npes, nchips int) (vtime.Duration, error) {
+func measureChipsBarrier(opt Options, chip *arch.Chip, npes, nchips int) (vtime.Duration, error) {
 	lefts := make([]vtime.Duration, npes)
 	cfg := core.Config{Chip: chip, NPEs: npes, NChips: nchips, HeapPerPE: 64 << 10}
-	_, err := core.Run(cfg, func(pe *core.PE) error {
+	_, err := observedRun(opt, cfg, func(pe *core.PE) error {
 		if err := pe.AlignClocks(); err != nil {
 			return err
 		}

@@ -1,0 +1,134 @@
+package bench
+
+import (
+	"fmt"
+
+	"tshmem/internal/arch"
+	"tshmem/internal/core"
+)
+
+// A Probe is a small single-run microbenchmark built for observability
+// rather than for a paper figure: it launches one program with substrate
+// counters (and optionally the event trace) enabled and hands back the
+// Report, so callers can print the counter table with Report.Stats and
+// export the Chrome trace with Report.TraceTo. tshmem-bench runs probes
+// with -probe (and -trace / -stats); docs/OBSERVABILITY.md walks through
+// them.
+type Probe struct {
+	ID    string
+	Title string
+	// Run launches the probe with counters on; trace additionally buffers
+	// the per-operation event timeline.
+	Run func(trace bool) (*core.Report, error)
+}
+
+// probeBarriers is how many barrier_all calls the barrier probe issues.
+const probeBarriers = 8
+
+var probes = []Probe{
+	{
+		ID:    "barrier",
+		Title: fmt.Sprintf("%d aligned barrier_all calls on 16 TILE-Gx tiles (Figure 8 instrumented)", probeBarriers),
+		Run: func(trace bool) (*core.Report, error) {
+			cfg := core.Config{
+				Chip: arch.Gx8036(), NPEs: 16, HeapPerPE: 64 << 10,
+				Observe: true, Trace: trace,
+			}
+			return core.Run(cfg, func(pe *core.PE) error {
+				if err := pe.AlignClocks(); err != nil {
+					return err
+				}
+				for i := 0; i < probeBarriers; i++ {
+					if err := pe.BarrierAll(); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+		},
+	},
+	{
+		ID:    "put",
+		Title: "put size sweep 8 B..64 kB between two TILE-Gx tiles (Figure 6 instrumented)",
+		Run: func(trace bool) (*core.Report, error) {
+			const maxElems = 64 << 10 / 8
+			cfg := core.Config{
+				Chip: arch.Gx8036(), NPEs: 2, HeapPerPE: 2*64<<10 + 1<<20,
+				Observe: true, Trace: trace,
+			}
+			return core.Run(cfg, func(pe *core.PE) error {
+				x, err := core.Malloc[int64](pe, maxElems)
+				if err != nil {
+					return err
+				}
+				y, err := core.Malloc[int64](pe, maxElems)
+				if err != nil {
+					return err
+				}
+				if err := pe.AlignClocks(); err != nil {
+					return err
+				}
+				if pe.MyPE() == 0 {
+					for nelems := 1; nelems <= maxElems; nelems *= 2 {
+						if err := core.Put(pe, y, x, nelems, 1); err != nil {
+							return err
+						}
+						pe.Quiet()
+					}
+				}
+				return pe.BarrierAll()
+			})
+		},
+	},
+	{
+		ID:    "bcast",
+		Title: "pull-based broadcast of 32 kB to 16 TILE-Gx tiles (Figure 10 instrumented)",
+		Run: func(trace bool) (*core.Report, error) {
+			const nelems = 32 << 10 / 4 // 32 kB of int32
+			cfg := core.Config{
+				Chip: arch.Gx8036(), NPEs: 16, HeapPerPE: 2*32<<10 + 1<<20,
+				Observe: true, Trace: trace,
+			}
+			return core.Run(cfg, func(pe *core.PE) error {
+				target, err := core.Malloc[int32](pe, nelems)
+				if err != nil {
+					return err
+				}
+				source, err := core.Malloc[int32](pe, nelems)
+				if err != nil {
+					return err
+				}
+				ps, err := core.Malloc[int64](pe, core.BcastSyncSize)
+				if err != nil {
+					return err
+				}
+				src := core.MustLocal(pe, source)
+				for i := range src {
+					src[i] = int32(pe.MyPE() + i)
+				}
+				if err := pe.AlignClocks(); err != nil {
+					return err
+				}
+				return core.BroadcastPull(pe, target, source, nelems, 0,
+					core.AllPEs(pe.NumPEs()), ps)
+			})
+		},
+	},
+}
+
+// Probes lists the observability probes in registration order.
+func Probes() []Probe {
+	out := make([]Probe, len(probes))
+	copy(out, probes)
+	return out
+}
+
+// LookupProbe finds a probe by ID.
+func LookupProbe(id string) (Probe, bool) {
+	for _, p := range probes {
+		if p.ID == id {
+			return p, true
+		}
+	}
+	return Probe{}, false
+}

@@ -1,0 +1,92 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"tshmem/internal/arch"
+	"tshmem/internal/core"
+	"tshmem/internal/stats"
+)
+
+// Every probe must run, balance its UDN ledger, and (with tracing) yield a
+// decodable Chrome trace — the contract tshmem-bench -probe/-trace exposes.
+func TestProbes(t *testing.T) {
+	for _, p := range Probes() {
+		p := p
+		t.Run(p.ID, func(t *testing.T) {
+			rep, err := p.Run(true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			agg := rep.Stats()
+			if agg.UDNMsgsSent != agg.UDNMsgsRecvd {
+				t.Errorf("UDN ledger unbalanced: %d sent, %d received",
+					agg.UDNMsgsSent, agg.UDNMsgsRecvd)
+			}
+			if len(rep.Trace()) == 0 {
+				t.Error("probe traced no events")
+			}
+			var buf bytes.Buffer
+			if err := rep.TraceTo(&buf); err != nil {
+				t.Fatal(err)
+			}
+			if !json.Valid(buf.Bytes()) {
+				t.Error("probe trace is not valid JSON")
+			}
+		})
+	}
+}
+
+// The barrier probe's counters must match the linear-chain arithmetic the
+// paper's Figure 8 is built on: 2(n-1)+1 signals per 16-PE barrier, for
+// probeBarriers explicit barriers plus the one start_pes runs.
+func TestBarrierProbeArithmetic(t *testing.T) {
+	p, ok := LookupProbe("barrier")
+	if !ok {
+		t.Fatal("barrier probe missing")
+	}
+	rep, err := p.Run(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 16
+	agg := rep.Stats()
+	instances := int64(probeBarriers + 1)
+	if agg.Ops[stats.OpBarrier] != instances*n {
+		t.Errorf("Ops[barrier] = %d, want %d", agg.Ops[stats.OpBarrier], instances*n)
+	}
+	if want := instances * int64(2*(n-1)+1); agg.BarrierRounds != want {
+		t.Errorf("BarrierRounds = %d, want %d", agg.BarrierRounds, want)
+	}
+}
+
+// observedRun is the -stats plumbing: with a collector set it enables
+// counters and folds each run; without one it must leave runs unobserved.
+func TestObservedRunFoldsIntoCollector(t *testing.T) {
+	opt := Options{Obs: new(stats.Collector)}
+	cfg := core.Config{Chip: arch.Gx8036(), NPEs: 2, HeapPerPE: 64 << 10}
+	for i := 0; i < 2; i++ {
+		if _, err := observedRun(opt, cfg, func(pe *core.PE) error {
+			return pe.BarrierAll()
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	runs, agg := opt.Obs.Snapshot()
+	if runs != 2 {
+		t.Fatalf("folded %d runs, want 2", runs)
+	}
+	if agg.Ops[stats.OpBarrier] != 2*2*2 { // 2 runs x 2 PEs x (1 explicit + 1 init barrier)
+		t.Errorf("Ops[barrier] = %d, want 8", agg.Ops[stats.OpBarrier])
+	}
+
+	rep, err := observedRun(Options{}, cfg, func(pe *core.PE) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.PECounters) != 0 {
+		t.Errorf("run observed without a collector: %d PECounters", len(rep.PECounters))
+	}
+}

@@ -23,7 +23,7 @@ type xferKind struct {
 // measureXfer runs a 2-PE program and measures the virtual cost of one
 // transfer of size bytes for the given operand combination; it reports
 // effective bandwidth in MB/s.
-func measureXfer(chip *arch.Chip, k xferKind, size int64) (float64, error) {
+func measureXfer(opt Options, chip *arch.Chip, k xferKind, size int64) (float64, error) {
 	nelems := int(size / 8)
 	if nelems < 1 {
 		nelems = 1
@@ -31,7 +31,7 @@ func measureXfer(chip *arch.Chip, k xferKind, size int64) (float64, error) {
 	heap := 2*int64(nelems)*8 + 1<<20
 	var elapsed vtime.Duration
 	cfg := core.Config{Chip: chip, NPEs: 2, HeapPerPE: heap, ScratchBytes: size + 1<<20}
-	_, err := core.Run(cfg, func(pe *core.PE) error {
+	_, err := observedRun(opt, cfg, func(pe *core.PE) error {
 		dynT, err := core.Malloc[int64](pe, nelems)
 		if err != nil {
 			return err
@@ -82,7 +82,7 @@ func measureXfer(chip *arch.Chip, k xferKind, size int64) (float64, error) {
 // fig6 sweeps dynamic-dynamic put/get bandwidth on both chips, plus the
 // static-static combination on the TILE-Gx for comparison with TILEPro
 // performance (S IV.B.1, Figure 6).
-func fig6(Options) (Experiment, error) {
+func fig6(opt Options) (Experiment, error) {
 	e := Experiment{
 		ID:     "fig6",
 		Title:  "TSHMEM put/get effective bandwidth vs transfer size",
@@ -93,7 +93,7 @@ func fig6(Options) (Experiment, error) {
 	mk := func(chip *arch.Chip, k xferKind, label string) (Series, error) {
 		s := Series{Label: label}
 		for _, size := range sizes {
-			bw, err := measureXfer(chip, k, size)
+			bw, err := measureXfer(opt, chip, k, size)
 			if err != nil {
 				return s, err
 			}
@@ -130,7 +130,7 @@ func fig6(Options) (Experiment, error) {
 // dynamic-dynamic and dynamic-static share the direct path; static-dynamic
 // redirects over a UDN interrupt (minor penalty); static-static bounces
 // through a temporary shared buffer (major penalty).
-func fig7(Options) (Experiment, error) {
+func fig7(opt Options) (Experiment, error) {
 	e := Experiment{
 		ID:     "fig7",
 		Title:  "TSHMEM put/get bandwidth by operand combination (TILE-Gx36)",
@@ -152,7 +152,7 @@ func fig7(Options) (Experiment, error) {
 	for _, k := range kinds {
 		s := Series{Label: k.name}
 		for _, size := range sizes {
-			bw, err := measureXfer(gx, k, size)
+			bw, err := measureXfer(opt, gx, k, size)
 			if err != nil {
 				return e, fmt.Errorf("%s at %d bytes: %w", k.name, size, err)
 			}

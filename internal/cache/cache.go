@@ -1,14 +1,3 @@
-// Package cache models the Tilera memory hierarchy described in Section
-// III.A of the paper: per-tile L1i/L1d/L2 caches, the Dynamic Distributed
-// Cache (DDC — an L3 formed by aggregating every tile's L2), and the three
-// memory-homing strategies (local, remote, hash-for-home).
-//
-// The package exposes an effective-bandwidth model for memory-copy
-// operations. Bandwidth is interpolated in log-size space between
-// calibrated anchors carried by the chip description, reproducing the
-// cache-capacity knees of Figure 3, and is degraded by a concurrency term
-// when many tiles stream simultaneously, reproducing the aggregate
-// saturation of Figures 10-12.
 package cache
 
 import (
@@ -16,6 +5,7 @@ import (
 	"math"
 
 	"tshmem/internal/arch"
+	"tshmem/internal/stats"
 	"tshmem/internal/vtime"
 )
 
@@ -180,6 +170,16 @@ func (m *Model) CopyCostHomed(size int64, mode Mode, h Homing, streams int) vtim
 		ns += float64(size) / bw * 1e3 // bytes / (MB/s) -> us; *1e3 -> ns
 	}
 	return vtime.FromNs(ns)
+}
+
+// CopyCostHomedRec is CopyCostHomed with observability: the charged copy
+// is accounted on rec (nil disables accounting), classified by the
+// hierarchy level that backs its working set.
+func (m *Model) CopyCostHomedRec(size int64, mode Mode, h Homing, streams int, rec *stats.Recorder) vtime.Duration {
+	if rec != nil && size > 0 {
+		rec.CacheCopy(stats.CacheLevel(m.LevelFor(size)), int(size))
+	}
+	return m.CopyCostHomed(size, mode, h, streams)
 }
 
 // StreamCost reports the virtual time for one memory pass of bytes that is

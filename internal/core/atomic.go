@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 
+	"tshmem/internal/stats"
 	"tshmem/internal/vtime"
 )
 
@@ -40,6 +41,8 @@ func atomicTarget[T Elem](pe *PE, target Ref[T], tpe int) ([]byte, int64, error)
 		return nil, 0, fmt.Errorf("%w: empty target", ErrBounds)
 	}
 	pe.stats.Atomics++
+	start := pe.clock.Now()
+	defer pe.rec.OpDone(stats.OpAtomic, start, &pe.clock, sizeOf[T](), tpe)
 	// Round trip to the target tile plus the atomic service time; across
 	// chips the round trip rides the mPIPE fabric.
 	if tpe != pe.id {

@@ -5,6 +5,7 @@ import (
 	"hash/fnv"
 
 	"tshmem/internal/mpipe"
+	"tshmem/internal/stats"
 	"tshmem/internal/udn"
 	"tshmem/internal/vtime"
 )
@@ -94,7 +95,9 @@ func (pe *PE) BarrierAll() error {
 	}
 	pe.stats.Barriers++
 	if pe.prog.cfg.Barrier == TMCSpinBarrier {
+		start := pe.clock.Now()
 		pe.prog.spinBar.Wait(&pe.clock)
+		pe.rec.OpDone(stats.OpBarrier, start, &pe.clock, 0, int(stats.NoPeer))
 		return nil
 	}
 	return pe.barrierUDN(AllPEs(pe.n))
@@ -127,6 +130,10 @@ func (pe *PE) barrierUDN(as ActiveSet) error {
 	if !ok {
 		return fmt.Errorf("%w: PE %d vs %v", ErrNotInSet, pe.id, as)
 	}
+	// Instrumented here, not in the API wrappers, so the barriers
+	// collectives run internally are traced as well.
+	start := pe.clock.Now()
+	defer pe.rec.OpDone(stats.OpBarrier, start, &pe.clock, 0, int(stats.NoPeer))
 	n := as.Size
 	gen := pe.barGen[as]
 	pe.barGen[as] = gen + 1
@@ -145,14 +152,14 @@ func (pe *PE) barrierUDN(as ActiveSet) error {
 		// Start tile: generate the active-set ID, launch the wait pass,
 		// collect it from the last tile, then launch the release pass.
 		pe.clock.Advance(vtime.FromNs(pe.prog.chip.BarrierArbiterNs))
-		if err := pe.sendUDN(next, qBarrier, tag, []uint64{sigWait}); err != nil {
+		if err := pe.sendBarrier(next, tag, sigWait); err != nil {
 			return err
 		}
 		if _, err := pe.recvBarrier(tag, sigWait); err != nil {
 			return err
 		}
 		pe.clock.Advance(fwd)
-		return pe.sendUDN(next, qBarrier, tag, []uint64{sigRelease})
+		return pe.sendBarrier(next, tag, sigRelease)
 	}
 
 	// Member tile: forward the wait signal, then block for the release.
@@ -160,7 +167,7 @@ func (pe *PE) barrierUDN(as ActiveSet) error {
 		return err
 	}
 	pe.clock.Advance(fwd)
-	if err := pe.sendUDN(next, qBarrier, tag, []uint64{sigWait}); err != nil {
+	if err := pe.sendBarrier(next, tag, sigWait); err != nil {
 		return err
 	}
 	if _, err := pe.recvBarrier(tag, sigRelease); err != nil {
@@ -168,7 +175,7 @@ func (pe *PE) barrierUDN(as ActiveSet) error {
 	}
 	if idx < n-1 {
 		pe.clock.Advance(fwd)
-		return pe.sendUDN(next, qBarrier, tag, []uint64{sigRelease})
+		return pe.sendBarrier(next, tag, sigRelease)
 	}
 	return nil
 }
@@ -213,7 +220,7 @@ func (pe *PE) barrierHier(as ActiveSet, tag uint32) error {
 		// Chip leader: gather my chip's arrivals with the UDN ring.
 		pe.clock.Advance(vtime.FromNs(pe.prog.chip.BarrierArbiterNs))
 		if n > 1 {
-			if err := pe.sendUDN(members[1], qBarrier, tag, []uint64{sigWait}); err != nil {
+			if err := pe.sendBarrier(members[1], tag, sigWait); err != nil {
 				return err
 			}
 			if _, err := pe.recvBarrier(tag, sigWait); err != nil {
@@ -228,11 +235,13 @@ func (pe *PE) barrierHier(as ActiveSet, tag uint32) error {
 				}
 			}
 			for i := 1; i < len(leaders); i++ {
+				pe.rec.BarrierRound()
 				if err := pe.prog.fabric.Send(&pe.clock, pe.id, leaders[i], tag, []uint64{sigRelease}); err != nil {
 					return err
 				}
 			}
 		} else {
+			pe.rec.BarrierRound()
 			if err := pe.prog.fabric.Send(&pe.clock, pe.id, leaders[0], tag, []uint64{sigWait}); err != nil {
 				return err
 			}
@@ -243,7 +252,7 @@ func (pe *PE) barrierHier(as ActiveSet, tag uint32) error {
 		// Release my chip's chain.
 		if n > 1 {
 			pe.clock.Advance(fwd)
-			return pe.sendUDN(members[1], qBarrier, tag, []uint64{sigRelease})
+			return pe.sendBarrier(members[1], tag, sigRelease)
 		}
 		return nil
 	}
@@ -253,7 +262,7 @@ func (pe *PE) barrierHier(as ActiveSet, tag uint32) error {
 		return err
 	}
 	pe.clock.Advance(fwd)
-	if err := pe.sendUDN(members[(pos+1)%n], qBarrier, tag, []uint64{sigWait}); err != nil {
+	if err := pe.sendBarrier(members[(pos+1)%n], tag, sigWait); err != nil {
 		return err
 	}
 	if _, err := pe.recvBarrier(tag, sigRelease); err != nil {
@@ -261,7 +270,7 @@ func (pe *PE) barrierHier(as ActiveSet, tag uint32) error {
 	}
 	if pos < n-1 {
 		pe.clock.Advance(fwd)
-		return pe.sendUDN(members[pos+1], qBarrier, tag, []uint64{sigRelease})
+		return pe.sendBarrier(members[pos+1], tag, sigRelease)
 	}
 	return nil
 }
@@ -334,6 +343,8 @@ func (pe *PE) BarrierRootRelease(as ActiveSet) error {
 		return fmt.Errorf("%w: root-release barrier is single-chip only", ErrNotSupported)
 	}
 	pe.stats.Barriers++
+	start := pe.clock.Now()
+	defer pe.rec.OpDone(stats.OpBarrier, start, &pe.clock, 0, int(stats.NoPeer))
 	n := as.Size
 	gen := pe.barGen[as]
 	pe.barGen[as] = gen + 1
@@ -347,7 +358,7 @@ func (pe *PE) BarrierRootRelease(as ActiveSet) error {
 
 	if idx == 0 {
 		pe.clock.Advance(vtime.FromNs(pe.prog.chip.BarrierArbiterNs))
-		if err := pe.sendUDN(as.PE(1), qBarrier, tag, []uint64{sigWait}); err != nil {
+		if err := pe.sendBarrier(as.PE(1), tag, sigWait); err != nil {
 			return err
 		}
 		if _, err := pe.recvBarrier(tag, sigWait); err != nil {
@@ -357,7 +368,7 @@ func (pe *PE) BarrierRootRelease(as ActiveSet) error {
 		// serialized at the root.
 		for k := 1; k < n; k++ {
 			pe.clock.Advance(sendCall)
-			if err := pe.sendUDN(as.PE(k), qBarrier, tag, []uint64{sigRelease}); err != nil {
+			if err := pe.sendBarrier(as.PE(k), tag, sigRelease); err != nil {
 				return err
 			}
 		}
@@ -368,7 +379,7 @@ func (pe *PE) BarrierRootRelease(as ActiveSet) error {
 		return err
 	}
 	pe.clock.Advance(fwd)
-	if err := pe.sendUDN(as.PE((idx+1)%n), qBarrier, tag, []uint64{sigWait}); err != nil {
+	if err := pe.sendBarrier(as.PE((idx+1)%n), tag, sigWait); err != nil {
 		return err
 	}
 	_, err := pe.recvBarrier(tag, sigRelease)

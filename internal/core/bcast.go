@@ -1,6 +1,10 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+
+	"tshmem/internal/stats"
+)
 
 // Broadcast copies nelems elements of source on the root (given as a
 // zero-based ordinal within the active set) into target on every other
@@ -45,6 +49,8 @@ func BroadcastPull[T Elem](pe *PE, target, source Ref[T], nelems, root int, as A
 	if err != nil {
 		return err
 	}
+	start := pe.clock.Now()
+	defer pe.rec.OpDone(stats.OpBroadcast, start, &pe.clock, int64(nelems)*sizeOf[T](), as.PE(root))
 	if err := pe.barrierUDN(as); err != nil { // root's source is ready
 		return err
 	}
@@ -67,6 +73,8 @@ func BroadcastPush[T Elem](pe *PE, target, source Ref[T], nelems, root int, as A
 	if err != nil {
 		return err
 	}
+	start := pe.clock.Now()
+	defer pe.rec.OpDone(stats.OpBroadcast, start, &pe.clock, int64(nelems)*sizeOf[T](), as.PE(root))
 	if err := pe.barrierUDN(as); err != nil {
 		return err
 	}
@@ -94,6 +102,8 @@ func BroadcastBinomial[T Elem](pe *PE, target, source Ref[T], nelems, root int, 
 	if err != nil {
 		return err
 	}
+	t0 := pe.clock.Now()
+	defer pe.rec.OpDone(stats.OpBroadcast, t0, &pe.clock, int64(nelems)*sizeOf[T](), as.PE(root))
 	if err := pe.barrierUDN(as); err != nil {
 		return err
 	}

@@ -1,6 +1,10 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+
+	"tshmem/internal/stats"
+)
 
 // FCollect concatenates the same-sized source array from every active-set
 // PE, in set order, into target on all of them (shmem_fcollect32/64).
@@ -25,6 +29,8 @@ func FCollect[T Elem](pe *PE, target, source Ref[T], nelems int, as ActiveSet, p
 			ErrBounds, nelems, as.Size, target.Len())
 	}
 	rootPE := as.PE(0)
+	start := pe.clock.Now()
+	defer pe.rec.OpDone(stats.OpCollect, start, &pe.clock, int64(nelems)*sizeOf[T](), rootPE)
 
 	if err := pe.barrierUDN(as); err != nil {
 		return err
@@ -70,6 +76,8 @@ func Collect[T Elem](pe *PE, target, source Ref[T], nelems int, as ActiveSet, ps
 	}
 	rootPE := as.PE(0)
 	fab := pe.spansChips(as)
+	start := pe.clock.Now()
+	defer pe.rec.OpDone(stats.OpCollect, start, &pe.clock, int64(nelems)*sizeOf[T](), rootPE)
 	if err := pe.barrierUDN(as); err != nil {
 		return err
 	}
@@ -167,6 +175,8 @@ func FCollectRD[T Elem](pe *PE, target, source Ref[T], nelems int, as ActiveSet,
 		return fmt.Errorf("%w: recursive-doubling fcollect needs a dynamic target", ErrStatic)
 	}
 	fab := pe.spansChips(as)
+	start := pe.clock.Now()
+	defer pe.rec.OpDone(stats.OpCollect, start, &pe.clock, int64(nelems)*sizeOf[T](), int(stats.NoPeer))
 	if err := pe.barrierUDN(as); err != nil {
 		return err
 	}

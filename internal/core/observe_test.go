@@ -1,0 +1,247 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+
+	"tshmem/internal/stats"
+	"tshmem/internal/vtime"
+)
+
+// Without Observe, runs carry no counters, no trace, and every PE's
+// recorder stays nil (the zero-cost path asserted in internal/stats).
+func TestUnobservedRunHasNoCounters(t *testing.T) {
+	rep := runT(t, gxCfg(4), func(pe *PE) error {
+		if pe.rec != nil {
+			t.Error("recorder non-nil without Config.Observe")
+		}
+		if c := pe.Counters(); c != (stats.Counters{}) {
+			t.Errorf("PE counters non-zero without Observe: %+v", c)
+		}
+		return pe.BarrierAll()
+	})
+	if len(rep.PECounters) != 0 || len(rep.Trace()) != 0 {
+		t.Errorf("report carries observability data: %d counters, %d events",
+			len(rep.PECounters), len(rep.Trace()))
+	}
+	if rep.Stats() != (stats.Counters{}) {
+		t.Errorf("aggregate non-zero: %+v", rep.Stats())
+	}
+}
+
+// An observed barrier run must balance its UDN ledger (every message sent
+// is received) and count exactly the chain's signals.
+func TestObservedBarrierCounters(t *testing.T) {
+	const n, iters = 8, 5
+	cfg := gxCfg(n)
+	cfg.Observe = true
+	rep := runT(t, cfg, func(pe *PE) error {
+		for i := 0; i < iters; i++ {
+			if err := pe.BarrierAll(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if len(rep.PECounters) != n {
+		t.Fatalf("PECounters has %d entries, want %d", len(rep.PECounters), n)
+	}
+	agg := rep.Stats()
+	if agg.UDNMsgsSent != agg.UDNMsgsRecvd || agg.UDNWordsSent != agg.UDNWordsRecvd {
+		t.Errorf("UDN ledger unbalanced: sent %d/%d words, received %d/%d",
+			agg.UDNMsgsSent, agg.UDNWordsSent, agg.UDNMsgsRecvd, agg.UDNWordsRecvd)
+	}
+	// start_pes runs one concluding barrier, so each PE sees iters+1
+	// OpBarrier instances; each instance costs 2(n-1)+1 chain signals.
+	instances := int64(iters + 1)
+	if agg.Ops[stats.OpBarrier] != instances*n {
+		t.Errorf("Ops[barrier] = %d, want %d", agg.Ops[stats.OpBarrier], instances*n)
+	}
+	wantRounds := instances * int64(2*(n-1)+1)
+	if agg.BarrierRounds != wantRounds {
+		t.Errorf("BarrierRounds = %d, want %d", agg.BarrierRounds, wantRounds)
+	}
+	if agg.Ops[stats.OpInit] != n {
+		t.Errorf("Ops[init] = %d, want %d", agg.Ops[stats.OpInit], n)
+	}
+	// Counters aggregate across PEs: the fold of the parts is the whole.
+	var fold stats.Counters
+	for i := range rep.PECounters {
+		fold.Add(&rep.PECounters[i])
+	}
+	if fold != agg {
+		t.Errorf("Stats() != fold of PECounters")
+	}
+}
+
+// Puts classify RMA traffic by locality and size it in bytes.
+func TestObservedPutLocality(t *testing.T) {
+	const n, nelems = 2, 512
+	cfg := gxCfg(n)
+	cfg.Observe = true
+	rep := runT(t, cfg, func(pe *PE) error {
+		x, err := Malloc[int64](pe, nelems)
+		if err != nil {
+			return err
+		}
+		if err := pe.BarrierAll(); err != nil {
+			return err
+		}
+		if pe.MyPE() == 0 {
+			if err := Put(pe, x, x, nelems, 1); err != nil { // same chip
+				return err
+			}
+			if err := Put(pe, x, x, nelems, 0); err != nil { // self
+				return err
+			}
+			pe.Quiet()
+		}
+		return pe.BarrierAll()
+	})
+	agg := rep.Stats()
+	const bytes = int64(nelems) * 8
+	if agg.RMAOps[stats.SameChip] != 1 || agg.RMABytes[stats.SameChip] != bytes {
+		t.Errorf("same-chip: ops=%d bytes=%d, want 1 and %d",
+			agg.RMAOps[stats.SameChip], agg.RMABytes[stats.SameChip], bytes)
+	}
+	if agg.RMAOps[stats.SelfPE] != 1 || agg.RMABytes[stats.SelfPE] != bytes {
+		t.Errorf("self: ops=%d bytes=%d, want 1 and %d",
+			agg.RMAOps[stats.SelfPE], agg.RMABytes[stats.SelfPE], bytes)
+	}
+	if agg.RMAOps[stats.CrossChip] != 0 {
+		t.Errorf("cross-chip ops on a single chip: %d", agg.RMAOps[stats.CrossChip])
+	}
+	if agg.Ops[stats.OpPut] != 2 || agg.TotalRMABytes() != 2*bytes {
+		t.Errorf("puts=%d rma=%d, want 2 and %d", agg.Ops[stats.OpPut], agg.TotalRMABytes(), 2*bytes)
+	}
+	if agg.CacheHits()+agg.CacheMisses() == 0 {
+		t.Error("puts charged no classified cache copies")
+	}
+}
+
+// Config.Trace implies Observe and yields a merged, start-ordered event
+// timeline that exports as decodable Chrome trace_event JSON.
+func TestTraceExport(t *testing.T) {
+	const n = 4
+	cfg := gxCfg(n)
+	cfg.Trace = true // note: Observe left false; Trace must imply it
+	var mu sync.Mutex
+	elapsed := make(map[int]vtime.Duration, n)
+	starts := make(map[int]vtime.Time, n)
+	rep := runT(t, cfg, func(pe *PE) error {
+		src, err := Malloc[int64](pe, 64)
+		if err != nil {
+			return err
+		}
+		dst, err := Malloc[int64](pe, 64)
+		if err != nil {
+			return err
+		}
+		if err := pe.AlignClocks(); err != nil {
+			return err
+		}
+		t0 := pe.Now()
+		// src is only ever read (by its owner), dst only written (by one
+		// neighbor): the ring of block puts is race-free.
+		if err := Put(pe, dst, src, 64, (pe.MyPE()+1)%n); err != nil {
+			return err
+		}
+		pe.Quiet()
+		if err := pe.BarrierAll(); err != nil {
+			return err
+		}
+		mu.Lock()
+		starts[pe.MyPE()] = t0
+		elapsed[pe.MyPE()] = pe.Now().Sub(t0)
+		mu.Unlock()
+		return nil
+	})
+	evs := rep.Trace()
+	if len(evs) == 0 {
+		t.Fatal("no events traced")
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Start < evs[i-1].Start {
+			t.Fatalf("trace not start-ordered at %d", i)
+		}
+	}
+	var perPE [stats.NumOps]bool
+	for _, e := range evs {
+		if e.PE < 0 || int(e.PE) >= n {
+			t.Fatalf("event with bad PE %d", e.PE)
+		}
+		if e.End < e.Start {
+			t.Fatalf("event ends before it starts: %+v", e)
+		}
+		perPE[e.Op] = true
+	}
+	for _, op := range []stats.Op{stats.OpInit, stats.OpPut, stats.OpFence, stats.OpBarrier} {
+		if !perPE[op] {
+			t.Errorf("no %v event traced", op)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := rep.TraceTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("exported trace is not valid JSON: %v", err)
+	}
+	if len(decoded.TraceEvents) != len(evs)+n {
+		t.Errorf("exported %d records, want %d events + %d thread names",
+			len(decoded.TraceEvents), len(evs), n)
+	}
+
+	// The audit invariant EXPERIMENTS.md documents: between AlignClocks and
+	// the measured end, the traced substrate operations explain (almost)
+	// all of each PE's virtual time. The put/fence/barrier sequence leaves
+	// only inter-op bookkeeping uncovered.
+	for pe := 0; pe < n; pe++ {
+		cov := stats.Coverage(evs, pe, starts[pe], starts[pe].Add(elapsed[pe]))
+		if cov < 0.95 {
+			t.Errorf("PE %d: trace covers %.1f%% of measured window, want >= 95%%", pe, 100*cov)
+		}
+		if cov > 1 {
+			t.Errorf("PE %d: coverage %.3f exceeds 1 (double-counted nesting?)", pe, cov)
+		}
+	}
+}
+
+// The trace cap drops events but never corrupts counters.
+func TestTraceCap(t *testing.T) {
+	cfg := gxCfg(2)
+	cfg.Trace = true
+	cfg.TraceCap = 3
+	rep := runT(t, cfg, func(pe *PE) error {
+		for i := 0; i < 10; i++ {
+			if err := pe.BarrierAll(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	agg := rep.Stats()
+	if agg.TraceDropped == 0 {
+		t.Error("cap of 3 never dropped events over 10 barriers")
+	}
+	for _, c := range rep.PECounters {
+		if c.Ops[stats.OpBarrier] != 11 { // 10 + start_pes barrier
+			t.Errorf("dropped events must still count: barriers=%d, want 11", c.Ops[stats.OpBarrier])
+		}
+	}
+	perPE := map[int32]int{}
+	for _, e := range rep.Trace() {
+		perPE[e.PE]++
+	}
+	for pe, got := range perPE {
+		if got > 3 {
+			t.Errorf("PE %d buffered %d events beyond cap 3", pe, got)
+		}
+	}
+}

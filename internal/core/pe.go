@@ -6,6 +6,7 @@ import (
 	"tshmem/internal/alloc"
 	"tshmem/internal/arch"
 	"tshmem/internal/mpipe"
+	"tshmem/internal/stats"
 	"tshmem/internal/tmc"
 	"tshmem/internal/udn"
 	"tshmem/internal/vtime"
@@ -54,6 +55,7 @@ type PE struct {
 	finalized   bool
 
 	stats Stats
+	rec   *stats.Recorder // substrate observability; nil unless Config.Observe
 }
 
 // MyPE reports this PE's number (the OpenSHMEM _my_pe).
@@ -73,6 +75,22 @@ func (pe *PE) Now() vtime.Time { return pe.clock.Now() }
 
 // Stats returns a copy of the PE's traffic counters.
 func (pe *PE) Stats() Stats { return pe.stats }
+
+// Counters returns a copy of the PE's substrate counters. It is the zero
+// value unless the run was configured with Config.Observe (or Trace).
+func (pe *PE) Counters() stats.Counters { return pe.rec.Counters() }
+
+// locality classifies remotePE relative to this PE for RMA accounting.
+func (pe *PE) locality(remotePE int) stats.Locality {
+	switch {
+	case remotePE == pe.id:
+		return stats.SelfPE
+	case pe.prog.sameChip(pe.id, remotePE):
+		return stats.SameChip
+	default:
+		return stats.CrossChip
+	}
+}
 
 // Tile reports the physical CPU number of the tile this PE is bound to on
 // its chip.
@@ -106,6 +124,13 @@ func (pe *PE) sendUDN(dst, q int, tag uint32, words []uint64) error {
 	return pe.port.Send(&pe.clock, pe.prog.localIdx(dst), q, tag, words)
 }
 
+// sendBarrier sends one wait/release signal on the barrier queue, counting
+// it as a barrier round.
+func (pe *PE) sendBarrier(dst int, tag uint32, word uint64) error {
+	pe.rec.BarrierRound()
+	return pe.sendUDN(dst, qBarrier, tag, []uint64{word})
+}
+
 // globalSrc translates a UDN packet's source (a chip-local tile index) to
 // the sender's global rank.
 func (pe *PE) globalSrc(localSrc int) int {
@@ -118,6 +143,8 @@ func (pe *PE) globalSrc(localSrc int) int {
 // layout is symmetric. On multi-chip runs the concluding barrier (which is
 // chip-spanning) completes the cross-chip handshake.
 func (pe *PE) startPEs() error {
+	start := pe.clock.Now()
+	defer pe.rec.OpDone(stats.OpInit, start, &pe.clock, 0, int(stats.NoPeer))
 	base := pe.prog.partBase[pe.id]
 	chip := pe.prog.chipOf(pe.id)
 	first := chip * pe.prog.perChip
@@ -241,7 +268,9 @@ func (pe *PE) AlignClocks() error {
 // Quiet waits until all outstanding puts issued by this PE are complete and
 // visible (shmem_quiet), modeled with tmc_mem_fence (Section IV.C.2).
 func (pe *PE) Quiet() {
+	start := pe.clock.Now()
 	tmc.MemFence(&pe.clock, pe.prog.model)
+	pe.rec.OpDone(stats.OpFence, start, &pe.clock, 0, int(stats.NoPeer))
 }
 
 // Fence ensures ordering of puts to each PE (shmem_fence). TSHMEM aliases

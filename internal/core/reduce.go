@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"tshmem/internal/stats"
 	"tshmem/internal/vtime"
 )
 
@@ -205,6 +206,8 @@ func reduceDispatch[T Elem](pe *PE, target, source Ref[T], nelems int, fold func
 	if err != nil {
 		return err
 	}
+	start := pe.clock.Now()
+	defer pe.rec.OpDone(stats.OpReduce, start, &pe.clock, int64(nelems)*sizeOf[T](), int(stats.NoPeer))
 	if pe.prog.cfg.Reduce == RecursiveDoubling && isPow2(as.Size) &&
 		pWrk.Len() >= rdWrkNeed(nelems, as.Size) && pWrk.kind == dynamicRef && target.kind == dynamicRef {
 		return reduceRD(pe, target, source, nelems, fold, k, as, pWrk, tag)
@@ -281,6 +284,8 @@ func SumToAllNaive[T Numeric](pe *PE, target, source Ref[T], nelems int, as Acti
 	if _, _, err := reduceEnter(pe, target, source, nelems, as, pWrk, ps); err != nil {
 		return err
 	}
+	start := pe.clock.Now()
+	defer pe.rec.OpDone(stats.OpReduce, start, &pe.clock, int64(nelems)*sizeOf[T](), int(stats.NoPeer))
 	return reduceNaive(pe, target, source, nelems, func(a, b T) T { return a + b }, kindOf[T](), as)
 }
 
@@ -298,5 +303,7 @@ func SumToAllRD[T Numeric](pe *PE, target, source Ref[T], nelems int, as ActiveS
 	if pWrk.Len() < rdWrkNeed(nelems, as.Size) || pWrk.kind != dynamicRef || target.kind != dynamicRef {
 		return fmt.Errorf("%w: recursive doubling needs a dynamic pWrk of >= nelems*log2(size) elements and a dynamic target", ErrBounds)
 	}
+	start := pe.clock.Now()
+	defer pe.rec.OpDone(stats.OpReduce, start, &pe.clock, int64(nelems)*sizeOf[T](), int(stats.NoPeer))
 	return reduceRD(pe, target, source, nelems, func(a, b T) T { return a + b }, kindOf[T](), as, pWrk, tag)
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"tshmem/internal/cache"
+	"tshmem/internal/stats"
 	"tshmem/internal/udn"
 	"tshmem/internal/vtime"
 )
@@ -77,7 +78,8 @@ func resolve[T Elem](pe *PE, r Ref[T], onPE, nelems int) (operand, error) {
 // remotePE's partition: the on-chip memory model within a chip, the mPIPE
 // wire across chips (the multi-device extension).
 func (pe *PE) chargeXfer(nbytes int64, mode cache.Mode, remotePE int) {
-	pe.clock.Advance(pe.prog.model.CopyCostHomed(nbytes, mode, pe.prog.cfg.Homing, pe.curHint()))
+	pe.clock.Advance(pe.prog.model.CopyCostHomedRec(nbytes, mode, pe.prog.cfg.Homing, pe.curHint(), pe.rec))
+	pe.rec.RMA(pe.locality(remotePE), int(nbytes))
 	if remotePE != pe.id && !pe.prog.sameChip(pe.id, remotePE) {
 		// Store-and-forward through mPIPE: the data still traverses the
 		// local memory system (charged above), then rides the wire.
@@ -125,6 +127,8 @@ func putResolved[T Elem](pe *PE, target Ref[T], src operand, nelems, tpe int) er
 	}
 	pe.stats.Puts++
 	pe.stats.PutBytes += src.nbytes
+	start := pe.clock.Now()
+	defer pe.rec.OpDone(stats.OpPut, start, &pe.clock, src.nbytes, tpe)
 
 	switch {
 	case tpe == pe.id:
@@ -203,6 +207,8 @@ func getResolved[T Elem](pe *PE, dst operand, source Ref[T], nelems, spe int) er
 	}
 	pe.stats.Gets++
 	pe.stats.GetBytes += src.nbytes
+	start := pe.clock.Now()
+	defer pe.rec.OpDone(stats.OpGet, start, &pe.clock, src.nbytes, spe)
 
 	switch {
 	case spe == pe.id:
@@ -316,11 +322,13 @@ func P[T Elem](pe *PE, target Ref[T], value T, tpe int) error {
 	}
 	pe.stats.Puts++
 	pe.stats.PutBytes += es
+	start := pe.clock.Now()
 	part := pe.partBytes(tpe)
 	off := target.off
 	pe.chargeXfer(es, sharedMode, tpe)
 	atomicStoreElem(part, off, es, toBits(value))
 	pe.prog.hubs[tpe].record(off, pe.clock.Now())
+	pe.rec.OpDone(stats.OpPut, start, &pe.clock, es, tpe)
 	return nil
 }
 
@@ -348,9 +356,12 @@ func G[T Elem](pe *PE, source Ref[T], spe int) (T, error) {
 	}
 	pe.stats.Gets++
 	pe.stats.GetBytes += es
+	start := pe.clock.Now()
 	part := pe.partBytes(spe)
 	pe.chargeXfer(es, sharedMode, spe)
-	return fromBits[T](atomicLoadElem(part, source.off, es)), nil
+	v := fromBits[T](atomicLoadElem(part, source.off, es))
+	pe.rec.OpDone(stats.OpGet, start, &pe.clock, es, spe)
+	return v, nil
 }
 
 // IPut is the strided put (shmem_TYPE_iput): nelems elements are copied
@@ -375,8 +386,10 @@ func IPut[T Elem](pe *PE, target, source Ref[T], tst, sst int64, nelems, tpe int
 	pe.stats.Puts++
 	nb := int64(nelems) * sizeOf[T]()
 	pe.stats.PutBytes += nb
+	start := pe.clock.Now()
 	pe.chargeXfer(nb, sharedMode, tpe)
 	pe.clock.Advance(pe.prog.chip.Cycles(2 * nelems)) // per-element stride arithmetic
+	pe.rec.OpDone(stats.OpPut, start, &pe.clock, nb, tpe)
 	return nil
 }
 
@@ -399,8 +412,10 @@ func IGet[T Elem](pe *PE, target, source Ref[T], tst, sst int64, nelems, spe int
 	pe.stats.Gets++
 	nb := int64(nelems) * sizeOf[T]()
 	pe.stats.GetBytes += nb
+	start := pe.clock.Now()
 	pe.chargeXfer(nb, sharedMode, spe)
 	pe.clock.Advance(pe.prog.chip.Cycles(2 * nelems))
+	pe.rec.OpDone(stats.OpGet, start, &pe.clock, nb, spe)
 	return nil
 }
 

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"io"
 	"sync"
 	"sync/atomic"
 
@@ -10,6 +11,7 @@ import (
 	"tshmem/internal/cache"
 	"tshmem/internal/mesh"
 	"tshmem/internal/mpipe"
+	"tshmem/internal/stats"
 	"tshmem/internal/tmc"
 	"tshmem/internal/udn"
 	"tshmem/internal/vtime"
@@ -93,6 +95,18 @@ type Config struct {
 	// pay mPIPE wire costs; static-variable redirection does not cross
 	// chips (UDN interrupts are chip-local).
 	NChips int
+
+	// Observe enables per-PE substrate counters (internal/stats). Off by
+	// default: the uninstrumented path is allocation-free.
+	Observe bool
+	// Trace additionally buffers a structured event per substrate
+	// operation, exported by Report.Trace/TraceTo as Chrome trace_event
+	// JSON keyed on virtual time. Trace implies Observe.
+	Trace bool
+	// TraceCap bounds the per-PE event buffer; 0 means
+	// stats.DefaultTraceCap. Events beyond the cap are dropped and counted
+	// in Counters.TraceDropped.
+	TraceCap int
 }
 
 func (c *Config) fill() error {
@@ -127,6 +141,9 @@ func (c *Config) fill() error {
 	if c.ScratchBytes == 0 {
 		c.ScratchBytes = 4 << 20
 	}
+	if c.Trace {
+		c.Observe = true
+	}
 	return nil
 }
 
@@ -140,7 +157,32 @@ type Report struct {
 	PutBytes int64 // bytes moved by puts across all PEs
 	GetBytes int64 // bytes moved by gets across all PEs
 	Barriers int64 // barrier entries across all PEs
+
+	// PECounters holds each PE's substrate counters; empty unless the run
+	// was configured with Config.Observe (or Trace).
+	PECounters []stats.Counters
+	trace      []stats.Event // merged, start-ordered; empty unless Config.Trace
 }
+
+// Stats aggregates the per-PE substrate counters of the run. It is the
+// zero value unless the run was configured with Config.Observe.
+func (r *Report) Stats() stats.Counters {
+	var c stats.Counters
+	for i := range r.PECounters {
+		c.Add(&r.PECounters[i])
+	}
+	return c
+}
+
+// Trace returns the run's merged substrate event trace, ordered by
+// virtual start time. Empty unless the run was configured with
+// Config.Trace.
+func (r *Report) Trace() []stats.Event { return r.trace }
+
+// TraceTo writes the run's event trace as Chrome trace_event JSON keyed
+// on virtual time, loadable in Perfetto (https://ui.perfetto.dev) or
+// chrome://tracing.
+func (r *Report) TraceTo(w io.Writer) error { return stats.WriteTrace(w, r.trace) }
 
 // Program is the shared state of one TSHMEM run: one or more chips, each
 // with its own iMesh/UDN, sharing one common-memory space (single chip: the
@@ -300,6 +342,17 @@ func Run(cfg Config, body func(*PE) error) (*Report, error) {
 		rep.GetBytes += pe.stats.GetBytes
 		rep.Barriers += pe.stats.Barriers
 	}
+	if prog.cfg.Observe {
+		rep.PECounters = make([]stats.Counters, prog.NPEs())
+		perPE := make([][]stats.Event, 0, prog.NPEs())
+		for i, pe := range prog.pes {
+			rep.PECounters[i] = pe.rec.Counters()
+			if evs := pe.rec.Events(); len(evs) > 0 {
+				perPE = append(perPE, evs)
+			}
+		}
+		rep.trace = stats.MergeEvents(perPE)
+	}
 	return rep, nil
 }
 
@@ -387,6 +440,11 @@ func newProgram(cfg Config) (*Program, error) {
 			heap:    heap,
 			barGen:  make(map[ActiveSet]uint32),
 			collGen: make(map[ActiveSet]uint32),
+		}
+		if cfg.Observe {
+			rec := stats.New(i, cfg.Trace, cfg.TraceCap)
+			p.pes[i].rec = rec
+			port.SetRecorder(rec)
 		}
 	}
 

@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+
+	"tshmem/internal/stats"
 )
 
 // Cmp is a point-to-point synchronization comparison (SHMEM_CMP_*).
@@ -85,6 +87,7 @@ func WaitUntil[T Integer](pe *PE, ivar Ref[T], cmp Cmp, value T) error {
 		return err
 	}
 
+	start := pe.clock.Now()
 	hub := &pe.prog.hubs[pe.id]
 	t, ok := hub.await(off, check)
 	if !ok {
@@ -94,6 +97,7 @@ func WaitUntil[T Integer](pe *PE, ivar Ref[T], cmp Cmp, value T) error {
 	if t > 0 {
 		pe.clock.AdvanceTo(t)
 	}
+	pe.rec.OpDone(stats.OpWait, start, &pe.clock, 0, int(stats.NoPeer))
 	return nil
 }
 

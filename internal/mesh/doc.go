@@ -1,0 +1,42 @@
+// Package mesh models the Tilera iMesh: the 2D grid of tiles and the
+// dimension-order-routed dynamic networks connecting them.
+//
+// # Topology and routing
+//
+// A Geometry maps virtual CPU numbers (PE ranks in the paper's "effective
+// test area") onto physical tiles of a chip. Latency experiments use a 6x6
+// area on both devices, which on the 8x8 TILEPro64 is a subset of the
+// chip, giving rise to the virtual-vs-physical CPU numbering discussed
+// under Table III of the paper (virtual tile 6 is physical tile 8).
+// Packets route XY dimension-order: horizontally first, then vertically;
+// Hops counts the Manhattan distance and DirectionOf classifies the first
+// leg, which is what produces the per-direction latency labels of
+// Table III.
+//
+// # Latency model
+//
+// Packets are cut-through switched at one word per hop per clock cycle, so
+// the one-way latency of a words-long packet decomposes into a fixed
+// software setup-and-teardown cost plus hop count times the cycle time,
+// plus one cycle per additional payload word (Section III.C; Table III
+// validates exactly this decomposition):
+//
+//	latency = setup + hops*hop + (words-1)*cycle + directionEps
+//
+// where directionEps is a deterministic sub-nanosecond skew reproducing
+// the ~1 ns directional spread Table III shows on the TILE-Gx.
+//
+// Path is the primary entry point: one call resolves coordinates once and
+// returns the hop count, initial direction, and the latency split into the
+// sender-side injection share (Send, charged to the sender's virtual
+// clock) and the in-flight remainder (Wire, carried on the packet as its
+// arrival offset). OneWayLatency, SendLatency, and WireLatency are
+// conveniences over Path. The split lets the sender proceed after
+// injection while the receiver's clock merges with the true arrival time —
+// the same overlap the hardware gives a tile after it pushes the last
+// payload word into the network.
+//
+// The hop count surfaced by Path also feeds the observability layer
+// (internal/stats): per-PE mesh-hop counters are the hop totals of every
+// packet the PE injects.
+package mesh

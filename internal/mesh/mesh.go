@@ -1,16 +1,3 @@
-// Package mesh models the Tilera iMesh: the 2D grid of tiles and the
-// dimension-order-routed dynamic networks connecting them.
-//
-// Packets are cut-through switched at one word per hop per clock cycle, so
-// the one-way latency of a packet decomposes into a fixed software
-// setup-and-teardown cost plus hop count times the cycle time, plus one
-// cycle per additional payload word (Section III.C of the paper, whose
-// Table III validates exactly this decomposition).
-//
-// The package also implements the paper's "effective test area": latency
-// experiments use a 6x6 area on both devices, which on the 8x8 TILEPro64 is
-// a subset of the chip, giving rise to the virtual-vs-physical CPU
-// numbering discussed under Table III.
 package mesh
 
 import (
@@ -193,31 +180,67 @@ func DirectionOf(a, b Coord) Direction {
 	}
 }
 
-// OneWayLatency models the one-way latency of a words-long packet from
-// virtual CPU src to dst: setup-and-teardown + hops*cycle + (words-1)*cycle
-// for the trailing payload words of the cut-through wormhole.
+// PathInfo is the resolved route of one packet: the hop count and initial
+// direction of its XY route, and its one-way latency split into the
+// sender-side injection share (Send) and the in-flight remainder (Wire).
+// Send + Wire is the full one-way latency.
+type PathInfo struct {
+	Hops int
+	Dir  Direction
+	Send vtime.Duration
+	Wire vtime.Duration
+}
+
+// Latency reports the full one-way latency of the path.
+func (p PathInfo) Latency() vtime.Duration { return p.Send + p.Wire }
+
+// Path resolves the route of a words-long packet from virtual CPU src to
+// dst in a single call: coordinates are looked up once, and the returned
+// PathInfo carries the hop count (which the observability layer counts per
+// injected packet) together with the latency split senders and receivers
+// charge. It is the primitive behind OneWayLatency, SendLatency, and
+// WireLatency.
 //
-// A small deterministic per-direction epsilon (+-0.5 ns) reproduces the
-// 1 ns directional spread visible in Table III.
-func (g Geometry) OneWayLatency(src, dst, words int) (vtime.Duration, error) {
+// The latency model is setup-and-teardown + hops*hop + (words-1)*cycle for
+// the trailing payload words of the cut-through wormhole, plus a small
+// deterministic per-direction epsilon (+-0.5 ns) reproducing the 1 ns
+// directional spread visible in Table III. The Send share is the chip's
+// UDNSendShare of the setup cost, capped at the total.
+func (g Geometry) Path(src, dst, words int) (PathInfo, error) {
 	if words < 1 {
-		return 0, fmt.Errorf("mesh: packet needs at least 1 word, got %d", words)
+		return PathInfo{}, fmt.Errorf("mesh: packet needs at least 1 word, got %d", words)
 	}
 	if words > g.chip.UDNMaxWords {
-		return 0, fmt.Errorf("mesh: %d words exceed UDN payload limit %d", words, g.chip.UDNMaxWords)
+		return PathInfo{}, fmt.Errorf("mesh: %d words exceed UDN payload limit %d", words, g.chip.UDNMaxWords)
 	}
 	ca, err := g.Coord(src)
 	if err != nil {
-		return 0, err
+		return PathInfo{}, err
 	}
 	cb, err := g.Coord(dst)
 	if err != nil {
-		return 0, err
+		return PathInfo{}, err
 	}
 	hops := Hops(ca, cb)
+	dir := DirectionOf(ca, cb)
 	ns := g.chip.UDNSetupNs + float64(hops)*g.chip.HopNs() + float64(words-1)*g.chip.CycleNs()
-	ns += directionEps(DirectionOf(ca, cb))
-	return vtime.FromNs(ns), nil
+	ns += directionEps(dir)
+	total := vtime.FromNs(ns)
+	send := vtime.FromNs(g.chip.UDNSetupNs * g.chip.UDNSendShare)
+	if send > total {
+		send = total
+	}
+	return PathInfo{Hops: hops, Dir: dir, Send: send, Wire: total - send}, nil
+}
+
+// OneWayLatency models the one-way latency of a words-long packet from
+// virtual CPU src to dst. See Path for the model.
+func (g Geometry) OneWayLatency(src, dst, words int) (vtime.Duration, error) {
+	p, err := g.Path(src, dst, words)
+	if err != nil {
+		return 0, err
+	}
+	return p.Latency(), nil
 }
 
 // directionEps is the deterministic sub-nanosecond skew per initial routing
@@ -238,31 +261,22 @@ func directionEps(d Direction) float64 {
 	}
 }
 
-// SendLatency and RecvLatency split OneWayLatency between the sender-side
-// injection cost and the in-flight plus receiver-side cost, per the chip's
-// UDNSendShare. The sum of both halves equals OneWayLatency.
+// SendLatency is the sender-side injection share of OneWayLatency, per the
+// chip's UDNSendShare. SendLatency + WireLatency equals OneWayLatency.
 func (g Geometry) SendLatency(src, dst, words int) (vtime.Duration, error) {
-	total, err := g.OneWayLatency(src, dst, words)
+	p, err := g.Path(src, dst, words)
 	if err != nil {
 		return 0, err
 	}
-	setup := vtime.FromNs(g.chip.UDNSetupNs * g.chip.UDNSendShare)
-	if setup > total {
-		setup = total
-	}
-	return setup, nil
+	return p.Send, nil
 }
 
 // WireLatency is the remainder of OneWayLatency after the sender-side
 // share: time from injection until the packet is ready at the receiver.
 func (g Geometry) WireLatency(src, dst, words int) (vtime.Duration, error) {
-	total, err := g.OneWayLatency(src, dst, words)
+	p, err := g.Path(src, dst, words)
 	if err != nil {
 		return 0, err
 	}
-	send, err := g.SendLatency(src, dst, words)
-	if err != nil {
-		return 0, err
-	}
-	return total - send, nil
+	return p.Wire, nil
 }

@@ -1,0 +1,171 @@
+package stats
+
+import "tshmem/internal/vtime"
+
+// Event is one traced substrate operation: PE `PE` ran `Op` from Start to
+// End in virtual time, moving Bytes payload bytes, with Peer the remote PE
+// involved (-1 when the operation has no single peer, e.g. a barrier).
+type Event struct {
+	PE    int32
+	Op    Op
+	Start vtime.Time
+	End   vtime.Time
+	Bytes int64
+	Peer  int32
+}
+
+// NoPeer marks events without a single remote endpoint.
+const NoPeer int32 = -1
+
+// Recorder is one PE's counter block plus (optionally) its event buffer.
+// It is owned by the PE's goroutine and must never be shared: methods do
+// no locking. A nil *Recorder is valid and disables recording — every
+// method nil-checks its receiver so instrumented code calls
+// unconditionally.
+type Recorder struct {
+	pe      int32
+	C       Counters
+	traceOn bool
+	cap     int
+	events  []Event
+}
+
+// New returns a Recorder for PE pe. If trace is true, events are buffered
+// up to traceCap per PE (<=0 selects DefaultTraceCap); beyond the cap
+// events are dropped and counted in C.TraceDropped.
+func New(pe int, trace bool, traceCap int) *Recorder {
+	r := &Recorder{pe: int32(pe), traceOn: trace}
+	if trace {
+		if traceCap <= 0 {
+			traceCap = DefaultTraceCap
+		}
+		r.cap = traceCap
+	}
+	return r
+}
+
+// DefaultTraceCap bounds the per-PE event buffer when Config.TraceCap is
+// unset: 1Mi events ≈ 40 MB per PE, far above any microbenchmark's needs
+// but a hard stop for runaway loops.
+const DefaultTraceCap = 1 << 20
+
+// PE returns the owning PE's rank, or -1 on a nil recorder.
+func (r *Recorder) PE() int {
+	if r == nil {
+		return -1
+	}
+	return int(r.pe)
+}
+
+// Tracing reports whether this recorder buffers events.
+func (r *Recorder) Tracing() bool { return r != nil && r.traceOn }
+
+// Events returns the buffered trace (owned by the recorder; read only
+// after the run).
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	return r.events
+}
+
+// Counters returns a copy of the counter block (zero value on nil).
+func (r *Recorder) Counters() Counters {
+	if r == nil {
+		return Counters{}
+	}
+	return r.C
+}
+
+// UDNSend accounts one injected UDN packet: words payload words crossing
+// hops mesh links.
+func (r *Recorder) UDNSend(words, hops int) {
+	if r == nil {
+		return
+	}
+	r.C.UDNMsgsSent++
+	r.C.UDNWordsSent += int64(words)
+	r.C.MeshHops += int64(hops)
+}
+
+// UDNRecv accounts one drained UDN packet of words payload words.
+func (r *Recorder) UDNRecv(words int) {
+	if r == nil {
+		return
+	}
+	r.C.UDNMsgsRecvd++
+	r.C.UDNWordsRecvd += int64(words)
+}
+
+// UDNInterrupt accounts one interrupt round-trip raised by this PE: the
+// request packet (reqWords over hops links) plus the reply consumed
+// (repWords back over the same hops). The servicer side is deliberately
+// unaccounted — it runs on the interrupt goroutine, which must not touch
+// the requester's recorder.
+func (r *Recorder) UDNInterrupt(reqWords, repWords, hops int) {
+	if r == nil {
+		return
+	}
+	r.C.UDNInterrupts++
+	r.C.UDNMsgsSent++
+	r.C.UDNWordsSent += int64(reqWords)
+	r.C.UDNMsgsRecvd++
+	r.C.UDNWordsRecvd += int64(repWords)
+	r.C.MeshHops += int64(2 * hops)
+}
+
+// BarrierRound accounts one wait/release signal sent on a barrier chain.
+func (r *Recorder) BarrierRound() {
+	if r == nil {
+		return
+	}
+	r.C.BarrierRounds++
+}
+
+// RMA accounts one remote-memory transfer of nbytes in locality class loc.
+func (r *Recorder) RMA(loc Locality, nbytes int) {
+	if r == nil {
+		return
+	}
+	r.C.RMAOps[loc]++
+	r.C.RMABytes[loc] += int64(nbytes)
+}
+
+// CacheCopy accounts one charged memory copy whose working set is backed
+// by level.
+func (r *Recorder) CacheCopy(level CacheLevel, nbytes int) {
+	if r == nil {
+		return
+	}
+	r.C.CacheCopies[level]++
+	r.C.CacheBytes[level] += int64(nbytes)
+}
+
+// OpDone counts one completed operation of class op that began at start.
+// The end time is read from clock at call time, so the idiomatic use is
+//
+//	start := pe.clock.Now()
+//	defer pe.rec.OpDone(stats.OpPut, start, &pe.clock, nbytes, peer)
+//
+// where the deferred call observes the clock after the operation advanced
+// it. When tracing, the event is appended unless the per-PE cap has been
+// reached, in which case it is counted in TraceDropped.
+func (r *Recorder) OpDone(op Op, start vtime.Time, clock *vtime.Clock, bytes int64, peer int) {
+	if r == nil {
+		return
+	}
+	end := clock.Now()
+	r.C.Ops[op]++
+	r.C.OpTimePs[op] += int64(end - start)
+	if !r.traceOn {
+		return
+	}
+	if len(r.events) >= r.cap {
+		r.C.TraceDropped++
+		return
+	}
+	r.events = append(r.events, Event{
+		PE: r.pe, Op: op, Start: start, End: end,
+		Bytes: bytes, Peer: int32(peer),
+	})
+}

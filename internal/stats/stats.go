@@ -1,0 +1,323 @@
+// Package stats is the substrate observability layer: lock-cheap per-PE
+// operation counters plus an optional structured event trace, recorded in
+// virtual time.
+//
+// The paper's entire evaluation is built from measurements of the
+// substrate — UDN messages, cache/homing traffic, barrier signal chains —
+// so this package gives every layer (internal/udn, internal/mesh,
+// internal/cache, internal/core) a place to account for the events that
+// produce each curve. A benchmark run can then be audited: the counter
+// totals must explain the reported message counts, and the event trace,
+// exported as Chrome trace_event JSON keyed on virtual time, can be opened
+// in Perfetto (https://ui.perfetto.dev) and compared visually against the
+// paper's latency structure. See docs/OBSERVABILITY.md.
+//
+// # Design
+//
+// Each PE owns one Recorder, touched only by the goroutine bound to that
+// PE's tile, so counting needs no locks or atomics. A nil *Recorder is the
+// disabled state: every method is a nil-receiver no-op, so the
+// uninstrumented path costs one predictable branch and zero allocations
+// (asserted by a testing.AllocsPerRun regression test). Aggregation across
+// PEs happens after the run, when no PE goroutine is left writing.
+package stats
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// Op classifies a substrate or library operation in counters and traces.
+type Op uint8
+
+const (
+	// OpInit is the start_pes initialization handshake.
+	OpInit Op = iota
+	// OpPut is a one-sided put (block, elemental, strided, slice).
+	OpPut
+	// OpGet is a one-sided get (block, elemental, strided, slice).
+	OpGet
+	// OpAtomic is an atomic memory operation (swap/cswap/fadd/finc/add/inc).
+	OpAtomic
+	// OpFence is shmem_fence/shmem_quiet (tmc_mem_fence).
+	OpFence
+	// OpBarrier is one barrier instance over an active set, including the
+	// barriers collectives run internally.
+	OpBarrier
+	// OpBroadcast is shmem_broadcast (push, pull, or binomial).
+	OpBroadcast
+	// OpCollect is shmem_collect/fcollect (naive or recursive doubling).
+	OpCollect
+	// OpReduce is a to_all reduction (naive or recursive doubling).
+	OpReduce
+	// OpWait is shmem_wait/shmem_wait_until.
+	OpWait
+
+	// NumOps bounds the Op enum; counter arrays are indexed by Op.
+	NumOps
+)
+
+var opNames = [NumOps]string{
+	"init", "put", "get", "atomic", "fence",
+	"barrier", "broadcast", "collect", "reduce", "wait",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("Op(%d)", int(o))
+}
+
+// Locality classifies the endpoints of an RMA transfer.
+type Locality uint8
+
+const (
+	// SelfPE: source and target on the calling PE's own partition.
+	SelfPE Locality = iota
+	// SameChip: remote PE on the same chip (on-chip shared memory).
+	SameChip
+	// CrossChip: remote PE on another chip (rides the mPIPE fabric).
+	CrossChip
+
+	// NumLocalities bounds the Locality enum.
+	NumLocalities
+)
+
+var localityNames = [NumLocalities]string{"self", "same-chip", "cross-chip"}
+
+func (l Locality) String() string {
+	if int(l) < len(localityNames) {
+		return localityNames[l]
+	}
+	return fmt.Sprintf("Locality(%d)", int(l))
+}
+
+// CacheLevel identifies the memory-hierarchy level that backs a charged
+// copy. The values mirror internal/cache.Level in declaration order
+// (asserted by a test in internal/cache); stats cannot import cache
+// without creating an import cycle through the instrumented packages.
+type CacheLevel uint8
+
+const (
+	CacheL1d CacheLevel = iota
+	CacheL2
+	CacheDDC
+	CacheDRAM
+
+	// NumCacheLevels bounds the CacheLevel enum.
+	NumCacheLevels
+)
+
+var levelNames = [NumCacheLevels]string{"L1d", "L2", "DDC", "DRAM"}
+
+func (l CacheLevel) String() string {
+	if int(l) < len(levelNames) {
+		return levelNames[l]
+	}
+	return fmt.Sprintf("CacheLevel(%d)", int(l))
+}
+
+// Counters is one PE's substrate counter block. All fields are plain
+// int64s written by the owning PE goroutine; read them only after the run
+// (or from the owning PE itself).
+type Counters struct {
+	// Ops counts operation entries per class; OpTimePs accumulates each
+	// class's inclusive virtual duration in picoseconds. "Inclusive" means
+	// a broadcast's span also contains its internal barriers and
+	// puts/gets, so summing OpTimePs across classes double-counts nested
+	// work — use the trace's interval union (Coverage) for wall-clock
+	// style accounting.
+	Ops      [NumOps]int64
+	OpTimePs [NumOps]int64
+
+	// UDN traffic, counted at the port: payload words (the one-word header
+	// is not counted), messages, and interrupts raised by this PE.
+	// MeshHops is the dimension-order-routing hop total of every packet
+	// this PE injected (requests and interrupt replies it consumed).
+	UDNMsgsSent   int64
+	UDNWordsSent  int64
+	UDNMsgsRecvd  int64
+	UDNWordsRecvd int64
+	UDNInterrupts int64
+	MeshHops      int64
+
+	// BarrierRounds counts barrier-chain signals this PE sent (wait or
+	// release); summed over PEs it is the total signal count of every
+	// barrier instance, 2(n-1)+1 per n-PE linear-chain barrier.
+	BarrierRounds int64
+
+	// RMA transfer bytes by locality class of the remote partition.
+	RMABytes [NumLocalities]int64
+	RMAOps   [NumLocalities]int64
+
+	// Charged memory copies classified by the hierarchy level that backs
+	// their working set: copies landing in L1d/L2/DDC are cache hits at
+	// that level, DRAM-backed copies are misses.
+	CacheCopies [NumCacheLevels]int64
+	CacheBytes  [NumCacheLevels]int64
+
+	// TraceDropped counts events discarded after the per-PE trace cap.
+	TraceDropped int64
+}
+
+// Add folds o into c (aggregation across PEs).
+func (c *Counters) Add(o *Counters) {
+	for i := range c.Ops {
+		c.Ops[i] += o.Ops[i]
+		c.OpTimePs[i] += o.OpTimePs[i]
+	}
+	c.UDNMsgsSent += o.UDNMsgsSent
+	c.UDNWordsSent += o.UDNWordsSent
+	c.UDNMsgsRecvd += o.UDNMsgsRecvd
+	c.UDNWordsRecvd += o.UDNWordsRecvd
+	c.UDNInterrupts += o.UDNInterrupts
+	c.MeshHops += o.MeshHops
+	c.BarrierRounds += o.BarrierRounds
+	for i := range c.RMABytes {
+		c.RMABytes[i] += o.RMABytes[i]
+		c.RMAOps[i] += o.RMAOps[i]
+	}
+	for i := range c.CacheCopies {
+		c.CacheCopies[i] += o.CacheCopies[i]
+		c.CacheBytes[i] += o.CacheBytes[i]
+	}
+	c.TraceDropped += o.TraceDropped
+}
+
+// CacheHits reports charged copies backed by any cache level (L1d/L2/DDC).
+func (c *Counters) CacheHits() int64 {
+	return c.CacheCopies[CacheL1d] + c.CacheCopies[CacheL2] + c.CacheCopies[CacheDDC]
+}
+
+// CacheMisses reports charged copies that fell through to DRAM.
+func (c *Counters) CacheMisses() int64 { return c.CacheCopies[CacheDRAM] }
+
+// TotalRMABytes sums RMA bytes over all locality classes.
+func (c *Counters) TotalRMABytes() int64 {
+	var t int64
+	for _, b := range c.RMABytes {
+		t += b
+	}
+	return t
+}
+
+// Table renders the non-zero counters as an aligned two-column text table,
+// the form tshmem-bench -stats prints next to each experiment.
+func (c *Counters) Table() string {
+	var b strings.Builder
+	row := func(name string, v int64) {
+		if v != 0 {
+			fmt.Fprintf(&b, "  %-24s %14d\n", name, v)
+		}
+	}
+	for op := Op(0); op < NumOps; op++ {
+		row("ops."+op.String(), c.Ops[op])
+	}
+	for op := Op(0); op < NumOps; op++ {
+		if c.OpTimePs[op] != 0 {
+			fmt.Fprintf(&b, "  %-24s %14.3f\n", "optime_us."+op.String(), float64(c.OpTimePs[op])/1e6)
+		}
+	}
+	row("udn.msgs_sent", c.UDNMsgsSent)
+	row("udn.words_sent", c.UDNWordsSent)
+	row("udn.msgs_recvd", c.UDNMsgsRecvd)
+	row("udn.words_recvd", c.UDNWordsRecvd)
+	row("udn.interrupts", c.UDNInterrupts)
+	row("mesh.hops", c.MeshHops)
+	row("barrier.rounds", c.BarrierRounds)
+	for l := Locality(0); l < NumLocalities; l++ {
+		row("rma.ops."+l.String(), c.RMAOps[l])
+		row("rma.bytes."+l.String(), c.RMABytes[l])
+	}
+	for l := CacheLevel(0); l < NumCacheLevels; l++ {
+		row("cache.copies."+l.String(), c.CacheCopies[l])
+		row("cache.bytes."+l.String(), c.CacheBytes[l])
+	}
+	row("trace.dropped", c.TraceDropped)
+	if b.Len() == 0 {
+		return "  (no substrate events recorded)\n"
+	}
+	return b.String()
+}
+
+// Collector accumulates aggregate counters over several runs; the -stats
+// flag of tshmem-bench folds every run an experiment performs into one
+// Collector. Fold is safe for concurrent use (experiments may run PE
+// bodies that finish on different goroutines).
+type Collector struct {
+	mu   sync.Mutex
+	runs int
+	c    Counters
+}
+
+// Fold adds one run's aggregate counters.
+func (col *Collector) Fold(c Counters) {
+	col.mu.Lock()
+	defer col.mu.Unlock()
+	col.runs++
+	col.c.Add(&c)
+}
+
+// Snapshot returns the number of folded runs and the accumulated counters.
+func (col *Collector) Snapshot() (runs int, c Counters) {
+	col.mu.Lock()
+	defer col.mu.Unlock()
+	return col.runs, col.c
+}
+
+// Table renders the accumulated counters with a run-count header.
+func (col *Collector) Table() string {
+	runs, c := col.Snapshot()
+	return fmt.Sprintf("substrate counters over %d run(s):\n%s", runs, c.Table())
+}
+
+// Taxonomy describes every counter dimension; tshmem-info -counters
+// prints it.
+func Taxonomy() string {
+	var b strings.Builder
+	b.WriteString("operation classes (Counters.Ops / OpTimePs, trace event names):\n")
+	for op := Op(0); op < NumOps; op++ {
+		fmt.Fprintf(&b, "  %-10s %s\n", op, opDesc[op])
+	}
+	b.WriteString("RMA locality classes (Counters.RMABytes / RMAOps):\n")
+	for l := Locality(0); l < NumLocalities; l++ {
+		fmt.Fprintf(&b, "  %-10s %s\n", l, localityDesc[l])
+	}
+	b.WriteString("cache levels (Counters.CacheCopies / CacheBytes):\n")
+	for l := CacheLevel(0); l < NumCacheLevels; l++ {
+		fmt.Fprintf(&b, "  %-10s %s\n", l, levelDesc[l])
+	}
+	b.WriteString("UDN: msgs/words sent+received (payload words, header excluded),\n" +
+		"     interrupts raised, and total mesh hops of injected packets.\n" +
+		"barrier.rounds: wait/release signals sent on barrier chains\n" +
+		"     (2(n-1)+1 signals per n-PE linear-chain barrier instance).\n")
+	return b.String()
+}
+
+var opDesc = [NumOps]string{
+	"start_pes partition-address exchange + concluding barrier",
+	"one-sided put (block/elemental/strided/slice)",
+	"one-sided get (block/elemental/strided/slice)",
+	"atomic memory operation (swap/cswap/fadd/finc/add/inc)",
+	"shmem_fence / shmem_quiet (tmc_mem_fence)",
+	"one barrier instance (including barriers inside collectives)",
+	"shmem_broadcast (pull/push/binomial)",
+	"shmem_collect / fcollect (naive or recursive doubling)",
+	"to_all reduction (naive or recursive doubling)",
+	"shmem_wait / shmem_wait_until",
+}
+
+var localityDesc = [NumLocalities]string{
+	"both endpoints in the calling PE's own partition",
+	"remote partition on the same chip (on-chip common memory)",
+	"remote partition on another chip (store-and-forward over mPIPE)",
+}
+
+var levelDesc = [NumCacheLevels]string{
+	"working set fits the tile's L1 data cache (hit)",
+	"working set fits the tile's L2 (hit)",
+	"working set fits the chip-wide Dynamic Distributed Cache (hit)",
+	"working set spills to external DRAM (miss)",
+}

@@ -1,0 +1,264 @@
+package stats
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"tshmem/internal/vtime"
+)
+
+func TestCountersAddAggregates(t *testing.T) {
+	var a, b, sum Counters
+	a.Ops[OpPut] = 3
+	a.OpTimePs[OpPut] = 1500
+	a.UDNMsgsSent = 7
+	a.MeshHops = 12
+	a.RMABytes[SameChip] = 4096
+	a.RMAOps[SameChip] = 2
+	a.CacheCopies[CacheDDC] = 5
+	a.CacheBytes[CacheDDC] = 640
+	b.Ops[OpPut] = 1
+	b.Ops[OpBarrier] = 4
+	b.UDNMsgsSent = 3
+	b.BarrierRounds = 9
+	b.TraceDropped = 2
+
+	sum.Add(&a)
+	sum.Add(&b)
+	if sum.Ops[OpPut] != 4 || sum.Ops[OpBarrier] != 4 {
+		t.Errorf("op counts: put=%d barrier=%d", sum.Ops[OpPut], sum.Ops[OpBarrier])
+	}
+	if sum.OpTimePs[OpPut] != 1500 || sum.UDNMsgsSent != 10 || sum.MeshHops != 12 {
+		t.Errorf("scalar fold: %+v", sum)
+	}
+	if sum.RMABytes[SameChip] != 4096 || sum.RMAOps[SameChip] != 2 {
+		t.Errorf("rma fold: %+v", sum.RMABytes)
+	}
+	if sum.CacheCopies[CacheDDC] != 5 || sum.BarrierRounds != 9 || sum.TraceDropped != 2 {
+		t.Errorf("cache/barrier/dropped fold: %+v", sum)
+	}
+	if sum.CacheHits() != 5 || sum.CacheMisses() != 0 || sum.TotalRMABytes() != 4096 {
+		t.Errorf("derived: hits=%d misses=%d rma=%d",
+			sum.CacheHits(), sum.CacheMisses(), sum.TotalRMABytes())
+	}
+}
+
+func TestCollectorFold(t *testing.T) {
+	var col Collector
+	var c Counters
+	c.Ops[OpGet] = 2
+	col.Fold(c)
+	col.Fold(c)
+	runs, agg := col.Snapshot()
+	if runs != 2 || agg.Ops[OpGet] != 4 {
+		t.Fatalf("runs=%d get=%d, want 2 and 4", runs, agg.Ops[OpGet])
+	}
+}
+
+// TestNilRecorderNoAllocs is the regression test for the disabled fast
+// path: with observability off every PE carries a nil *Recorder, and the
+// instrumented substrate must not allocate (or panic) calling into it.
+func TestNilRecorderNoAllocs(t *testing.T) {
+	var rec *Recorder
+	var clock vtime.Clock
+	n := testing.AllocsPerRun(100, func() {
+		rec.UDNSend(4, 3)
+		rec.UDNRecv(4)
+		rec.UDNInterrupt(2, 1, 5)
+		rec.BarrierRound()
+		rec.RMA(SameChip, 4096)
+		rec.CacheCopy(CacheL2, 4096)
+		rec.OpDone(OpPut, clock.Now(), &clock, 4096, 1)
+	})
+	if n != 0 {
+		t.Fatalf("nil-recorder path allocates %.1f times per run, want 0", n)
+	}
+	if rec.PE() != -1 || rec.Tracing() || rec.Events() != nil {
+		t.Errorf("nil accessors: pe=%d tracing=%v events=%v",
+			rec.PE(), rec.Tracing(), rec.Events())
+	}
+	if c := rec.Counters(); c != (Counters{}) {
+		t.Errorf("nil Counters() not zero: %+v", c)
+	}
+}
+
+// Counting without tracing must also stay allocation-free: the counter
+// block lives inline in the Recorder.
+func TestCountingRecorderNoAllocs(t *testing.T) {
+	rec := New(0, false, 0)
+	var clock vtime.Clock
+	n := testing.AllocsPerRun(100, func() {
+		rec.UDNSend(4, 3)
+		rec.OpDone(OpPut, clock.Now(), &clock, 32, 1)
+	})
+	if n != 0 {
+		t.Fatalf("counting path allocates %.1f times per run, want 0", n)
+	}
+}
+
+func TestRecorderTraceCap(t *testing.T) {
+	rec := New(3, true, 2)
+	var clock vtime.Clock
+	for i := 0; i < 5; i++ {
+		start := clock.Now()
+		clock.Advance(10)
+		rec.OpDone(OpBarrier, start, &clock, 0, int(NoPeer))
+	}
+	if got := len(rec.Events()); got != 2 {
+		t.Fatalf("buffered %d events, want cap 2", got)
+	}
+	c := rec.Counters()
+	if c.TraceDropped != 3 {
+		t.Errorf("TraceDropped = %d, want 3", c.TraceDropped)
+	}
+	if c.Ops[OpBarrier] != 5 {
+		t.Errorf("dropped events must still count: Ops[barrier] = %d, want 5", c.Ops[OpBarrier])
+	}
+	if rec.PE() != 3 || !rec.Tracing() {
+		t.Errorf("accessors: pe=%d tracing=%v", rec.PE(), rec.Tracing())
+	}
+}
+
+func TestOpDoneReadsClockAtCallTime(t *testing.T) {
+	rec := New(0, true, 0)
+	var clock vtime.Clock
+	start := clock.Now()
+	clock.Advance(250)
+	rec.OpDone(OpGet, start, &clock, 8, 1)
+	evs := rec.Events()
+	if len(evs) != 1 || evs[0].End.Sub(evs[0].Start) != 250 {
+		t.Fatalf("event span = %v, want 250 ps", evs)
+	}
+	if rec.Counters().OpTimePs[OpGet] != 250 {
+		t.Errorf("OpTimePs = %d, want 250", rec.Counters().OpTimePs[OpGet])
+	}
+}
+
+func TestMergeEventsOrder(t *testing.T) {
+	perPE := [][]Event{
+		{{PE: 0, Op: OpPut, Start: 10, End: 20}, {PE: 0, Op: OpGet, Start: 30, End: 40}},
+		{{PE: 1, Op: OpBarrier, Start: 5, End: 50}, {PE: 1, Op: OpPut, Start: 30, End: 35}},
+	}
+	m := MergeEvents(perPE)
+	if len(m) != 4 {
+		t.Fatalf("merged %d events, want 4", len(m))
+	}
+	for i := 1; i < len(m); i++ {
+		if m[i].Start < m[i-1].Start {
+			t.Fatalf("not start-ordered at %d: %+v", i, m)
+		}
+	}
+	// Tie at Start=30: lower PE first.
+	if m[2].PE != 0 || m[3].PE != 1 {
+		t.Errorf("tie-break by PE failed: %+v", m[2:])
+	}
+}
+
+// traceFile mirrors the Chrome trace_event JSON Object Format for decoding.
+type traceFile struct {
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+	TraceEvents     []struct {
+		Name string  `json:"name"`
+		Cat  string  `json:"cat"`
+		Ph   string  `json:"ph"`
+		Ts   float64 `json:"ts"`
+		Dur  float64 `json:"dur"`
+		Pid  int     `json:"pid"`
+		Tid  int     `json:"tid"`
+		Args struct {
+			Name  string `json:"name"`
+			Bytes int64  `json:"bytes"`
+			Peer  int32  `json:"peer"`
+		} `json:"args"`
+	} `json:"traceEvents"`
+}
+
+func TestWriteTraceWellFormed(t *testing.T) {
+	events := MergeEvents([][]Event{
+		{{PE: 0, Op: OpPut, Start: 1_000_000, End: 3_000_000, Bytes: 64, Peer: 1}},
+		{{PE: 1, Op: OpBarrier, Start: 500_000, End: 4_000_000, Peer: NoPeer}},
+	})
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	var f traceFile
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	var meta, complete int
+	lastTs := -1.0
+	for _, e := range f.TraceEvents {
+		switch e.Ph {
+		case "M":
+			meta++
+		case "X":
+			complete++
+			if e.Cat != "tshmem" {
+				t.Errorf("cat = %q", e.Cat)
+			}
+			if e.Ts < lastTs {
+				t.Errorf("X events not ts-ordered: %f after %f", e.Ts, lastTs)
+			}
+			lastTs = e.Ts
+		default:
+			t.Errorf("unexpected ph %q", e.Ph)
+		}
+	}
+	if meta != 2 || complete != 2 {
+		t.Fatalf("meta=%d complete=%d, want 2 and 2", meta, complete)
+	}
+	// The barrier started at 500000 ps = 0.5 µs and spans 3.5 µs.
+	first := f.TraceEvents[meta].Ts
+	if first != 0.5 {
+		t.Errorf("first X ts = %f µs, want 0.5", first)
+	}
+	// The put carries its payload size and peer.
+	for _, e := range f.TraceEvents {
+		if e.Ph == "X" && e.Name == "put" {
+			if e.Args.Bytes != 64 || e.Args.Peer != 1 {
+				t.Errorf("put args = %+v", e.Args)
+			}
+		}
+	}
+}
+
+func TestCoverage(t *testing.T) {
+	events := []Event{
+		{PE: 0, Op: OpBarrier, Start: 0, End: 40},
+		{PE: 0, Op: OpPut, Start: 10, End: 30}, // nested: must not double-count
+		{PE: 0, Op: OpGet, Start: 60, End: 80},
+		{PE: 1, Op: OpPut, Start: 0, End: 100}, // other PE: ignored
+	}
+	got := Coverage(events, 0, 0, 100)
+	if want := 0.6; got != want { // [0,40) ∪ [60,80) = 60 of 100
+		t.Errorf("coverage = %f, want %f", got, want)
+	}
+	if c := Coverage(events, 0, 0, 40); c != 1 {
+		t.Errorf("fully covered window = %f, want 1", c)
+	}
+	if c := Coverage(nil, 0, 0, 100); c != 0 {
+		t.Errorf("empty trace coverage = %f, want 0", c)
+	}
+	if c := Coverage(events, 0, 50, 50); c != 0 {
+		t.Errorf("empty window coverage = %f, want 0", c)
+	}
+}
+
+func TestTable(t *testing.T) {
+	var c Counters
+	if got := c.Table(); got != "  (no substrate events recorded)\n" {
+		t.Errorf("empty table = %q", got)
+	}
+	c.Ops[OpPut] = 2
+	c.UDNMsgsSent = 5
+	tab := c.Table()
+	if !bytes.Contains([]byte(tab), []byte("ops.put")) ||
+		!bytes.Contains([]byte(tab), []byte("udn.msgs_sent")) {
+		t.Errorf("table missing rows:\n%s", tab)
+	}
+	if bytes.Contains([]byte(tab), []byte("ops.get")) {
+		t.Errorf("table must omit zero rows:\n%s", tab)
+	}
+}

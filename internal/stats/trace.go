@@ -1,0 +1,135 @@
+package stats
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+
+	"tshmem/internal/vtime"
+)
+
+// MergeEvents concatenates per-PE event buffers and orders the result by
+// virtual start time (ties: by PE, then by earlier end so enclosing spans
+// sort after the spans they contain started with). The per-PE buffers are
+// already start-ordered — each PE's clock is monotonic — so this is a
+// stable k-way merge expressed as one sort.
+func MergeEvents(perPE [][]Event) []Event {
+	var n int
+	for _, evs := range perPE {
+		n += len(evs)
+	}
+	out := make([]Event, 0, n)
+	for _, evs := range perPE {
+		out = append(out, evs...)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		if out[i].PE != out[j].PE {
+			return out[i].PE < out[j].PE
+		}
+		return out[i].End > out[j].End
+	})
+	return out
+}
+
+// WriteTrace emits events as Chrome trace_event JSON (the JSON Object
+// Format: {"traceEvents":[...]}), loadable in Perfetto or chrome://tracing.
+//
+// Timestamps are virtual, not wall-clock: ts and dur are the event's
+// virtual-time start and duration converted from picoseconds to the
+// format's microsecond unit. All PEs share pid 0 (one simulated program);
+// tid is the PE rank, and one metadata record per PE names its row
+// "PE <rank>". Complete events ("ph":"X") carry bytes and peer in args.
+//
+// Events must be start-ordered (use MergeEvents); the format requires it
+// for "X" events within a thread.
+func WriteTrace(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	first := true
+	emit := func(s string) {
+		if !first {
+			bw.WriteString(",\n")
+		}
+		first = false
+		bw.WriteString(s)
+	}
+	pes := map[int32]bool{}
+	for _, e := range events {
+		pes[e.PE] = true
+	}
+	ranks := make([]int, 0, len(pes))
+	for pe := range pes {
+		ranks = append(ranks, int(pe))
+	}
+	sort.Ints(ranks)
+	for _, pe := range ranks {
+		emit(fmt.Sprintf(`{"name":"thread_name","ph":"M","pid":0,"tid":%d,"args":{"name":"PE %d"}}`, pe, pe))
+	}
+	for _, e := range events {
+		ts := float64(e.Start) / 1e6 // ps -> µs
+		dur := float64(e.End-e.Start) / 1e6
+		emit(fmt.Sprintf(
+			`{"name":%q,"cat":"tshmem","ph":"X","ts":%.6f,"dur":%.6f,"pid":0,"tid":%d,"args":{"bytes":%d,"peer":%d}}`,
+			e.Op.String(), ts, dur, e.PE, e.Bytes, e.Peer))
+	}
+	if _, err := bw.WriteString("\n]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// Coverage reports what fraction of the virtual window [from, to] on PE pe
+// is covered by the union of that PE's trace events. Nested events (a put
+// inside a broadcast) are unioned, not summed, so coverage never exceeds
+// 1. It answers the EXPERIMENTS.md audit question: do the traced substrate
+// operations explain the virtual time the benchmark reported?
+func Coverage(events []Event, pe int, from, to vtime.Time) float64 {
+	if to <= from {
+		return 0
+	}
+	type iv struct{ s, e vtime.Time }
+	var ivs []iv
+	for _, ev := range events {
+		if int(ev.PE) != pe {
+			continue
+		}
+		s, e := ev.Start, ev.End
+		if s < from {
+			s = from
+		}
+		if e > to {
+			e = to
+		}
+		if e > s {
+			ivs = append(ivs, iv{s, e})
+		}
+	}
+	sort.Slice(ivs, func(i, j int) bool { return ivs[i].s < ivs[j].s })
+	var covered vtime.Duration
+	var curS, curE vtime.Time
+	have := false
+	for _, v := range ivs {
+		if !have {
+			curS, curE, have = v.s, v.e, true
+			continue
+		}
+		if v.s <= curE {
+			if v.e > curE {
+				curE = v.e
+			}
+			continue
+		}
+		covered += curE.Sub(curS)
+		curS, curE = v.s, v.e
+	}
+	if have {
+		covered += curE.Sub(curS)
+	}
+	return float64(covered) / float64(to.Sub(from))
+}

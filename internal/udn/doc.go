@@ -1,0 +1,45 @@
+// Package udn models the Tilera User Dynamic Network: the low-latency,
+// user-accessible dynamic network of the iMesh (Section III.C of the
+// paper).
+//
+// # Hardware model
+//
+// Developers attach a one-word header to each payload naming the
+// destination tile and demultiplexing queue; packets travel at one word
+// per hop per cycle into one of four receive queues at the destination,
+// each holding up to 127 words. The TMC library wraps this in blocking
+// send-and-receive helpers, which Port.Send/Recv mirror. The library's
+// protocol layers assign the queues fixed roles (barrier signals,
+// initialization, collectives, application traffic) so out-of-band
+// synchronization never contends with payload traffic — the same
+// discipline TSHMEM uses on hardware.
+//
+// # Virtual time
+//
+// A send charges the sender's clock with the injection share of the
+// mesh.Path latency and stamps the packet with its full arrival time; a
+// receive merges the receiver's clock with that arrival (RecvRaw defers
+// the merge so protocol loops can stash out-of-order packets without
+// perturbing their clock). Full queues exert backpressure by blocking the
+// sender, bounded by queueCap, which is sized so the library's own
+// protocols (at most NPEs-1 small packets toward one queue during the
+// start_pes exchange) can never deadlock.
+//
+// # Interrupts
+//
+// On the TILE-Gx the UDN can also raise interrupts at the destination
+// tile; TSHMEM uses this to redirect transfers involving static symmetric
+// variables (Section IV.B.2). Port.Interrupt blocks the caller for the
+// full round-trip while a dedicated per-tile servicer goroutine runs the
+// handler, serialized in virtual time by a vtime.Resource — a tile
+// services one interrupt at a time. The TILEPro lacks UDN interrupt
+// support, so ports on a TILEPro network return ErrNoInterrupts.
+//
+// # Observability
+//
+// Each port optionally carries a per-PE stats.Recorder (SetRecorder).
+// Sends, receives, and interrupt round-trips account messages, payload
+// words, and mesh hops on the owning PE's counters; the interrupt servicer
+// goroutine never records (the requesting PE carries the round-trip's
+// accounting), keeping every recorder single-goroutine.
+package udn

@@ -1,16 +1,3 @@
-// Package udn models the Tilera User Dynamic Network: the low-latency,
-// user-accessible dynamic network of the iMesh (Section III.C).
-//
-// Developers attach a one-word header to each payload naming the
-// destination tile and demultiplexing queue; packets travel at one word per
-// hop per cycle into one of four receive queues at the destination, each
-// holding up to 127 words. The TMC library wraps this in blocking
-// send-and-receive helpers, which this package mirrors.
-//
-// On the TILE-Gx the UDN can also raise interrupts at the destination tile;
-// TSHMEM uses this to redirect transfers involving static symmetric
-// variables (Section IV.B.2). The TILEPro lacks UDN interrupt support, so
-// ports on a TILEPro network return ErrNoInterrupts.
 package udn
 
 import (
@@ -20,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"tshmem/internal/mesh"
+	"tshmem/internal/stats"
 	"tshmem/internal/vtime"
 )
 
@@ -104,6 +92,7 @@ func (n *Network) Close() {
 type Port struct {
 	net *Network
 	cpu int
+	rec *stats.Recorder
 
 	queues [4]chan Packet
 
@@ -117,6 +106,12 @@ type Port struct {
 
 // CPU reports the virtual CPU this port belongs to.
 func (p *Port) CPU() int { return p.cpu }
+
+// SetRecorder attaches the owning PE's substrate recorder. A nil recorder
+// (the default) disables accounting. Must be set before the PE starts
+// communicating; the recorder must belong to the goroutine that uses this
+// port.
+func (p *Port) SetRecorder(rec *stats.Recorder) { p.rec = rec }
 
 func (p *Port) doneCh() chan struct{} {
 	p.doneOnce.Do(func() { p.done = make(chan struct{}) })
@@ -145,20 +140,17 @@ func (p *Port) Send(clock *vtime.Clock, dst, dq int, tag uint32, words []uint64)
 	if nw < 1 || nw > p.net.geo.Chip().UDNMaxWords {
 		return fmt.Errorf("%w: %d words", ErrPayload, nw)
 	}
-	send, err := p.net.geo.SendLatency(p.cpu, dst, nw)
+	path, err := p.net.geo.Path(p.cpu, dst, nw)
 	if err != nil {
 		return err
 	}
-	wire, err := p.net.geo.WireLatency(p.cpu, dst, nw)
-	if err != nil {
-		return err
-	}
-	clock.Advance(send)
+	clock.Advance(path.Send)
+	p.rec.UDNSend(nw, path.Hops)
 	pkt := Packet{
 		Src:    p.cpu,
 		Tag:    tag,
 		Words:  words,
-		Arrive: clock.Now().Add(wire),
+		Arrive: clock.Now().Add(path.Wire),
 	}
 	select {
 	case dp.queues[dq] <- pkt:
@@ -177,12 +169,14 @@ func (p *Port) Recv(clock *vtime.Clock, dq int) (Packet, error) {
 	select {
 	case pkt := <-p.queues[dq]:
 		clock.AdvanceTo(pkt.Arrive)
+		p.rec.UDNRecv(len(pkt.Words))
 		return pkt, nil
 	case <-p.doneCh():
 		// Drain anything already queued before reporting closure.
 		select {
 		case pkt := <-p.queues[dq]:
 			clock.AdvanceTo(pkt.Arrive)
+			p.rec.UDNRecv(len(pkt.Words))
 			return pkt, nil
 		default:
 			return Packet{}, ErrClosed
@@ -201,10 +195,12 @@ func (p *Port) RecvRaw(dq int) (Packet, error) {
 	}
 	select {
 	case pkt := <-p.queues[dq]:
+		p.rec.UDNRecv(len(pkt.Words))
 		return pkt, nil
 	case <-p.doneCh():
 		select {
 		case pkt := <-p.queues[dq]:
+			p.rec.UDNRecv(len(pkt.Words))
 			return pkt, nil
 		default:
 			return Packet{}, ErrClosed
@@ -221,6 +217,7 @@ func (p *Port) TryRecv(clock *vtime.Clock, dq int) (Packet, bool, error) {
 	select {
 	case pkt := <-p.queues[dq]:
 		clock.AdvanceTo(pkt.Arrive)
+		p.rec.UDNRecv(len(pkt.Words))
 		return pkt, true, nil
 	default:
 		if p.closed.Load() {
@@ -311,17 +308,13 @@ func (p *Port) Interrupt(clock *vtime.Clock, dst int, tag uint32, words []uint64
 	if nw < 1 || nw > p.net.geo.Chip().UDNMaxWords {
 		return Packet{}, fmt.Errorf("%w: %d words", ErrPayload, nw)
 	}
-	send, err := p.net.geo.SendLatency(p.cpu, dst, nw)
+	path, err := p.net.geo.Path(p.cpu, dst, nw)
 	if err != nil {
 		return Packet{}, err
 	}
-	wire, err := p.net.geo.WireLatency(p.cpu, dst, nw)
-	if err != nil {
-		return Packet{}, err
-	}
-	clock.Advance(send)
+	clock.Advance(path.Send)
 	req := intrRequest{
-		pkt:   Packet{Src: p.cpu, Tag: tag, Words: words, Arrive: clock.Now().Add(wire)},
+		pkt:   Packet{Src: p.cpu, Tag: tag, Words: words, Arrive: clock.Now().Add(path.Wire)},
 		reply: make(chan Packet, 1),
 	}
 	select {
@@ -332,12 +325,16 @@ func (p *Port) Interrupt(clock *vtime.Clock, dst int, tag uint32, words []uint64
 	select {
 	case rep := <-req.reply:
 		// Reply travels back over the UDN.
-		back, err := p.net.geo.OneWayLatency(dst, p.cpu, max(1, len(rep.Words)))
+		repWords := max(1, len(rep.Words))
+		back, err := p.net.geo.OneWayLatency(dst, p.cpu, repWords)
 		if err != nil {
 			return Packet{}, err
 		}
 		rep.Arrive = rep.Arrive.Add(back)
 		clock.AdvanceTo(rep.Arrive)
+		// The requester accounts the whole round-trip; the servicer
+		// goroutine must not touch any recorder.
+		p.rec.UDNInterrupt(nw, repWords, path.Hops)
 		return rep, nil
 	case <-p.doneCh():
 		return Packet{}, ErrClosed

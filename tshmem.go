@@ -46,6 +46,7 @@ import (
 	"tshmem/internal/arch"
 	"tshmem/internal/cache"
 	"tshmem/internal/core"
+	"tshmem/internal/stats"
 )
 
 // Homing is a memory-homing strategy for common memory (paper S III.A).
@@ -87,6 +88,36 @@ type (
 	BcastAlgo = core.BcastAlgo
 	// ReduceAlgo selects the default reduction algorithm.
 	ReduceAlgo = core.ReduceAlgo
+)
+
+// Observability (Config.Observe / Config.Trace; see docs/OBSERVABILITY.md).
+type (
+	// Counters is one PE's (or, aggregated, a run's) substrate counter
+	// block: UDN traffic, mesh hops, barrier rounds, RMA bytes by
+	// locality, cache copies by level, and per-op counts/virtual time.
+	// Obtain it from PE.Counters during a run or Report.Stats afterwards.
+	Counters = stats.Counters
+	// TraceEvent is one traced substrate operation: (pe, op, virtual
+	// start/end, bytes, peer). Report.Trace returns the run's merged
+	// trace; Report.TraceTo exports it as Chrome trace_event JSON.
+	TraceEvent = stats.Event
+	// Op classifies operations in counters and traces.
+	Op = stats.Op
+)
+
+// Operation classes (Counters.Ops indices, TraceEvent.Op values).
+const (
+	OpInit      = stats.OpInit
+	OpPut       = stats.OpPut
+	OpGet       = stats.OpGet
+	OpAtomic    = stats.OpAtomic
+	OpFence     = stats.OpFence
+	OpBarrier   = stats.OpBarrier
+	OpBroadcast = stats.OpBroadcast
+	OpCollect   = stats.OpCollect
+	OpReduce    = stats.OpReduce
+	OpWait      = stats.OpWait
+	NumOps      = stats.NumOps
 )
 
 // Ref is a handle to a symmetric object of element type T, valid on every
