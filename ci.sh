@@ -1,12 +1,20 @@
 #!/bin/sh
 # Tier-1 gate: every change must pass this before merging.
 #
-#   ./ci.sh          # vet + race-enabled tests
+#   ./ci.sh          # gofmt + vet + race-enabled tests + bench smoke
 #   ./ci.sh -short   # skip the slow shape tests (Figure 13/14 case studies)
 #
 # Pure Go, standard library only — no tools beyond the go toolchain.
 set -eu
 cd "$(dirname "$0")"
+
+echo "== gofmt -l =="
+UNFORMATTED=$(gofmt -l .)
+if [ -n "$UNFORMATTED" ]; then
+    echo "gofmt: the following files need formatting:" >&2
+    echo "$UNFORMATTED" >&2
+    exit 1
+fi
 
 echo "== go vet ./... =="
 go vet ./...
@@ -18,5 +26,23 @@ go build ./...
 # per-package timeout; -short skips them, the full run needs the headroom.
 echo "== go test -race -timeout 45m ./... $* =="
 go test -race -timeout 45m "$@" ./...
+
+# Bench smoke: rerun the probe suite and diff it against the committed
+# baseline. Virtual time is deterministic, so on an unmodified tree this
+# compares exactly. A drift past 5% warns (calibration moved: refresh
+# BENCH_baseline.json deliberately and explain it in the commit); past
+# 25% it fails the gate outright.
+echo "== bench smoke: probe suite vs BENCH_baseline.json =="
+SMOKE=$(mktemp /tmp/tshmem-smoke.XXXXXX.json)
+trap 'rm -f "$SMOKE"' EXIT
+go run ./cmd/tshmem-bench -json "$SMOKE"
+if ! go run ./cmd/tshmem-bench -compare BENCH_baseline.json "$SMOKE" -threshold 25%; then
+    echo "ci: FAIL — probe metrics regressed more than 25% vs BENCH_baseline.json" >&2
+    exit 1
+fi
+if ! go run ./cmd/tshmem-bench -compare BENCH_baseline.json "$SMOKE" -threshold 5% > /dev/null; then
+    echo "ci: WARNING — probe metrics drifted more than 5% vs BENCH_baseline.json;"
+    echo "    if intentional, regenerate it: go run ./cmd/tshmem-bench -json BENCH_baseline.json"
+fi
 
 echo "ci: OK"

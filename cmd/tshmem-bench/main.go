@@ -12,16 +12,26 @@
 //	tshmem-bench -stats          # also print substrate counter tables
 //	tshmem-bench -probe barrier  # run one observability probe, print counters
 //	tshmem-bench -trace out.json # probe + Chrome trace_event JSON (Perfetto)
+//	tshmem-bench -probe bcast -heatmap       # per-link mesh utilization map
+//	tshmem-bench -probe bcast -svg mesh.svg  # same heatmap as standalone SVG
+//	tshmem-bench -json out.json              # machine-readable probe baseline
+//	tshmem-bench -compare BENCH_baseline.json new.json -threshold 5%
 //
 // Probes are single-run instrumented microbenchmarks (-probe, listed by
-// -list); -trace implies the barrier probe when -probe is not given. See
-// docs/OBSERVABILITY.md for the counter taxonomy and a worked example.
+// -list); -trace implies the barrier probe and -heatmap/-svg imply the
+// bcast probe when -probe is not given. -compare reruns nothing: it diffs
+// two files written by -json and exits non-zero if any watched metric
+// (makespan, p50, p99) regressed past -threshold. Virtual time makes the
+// files host-independent, so the committed BENCH_baseline.json diffs
+// exactly. See docs/OBSERVABILITY.md for the counter taxonomy, heatmap
+// legend, and JSON schema.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"tshmem/internal/bench"
@@ -30,13 +40,18 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "", "experiment ID to run (default: all)")
-		list  = flag.Bool("list", false, "list experiment and probe IDs and exit")
-		full  = flag.Bool("full", false, "run case studies at full paper scale")
-		plot  = flag.Bool("plot", false, "render each experiment as an ASCII chart too")
-		stat  = flag.Bool("stats", false, "print aggregate substrate counters next to each result")
-		probe = flag.String("probe", "", "observability probe to run instead of experiments (try -list)")
-		trace = flag.String("trace", "", "write the probe's Chrome trace_event JSON to this file (implies -probe barrier)")
+		exp     = flag.String("exp", "", "experiment ID to run (default: all)")
+		list    = flag.Bool("list", false, "list experiment and probe IDs and exit")
+		full    = flag.Bool("full", false, "run case studies at full paper scale")
+		plot    = flag.Bool("plot", false, "render each experiment as an ASCII chart too")
+		stat    = flag.Bool("stats", false, "print aggregate substrate counters next to each result")
+		probe   = flag.String("probe", "", "observability probe to run instead of experiments (try -list)")
+		trace   = flag.String("trace", "", "write the probe's Chrome trace_event JSON to this file (implies -probe barrier)")
+		heatmap = flag.Bool("heatmap", false, "render the probe's per-link mesh utilization as an ASCII heatmap (implies -probe bcast)")
+		svgPath = flag.String("svg", "", "write the probe's mesh heatmap as SVG to this file (implies -probe bcast)")
+		jsonOut = flag.String("json", "", "run the probe suite and write a machine-readable baseline to this file")
+		compare = flag.String("compare", "", "baseline JSON to compare against; pass the current run's JSON as the positional argument")
+		thresh  = flag.String("threshold", "5%", "relative regression threshold for -compare (e.g. 5% or 0.05)")
 	)
 	flag.Parse()
 
@@ -49,11 +64,28 @@ func main() {
 		}
 		return
 	}
+	if *compare != "" {
+		if err := runCompare(*compare, flag.Args(), *thresh); err != nil {
+			fmt.Fprintf(os.Stderr, "tshmem-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *jsonOut != "" {
+		if err := writeBaseline(*jsonOut); err != nil {
+			fmt.Fprintf(os.Stderr, "tshmem-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *trace != "" && *probe == "" {
 		*probe = "barrier"
 	}
+	if (*heatmap || *svgPath != "") && *probe == "" {
+		*probe = "bcast"
+	}
 	if *probe != "" {
-		if err := runProbe(*probe, *trace); err != nil {
+		if err := runProbe(*probe, *trace, *heatmap, *svgPath); err != nil {
 			fmt.Fprintf(os.Stderr, "tshmem-bench: %v\n", err)
 			os.Exit(1)
 		}
@@ -86,20 +118,23 @@ func main() {
 		}
 		if *stat {
 			fmt.Print(opt.Obs.Table())
+			_, agg := opt.Obs.Snapshot()
+			fmt.Print(agg.HistTable())
 		}
 		fmt.Printf("(regenerated in %.1fs wall time)\n\n", time.Since(start).Seconds())
 	}
 }
 
-// runProbe runs one observability probe, prints its counter table, and
-// optionally exports the virtual-time event trace.
-func runProbe(id, tracePath string) error {
+// runProbe runs one observability probe, prints its counter and latency
+// tables, and optionally exports the event trace and mesh heatmap.
+func runProbe(id, tracePath string, heatmap bool, svgPath string) error {
 	p, ok := bench.LookupProbe(id)
 	if !ok {
-		return fmt.Errorf("unknown probe %q (try -list)", id)
+		return fmt.Errorf("unknown probe %q; valid probes: %s",
+			id, strings.Join(bench.ProbeIDs(), ", "))
 	}
 	start := time.Now()
-	rep, err := p.Run(tracePath != "")
+	rep, err := p.Run(bench.ProbeOpts{Trace: tracePath != ""})
 	if err != nil {
 		return fmt.Errorf("probe %s: %w", id, err)
 	}
@@ -107,6 +142,24 @@ func runProbe(id, tracePath string) error {
 	fmt.Printf("virtual makespan: %.3f us over %d PEs\n", rep.MaxTime.Us(), len(rep.PECounters))
 	agg := rep.Stats()
 	fmt.Print(agg.Table())
+	fmt.Print(agg.HistTable())
+	if heatmap {
+		for _, u := range rep.MeshUtil {
+			fmt.Print(u.ASCII())
+		}
+	}
+	if svgPath != "" {
+		if len(rep.MeshUtil) == 0 {
+			return fmt.Errorf("probe %s recorded no mesh utilization", id)
+		}
+		if err := os.WriteFile(svgPath, []byte(rep.MeshUtil[0].SVG()), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("heatmap: chip 0 -> %s\n", svgPath)
+	}
+	if dropped := rep.DroppedEvents(); dropped > 0 {
+		fmt.Printf("WARNING: trace truncated: %d events dropped at the per-PE cap; counters remain exact\n", dropped)
+	}
 	if tracePath != "" {
 		f, err := os.Create(tracePath)
 		if err != nil {
@@ -123,5 +176,74 @@ func runProbe(id, tracePath string) error {
 			len(rep.Trace()), tracePath)
 	}
 	fmt.Printf("(regenerated in %.1fs wall time)\n", time.Since(start).Seconds())
+	return nil
+}
+
+// writeBaseline runs the probe suite and writes the machine-readable
+// baseline JSON (the format committed as BENCH_baseline.json).
+func writeBaseline(path string) error {
+	start := time.Now()
+	b, err := bench.RunSuite(bench.ProbeOpts{})
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := bench.WriteBaseline(f, b); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("baseline: %d probes -> %s (%.1fs wall time)\n",
+		len(b.Results), path, time.Since(start).Seconds())
+	return nil
+}
+
+// runCompare diffs two baseline files and exits non-zero on regression.
+// The flag package stops parsing at the first positional argument, so a
+// trailing "-threshold 5%" after the file is picked up here by hand.
+func runCompare(basePath string, args []string, thresh string) error {
+	var curPath string
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		switch {
+		case a == "-threshold" || a == "--threshold":
+			if i+1 >= len(args) {
+				return fmt.Errorf("-threshold needs a value (e.g. 5%%)")
+			}
+			i++
+			thresh = args[i]
+		case strings.HasPrefix(a, "-threshold=") || strings.HasPrefix(a, "--threshold="):
+			thresh = a[strings.Index(a, "=")+1:]
+		case curPath == "":
+			curPath = a
+		default:
+			return fmt.Errorf("unexpected argument %q (usage: -compare baseline.json current.json [-threshold 5%%])", a)
+		}
+	}
+	if curPath == "" {
+		return fmt.Errorf("usage: -compare baseline.json current.json [-threshold 5%%]")
+	}
+	t, err := bench.ParseThreshold(thresh)
+	if err != nil {
+		return err
+	}
+	base, err := bench.ReadBaseline(basePath)
+	if err != nil {
+		return err
+	}
+	cur, err := bench.ReadBaseline(curPath)
+	if err != nil {
+		return err
+	}
+	deltas := bench.Compare(base, cur, t)
+	fmt.Print(bench.FormatCompare(deltas, t))
+	if bench.Regressed(deltas) {
+		os.Exit(3)
+	}
 	return nil
 }

@@ -5,21 +5,41 @@ import (
 
 	"tshmem/internal/arch"
 	"tshmem/internal/core"
+	"tshmem/internal/stats"
 )
+
+// ProbeOpts configures one probe launch.
+type ProbeOpts struct {
+	// Trace additionally buffers the per-operation event timeline.
+	Trace bool
+	// Chip overrides the modeled chip; nil selects the TILE-Gx8036 the
+	// probes are written for. Baseline tests use this to run the same
+	// probe on a deliberately slowed chip model.
+	Chip *arch.Chip
+}
+
+func (o ProbeOpts) chip() *arch.Chip {
+	if o.Chip != nil {
+		return o.Chip
+	}
+	return arch.Gx8036()
+}
 
 // A Probe is a small single-run microbenchmark built for observability
 // rather than for a paper figure: it launches one program with substrate
 // counters (and optionally the event trace) enabled and hands back the
 // Report, so callers can print the counter table with Report.Stats and
 // export the Chrome trace with Report.TraceTo. tshmem-bench runs probes
-// with -probe (and -trace / -stats); docs/OBSERVABILITY.md walks through
-// them.
+// with -probe (and -trace / -stats / -heatmap / -json); see
+// docs/OBSERVABILITY.md.
 type Probe struct {
 	ID    string
 	Title string
-	// Run launches the probe with counters on; trace additionally buffers
-	// the per-operation event timeline.
-	Run func(trace bool) (*core.Report, error)
+	// PrimaryOp is the op class whose latency histogram headlines this
+	// probe in the machine-readable baseline (p50/p90/p99/max).
+	PrimaryOp stats.Op
+	// Run launches the probe with counters on.
+	Run func(opts ProbeOpts) (*core.Report, error)
 }
 
 // probeBarriers is how many barrier_all calls the barrier probe issues.
@@ -27,12 +47,13 @@ const probeBarriers = 8
 
 var probes = []Probe{
 	{
-		ID:    "barrier",
-		Title: fmt.Sprintf("%d aligned barrier_all calls on 16 TILE-Gx tiles (Figure 8 instrumented)", probeBarriers),
-		Run: func(trace bool) (*core.Report, error) {
+		ID:        "barrier",
+		Title:     fmt.Sprintf("%d aligned barrier_all calls on 16 TILE-Gx tiles (Figure 8 instrumented)", probeBarriers),
+		PrimaryOp: stats.OpBarrier,
+		Run: func(opts ProbeOpts) (*core.Report, error) {
 			cfg := core.Config{
-				Chip: arch.Gx8036(), NPEs: 16, HeapPerPE: 64 << 10,
-				Observe: true, Trace: trace,
+				Chip: opts.chip(), NPEs: 16, HeapPerPE: 64 << 10,
+				Observe: true, Trace: opts.Trace,
 			}
 			return core.Run(cfg, func(pe *core.PE) error {
 				if err := pe.AlignClocks(); err != nil {
@@ -48,13 +69,14 @@ var probes = []Probe{
 		},
 	},
 	{
-		ID:    "put",
-		Title: "put size sweep 8 B..64 kB between two TILE-Gx tiles (Figure 6 instrumented)",
-		Run: func(trace bool) (*core.Report, error) {
+		ID:        "put",
+		Title:     "put size sweep 8 B..64 kB between two TILE-Gx tiles (Figure 6 instrumented)",
+		PrimaryOp: stats.OpPut,
+		Run: func(opts ProbeOpts) (*core.Report, error) {
 			const maxElems = 64 << 10 / 8
 			cfg := core.Config{
-				Chip: arch.Gx8036(), NPEs: 2, HeapPerPE: 2*64<<10 + 1<<20,
-				Observe: true, Trace: trace,
+				Chip: opts.chip(), NPEs: 2, HeapPerPE: 2*64<<10 + 1<<20,
+				Observe: true, Trace: opts.Trace,
 			}
 			return core.Run(cfg, func(pe *core.PE) error {
 				x, err := core.Malloc[int64](pe, maxElems)
@@ -81,13 +103,14 @@ var probes = []Probe{
 		},
 	},
 	{
-		ID:    "bcast",
-		Title: "pull-based broadcast of 32 kB to 16 TILE-Gx tiles (Figure 10 instrumented)",
-		Run: func(trace bool) (*core.Report, error) {
+		ID:        "bcast",
+		Title:     "pull-based broadcast of 32 kB to 16 TILE-Gx tiles (Figure 10 instrumented)",
+		PrimaryOp: stats.OpBroadcast,
+		Run: func(opts ProbeOpts) (*core.Report, error) {
 			const nelems = 32 << 10 / 4 // 32 kB of int32
 			cfg := core.Config{
-				Chip: arch.Gx8036(), NPEs: 16, HeapPerPE: 2*32<<10 + 1<<20,
-				Observe: true, Trace: trace,
+				Chip: opts.chip(), NPEs: 16, HeapPerPE: 2*32<<10 + 1<<20,
+				Observe: true, Trace: opts.Trace,
 			}
 			return core.Run(cfg, func(pe *core.PE) error {
 				target, err := core.Malloc[int32](pe, nelems)
@@ -121,6 +144,15 @@ func Probes() []Probe {
 	out := make([]Probe, len(probes))
 	copy(out, probes)
 	return out
+}
+
+// ProbeIDs lists the valid -probe arguments in registration order.
+func ProbeIDs() []string {
+	ids := make([]string, len(probes))
+	for i, p := range probes {
+		ids[i] = p.ID
+	}
+	return ids
 }
 
 // LookupProbe finds a probe by ID.

@@ -16,7 +16,7 @@ func TestProbes(t *testing.T) {
 	for _, p := range Probes() {
 		p := p
 		t.Run(p.ID, func(t *testing.T) {
-			rep, err := p.Run(true)
+			rep, err := p.Run(ProbeOpts{Trace: true})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -47,7 +47,7 @@ func TestBarrierProbeArithmetic(t *testing.T) {
 	if !ok {
 		t.Fatal("barrier probe missing")
 	}
-	rep, err := p.Run(false)
+	rep, err := p.Run(ProbeOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -176,10 +176,11 @@ func (m *Model) CopyCostHomed(size int64, mode Mode, h Homing, streams int) vtim
 // is accounted on rec (nil disables accounting), classified by the
 // hierarchy level that backs its working set.
 func (m *Model) CopyCostHomedRec(size int64, mode Mode, h Homing, streams int, rec *stats.Recorder) vtime.Duration {
+	d := m.CopyCostHomed(size, mode, h, streams)
 	if rec != nil && size > 0 {
-		rec.CacheCopy(stats.CacheLevel(m.LevelFor(size)), int(size))
+		rec.CacheCopy(stats.CacheLevel(m.LevelFor(size)), int(size), d)
 	}
-	return m.CopyCostHomed(size, mode, h, streams)
+	return d
 }
 
 // StreamCost reports the virtual time for one memory pass of bytes that is

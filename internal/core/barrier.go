@@ -281,7 +281,7 @@ func (pe *PE) recvFab(tag uint32) (mpipe.Msg, error) {
 	for i, m := range pe.fabPending {
 		if m.Tag == tag {
 			pe.fabPending = append(pe.fabPending[:i], pe.fabPending[i+1:]...)
-			pe.clock.AdvanceTo(m.Arrive)
+			pe.rec.BarrierWait(pe.clock.AdvanceTo(m.Arrive))
 			return m, nil
 		}
 	}
@@ -291,7 +291,7 @@ func (pe *PE) recvFab(tag uint32) (mpipe.Msg, error) {
 			return mpipe.Msg{}, err
 		}
 		if m.Tag == tag {
-			pe.clock.AdvanceTo(m.Arrive)
+			pe.rec.BarrierWait(pe.clock.AdvanceTo(m.Arrive))
 			return m, nil
 		}
 		pe.fabPending = append(pe.fabPending, m)
@@ -304,7 +304,7 @@ func (pe *PE) recvBarrier(tag uint32, want uint64) (udn.Packet, error) {
 	for i, pkt := range pe.barPending {
 		if pkt.Tag == tag && pkt.Words[0] == want {
 			pe.barPending = append(pe.barPending[:i], pe.barPending[i+1:]...)
-			pe.clock.AdvanceTo(pkt.Arrive)
+			pe.rec.BarrierWait(pe.clock.AdvanceTo(pkt.Arrive))
 			return pkt, nil
 		}
 	}
@@ -314,7 +314,7 @@ func (pe *PE) recvBarrier(tag uint32, want uint64) (udn.Packet, error) {
 			return udn.Packet{}, err
 		}
 		if pkt.Tag == tag && len(pkt.Words) == 1 && pkt.Words[0] == want {
-			pe.clock.AdvanceTo(pkt.Arrive)
+			pe.rec.BarrierWait(pe.clock.AdvanceTo(pkt.Arrive))
 			return pkt, nil
 		}
 		pe.barPending = append(pe.barPending, pkt)

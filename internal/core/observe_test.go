@@ -6,6 +6,7 @@ import (
 	"sync"
 	"testing"
 
+	"tshmem/internal/mesh"
 	"tshmem/internal/stats"
 	"tshmem/internal/vtime"
 )
@@ -121,6 +122,171 @@ func TestObservedPutLocality(t *testing.T) {
 	}
 }
 
+// Observed runs record latency histograms alongside the counters: every
+// op class that counted also observed, quantiles are monotone, and the
+// op-class histograms reconcile exactly with OpTimePs.
+func TestObservedHistograms(t *testing.T) {
+	const n = 4
+	cfg := gxCfg(n)
+	cfg.Observe = true
+	rep := runT(t, cfg, func(pe *PE) error {
+		x, err := Malloc[int64](pe, 256)
+		if err != nil {
+			return err
+		}
+		y, err := Malloc[int64](pe, 256)
+		if err != nil {
+			return err
+		}
+		if err := pe.BarrierAll(); err != nil {
+			return err
+		}
+		if err := Put(pe, y, x, 256, (pe.MyPE()+1)%n); err != nil {
+			return err
+		}
+		pe.Quiet()
+		return pe.BarrierAll()
+	})
+	agg := rep.Stats()
+	for op := stats.Op(0); op < stats.NumOps; op++ {
+		h := agg.Hists[stats.HistForOp(op)]
+		if h.Count != agg.Ops[op] {
+			t.Errorf("op %v: hist count %d != op count %d", op, h.Count, agg.Ops[op])
+		}
+		if h.SumPs != agg.OpTimePs[op] {
+			t.Errorf("op %v: hist sum %d != OpTimePs %d", op, h.SumPs, agg.OpTimePs[op])
+		}
+	}
+	for c := stats.HistClass(0); c < stats.NumHistClasses; c++ {
+		h := agg.Hists[c]
+		p50, p90, p99 := h.Quantile(0.5), h.Quantile(0.9), h.Quantile(0.99)
+		if !(p50 <= p90 && p90 <= p99 && p99 <= h.MaxPs) {
+			t.Errorf("%v: quantiles not monotone: p50=%d p90=%d p99=%d max=%d",
+				c, p50, p90, p99, h.MaxPs)
+		}
+	}
+	if agg.Hists[stats.HistUDNSend].Count != agg.UDNMsgsSent {
+		t.Errorf("udn.send hist count %d != msgs sent %d",
+			agg.Hists[stats.HistUDNSend].Count, agg.UDNMsgsSent)
+	}
+	if agg.Hists[stats.HistBarrierWait].Count == 0 {
+		t.Error("barrier chains ran but barrier.wait histogram is empty")
+	}
+	var rmaN int64
+	for l := stats.Locality(0); l < stats.NumLocalities; l++ {
+		if agg.Hists[stats.HistForRMA(l)].Count != agg.RMAOps[l] {
+			t.Errorf("rma.%v hist count %d != ops %d",
+				l, agg.Hists[stats.HistForRMA(l)].Count, agg.RMAOps[l])
+		}
+		rmaN += agg.RMAOps[l]
+	}
+	if rmaN == 0 {
+		t.Error("no RMA histograms observed")
+	}
+}
+
+// Observed runs snapshot per-link mesh utilization: a same-chip put's
+// modeled route and the barrier chain's UDN signals both appear, and the
+// link ledger is consistent with the traffic that ran.
+func TestObservedMeshUtilization(t *testing.T) {
+	const n, nelems = 4, 512 // 2x2 area
+	cfg := gxCfg(n)
+	cfg.Observe = true
+	rep := runT(t, cfg, func(pe *PE) error {
+		x, err := Malloc[int64](pe, nelems)
+		if err != nil {
+			return err
+		}
+		if err := pe.BarrierAll(); err != nil {
+			return err
+		}
+		if pe.MyPE() == 0 {
+			// PE 0 = (0,0) puts to PE 1 = (1,0): the data's route is the
+			// single east link out of tile 0.
+			if err := Put(pe, x, x, nelems, 1); err != nil {
+				return err
+			}
+			pe.Quiet()
+		}
+		return pe.BarrierAll()
+	})
+	if len(rep.MeshUtil) != 1 {
+		t.Fatalf("MeshUtil has %d chips, want 1", len(rep.MeshUtil))
+	}
+	u := rep.MeshUtil[0]
+	if u.Width != 2 || u.Height != 2 {
+		t.Fatalf("area %dx%d, want 2x2", u.Width, u.Height)
+	}
+	wordBytes := int64(8)
+	putWords := int64(nelems) * 8 / wordBytes
+	east := u.Link(0, 0, mesh.LinkEast)
+	if east < putWords {
+		t.Errorf("east link out of tile 0 carried %d words, want >= %d (the put)", east, putWords)
+	}
+	// Barrier signals ride the mesh too, so the chain's wait/release
+	// messages must light up links beyond the put's east hop.
+	var total int64
+	for _, w := range u.Words {
+		total += w
+	}
+	if total <= east {
+		t.Error("only the put's link saw traffic; barrier signals unrecorded")
+	}
+	if u.MaxQueueHWM() < 1 {
+		t.Error("no receive-queue occupancy recorded")
+	}
+	// The unobserved path must not pay for any of this.
+	rep2 := runT(t, gxCfg(2), func(pe *PE) error { return pe.BarrierAll() })
+	if len(rep2.MeshUtil) != 0 {
+		t.Errorf("unobserved run carries %d mesh snapshots", len(rep2.MeshUtil))
+	}
+}
+
+// Multi-chip runs expose per-chip aggregation that sums to the global
+// view, and per-chip mesh snapshots.
+func TestStatsByChip(t *testing.T) {
+	cfg := gxCfg(8)
+	cfg.NChips = 2
+	cfg.Observe = true
+	rep := runT(t, cfg, func(pe *PE) error {
+		x, err := Malloc[int64](pe, 64)
+		if err != nil {
+			return err
+		}
+		if err := pe.BarrierAll(); err != nil {
+			return err
+		}
+		if pe.MyPE() == 0 {
+			if err := Put(pe, x, x, 64, 1); err != nil { // same chip
+				return err
+			}
+			if err := Put(pe, x, x, 64, 5); err != nil { // cross chip
+				return err
+			}
+			pe.Quiet()
+		}
+		return pe.BarrierAll()
+	})
+	per := rep.StatsByChip()
+	if len(per) != 2 {
+		t.Fatalf("StatsByChip has %d entries, want 2", len(per))
+	}
+	var fold stats.Counters
+	for i := range per {
+		fold.Add(&per[i])
+	}
+	if fold != rep.Stats() {
+		t.Error("per-chip counters do not sum to the global view")
+	}
+	if per[0].RMAOps[stats.CrossChip] != 1 || per[1].RMAOps[stats.CrossChip] != 0 {
+		t.Errorf("cross-chip op attributed to chips %d/%d, want 1/0",
+			per[0].RMAOps[stats.CrossChip], per[1].RMAOps[stats.CrossChip])
+	}
+	if len(rep.MeshUtil) != 2 {
+		t.Errorf("MeshUtil has %d chips, want 2", len(rep.MeshUtil))
+	}
+}
+
 // Config.Trace implies Observe and yields a merged, start-ordered event
 // timeline that exports as decodable Chrome trace_event JSON.
 func TestTraceExport(t *testing.T) {
@@ -229,6 +395,10 @@ func TestTraceCap(t *testing.T) {
 	agg := rep.Stats()
 	if agg.TraceDropped == 0 {
 		t.Error("cap of 3 never dropped events over 10 barriers")
+	}
+	if rep.DroppedEvents() != agg.TraceDropped {
+		t.Errorf("DroppedEvents() = %d, want %d (a capped trace must be detectable)",
+			rep.DroppedEvents(), agg.TraceDropped)
 	}
 	for _, c := range rep.PECounters {
 		if c.Ops[stats.OpBarrier] != 11 { // 10 + start_pes barrier

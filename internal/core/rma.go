@@ -76,23 +76,45 @@ func resolve[T Elem](pe *PE, r Ref[T], onPE, nelems int) (operand, error) {
 
 // chargeXfer advances the clock for moving nbytes between this PE and
 // remotePE's partition: the on-chip memory model within a chip, the mPIPE
-// wire across chips (the multi-device extension).
-func (pe *PE) chargeXfer(nbytes int64, mode cache.Mode, remotePE int) {
+// wire across chips (the multi-device extension). toRemote is the data's
+// direction (true for put-like transfers toward remotePE, false for
+// get-like reads from it); it orients the modeled iMesh route when
+// per-link accounting is on.
+func (pe *PE) chargeXfer(nbytes int64, mode cache.Mode, remotePE int, toRemote bool) {
+	t0 := pe.clock.Now()
 	pe.clock.Advance(pe.prog.model.CopyCostHomedRec(nbytes, mode, pe.prog.cfg.Homing, pe.curHint(), pe.rec))
-	pe.rec.RMA(pe.locality(remotePE), int(nbytes))
 	if remotePE != pe.id && !pe.prog.sameChip(pe.id, remotePE) {
 		// Store-and-forward through mPIPE: the data still traverses the
 		// local memory system (charged above), then rides the wire.
 		pe.prog.fabric.ChargeData(&pe.clock, pe.id, remotePE, nbytes)
 	}
+	pe.rec.RMA(pe.locality(remotePE), int(nbytes), pe.clock.Now().Sub(t0))
+	pe.routeXfer(nbytes, remotePE, toRemote)
+}
+
+// routeXfer charges a same-chip RMA transfer onto the iMesh link counters:
+// the data crosses the mesh between the two tiles even though it moves
+// through the cache system rather than as UDN packets. Cross-chip traffic
+// rides mPIPE, not the mesh, and self-transfers stay on-tile.
+func (pe *PE) routeXfer(nbytes int64, remotePE int, toRemote bool) {
+	if pe.prog.links == nil || remotePE == pe.id || !pe.prog.sameChip(pe.id, remotePE) {
+		return
+	}
+	wb := int64(pe.prog.chip.WordBytes)
+	words := int((nbytes + wb - 1) / wb)
+	from, to := pe.prog.localIdx(pe.id), pe.prog.localIdx(remotePE)
+	if !toRemote {
+		from, to = to, from
+	}
+	pe.prog.links[pe.prog.chipOf(pe.id)].RecordRoute(from, to, words)
 }
 
 // chargedCopy copies src into dst and advances the clock by the modeled
 // transfer cost toward remotePE under the current concurrency hint and the
 // configured homing strategy.
-func (pe *PE) chargedCopy(dst, src []byte, mode cache.Mode, remotePE int) {
+func (pe *PE) chargedCopy(dst, src []byte, mode cache.Mode, remotePE int, toRemote bool) {
 	copy(dst, src)
-	pe.chargeXfer(int64(len(src)), mode, remotePE)
+	pe.chargeXfer(int64(len(src)), mode, remotePE, toRemote)
 }
 
 // Put copies nelems elements from the calling PE's instance of source into
@@ -136,13 +158,13 @@ func putResolved[T Elem](pe *PE, target Ref[T], src operand, nelems, tpe int) er
 		if !dst.shared && !src.shared {
 			mode = privateMode
 		}
-		pe.chargedCopy(dst.bytes, src.bytes, mode, pe.id)
+		pe.chargedCopy(dst.bytes, src.bytes, mode, pe.id, true)
 		return nil
 
 	case dst.shared:
 		// Dynamic target: the local tile writes the remote partition
 		// directly through common memory (across chips, over mPIPE).
-		pe.chargedCopy(dst.bytes, src.bytes, sharedMode, tpe)
+		pe.chargedCopy(dst.bytes, src.bytes, sharedMode, tpe, true)
 		return nil
 
 	default:
@@ -169,7 +191,7 @@ func putResolved[T Elem](pe *PE, target Ref[T], src operand, nelems, tpe int) er
 		if err != nil {
 			return err
 		}
-		pe.chargedCopy(tmp, src.bytes, sharedMode, pe.id)
+		pe.chargedCopy(tmp, src.bytes, sharedMode, pe.id, true)
 		return pe.redirect(tpe, opPutFromShared, dst.sid, dst.sOff, g, src.nbytes)
 	}
 }
@@ -216,13 +238,13 @@ func getResolved[T Elem](pe *PE, dst operand, source Ref[T], nelems, spe int) er
 		if !dst.shared && !src.shared {
 			mode = privateMode
 		}
-		pe.chargedCopy(dst.bytes, src.bytes, mode, pe.id)
+		pe.chargedCopy(dst.bytes, src.bytes, mode, pe.id, false)
 		return nil
 
 	case src.shared:
 		// Dynamic source: readable directly through common memory (across
 		// chips, over mPIPE).
-		pe.chargedCopy(dst.bytes, src.bytes, sharedMode, spe)
+		pe.chargedCopy(dst.bytes, src.bytes, sharedMode, spe, false)
 		return nil
 
 	default:
@@ -251,7 +273,7 @@ func getResolved[T Elem](pe *PE, dst operand, source Ref[T], nelems, spe int) er
 		if err != nil {
 			return err
 		}
-		pe.chargedCopy(dst.bytes, tmp, sharedMode, pe.id)
+		pe.chargedCopy(dst.bytes, tmp, sharedMode, pe.id, false)
 		return nil
 	}
 }
@@ -325,7 +347,7 @@ func P[T Elem](pe *PE, target Ref[T], value T, tpe int) error {
 	start := pe.clock.Now()
 	part := pe.partBytes(tpe)
 	off := target.off
-	pe.chargeXfer(es, sharedMode, tpe)
+	pe.chargeXfer(es, sharedMode, tpe, true)
 	atomicStoreElem(part, off, es, toBits(value))
 	pe.prog.hubs[tpe].record(off, pe.clock.Now())
 	pe.rec.OpDone(stats.OpPut, start, &pe.clock, es, tpe)
@@ -358,7 +380,7 @@ func G[T Elem](pe *PE, source Ref[T], spe int) (T, error) {
 	pe.stats.GetBytes += es
 	start := pe.clock.Now()
 	part := pe.partBytes(spe)
-	pe.chargeXfer(es, sharedMode, spe)
+	pe.chargeXfer(es, sharedMode, spe, false)
 	v := fromBits[T](atomicLoadElem(part, source.off, es))
 	pe.rec.OpDone(stats.OpGet, start, &pe.clock, es, spe)
 	return v, nil
@@ -387,7 +409,7 @@ func IPut[T Elem](pe *PE, target, source Ref[T], tst, sst int64, nelems, tpe int
 	nb := int64(nelems) * sizeOf[T]()
 	pe.stats.PutBytes += nb
 	start := pe.clock.Now()
-	pe.chargeXfer(nb, sharedMode, tpe)
+	pe.chargeXfer(nb, sharedMode, tpe, true)
 	pe.clock.Advance(pe.prog.chip.Cycles(2 * nelems)) // per-element stride arithmetic
 	pe.rec.OpDone(stats.OpPut, start, &pe.clock, nb, tpe)
 	return nil
@@ -413,7 +435,7 @@ func IGet[T Elem](pe *PE, target, source Ref[T], tst, sst int64, nelems, spe int
 	nb := int64(nelems) * sizeOf[T]()
 	pe.stats.GetBytes += nb
 	start := pe.clock.Now()
-	pe.chargeXfer(nb, sharedMode, spe)
+	pe.chargeXfer(nb, sharedMode, spe, false)
 	pe.clock.Advance(pe.prog.chip.Cycles(2 * nelems))
 	pe.rec.OpDone(stats.OpGet, start, &pe.clock, nb, spe)
 	return nil

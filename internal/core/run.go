@@ -150,6 +150,7 @@ func (c *Config) fill() error {
 // Report summarizes a completed run.
 type Report struct {
 	NPEs     int
+	NChips   int
 	Chip     string
 	PETimes  []vtime.Duration // virtual elapsed time per PE
 	MaxTime  vtime.Duration   // the program's virtual makespan
@@ -161,7 +162,13 @@ type Report struct {
 	// PECounters holds each PE's substrate counters; empty unless the run
 	// was configured with Config.Observe (or Trace).
 	PECounters []stats.Counters
-	trace      []stats.Event // merged, start-ordered; empty unless Config.Trace
+	// MeshUtil holds each chip's per-link iMesh utilization snapshot
+	// (UDN packets and modeled same-chip RMA routes); empty unless the
+	// run was observed. Render with Utilization.ASCII/SVG.
+	MeshUtil []*mesh.Utilization
+
+	perChip int           // PE ranks per chip (block distribution)
+	trace   []stats.Event // merged, start-ordered; empty unless Config.Trace
 }
 
 // Stats aggregates the per-PE substrate counters of the run. It is the
@@ -172,6 +179,35 @@ func (r *Report) Stats() stats.Counters {
 		c.Add(&r.PECounters[i])
 	}
 	return c
+}
+
+// StatsByChip aggregates the per-PE counters chip by chip (block
+// distribution), so multi-chip runs can be audited per device. Single-chip
+// runs return one entry equal to Stats(). Empty without Config.Observe.
+func (r *Report) StatsByChip() []stats.Counters {
+	if len(r.PECounters) == 0 {
+		return nil
+	}
+	perChip := r.perChip
+	if perChip <= 0 {
+		perChip = len(r.PECounters)
+	}
+	out := make([]stats.Counters, r.NChips)
+	for i := range r.PECounters {
+		out[i/perChip].Add(&r.PECounters[i])
+	}
+	return out
+}
+
+// DroppedEvents reports how many trace events were discarded because a
+// PE's buffer hit Config.TraceCap. Non-zero means Trace() is truncated
+// and coverage audits will come up short.
+func (r *Report) DroppedEvents() int64 {
+	var n int64
+	for i := range r.PECounters {
+		n += r.PECounters[i].TraceDropped
+	}
+	return n
 }
 
 // Trace returns the run's merged substrate event trace, ordered by
@@ -194,7 +230,8 @@ type Program struct {
 	perChip int // PE ranks per chip (block distribution)
 	geos    []mesh.Geometry
 	nets    []*udn.Network
-	fabric  *mpipe.Fabric // nil on a single chip
+	links   []*mesh.LinkStats // per-chip link accounting; nil unless Observe
+	fabric  *mpipe.Fabric     // nil on a single chip
 	cm      *tmc.CommonMemory
 	model   *cache.Model
 
@@ -325,8 +362,10 @@ func Run(cfg Config, body func(*PE) error) (*Report, error) {
 
 	rep := &Report{
 		NPEs:    prog.NPEs(),
+		NChips:  prog.nchips,
 		Chip:    prog.chip.Name,
 		PETimes: make([]vtime.Duration, prog.NPEs()),
+		perChip: prog.perChip,
 	}
 	rep.MinTime = vtime.Duration(1<<63 - 1)
 	for i, pe := range prog.pes {
@@ -352,6 +391,9 @@ func Run(cfg Config, body func(*PE) error) (*Report, error) {
 			}
 		}
 		rep.trace = stats.MergeEvents(perPE)
+		for _, ls := range prog.links {
+			rep.MeshUtil = append(rep.MeshUtil, ls.Snapshot())
+		}
 	}
 	return rep, nil
 }
@@ -403,7 +445,13 @@ func newProgram(cfg Config) (*Program, error) {
 	}
 
 	for c := 0; c < p.nchips; c++ {
-		p.nets = append(p.nets, udn.New(p.geos[c]))
+		net := udn.New(p.geos[c])
+		if cfg.Observe {
+			ls := mesh.NewLinkStats(p.geos[c])
+			net.SetLinkStats(ls)
+			p.links = append(p.links, ls)
+		}
+		p.nets = append(p.nets, net)
 	}
 	if p.nchips > 1 {
 		p.fabric, err = mpipe.New(cfg.Chip, p.nchips, cfg.NPEs, p.chipOf)

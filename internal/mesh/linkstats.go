@@ -1,0 +1,262 @@
+package mesh
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+)
+
+// LinkDir identifies one of a tile's four outgoing iMesh links.
+type LinkDir int
+
+const (
+	LinkEast  LinkDir = iota // +X
+	LinkWest                 // -X
+	LinkSouth                // +Y
+	LinkNorth                // -Y
+
+	NumLinkDirs
+)
+
+func (d LinkDir) String() string {
+	switch d {
+	case LinkEast:
+		return "east"
+	case LinkWest:
+		return "west"
+	case LinkSouth:
+		return "south"
+	case LinkNorth:
+		return "north"
+	default:
+		return fmt.Sprintf("LinkDir(%d)", int(d))
+	}
+}
+
+// delta is the coordinate step one hop in direction d takes.
+func (d LinkDir) delta() (dx, dy int) {
+	switch d {
+	case LinkEast:
+		return 1, 0
+	case LinkWest:
+		return -1, 0
+	case LinkSouth:
+		return 0, 1
+	default:
+		return 0, -1
+	}
+}
+
+// LinkStats accumulates per-directed-link utilization of a test area's
+// iMesh: payload words and packets forwarded over each outgoing link of
+// each tile, plus per-tile receive-queue occupancy high-water marks.
+//
+// Unlike the per-PE stats.Recorder, links are shared by construction —
+// every route crosses other tiles' links — so the counters are atomics:
+// any PE goroutine may record concurrently. Snapshot after the run for a
+// plain-value view.
+type LinkStats struct {
+	geo     Geometry
+	words   []atomic.Int64 // [tile*NumLinkDirs + dir] payload words forwarded
+	packets []atomic.Int64 // same index: packets forwarded
+	qhwm    []atomic.Int64 // [tile] receive-queue occupancy high-water mark
+}
+
+// NewLinkStats builds a zeroed accounting block for geo.
+func NewLinkStats(geo Geometry) *LinkStats {
+	n := geo.Tiles()
+	return &LinkStats{
+		geo:     geo,
+		words:   make([]atomic.Int64, n*int(NumLinkDirs)),
+		packets: make([]atomic.Int64, n*int(NumLinkDirs)),
+		qhwm:    make([]atomic.Int64, n),
+	}
+}
+
+// RecordRoute charges a words-long transfer from virtual CPU src to dst
+// onto every directed link of its XY dimension-order route (X leg first,
+// then Y — the iMesh routing the latency model assumes). Self-routes and
+// out-of-area endpoints record nothing. Nil-safe: accounting defaults off.
+func (ls *LinkStats) RecordRoute(src, dst, words int) {
+	if ls == nil || words <= 0 || src == dst {
+		return
+	}
+	a, err := ls.geo.Coord(src)
+	if err != nil {
+		return
+	}
+	b, err := ls.geo.Coord(dst)
+	if err != nil {
+		return
+	}
+	x, y := a.X, a.Y
+	step := func(d LinkDir) {
+		i := (y*ls.geo.Width+x)*int(NumLinkDirs) + int(d)
+		ls.words[i].Add(int64(words))
+		ls.packets[i].Add(1)
+		dx, dy := d.delta()
+		x, y = x+dx, y+dy
+	}
+	for x < b.X {
+		step(LinkEast)
+	}
+	for x > b.X {
+		step(LinkWest)
+	}
+	for y < b.Y {
+		step(LinkSouth)
+	}
+	for y > b.Y {
+		step(LinkNorth)
+	}
+}
+
+// RecordQueueDepth raises tile's receive-queue occupancy high-water mark
+// to depth if it exceeds the current mark.
+func (ls *LinkStats) RecordQueueDepth(tile, depth int) {
+	if ls == nil || tile < 0 || tile >= len(ls.qhwm) {
+		return
+	}
+	m := &ls.qhwm[tile]
+	for {
+		cur := m.Load()
+		if int64(depth) <= cur || m.CompareAndSwap(cur, int64(depth)) {
+			return
+		}
+	}
+}
+
+// Snapshot copies the live counters into a plain-value Utilization for
+// rendering and comparison. Take it after the run (or accept a torn but
+// monotone view mid-run).
+func (ls *LinkStats) Snapshot() *Utilization {
+	if ls == nil {
+		return nil
+	}
+	u := &Utilization{
+		Chip:     ls.geo.Chip().Name,
+		Width:    ls.geo.Width,
+		Height:   ls.geo.Height,
+		Words:    make([]int64, len(ls.words)),
+		Packets:  make([]int64, len(ls.packets)),
+		QueueHWM: make([]int64, len(ls.qhwm)),
+	}
+	for i := range ls.words {
+		u.Words[i] = ls.words[i].Load()
+		u.Packets[i] = ls.packets[i].Load()
+	}
+	for i := range ls.qhwm {
+		u.QueueHWM[i] = ls.qhwm[i].Load()
+	}
+	return u
+}
+
+// Utilization is a point-in-time copy of a LinkStats block: per-directed-
+// link words/packets (indexed tile*NumLinkDirs+dir) and per-tile queue
+// high-water marks over a Width x Height test area.
+type Utilization struct {
+	Chip          string
+	Width, Height int
+	Words         []int64
+	Packets       []int64
+	QueueHWM      []int64
+}
+
+// Link reports the payload words forwarded over tile (x,y)'s outgoing
+// link in direction d. Out-of-area queries return 0.
+func (u *Utilization) Link(x, y int, d LinkDir) int64 {
+	if u == nil || x < 0 || x >= u.Width || y < 0 || y >= u.Height {
+		return 0
+	}
+	return u.Words[(y*u.Width+x)*int(NumLinkDirs)+int(d)]
+}
+
+// TileLoad reports the words leaving tile (x,y) over all four links — the
+// through-plus-injected traffic the heatmap shades tiles by.
+func (u *Utilization) TileLoad(x, y int) int64 {
+	var t int64
+	for d := LinkDir(0); d < NumLinkDirs; d++ {
+		t += u.Link(x, y, d)
+	}
+	return t
+}
+
+// MaxLink reports the busiest directed link's word count.
+func (u *Utilization) MaxLink() int64 {
+	var m int64
+	for _, w := range u.Words {
+		if w > m {
+			m = w
+		}
+	}
+	return m
+}
+
+// MaxQueueHWM reports the largest per-tile queue high-water mark.
+func (u *Utilization) MaxQueueHWM() int64 {
+	var m int64
+	for _, q := range u.QueueHWM {
+		if q > m {
+			m = q
+		}
+	}
+	return m
+}
+
+// LinkLoad describes one directed link for the hot-links ranking.
+type LinkLoad struct {
+	From, To Coord
+	Dir      LinkDir
+	Words    int64
+	Packets  int64
+}
+
+// HotLinks returns the k busiest directed links by words, descending;
+// ties break toward the lexicographically first (y, x, dir). Links that
+// carried nothing are omitted.
+func (u *Utilization) HotLinks(k int) []LinkLoad {
+	if u == nil {
+		return nil
+	}
+	var all []LinkLoad
+	for y := 0; y < u.Height; y++ {
+		for x := 0; x < u.Width; x++ {
+			for d := LinkDir(0); d < NumLinkDirs; d++ {
+				w := u.Link(x, y, d)
+				if w == 0 {
+					continue
+				}
+				dx, dy := d.delta()
+				all = append(all, LinkLoad{
+					From: Coord{X: x, Y: y}, To: Coord{X: x + dx, Y: y + dy},
+					Dir: d, Words: w,
+					Packets: u.Packets[(y*u.Width+x)*int(NumLinkDirs)+int(d)],
+				})
+			}
+		}
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].Words > all[j].Words })
+	if k > 0 && len(all) > k {
+		all = all[:k]
+	}
+	return all
+}
+
+// Add folds o's counters into u (same-shape areas only; used to merge
+// per-chip views when every chip runs the same test area).
+func (u *Utilization) Add(o *Utilization) error {
+	if u.Width != o.Width || u.Height != o.Height {
+		return fmt.Errorf("mesh: cannot fold %dx%d utilization into %dx%d",
+			o.Width, o.Height, u.Width, u.Height)
+	}
+	for i := range u.Words {
+		u.Words[i] += o.Words[i]
+		u.Packets[i] += o.Packets[i]
+	}
+	for i := range u.QueueHWM {
+		if o.QueueHWM[i] > u.QueueHWM[i] {
+			u.QueueHWM[i] = o.QueueHWM[i]
+		}
+	}
+	return nil
+}

@@ -78,23 +78,46 @@ func (r *Recorder) Counters() Counters {
 }
 
 // UDNSend accounts one injected UDN packet: words payload words crossing
-// hops mesh links.
-func (r *Recorder) UDNSend(words, hops int) {
+// hops mesh links with one-way latency lat.
+func (r *Recorder) UDNSend(words, hops int, lat vtime.Duration) {
 	if r == nil {
 		return
 	}
 	r.C.UDNMsgsSent++
 	r.C.UDNWordsSent += int64(words)
 	r.C.MeshHops += int64(hops)
+	r.C.Hists[HistUDNSend].Observe(int64(lat))
 }
 
-// UDNRecv accounts one drained UDN packet of words payload words.
+// UDNRecv accounts one drained UDN packet of words payload words whose
+// receive stall is unknown (RecvRaw: the caller merges clocks later).
 func (r *Recorder) UDNRecv(words int) {
 	if r == nil {
 		return
 	}
 	r.C.UDNMsgsRecvd++
 	r.C.UDNWordsRecvd += int64(words)
+}
+
+// UDNRecvWait is UDNRecv for receives that merged the clock immediately:
+// wait is how long the receiver's clock had to advance to meet the
+// packet's arrival (zero when the packet was already queued).
+func (r *Recorder) UDNRecvWait(words int, wait vtime.Duration) {
+	if r == nil {
+		return
+	}
+	r.C.UDNMsgsRecvd++
+	r.C.UDNWordsRecvd += int64(words)
+	r.C.Hists[HistUDNWait].Observe(int64(wait))
+}
+
+// BarrierWait accounts the stall until one expected barrier-chain signal
+// arrived (the clock advance merging with the signal's arrival time).
+func (r *Recorder) BarrierWait(wait vtime.Duration) {
+	if r == nil {
+		return
+	}
+	r.C.Hists[HistBarrierWait].Observe(int64(wait))
 }
 
 // UDNInterrupt accounts one interrupt round-trip raised by this PE: the
@@ -122,23 +145,27 @@ func (r *Recorder) BarrierRound() {
 	r.C.BarrierRounds++
 }
 
-// RMA accounts one remote-memory transfer of nbytes in locality class loc.
-func (r *Recorder) RMA(loc Locality, nbytes int) {
+// RMA accounts one remote-memory transfer of nbytes in locality class loc
+// that charged d of virtual time (memory-system cost plus, across chips,
+// the mPIPE wire).
+func (r *Recorder) RMA(loc Locality, nbytes int, d vtime.Duration) {
 	if r == nil {
 		return
 	}
 	r.C.RMAOps[loc]++
 	r.C.RMABytes[loc] += int64(nbytes)
+	r.C.Hists[HistForRMA(loc)].Observe(int64(d))
 }
 
 // CacheCopy accounts one charged memory copy whose working set is backed
-// by level.
-func (r *Recorder) CacheCopy(level CacheLevel, nbytes int) {
+// by level and cost d of virtual time.
+func (r *Recorder) CacheCopy(level CacheLevel, nbytes int, d vtime.Duration) {
 	if r == nil {
 		return
 	}
 	r.C.CacheCopies[level]++
 	r.C.CacheBytes[level] += int64(nbytes)
+	r.C.Hists[HistForCache(level)].Observe(int64(d))
 }
 
 // OpDone counts one completed operation of class op that began at start.
@@ -157,6 +184,7 @@ func (r *Recorder) OpDone(op Op, start vtime.Time, clock *vtime.Clock, bytes int
 	end := clock.Now()
 	r.C.Ops[op]++
 	r.C.OpTimePs[op] += int64(end - start)
+	r.C.Hists[HistForOp(op)].Observe(int64(end - start))
 	if !r.traceOn {
 		return
 	}

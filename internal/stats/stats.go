@@ -160,6 +160,12 @@ type Counters struct {
 
 	// TraceDropped counts events discarded after the per-PE trace cap.
 	TraceDropped int64
+
+	// Hists holds one latency histogram per HistClass: the distribution
+	// behind each counter above (operation spans, UDN packet latencies and
+	// receive stalls, barrier-signal stalls, RMA and cache-copy charges).
+	// Inline arrays keep Counters comparable and Observe allocation-free.
+	Hists [NumHistClasses]Hist
 }
 
 // Add folds o into c (aggregation across PEs).
@@ -184,6 +190,9 @@ func (c *Counters) Add(o *Counters) {
 		c.CacheBytes[i] += o.CacheBytes[i]
 	}
 	c.TraceDropped += o.TraceDropped
+	for i := range c.Hists {
+		c.Hists[i].Add(&o.Hists[i])
+	}
 }
 
 // CacheHits reports charged copies backed by any cache level (L1d/L2/DDC).
@@ -242,6 +251,39 @@ func (c *Counters) Table() string {
 	return b.String()
 }
 
+// Map returns the non-zero scalar counters keyed by the same names Table
+// prints (histograms excluded; see HistTable). It is the machine-readable
+// form tshmem-bench -json embeds per benchmark.
+func (c *Counters) Map() map[string]int64 {
+	m := make(map[string]int64)
+	put := func(name string, v int64) {
+		if v != 0 {
+			m[name] = v
+		}
+	}
+	for op := Op(0); op < NumOps; op++ {
+		put("ops."+op.String(), c.Ops[op])
+		put("optime_ps."+op.String(), c.OpTimePs[op])
+	}
+	put("udn.msgs_sent", c.UDNMsgsSent)
+	put("udn.words_sent", c.UDNWordsSent)
+	put("udn.msgs_recvd", c.UDNMsgsRecvd)
+	put("udn.words_recvd", c.UDNWordsRecvd)
+	put("udn.interrupts", c.UDNInterrupts)
+	put("mesh.hops", c.MeshHops)
+	put("barrier.rounds", c.BarrierRounds)
+	for l := Locality(0); l < NumLocalities; l++ {
+		put("rma.ops."+l.String(), c.RMAOps[l])
+		put("rma.bytes."+l.String(), c.RMABytes[l])
+	}
+	for l := CacheLevel(0); l < NumCacheLevels; l++ {
+		put("cache.copies."+l.String(), c.CacheCopies[l])
+		put("cache.bytes."+l.String(), c.CacheBytes[l])
+	}
+	put("trace.dropped", c.TraceDropped)
+	return m
+}
+
 // Collector accumulates aggregate counters over several runs; the -stats
 // flag of tshmem-bench folds every run an experiment performs into one
 // Collector. Fold is safe for concurrent use (experiments may run PE
@@ -293,6 +335,14 @@ func Taxonomy() string {
 		"     interrupts raised, and total mesh hops of injected packets.\n" +
 		"barrier.rounds: wait/release signals sent on barrier chains\n" +
 		"     (2(n-1)+1 signals per n-PE linear-chain barrier instance).\n")
+	b.WriteString("latency histogram classes (Counters.Hists, p50/p90/p99/max):\n")
+	for h := HistClass(0); h < NumHistClasses; h++ {
+		if h < HistClass(NumOps) {
+			continue // op.* histograms mirror the operation classes above
+		}
+		fmt.Fprintf(&b, "  %-16s %s\n", h, histDesc(h))
+	}
+	b.WriteString("  op.<class>       inclusive duration per operation (one per op class)\n")
 	return b.String()
 }
 

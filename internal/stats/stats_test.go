@@ -63,12 +63,14 @@ func TestNilRecorderNoAllocs(t *testing.T) {
 	var rec *Recorder
 	var clock vtime.Clock
 	n := testing.AllocsPerRun(100, func() {
-		rec.UDNSend(4, 3)
+		rec.UDNSend(4, 3, 120)
 		rec.UDNRecv(4)
+		rec.UDNRecvWait(4, 80)
 		rec.UDNInterrupt(2, 1, 5)
 		rec.BarrierRound()
-		rec.RMA(SameChip, 4096)
-		rec.CacheCopy(CacheL2, 4096)
+		rec.BarrierWait(60)
+		rec.RMA(SameChip, 4096, 900)
+		rec.CacheCopy(CacheL2, 4096, 700)
 		rec.OpDone(OpPut, clock.Now(), &clock, 4096, 1)
 	})
 	if n != 0 {
@@ -89,7 +91,9 @@ func TestCountingRecorderNoAllocs(t *testing.T) {
 	rec := New(0, false, 0)
 	var clock vtime.Clock
 	n := testing.AllocsPerRun(100, func() {
-		rec.UDNSend(4, 3)
+		rec.UDNSend(4, 3, 120)
+		rec.UDNRecvWait(4, 80)
+		rec.RMA(SameChip, 4096, 900)
 		rec.OpDone(OpPut, clock.Now(), &clock, 32, 1)
 	})
 	if n != 0 {

@@ -48,7 +48,14 @@ type Handler func(req Packet) (reply []uint64, service vtime.Duration)
 type Network struct {
 	geo   mesh.Geometry
 	ports []*Port
+	links *mesh.LinkStats // nil disables per-link accounting
 }
+
+// SetLinkStats attaches per-directed-link utilization accounting: every
+// packet's XY route is charged onto ls, and receive-queue occupancy
+// high-water marks are tracked per destination tile. A nil ls (the
+// default) disables accounting. Set before PEs start communicating.
+func (n *Network) SetLinkStats(ls *mesh.LinkStats) { n.links = ls }
 
 // New builds a UDN over the given test-area geometry.
 func New(geo mesh.Geometry) *Network {
@@ -145,7 +152,8 @@ func (p *Port) Send(clock *vtime.Clock, dst, dq int, tag uint32, words []uint64)
 		return err
 	}
 	clock.Advance(path.Send)
-	p.rec.UDNSend(nw, path.Hops)
+	p.rec.UDNSend(nw, path.Hops, path.Latency())
+	p.net.links.RecordRoute(p.cpu, dst, nw)
 	pkt := Packet{
 		Src:    p.cpu,
 		Tag:    tag,
@@ -154,6 +162,7 @@ func (p *Port) Send(clock *vtime.Clock, dst, dq int, tag uint32, words []uint64)
 	}
 	select {
 	case dp.queues[dq] <- pkt:
+		p.net.links.RecordQueueDepth(dst, len(dp.queues[dq]))
 		return nil
 	case <-dp.doneCh():
 		return ErrClosed
@@ -168,15 +177,15 @@ func (p *Port) Recv(clock *vtime.Clock, dq int) (Packet, error) {
 	}
 	select {
 	case pkt := <-p.queues[dq]:
-		clock.AdvanceTo(pkt.Arrive)
-		p.rec.UDNRecv(len(pkt.Words))
+		wait := clock.AdvanceTo(pkt.Arrive)
+		p.rec.UDNRecvWait(len(pkt.Words), wait)
 		return pkt, nil
 	case <-p.doneCh():
 		// Drain anything already queued before reporting closure.
 		select {
 		case pkt := <-p.queues[dq]:
-			clock.AdvanceTo(pkt.Arrive)
-			p.rec.UDNRecv(len(pkt.Words))
+			wait := clock.AdvanceTo(pkt.Arrive)
+			p.rec.UDNRecvWait(len(pkt.Words), wait)
 			return pkt, nil
 		default:
 			return Packet{}, ErrClosed
@@ -216,8 +225,8 @@ func (p *Port) TryRecv(clock *vtime.Clock, dq int) (Packet, bool, error) {
 	}
 	select {
 	case pkt := <-p.queues[dq]:
-		clock.AdvanceTo(pkt.Arrive)
-		p.rec.UDNRecv(len(pkt.Words))
+		wait := clock.AdvanceTo(pkt.Arrive)
+		p.rec.UDNRecvWait(len(pkt.Words), wait)
 		return pkt, true, nil
 	default:
 		if p.closed.Load() {
@@ -313,6 +322,7 @@ func (p *Port) Interrupt(clock *vtime.Clock, dst int, tag uint32, words []uint64
 		return Packet{}, err
 	}
 	clock.Advance(path.Send)
+	p.net.links.RecordRoute(p.cpu, dst, nw)
 	req := intrRequest{
 		pkt:   Packet{Src: p.cpu, Tag: tag, Words: words, Arrive: clock.Now().Add(path.Wire)},
 		reply: make(chan Packet, 1),
@@ -333,8 +343,10 @@ func (p *Port) Interrupt(clock *vtime.Clock, dst int, tag uint32, words []uint64
 		rep.Arrive = rep.Arrive.Add(back)
 		clock.AdvanceTo(rep.Arrive)
 		// The requester accounts the whole round-trip; the servicer
-		// goroutine must not touch any recorder.
+		// goroutine must not touch any recorder. The reply's route is
+		// charged here too — links are shared atomics, unlike recorders.
 		p.rec.UDNInterrupt(nw, repWords, path.Hops)
+		p.net.links.RecordRoute(dst, p.cpu, repWords)
 		return rep, nil
 	case <-p.doneCh():
 		return Packet{}, ErrClosed
