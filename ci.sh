@@ -45,4 +45,16 @@ if ! go run ./cmd/tshmem-bench -compare BENCH_baseline.json "$SMOKE" -threshold 
     echo "    if intentional, regenerate it: go run ./cmd/tshmem-bench -json BENCH_baseline.json"
 fi
 
+# Alloc smoke: the uninstrumented Put and Barrier fast paths must stay
+# allocation-free (docs/PERFORMANCE.md). A fixed -benchtime keeps this
+# fast; -benchmem prints "N allocs/op" which we grep for nonzero N.
+echo "== bench-alloc smoke: Put/Barrier must report 0 allocs/op =="
+ALLOC_OUT=$(go test ./internal/bench -run '^$' \
+    -bench '^(BenchmarkPut|BenchmarkBarrier)$' -benchtime 100x -benchmem)
+echo "$ALLOC_OUT"
+if echo "$ALLOC_OUT" | grep -E 'Benchmark(Put|Barrier)\b' | grep -vE '\s0 allocs/op'; then
+    echo "ci: FAIL — steady-state Put/Barrier paths allocate; see docs/PERFORMANCE.md" >&2
+    exit 1
+fi
+
 echo "ci: OK"

@@ -16,6 +16,8 @@
 //	tshmem-bench -probe bcast -svg mesh.svg  # same heatmap as standalone SVG
 //	tshmem-bench -json out.json              # machine-readable probe baseline
 //	tshmem-bench -compare BENCH_baseline.json new.json -threshold 5%
+//	tshmem-bench -cpuprofile cpu.pprof       # profile the simulator host cost
+//	tshmem-bench -memprofile mem.pprof       # heap profile at exit
 //
 // Probes are single-run instrumented microbenchmarks (-probe, listed by
 // -list); -trace implies the barrier probe and -heatmap/-svg imply the
@@ -31,6 +33,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -38,7 +42,11 @@ import (
 	"tshmem/internal/stats"
 )
 
-func main() {
+// main delegates to run so deferred profile writers execute on every exit
+// path (os.Exit would skip them).
+func main() { os.Exit(run()) }
+
+func run() int {
 	var (
 		exp     = flag.String("exp", "", "experiment ID to run (default: all)")
 		list    = flag.Bool("list", false, "list experiment and probe IDs and exit")
@@ -52,8 +60,41 @@ func main() {
 		jsonOut = flag.String("json", "", "run the probe suite and write a machine-readable baseline to this file")
 		compare = flag.String("compare", "", "baseline JSON to compare against; pass the current run's JSON as the positional argument")
 		thresh  = flag.String("threshold", "5%", "relative regression threshold for -compare (e.g. 5% or 0.05)")
+		cpuProf = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProf = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tshmem-bench: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "tshmem-bench: %v\n", err)
+			f.Close()
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "tshmem-bench: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "tshmem-bench: %v\n", err)
+			}
+		}()
+	}
 
 	if *list {
 		for _, r := range bench.Runners() {
@@ -62,21 +103,22 @@ func main() {
 		for _, p := range bench.Probes() {
 			fmt.Printf("%-8s probe: %s\n", p.ID, p.Title)
 		}
-		return
+		return 0
 	}
 	if *compare != "" {
-		if err := runCompare(*compare, flag.Args(), *thresh); err != nil {
+		code, err := runCompare(*compare, flag.Args(), *thresh)
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "tshmem-bench: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return code
 	}
 	if *jsonOut != "" {
 		if err := writeBaseline(*jsonOut); err != nil {
 			fmt.Fprintf(os.Stderr, "tshmem-bench: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 	if *trace != "" && *probe == "" {
 		*probe = "barrier"
@@ -87,9 +129,9 @@ func main() {
 	if *probe != "" {
 		if err := runProbe(*probe, *trace, *heatmap, *svgPath); err != nil {
 			fmt.Fprintf(os.Stderr, "tshmem-bench: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 
 	opt := bench.Options{Quick: !*full}
@@ -98,7 +140,7 @@ func main() {
 		r, ok := bench.Lookup(*exp)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "tshmem-bench: unknown experiment %q (try -list)\n", *exp)
-			os.Exit(2)
+			return 2
 		}
 		runners = []bench.Runner{r}
 	}
@@ -110,7 +152,7 @@ func main() {
 		e, err := r.Run(opt)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "tshmem-bench: %s: %v\n", r.ID, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Print(e.Format())
 		if *plot {
@@ -123,6 +165,7 @@ func main() {
 		}
 		fmt.Printf("(regenerated in %.1fs wall time)\n\n", time.Since(start).Seconds())
 	}
+	return 0
 }
 
 // runProbe runs one observability probe, prints its counter and latency
@@ -203,17 +246,18 @@ func writeBaseline(path string) error {
 	return nil
 }
 
-// runCompare diffs two baseline files and exits non-zero on regression.
-// The flag package stops parsing at the first positional argument, so a
-// trailing "-threshold 5%" after the file is picked up here by hand.
-func runCompare(basePath string, args []string, thresh string) error {
+// runCompare diffs two baseline files, returning exit code 3 on
+// regression. The flag package stops parsing at the first positional
+// argument, so a trailing "-threshold 5%" after the file is picked up
+// here by hand.
+func runCompare(basePath string, args []string, thresh string) (int, error) {
 	var curPath string
 	for i := 0; i < len(args); i++ {
 		a := args[i]
 		switch {
 		case a == "-threshold" || a == "--threshold":
 			if i+1 >= len(args) {
-				return fmt.Errorf("-threshold needs a value (e.g. 5%%)")
+				return 0, fmt.Errorf("-threshold needs a value (e.g. 5%%)")
 			}
 			i++
 			thresh = args[i]
@@ -222,28 +266,28 @@ func runCompare(basePath string, args []string, thresh string) error {
 		case curPath == "":
 			curPath = a
 		default:
-			return fmt.Errorf("unexpected argument %q (usage: -compare baseline.json current.json [-threshold 5%%])", a)
+			return 0, fmt.Errorf("unexpected argument %q (usage: -compare baseline.json current.json [-threshold 5%%])", a)
 		}
 	}
 	if curPath == "" {
-		return fmt.Errorf("usage: -compare baseline.json current.json [-threshold 5%%]")
+		return 0, fmt.Errorf("usage: -compare baseline.json current.json [-threshold 5%%]")
 	}
 	t, err := bench.ParseThreshold(thresh)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	base, err := bench.ReadBaseline(basePath)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	cur, err := bench.ReadBaseline(curPath)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	deltas := bench.Compare(base, cur, t)
 	fmt.Print(bench.FormatCompare(deltas, t))
 	if bench.Regressed(deltas) {
-		os.Exit(3)
+		return 3, nil
 	}
-	return nil
+	return 0, nil
 }

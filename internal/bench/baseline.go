@@ -5,9 +5,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 
 	"tshmem/internal/core"
 	"tshmem/internal/stats"
@@ -69,17 +71,39 @@ func ProbeResult(p Probe, rep *core.Report) Result {
 }
 
 // RunSuite runs every registered probe under opts and collects the
-// Baseline. Deterministic virtual time makes two runs of the same tree
-// produce identical files.
+// Baseline. Probes are independent deterministic simulations, so they run
+// concurrently across host cores; results keep registration order, and
+// deterministic virtual time makes two runs of the same tree produce
+// identical files regardless of how the host schedules them.
 func RunSuite(opts ProbeOpts) (*Baseline, error) {
 	b := &Baseline{SchemaVersion: BaselineSchemaVersion, Tool: "tshmem-bench"}
-	for _, p := range probes {
-		rep, err := p.Run(opts)
-		if err != nil {
-			return nil, fmt.Errorf("probe %s: %w", p.ID, err)
-		}
-		b.Results = append(b.Results, ProbeResult(p, rep))
+	results := make([]Result, len(probes))
+	errs := make([]error, len(probes))
+	// Each probe already fans out one goroutine per PE; bound the number
+	// of concurrently *running* probes to the host parallelism.
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, p := range probes {
+		wg.Add(1)
+		go func(i int, p Probe) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			rep, err := p.Run(opts)
+			if err != nil {
+				errs[i] = fmt.Errorf("probe %s: %w", p.ID, err)
+				return
+			}
+			results[i] = ProbeResult(p, rep)
+		}(i, p)
 	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	b.Results = results
 	return b, nil
 }
 

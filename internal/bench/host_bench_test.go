@@ -1,0 +1,150 @@
+package bench
+
+// Host-side (wall-clock) microbenchmarks for the simulator itself. The
+// virtual-time baseline (BENCH_baseline.json) gates the *model*; these
+// gate the *host cost* of running it: ns/op and — the figure ci.sh's
+// bench-alloc smoke stage enforces — allocs/op on the uninstrumented hot
+// paths. With Config.Observe unset, Put and Barrier must report
+// 0 allocs/op; docs/PERFORMANCE.md records the budget per operation.
+//
+// Run with:
+//
+//	go test ./internal/bench -run '^$' -bench . -benchmem
+
+import (
+	"testing"
+
+	"tshmem/internal/core"
+)
+
+// benchPEs is the PE count the barrier/bcast benchmarks run on: large
+// enough that the signal chains do real work, small enough that host
+// goroutine scheduling stays cheap on small CI machines.
+const benchPEs = 8
+
+// BenchmarkPut measures one 1 KiB dynamic-target put between two tiles,
+// uninstrumented. allocs/op must be 0: the put path is pointer arithmetic,
+// one memcpy, and float cost-model math.
+func BenchmarkPut(b *testing.B) {
+	benchPut(b, core.Config{NPEs: 2, HeapPerPE: 1 << 20})
+}
+
+// BenchmarkPutObserved is BenchmarkPut with substrate counters on, the
+// instrumented bound the observability layer must stay close to.
+func BenchmarkPutObserved(b *testing.B) {
+	benchPut(b, core.Config{NPEs: 2, HeapPerPE: 1 << 20, Observe: true})
+}
+
+func benchPut(b *testing.B, cfg core.Config) {
+	const nelems = 128 // 1 KiB of int64
+	b.ReportAllocs()
+	_, err := core.Run(cfg, func(pe *core.PE) error {
+		x, err := core.Malloc[int64](pe, nelems)
+		if err != nil {
+			return err
+		}
+		y, err := core.Malloc[int64](pe, nelems)
+		if err != nil {
+			return err
+		}
+		if pe.MyPE() == 0 {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := core.Put(pe, y, x, nelems, 1); err != nil {
+					return err
+				}
+			}
+			b.StopTimer()
+		}
+		return pe.BarrierAll()
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkBarrier measures one barrier_all over the UDN wait+release
+// chain on benchPEs tiles, uninstrumented. allocs/op counts the work of
+// the whole chain (every PE's sends and receives per barrier) and must
+// be 0.
+func BenchmarkBarrier(b *testing.B) {
+	benchBarrier(b, core.Config{NPEs: benchPEs, HeapPerPE: 64 << 10})
+}
+
+// BenchmarkBarrierObserved is BenchmarkBarrier with counters on.
+func BenchmarkBarrierObserved(b *testing.B) {
+	benchBarrier(b, core.Config{NPEs: benchPEs, HeapPerPE: 64 << 10, Observe: true})
+}
+
+func benchBarrier(b *testing.B, cfg core.Config) {
+	b.ReportAllocs()
+	_, err := core.Run(cfg, func(pe *core.PE) error {
+		if pe.MyPE() == 0 {
+			b.ResetTimer()
+		}
+		for i := 0; i < b.N; i++ {
+			if err := pe.BarrierAll(); err != nil {
+				return err
+			}
+		}
+		if pe.MyPE() == 0 {
+			b.StopTimer()
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkBcast measures one 4 KiB pull broadcast to benchPEs tiles,
+// uninstrumented. The pull design bounds it by two barrier chains plus
+// one charged copy per PE.
+func BenchmarkBcast(b *testing.B) {
+	const nelems = 1 << 9 // 4 KiB of int64
+	b.ReportAllocs()
+	cfg := core.Config{NPEs: benchPEs, HeapPerPE: 1 << 20}
+	_, err := core.Run(cfg, func(pe *core.PE) error {
+		target, err := core.Malloc[int64](pe, nelems)
+		if err != nil {
+			return err
+		}
+		source, err := core.Malloc[int64](pe, nelems)
+		if err != nil {
+			return err
+		}
+		ps, err := core.Malloc[int64](pe, core.BcastSyncSize)
+		if err != nil {
+			return err
+		}
+		as := core.AllPEs(pe.NumPEs())
+		if pe.MyPE() == 0 {
+			b.ResetTimer()
+		}
+		for i := 0; i < b.N; i++ {
+			if err := core.BroadcastPull(pe, target, source, nelems, 0, as, ps); err != nil {
+				return err
+			}
+		}
+		if pe.MyPE() == 0 {
+			b.StopTimer()
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkRunStartup measures a full launch-to-teardown cycle of an
+// benchPEs-PE program with an empty body: common-memory setup, UDN
+// construction, the start_pes address exchange, and teardown.
+func BenchmarkRunStartup(b *testing.B) {
+	b.ReportAllocs()
+	cfg := core.Config{NPEs: benchPEs, HeapPerPE: 64 << 10}
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Run(cfg, func(pe *core.PE) error { return nil }); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -60,29 +60,62 @@ func (m Mode) String() string {
 }
 
 // Model is the memory-system performance model for one chip.
+//
+// The bandwidth curves and their derived constants are precomputed at
+// construction so the per-copy hot path (CopyCostHomed and friends, called
+// once per modeled byte transfer) performs no repeated anchor-logarithm
+// work: curveTable holds the log2 of every anchor, and the memory-floor
+// bandwidths (the curves evaluated far past their last anchor) are fixed
+// numbers. All precomputation evaluates exactly the arithmetic the
+// uncached path would, so modeled virtual time is bit-identical.
 type Model struct {
-	chip *arch.Chip
+	chip    *arch.Chip
+	private curveTable
+	shared  curveTable
+	// floor* is interpLog(curve, 1<<40): the memory-system floor bandwidth
+	// local/remote homing falls to beyond L2 capacity.
+	floorPrivate float64
+	floorShared  float64
+	ddcBytes     int64
 }
 
 // NewModel builds the memory model for chip.
-func NewModel(chip *arch.Chip) *Model { return &Model{chip: chip} }
+func NewModel(chip *arch.Chip) *Model {
+	m := &Model{
+		chip:     chip,
+		private:  newCurveTable(chip.PrivateCopy),
+		shared:   newCurveTable(chip.SharedCopy),
+		ddcBytes: int64(chip.L2Bytes) * int64(chip.Tiles),
+	}
+	m.floorPrivate = m.private.interp(int64(1) << 40)
+	m.floorShared = m.shared.interp(int64(1) << 40)
+	return m
+}
 
 // Chip returns the modeled chip.
 func (m *Model) Chip() *arch.Chip { return m.chip }
 
-// curve returns the anchor set for a transfer mode.
-func (m *Model) curve(mode Mode) arch.CopyCurve {
+// table returns the precomputed anchor table for a transfer mode.
+func (m *Model) table(mode Mode) *curveTable {
 	if mode == PrivateToPrivate {
-		return m.chip.PrivateCopy
+		return &m.private
 	}
-	return m.chip.SharedCopy
+	return &m.shared
+}
+
+// floor returns the precomputed memory-floor bandwidth for a mode.
+func (m *Model) floor(mode Mode) float64 {
+	if mode == PrivateToPrivate {
+		return m.floorPrivate
+	}
+	return m.floorShared
 }
 
 // Bandwidth reports the modeled effective bandwidth in MB/s for a single
 // transfer of size bytes in the given mode with no concurrency, under the
 // default hash-for-home policy.
 func (m *Model) Bandwidth(size int64, mode Mode) float64 {
-	return interpLog(m.curve(mode), size)
+	return m.table(mode).interp(size)
 }
 
 // BandwidthHomed is Bandwidth under an explicit homing strategy for the
@@ -101,7 +134,7 @@ func (m *Model) BandwidthHomed(size int64, mode Mode, h Homing) float64 {
 	if mode == PrivateToPrivate {
 		return base // private data never leaves the tile; homing is moot
 	}
-	floor := interpLog(m.curve(mode), int64(1)<<40)
+	floor := m.floor(mode)
 	switch h {
 	case LocalHome:
 		if size <= int64(m.chip.L2Bytes) {
@@ -176,7 +209,14 @@ func (m *Model) CopyCostHomed(size int64, mode Mode, h Homing, streams int) vtim
 // is accounted on rec (nil disables accounting), classified by the
 // hierarchy level that backs its working set.
 func (m *Model) CopyCostHomedRec(size int64, mode Mode, h Homing, streams int, rec *stats.Recorder) vtime.Duration {
-	d := m.CopyCostHomed(size, mode, h, streams)
+	return m.CopyCostHomedMemoRec(nil, size, mode, h, streams, rec)
+}
+
+// CopyCostHomedMemoRec is CopyCostHomedRec with the cost looked up through
+// mm. A nil mm falls back to the direct computation. This is the per-copy
+// entry point of the RMA hot path.
+func (m *Model) CopyCostHomedMemoRec(mm *Memo, size int64, mode Mode, h Homing, streams int, rec *stats.Recorder) vtime.Duration {
+	d := mm.CopyCostHomed(m, size, mode, h, streams)
 	if rec != nil && size > 0 {
 		rec.CacheCopy(stats.CacheLevel(m.LevelFor(size)), int(size), d)
 	}
@@ -252,7 +292,7 @@ func (m *Model) LevelFor(size int64) Level {
 		return L1d
 	case size <= int64(m.chip.L2Bytes):
 		return L2
-	case size <= m.DDCBytes():
+	case size <= m.ddcBytes:
 		return DDC
 	default:
 		return DRAM
@@ -261,9 +301,7 @@ func (m *Model) LevelFor(size int64) Level {
 
 // DDCBytes reports the capacity of the Dynamic Distributed Cache: the
 // aggregation of the L2 caches of all tiles (S III.A).
-func (m *Model) DDCBytes() int64 {
-	return int64(m.chip.L2Bytes) * int64(m.chip.Tiles)
-}
+func (m *Model) DDCBytes() int64 { return m.ddcBytes }
 
 // HomeTile reports which physical tile homes the cache line holding the
 // given address (byte offset into the shared segment) under a homing
@@ -288,9 +326,37 @@ func (m *Model) HomeTile(addr int64, h Homing, accessor, partner int) int {
 	}
 }
 
-// interpLog interpolates the bandwidth curve at size, linear in log2(size).
+// curveTable is a bandwidth curve with the per-anchor constants of the
+// log-linear interpolation precomputed: the log2 of each anchor size and
+// each segment's log2 span. interp evaluates exactly the expression the
+// naive three-Log2 form would — the precomputed values are produced by the
+// same math.Log2 calls and the same subtraction, so every interpolated
+// bandwidth is bit-identical — but the hot path performs a single Log2.
+type curveTable struct {
+	curve arch.CopyCurve
+	log2  []float64 // log2(curve[i].Size)
+	span  []float64 // log2(curve[i].Size) - log2(curve[i-1].Size); span[0] unused
+}
+
+func newCurveTable(curve arch.CopyCurve) curveTable {
+	t := curveTable{
+		curve: curve,
+		log2:  make([]float64, len(curve)),
+		span:  make([]float64, len(curve)),
+	}
+	for i, p := range curve {
+		t.log2[i] = math.Log2(float64(p.Size))
+		if i > 0 {
+			t.span[i] = t.log2[i] - t.log2[i-1]
+		}
+	}
+	return t
+}
+
+// interp interpolates the bandwidth curve at size, linear in log2(size).
 // Sizes outside the anchor range clamp to the nearest endpoint.
-func interpLog(curve arch.CopyCurve, size int64) float64 {
+func (t *curveTable) interp(size int64) float64 {
+	curve := t.curve
 	if len(curve) == 0 {
 		return 1 // defensive: 1 MB/s floor rather than division by zero
 	}
@@ -304,10 +370,58 @@ func interpLog(curve arch.CopyCurve, size int64) float64 {
 	for i := 1; i < len(curve); i++ {
 		if size <= curve[i].Size {
 			lo, hi := curve[i-1], curve[i]
-			f := (math.Log2(float64(size)) - math.Log2(float64(lo.Size))) /
-				(math.Log2(float64(hi.Size)) - math.Log2(float64(lo.Size)))
+			f := (math.Log2(float64(size)) - t.log2[i-1]) / t.span[i]
 			return lo.MBs + f*(hi.MBs-lo.MBs)
 		}
 	}
 	return last.MBs
+}
+
+// memoSize is the Memo's direct-mapped capacity. SPMD phases cycle through
+// a handful of (size, mode, homing, streams) tuples, so a small power of
+// two gives near-perfect hit rates without measurable footprint.
+const memoSize = 256
+
+// memoEntry caches one fully-computed copy cost.
+type memoEntry struct {
+	size  int64
+	key   uint32
+	valid bool
+	cost  vtime.Duration
+}
+
+// Memo is a single-caller cache over Model.CopyCostHomed: a direct-mapped
+// table keyed on the (size, mode, homing, streams) tuple SPMD loops repeat
+// millions of times. Hits skip the bandwidth interpolation and contention
+// division entirely and return the previously computed Duration, so
+// memoized costs are bit-identical to unmemoized ones by construction.
+//
+// A Memo must not be shared between goroutines: each PE owns one. The nil
+// *Memo is valid and falls through to the uncached computation, mirroring
+// the stats.Recorder convention.
+type Memo struct {
+	entries [memoSize]memoEntry
+}
+
+// memoKey packs mode, homing, and streams into the comparison key.
+// streams is a PE count, far below 2^26.
+func memoKey(mode Mode, h Homing, streams int) uint32 {
+	return uint32(mode)<<30 | uint32(h)<<26 | uint32(streams)&((1<<26)-1)
+}
+
+// CopyCostHomed is Model.CopyCostHomed through the memo.
+func (mm *Memo) CopyCostHomed(m *Model, size int64, mode Mode, h Homing, streams int) vtime.Duration {
+	if mm == nil {
+		return m.CopyCostHomed(size, mode, h, streams)
+	}
+	key := memoKey(mode, h, streams)
+	// Fibonacci-hash the tuple into the direct-mapped table.
+	idx := (uint64(size)*0x9E3779B97F4A7C15 + uint64(key)*0xC2B2AE3D27D4EB4F) >> 56 % memoSize
+	e := &mm.entries[idx]
+	if e.valid && e.size == size && e.key == key {
+		return e.cost
+	}
+	cost := m.CopyCostHomed(size, mode, h, streams)
+	*e = memoEntry{size: size, key: key, valid: true, cost: cost}
+	return cost
 }

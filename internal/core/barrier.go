@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"hash/fnv"
 
 	"tshmem/internal/mpipe"
 	"tshmem/internal/stats"
@@ -70,8 +69,11 @@ const (
 // the barrier signals so overlapping barrier calls cannot return
 // out-of-order or stall (S IV.C.1). The per-set generation counter makes
 // consecutive barriers on the same set distinguishable.
+//
+// The hash is FNV-1a over the four little-endian fields, computed inline:
+// hash/fnv's interface value heap-allocates per call, and this runs on
+// every barrier of every PE.
 func asTag(a ActiveSet, gen uint32) uint32 {
-	h := fnv.New32a()
 	var b [16]byte
 	put32 := func(i int, v uint32) {
 		b[i], b[i+1], b[i+2], b[i+3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
@@ -80,8 +82,16 @@ func asTag(a ActiveSet, gen uint32) uint32 {
 	put32(4, uint32(a.LogStride))
 	put32(8, uint32(a.Size))
 	put32(12, gen)
-	h.Write(b[:])
-	return h.Sum32()
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for _, c := range b {
+		h ^= uint32(c)
+		h *= prime32
+	}
+	return h
 }
 
 // BarrierAll suspends the PE until all PEs have reached the barrier
@@ -135,8 +145,7 @@ func (pe *PE) barrierUDN(as ActiveSet) error {
 	start := pe.clock.Now()
 	defer pe.rec.OpDone(stats.OpBarrier, start, &pe.clock, 0, int(stats.NoPeer))
 	n := as.Size
-	gen := pe.barGen[as]
-	pe.barGen[as] = gen + 1
+	gen := pe.nextBarGen(as)
 	if n == 1 {
 		pe.clock.Advance(vtime.FromNs(pe.prog.chip.BarrierArbiterNs))
 		return nil
@@ -302,7 +311,7 @@ func (pe *PE) recvFab(tag uint32) (mpipe.Msg, error) {
 // signals for other (overlapping) barrier instances until their turn.
 func (pe *PE) recvBarrier(tag uint32, want uint64) (udn.Packet, error) {
 	for i, pkt := range pe.barPending {
-		if pkt.Tag == tag && pkt.Words[0] == want {
+		if pkt.Tag == tag && pkt.Word(0) == want {
 			pe.barPending = append(pe.barPending[:i], pe.barPending[i+1:]...)
 			pe.rec.BarrierWait(pe.clock.AdvanceTo(pkt.Arrive))
 			return pkt, nil
@@ -313,7 +322,7 @@ func (pe *PE) recvBarrier(tag uint32, want uint64) (udn.Packet, error) {
 		if err != nil {
 			return udn.Packet{}, err
 		}
-		if pkt.Tag == tag && len(pkt.Words) == 1 && pkt.Words[0] == want {
+		if pkt.Tag == tag && pkt.Len() == 1 && pkt.Word(0) == want {
 			pe.rec.BarrierWait(pe.clock.AdvanceTo(pkt.Arrive))
 			return pkt, nil
 		}
@@ -346,8 +355,7 @@ func (pe *PE) BarrierRootRelease(as ActiveSet) error {
 	start := pe.clock.Now()
 	defer pe.rec.OpDone(stats.OpBarrier, start, &pe.clock, 0, int(stats.NoPeer))
 	n := as.Size
-	gen := pe.barGen[as]
-	pe.barGen[as] = gen + 1
+	gen := pe.nextBarGen(as)
 	if n == 1 {
 		pe.clock.Advance(vtime.FromNs(pe.prog.chip.BarrierArbiterNs))
 		return nil

@@ -43,8 +43,7 @@ func (pe *PE) collEnter(as ActiveSet) (idx int, tag uint32, err error) {
 	if !ok {
 		return 0, 0, fmt.Errorf("%w: PE %d vs %v", ErrNotInSet, pe.id, as)
 	}
-	gen := pe.collGen[as]
-	pe.collGen[as] = gen + 1
+	gen := pe.nextCollGen(as)
 	pe.stats.Collectives++
 	// Offset the hash stream so collective tags never collide with barrier
 	// tags of the same set/generation.
@@ -66,37 +65,49 @@ func (pe *PE) sendSigWords(dst int, tag uint32, words []uint64, fab bool) error 
 	return pe.sendUDN(dst, qColl, tag, words)
 }
 
-// sendSig sends a one-word control signal.
+// sendSig sends a one-word control signal. The two branches build separate
+// payload literals on purpose: the UDN transport never retains the slice,
+// so its literal stays on the caller's stack, while the fabric transport
+// may hold the message and would force a shared literal to the heap.
 func (pe *PE) sendSig(dst int, tag uint32, word uint64, fab bool) error {
-	return pe.sendSigWords(dst, tag, []uint64{word}, fab)
+	if fab {
+		return pe.prog.fabric.Send(&pe.clock, pe.id, dst, tag, []uint64{word})
+	}
+	return pe.sendUDN(dst, qColl, tag, []uint64{word})
 }
 
 // recvSig receives the next control signal carrying tag from the chosen
-// transport, returning the sender's global rank and the payload. Signals
-// belonging to other in-flight collective instances are stashed.
-func (pe *PE) recvSig(tag uint32, fab bool) (src int, words []uint64, err error) {
+// transport, returning the sender's global rank and the first (up to) two
+// payload words — no collective protocol message carries more. Returning a
+// fixed array rather than a slice keeps the UDN receive path allocation-
+// free. Signals belonging to other in-flight collective instances are
+// stashed.
+func (pe *PE) recvSig(tag uint32, fab bool) (src int, w [2]uint64, err error) {
 	if fab {
 		m, err := pe.recvFab(tag)
 		if err != nil {
-			return 0, nil, err
+			return 0, w, err
 		}
-		return m.SrcPE, m.Words, nil
+		copy(w[:], m.Words)
+		return m.SrcPE, w, nil
 	}
 	for i, pkt := range pe.collPending {
 		if pkt.Tag == tag {
+			copy(w[:], pkt.Payload())
 			pe.collPending = append(pe.collPending[:i], pe.collPending[i+1:]...)
 			pe.clock.AdvanceTo(pkt.Arrive)
-			return pe.globalSrc(pkt.Src), pkt.Words, nil
+			return pe.globalSrc(pkt.Src), w, nil
 		}
 	}
 	for {
 		pkt, err := pe.port.RecvRaw(qColl)
 		if err != nil {
-			return 0, nil, err
+			return 0, w, err
 		}
 		if pkt.Tag == tag {
+			copy(w[:], pkt.Payload())
 			pe.clock.AdvanceTo(pkt.Arrive)
-			return pe.globalSrc(pkt.Src), pkt.Words, nil
+			return pe.globalSrc(pkt.Src), w, nil
 		}
 		pe.collPending = append(pe.collPending, pkt)
 	}

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"tshmem/internal/vtime"
+)
+
+// determinismBody is a communication-heavy observed program exercising the
+// paths the host fast-path work touches: memoized RMA costs, the barrier
+// generation fast path, collective signals, and the sharded scratch arena
+// (via static-static puts). Every run must produce bit-identical virtual
+// time and counters regardless of host scheduling.
+//
+// Phases are separated by barriers so no symmetric object is concurrently
+// read and written on the host — SHMEM semantics require that of the
+// program, not the substrate. The static put uses distinct source/target
+// objects because the target side is written by the remote tile's
+// interrupt servicer while the owner may be mid-transfer itself.
+func determinismBody(pe *PE) error {
+	const n = 256
+	x, err := Malloc[int64](pe, n)
+	if err != nil {
+		return err
+	}
+	y, err := Malloc[int64](pe, n)
+	if err != nil {
+		return err
+	}
+	ps, err := Malloc[int64](pe, BcastSyncSize)
+	if err != nil {
+		return err
+	}
+	stSrc, err := DeclareStatic[int64](pe, "det-src", 64)
+	if err != nil {
+		return err
+	}
+	stDst, err := DeclareStatic[int64](pe, "det-dst", 64)
+	if err != nil {
+		return err
+	}
+	lv, err := Local(pe, x)
+	if err != nil {
+		return err
+	}
+	for i := range lv {
+		lv[i] = int64(pe.MyPE()*n + i)
+	}
+	as := AllPEs(pe.NumPEs())
+	for iter := 0; iter < 3; iter++ {
+		next := (pe.MyPE() + 1) % pe.NumPEs()
+		if err := Put(pe, y, x, n, next); err != nil {
+			return err
+		}
+		if err := pe.BarrierAll(); err != nil {
+			return err
+		}
+		if err := Get(pe, x, y, n, (pe.MyPE()+pe.NumPEs()-1)%pe.NumPEs()); err != nil {
+			return err
+		}
+		if err := pe.BarrierAll(); err != nil {
+			return err
+		}
+		// Static-static transfer: exercises the UDN interrupt redirection
+		// and a scratch-arena bounce on every PE concurrently.
+		if err := Put(pe, stDst, stSrc, 64, next); err != nil {
+			return err
+		}
+		if err := BroadcastPull(pe, y, x, n, 0, as, ps); err != nil {
+			return err
+		}
+		if err := pe.BarrierAll(); err != nil {
+			return err
+		}
+		if pe.NumPEs() >= 4 {
+			half := ActiveSet{Start: 0, LogStride: 1, Size: pe.NumPEs() / 2}
+			if half.Contains(pe.MyPE()) {
+				if err := pe.Barrier(half); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return pe.BarrierAll()
+}
+
+// runDeterminism runs the observed program and returns its report.
+func runDeterminism(t *testing.T) *Report {
+	t.Helper()
+	rep, err := Run(Config{NPEs: 8, HeapPerPE: 1 << 20, Observe: true}, determinismBody)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// compareReports asserts that two runs of the same program agree on every
+// deterministic output: per-PE virtual times, substrate counters, and the
+// per-chip mesh link traffic. The per-tile QueueHWM is deliberately NOT
+// compared: it samples the host-side receive-channel occupancy at send
+// time, a scheduling diagnostic that is host-dependent by design.
+func compareReports(t *testing.T, label string, a, b *Report) {
+	t.Helper()
+	if !reflect.DeepEqual(a.PETimes, b.PETimes) {
+		t.Errorf("%s: PETimes diverged:\n  a: %v\n  b: %v", label, a.PETimes, b.PETimes)
+	}
+	if a.MaxTime != b.MaxTime || a.MinTime != b.MinTime {
+		t.Errorf("%s: makespan diverged: [%v,%v] vs [%v,%v]",
+			label, a.MinTime, a.MaxTime, b.MinTime, b.MaxTime)
+	}
+	if !reflect.DeepEqual(a.PECounters, b.PECounters) {
+		for i := range a.PECounters {
+			if !reflect.DeepEqual(a.PECounters[i], b.PECounters[i]) {
+				t.Errorf("%s: PE %d counters diverged", label, i)
+			}
+		}
+	}
+	if len(a.MeshUtil) != len(b.MeshUtil) {
+		t.Fatalf("%s: %d vs %d mesh snapshots", label, len(a.MeshUtil), len(b.MeshUtil))
+	}
+	for i := range a.MeshUtil {
+		ua, ub := a.MeshUtil[i], b.MeshUtil[i]
+		if ua.Chip != ub.Chip || ua.Width != ub.Width || ua.Height != ub.Height {
+			t.Errorf("%s: chip %d geometry diverged", label, i)
+		}
+		if !reflect.DeepEqual(ua.Words, ub.Words) {
+			t.Errorf("%s: chip %d per-link word counts diverged", label, i)
+		}
+		if !reflect.DeepEqual(ua.Packets, ub.Packets) {
+			t.Errorf("%s: chip %d per-link packet counts diverged", label, i)
+		}
+	}
+}
+
+// TestDeterministicRepeat runs the same observed program twice on the same
+// host configuration: all virtual-time outputs must be bit-identical.
+func TestDeterministicRepeat(t *testing.T) {
+	a := runDeterminism(t)
+	b := runDeterminism(t)
+	compareReports(t, "repeat", a, b)
+	if a.MaxTime == 0 {
+		t.Error("program did no modeled work")
+	}
+	var total vtime.Duration
+	for _, d := range a.PETimes {
+		total += d
+	}
+	if total == 0 {
+		t.Error("all PE clocks stayed at zero")
+	}
+}
+
+// TestDeterministicAcrossGOMAXPROCS pins the host to one OS thread and
+// re-runs the program: serializing all PE goroutines must not move a
+// single modeled picosecond, counter, or link count relative to the
+// fully parallel run.
+func TestDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	parallel := runDeterminism(t)
+	old := runtime.GOMAXPROCS(1)
+	serial := runDeterminism(t)
+	runtime.GOMAXPROCS(old)
+	compareReports(t, "gomaxprocs", parallel, serial)
+}

@@ -5,6 +5,7 @@ import (
 
 	"tshmem/internal/alloc"
 	"tshmem/internal/arch"
+	"tshmem/internal/cache"
 	"tshmem/internal/mpipe"
 	"tshmem/internal/stats"
 	"tshmem/internal/tmc"
@@ -45,7 +46,14 @@ type PE struct {
 	port  *udn.Port
 	heap  *alloc.Allocator
 
-	hint        int // concurrency hint for the memory model (set by collectives)
+	hint int // concurrency hint for the memory model (set by collectives)
+
+	// Generation counters distinguish overlapping barrier/collective
+	// instances on the same active set. The all-PEs set — every
+	// BarrierAll and most collectives — bypasses the maps with dedicated
+	// counters; the maps serve subset active sets only.
+	barGenAll   uint32
+	collGenAll  uint32
 	barGen      map[ActiveSet]uint32
 	barPending  []udn.Packet // stashed signals of overlapping barrier instances
 	collGen     map[ActiveSet]uint32
@@ -54,8 +62,39 @@ type PE struct {
 	fabPending  []mpipe.Msg // stashed cross-chip control messages
 	finalized   bool
 
+	memo  cache.Memo // per-PE copy-cost memo; owned by the PE goroutine
 	stats Stats
 	rec   *stats.Recorder // substrate observability; nil unless Config.Observe
+}
+
+// allPEsSet reports whether as is the full-program active set, the case
+// the generation-counter fast path serves.
+func (pe *PE) allPEsSet(as ActiveSet) bool {
+	return as.Start == 0 && as.LogStride == 0 && as.Size == pe.n
+}
+
+// nextBarGen returns the barrier generation for as and advances it.
+func (pe *PE) nextBarGen(as ActiveSet) uint32 {
+	if pe.allPEsSet(as) {
+		g := pe.barGenAll
+		pe.barGenAll = g + 1
+		return g
+	}
+	g := pe.barGen[as]
+	pe.barGen[as] = g + 1
+	return g
+}
+
+// nextCollGen returns the collective generation for as and advances it.
+func (pe *PE) nextCollGen(as ActiveSet) uint32 {
+	if pe.allPEsSet(as) {
+		g := pe.collGenAll
+		pe.collGenAll = g + 1
+		return g
+	}
+	g := pe.collGen[as]
+	pe.collGen[as] = g + 1
+	return g
 }
 
 // MyPE reports this PE's number (the OpenSHMEM _my_pe).
@@ -163,7 +202,7 @@ func (pe *PE) startPEs() error {
 			return err
 		}
 		src := pe.globalSrc(pkt.Src)
-		if got, want := int64(pkt.Words[0]), pe.prog.partBase[src]; got != want {
+		if got, want := int64(pkt.Word(0)), pe.prog.partBase[src]; got != want {
 			return fmt.Errorf("%w: PE %d reported partition base %d, launcher says %d",
 				ErrAsymmetric, src, got, want)
 		}

@@ -82,7 +82,7 @@ func resolve[T Elem](pe *PE, r Ref[T], onPE, nelems int) (operand, error) {
 // per-link accounting is on.
 func (pe *PE) chargeXfer(nbytes int64, mode cache.Mode, remotePE int, toRemote bool) {
 	t0 := pe.clock.Now()
-	pe.clock.Advance(pe.prog.model.CopyCostHomedRec(nbytes, mode, pe.prog.cfg.Homing, pe.curHint(), pe.rec))
+	pe.clock.Advance(pe.prog.model.CopyCostHomedMemoRec(&pe.memo, nbytes, mode, pe.prog.cfg.Homing, pe.curHint(), pe.rec))
 	if remotePE != pe.id && !pe.prog.sameChip(pe.id, remotePE) {
 		// Store-and-forward through mPIPE: the data still traverses the
 		// local memory system (charged above), then rides the wire.
@@ -182,7 +182,7 @@ func putResolved[T Elem](pe *PE, target Ref[T], src operand, nelems, tpe int) er
 		// Static-static (or private source): bounce through a temporary
 		// common-memory buffer — the extra copy is the paper's "major
 		// performance penalty" case.
-		g, err := pe.prog.scratchGet(src.nbytes)
+		g, err := pe.prog.scratchGet(pe.id, src.nbytes)
 		if err != nil {
 			return err
 		}
@@ -261,7 +261,7 @@ func getResolved[T Elem](pe *PE, dst operand, source Ref[T], nelems, spe int) er
 			return pe.redirect(spe, opGetToShared, src.sid, src.sOff, dst.gOff, src.nbytes)
 		}
 		// Static-static: bounce through a temporary shared buffer.
-		g, err := pe.prog.scratchGet(src.nbytes)
+		g, err := pe.prog.scratchGet(pe.id, src.nbytes)
 		if err != nil {
 			return err
 		}
@@ -287,7 +287,7 @@ func (pe *PE) redirect(target int, op uint64, sid int32, sOff, gOff, nbytes int6
 	if err != nil {
 		return err
 	}
-	if len(rep.Words) == 0 || rep.Words[0] != stOK {
+	if rep.Len() == 0 || rep.Word(0) != stOK {
 		return fmt.Errorf("%w: remote PE %d could not service redirected transfer", ErrUnknownStatic, target)
 	}
 	return nil
@@ -298,11 +298,11 @@ func (pe *PE) redirect(target int, op uint64, sid int32, sOff, gOff, nbytes int6
 // tile could not perform itself. It must not touch pe.clock or pe.stats —
 // the requester carries the timing through the interrupt reply.
 func (pe *PE) serviceInterrupt(req udn.Packet) ([]uint64, vtime.Duration) {
-	if len(req.Words) != 5 {
+	if req.Len() != 5 {
 		return []uint64{stErr}, 0
 	}
-	op, sid := req.Words[0], int32(req.Words[1])
-	sOff, gOff, nbytes := int64(req.Words[2]), int64(req.Words[3]), int64(req.Words[4])
+	op, sid := req.Word(0), int32(req.Word(1))
+	sOff, gOff, nbytes := int64(req.Word(2)), int64(req.Word(3)), int64(req.Word(4))
 
 	backing, err := pe.prog.statics.backing(sid, pe.id)
 	if err != nil || sOff+nbytes > int64(len(backing)) {

@@ -238,9 +238,10 @@ type Program struct {
 	partBase []int64 // common-memory offset of each PE's partition
 	partSize int64
 
-	scratchMu sync.Mutex
-	scratch   *alloc.Allocator
-	scratchAt int64 // common-memory offset of the scratch arena
+	scratchAt    int64          // common-memory offset of the scratch arena
+	scratchSmall []scratchShard // per-PE-affine shards for small requests
+	shardBytes   int64          // capacity of each small shard
+	scratchBig   scratchShard   // fallback arena with the bulk of the capacity
 
 	spinBar *tmc.Barrier // TMC spin barrier across all PEs
 
@@ -424,17 +425,18 @@ func newProgram(cfg Config) (*Program, error) {
 	var err error
 
 	// Each mapping may burn up to one page of alignment padding.
-	total := cfg.ScratchBytes + int64(cfg.NPEs)*(cfg.HeapPerPE+4096) + 64<<10
+	nsh := scratchShardCount(cfg.NPEs)
+	scratchTotal := cfg.ScratchBytes + int64(nsh)*scratchShardBytes
+	total := scratchTotal + int64(cfg.NPEs)*(cfg.HeapPerPE+4096) + 64<<10
 	p.cm, err = tmc.NewCommonMemory(total)
 	if err != nil {
 		return nil, err
 	}
-	p.scratchAt, err = p.cm.Map(cfg.ScratchBytes, 4096)
+	p.scratchAt, err = p.cm.Map(scratchTotal, 4096)
 	if err != nil {
 		return nil, err
 	}
-	p.scratch, err = alloc.New(cfg.ScratchBytes)
-	if err != nil {
+	if err := p.initScratch(cfg.ScratchBytes, nsh); err != nil {
 		return nil, err
 	}
 	p.partBase = make([]int64, cfg.NPEs)
@@ -508,23 +510,99 @@ func newProgram(cfg Config) (*Program, error) {
 	return p, nil
 }
 
-// scratchGet carves size bytes out of the scratch arena, returning the
-// common-memory global offset.
-func (p *Program) scratchGet(size int64) (int64, error) {
-	p.scratchMu.Lock()
-	defer p.scratchMu.Unlock()
-	off, err := p.scratch.Alloc(size)
+// Scratch-arena sharding. Up to scratchMaxShards per-PE-affine small
+// shards, each with its own lock, sit in front of the big arena of the
+// configured capacity. Concurrent small static-static bounces — the
+// common case — never contend on a single mutex, while the big arena
+// keeps the full Config.ScratchBytes single-allocation capacity (the
+// shards are additional mapped memory, at most 512 KiB). Sharding only
+// moves *where* in the area a temporary buffer lands; modeled copy costs
+// depend on sizes alone, so virtual time is unaffected.
+const (
+	scratchMaxShards  = 8
+	scratchShardBytes = 64 << 10
+)
+
+// scratchShardCount reports how many small shards an npes-PE program gets.
+func scratchShardCount(npes int) int {
+	if npes < scratchMaxShards {
+		return npes
+	}
+	return scratchMaxShards
+}
+
+// scratchShard is one independently locked slice of the scratch arena.
+type scratchShard struct {
+	mu    sync.Mutex
+	arena *alloc.Allocator
+	base  int64 // offset of this shard within the scratch area
+	size  int64
+}
+
+// get allocates size bytes, returning the shard-relative offset.
+func (s *scratchShard) get(size int64) (int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.arena.Alloc(size)
+}
+
+// put frees the block at the scratch-area-relative offset rel.
+func (s *scratchShard) put(rel int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.arena.Free(rel - s.base)
+}
+
+// initScratch lays the scratch area out as nsh small shards followed by
+// the big arena of bigBytes capacity. The caller mapped
+// nsh*scratchShardBytes + bigBytes contiguous bytes at p.scratchAt.
+func (p *Program) initScratch(bigBytes int64, nsh int) error {
+	p.shardBytes = scratchShardBytes
+	p.scratchSmall = make([]scratchShard, nsh)
+	var off int64
+	for i := range p.scratchSmall {
+		a, err := alloc.New(scratchShardBytes)
+		if err != nil {
+			return err
+		}
+		s := &p.scratchSmall[i]
+		s.arena, s.base, s.size = a, off, scratchShardBytes
+		off += scratchShardBytes
+	}
+	big, err := alloc.New(bigBytes)
+	if err != nil {
+		return err
+	}
+	p.scratchBig.arena, p.scratchBig.base, p.scratchBig.size = big, off, bigBytes
+	return nil
+}
+
+// scratchGet carves size bytes out of the scratch arena for PE owner,
+// returning the common-memory global offset. Small requests try the
+// owner's shard first; anything that does not fit there (oversized, or
+// the shard is exhausted) falls back to the big arena.
+func (p *Program) scratchGet(owner int, size int64) (int64, error) {
+	if n := len(p.scratchSmall); n > 0 && size <= p.shardBytes {
+		s := &p.scratchSmall[owner%n]
+		if off, err := s.get(size); err == nil {
+			return p.scratchAt + s.base + off, nil
+		}
+	}
+	off, err := p.scratchBig.get(size)
 	if err != nil {
 		return 0, err
 	}
-	return p.scratchAt + off, nil
+	return p.scratchAt + p.scratchBig.base + off, nil
 }
 
 func (p *Program) scratchPut(globalOff int64) {
-	p.scratchMu.Lock()
-	defer p.scratchMu.Unlock()
+	rel := globalOff - p.scratchAt
+	s := &p.scratchBig
+	if rel < s.base {
+		s = &p.scratchSmall[int(rel/p.shardBytes)]
+	}
 	// Best effort: scratch bugs indicate internal misuse, not user error.
-	if err := p.scratch.Free(globalOff - p.scratchAt); err != nil {
+	if err := s.put(rel); err != nil {
 		panic(err)
 	}
 }

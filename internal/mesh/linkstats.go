@@ -81,33 +81,38 @@ func (ls *LinkStats) RecordRoute(src, dst, words int) {
 	if ls == nil || words <= 0 || src == dst {
 		return
 	}
-	a, err := ls.geo.Coord(src)
-	if err != nil {
+	w := ls.geo.Width
+	if src < 0 || src >= len(ls.qhwm) || dst < 0 || dst >= len(ls.qhwm) {
 		return
 	}
-	b, err := ls.geo.Coord(dst)
-	if err != nil {
-		return
+	ax, ay := src%w, src/w
+	bx, by := dst%w, dst/w
+	// Walk the XY route with an incrementally-stepped link index: one
+	// atomic pair per directed link, no per-hop closure or coordinate
+	// re-derivation. Stepping east/west moves the tile index by 1 link
+	// block; south/north by a full row of link blocks.
+	wn := int64(words)
+	const dirs = int(NumLinkDirs)
+	i := (ay*w + ax) * dirs
+	for ; ax < bx; ax++ {
+		ls.words[i+int(LinkEast)].Add(wn)
+		ls.packets[i+int(LinkEast)].Add(1)
+		i += dirs
 	}
-	x, y := a.X, a.Y
-	step := func(d LinkDir) {
-		i := (y*ls.geo.Width+x)*int(NumLinkDirs) + int(d)
-		ls.words[i].Add(int64(words))
-		ls.packets[i].Add(1)
-		dx, dy := d.delta()
-		x, y = x+dx, y+dy
+	for ; ax > bx; ax-- {
+		ls.words[i+int(LinkWest)].Add(wn)
+		ls.packets[i+int(LinkWest)].Add(1)
+		i -= dirs
 	}
-	for x < b.X {
-		step(LinkEast)
+	for ; ay < by; ay++ {
+		ls.words[i+int(LinkSouth)].Add(wn)
+		ls.packets[i+int(LinkSouth)].Add(1)
+		i += w * dirs
 	}
-	for x > b.X {
-		step(LinkWest)
-	}
-	for y < b.Y {
-		step(LinkSouth)
-	}
-	for y > b.Y {
-		step(LinkNorth)
+	for ; ay > by; ay-- {
+		ls.words[i+int(LinkNorth)].Add(wn)
+		ls.packets[i+int(LinkNorth)].Add(1)
+		i -= w * dirs
 	}
 }
 

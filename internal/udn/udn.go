@@ -29,12 +29,64 @@ var (
 // also guarantees those protocols cannot deadlock on backpressure.
 const queueCap = 128
 
-// Packet is one UDN message as seen by the receiver.
+// inlineWords is the payload capacity a Packet stores directly in its
+// struct body. Every library protocol message fits: barrier wait/release
+// signals and collective flow-control signals are 1 word, the start_pes
+// address exchange is 1 word, and the static-redirection interrupt request
+// is 5 words. Only application payloads beyond inlineWords words fall back
+// to a heap-allocated slice.
+const inlineWords = 6
+
+// Packet is one UDN message as seen by the receiver. Small payloads (up to
+// inlineWords words) live inline in the struct, so sending and receiving
+// library protocol traffic allocates nothing; access the payload through
+// Len, Word, and Payload.
 type Packet struct {
 	Src    int        // sender's virtual CPU
 	Tag    uint32     // application tag from the header word
-	Words  []uint64   // payload (1..UDNMaxWords words)
 	Arrive vtime.Time // virtual time the packet is available at the queue
+
+	nw     int32 // payload length in words (1..UDNMaxWords)
+	inline [inlineWords]uint64
+	ext    []uint64 // payload when nw > inlineWords; nil otherwise
+}
+
+// makePacket builds a Packet carrying words. Payloads up to inlineWords are
+// copied into the struct body; larger ones are cloned onto the heap, so the
+// caller's slice is never retained and may be reused immediately.
+func makePacket(src int, tag uint32, words []uint64, arrive vtime.Time) Packet {
+	p := Packet{Src: src, Tag: tag, Arrive: arrive, nw: int32(len(words))}
+	if len(words) <= inlineWords {
+		copy(p.inline[:], words)
+	} else {
+		p.ext = append([]uint64(nil), words...)
+	}
+	return p
+}
+
+// Len reports the payload length in words.
+func (p *Packet) Len() int { return int(p.nw) }
+
+// Word returns payload word i. It panics on out-of-range i, mirroring
+// slice indexing.
+func (p *Packet) Word(i int) uint64 {
+	if i < 0 || i >= int(p.nw) {
+		panic(fmt.Sprintf("udn: payload word %d of %d", i, p.nw))
+	}
+	if p.ext != nil {
+		return p.ext[i]
+	}
+	return p.inline[i]
+}
+
+// Payload returns the payload as a slice. For inline payloads the slice
+// views this Packet value's own storage: it is valid while p is and must
+// not be held past p's lifetime.
+func (p *Packet) Payload() []uint64 {
+	if p.ext != nil {
+		return p.ext
+	}
+	return p.inline[:p.nw]
 }
 
 // Handler services a UDN interrupt on the destination tile. It runs on the
@@ -109,6 +161,13 @@ type Port struct {
 	closeOne sync.Once
 	done     chan struct{}
 	doneOnce sync.Once
+
+	// replyCh is the reusable interrupt-reply channel. Interrupt is only
+	// ever called by the goroutine that owns this port, so the channel can
+	// be allocated once and reused across calls; it is dropped (and a
+	// fresh one made next call) if a wait is abandoned with a reply still
+	// owed, so a stale reply can never be read as a fresh one.
+	replyCh chan Packet
 }
 
 // CPU reports the virtual CPU this port belongs to.
@@ -154,12 +213,7 @@ func (p *Port) Send(clock *vtime.Clock, dst, dq int, tag uint32, words []uint64)
 	clock.Advance(path.Send)
 	p.rec.UDNSend(nw, path.Hops, path.Latency())
 	p.net.links.RecordRoute(p.cpu, dst, nw)
-	pkt := Packet{
-		Src:    p.cpu,
-		Tag:    tag,
-		Words:  words,
-		Arrive: clock.Now().Add(path.Wire),
-	}
+	pkt := makePacket(p.cpu, tag, words, clock.Now().Add(path.Wire))
 	select {
 	case dp.queues[dq] <- pkt:
 		p.net.links.RecordQueueDepth(dst, len(dp.queues[dq]))
@@ -178,14 +232,14 @@ func (p *Port) Recv(clock *vtime.Clock, dq int) (Packet, error) {
 	select {
 	case pkt := <-p.queues[dq]:
 		wait := clock.AdvanceTo(pkt.Arrive)
-		p.rec.UDNRecvWait(len(pkt.Words), wait)
+		p.rec.UDNRecvWait(pkt.Len(), wait)
 		return pkt, nil
 	case <-p.doneCh():
 		// Drain anything already queued before reporting closure.
 		select {
 		case pkt := <-p.queues[dq]:
 			wait := clock.AdvanceTo(pkt.Arrive)
-			p.rec.UDNRecvWait(len(pkt.Words), wait)
+			p.rec.UDNRecvWait(pkt.Len(), wait)
 			return pkt, nil
 		default:
 			return Packet{}, ErrClosed
@@ -204,12 +258,12 @@ func (p *Port) RecvRaw(dq int) (Packet, error) {
 	}
 	select {
 	case pkt := <-p.queues[dq]:
-		p.rec.UDNRecv(len(pkt.Words))
+		p.rec.UDNRecv(pkt.Len())
 		return pkt, nil
 	case <-p.doneCh():
 		select {
 		case pkt := <-p.queues[dq]:
-			p.rec.UDNRecv(len(pkt.Words))
+			p.rec.UDNRecv(pkt.Len())
 			return pkt, nil
 		default:
 			return Packet{}, ErrClosed
@@ -226,7 +280,7 @@ func (p *Port) TryRecv(clock *vtime.Clock, dq int) (Packet, bool, error) {
 	select {
 	case pkt := <-p.queues[dq]:
 		wait := clock.AdvanceTo(pkt.Arrive)
-		p.rec.UDNRecvWait(len(pkt.Words), wait)
+		p.rec.UDNRecvWait(pkt.Len(), wait)
 		return pkt, true, nil
 	default:
 		if p.closed.Load() {
@@ -285,7 +339,7 @@ func (s *intrServicer) run(p *Port) {
 			// The tile enters the interrupt no earlier than the request's
 			// arrival and no earlier than the end of the previous interrupt.
 			done := s.busy.Acquire(req.pkt.Arrive, intrOvh+service)
-			req.reply <- Packet{Src: p.cpu, Tag: req.pkt.Tag, Words: words, Arrive: done}
+			req.reply <- makePacket(p.cpu, req.pkt.Tag, words, done)
 		case <-p.doneCh():
 			return
 		}
@@ -323,9 +377,12 @@ func (p *Port) Interrupt(clock *vtime.Clock, dst int, tag uint32, words []uint64
 	}
 	clock.Advance(path.Send)
 	p.net.links.RecordRoute(p.cpu, dst, nw)
+	if p.replyCh == nil {
+		p.replyCh = make(chan Packet, 1)
+	}
 	req := intrRequest{
-		pkt:   Packet{Src: p.cpu, Tag: tag, Words: words, Arrive: clock.Now().Add(path.Wire)},
-		reply: make(chan Packet, 1),
+		pkt:   makePacket(p.cpu, tag, words, clock.Now().Add(path.Wire)),
+		reply: p.replyCh,
 	}
 	select {
 	case svc.reqs <- req:
@@ -335,7 +392,7 @@ func (p *Port) Interrupt(clock *vtime.Clock, dst int, tag uint32, words []uint64
 	select {
 	case rep := <-req.reply:
 		// Reply travels back over the UDN.
-		repWords := max(1, len(rep.Words))
+		repWords := max(1, rep.Len())
 		back, err := p.net.geo.OneWayLatency(dst, p.cpu, repWords)
 		if err != nil {
 			return Packet{}, err
@@ -349,6 +406,10 @@ func (p *Port) Interrupt(clock *vtime.Clock, dst int, tag uint32, words []uint64
 		p.net.links.RecordRoute(dst, p.cpu, repWords)
 		return rep, nil
 	case <-p.doneCh():
+		// The servicer still owes a reply on this channel; its buffered
+		// send will land after we are gone. Drop the channel so the next
+		// Interrupt cannot mistake that stale reply for its own.
+		p.replyCh = nil
 		return Packet{}, ErrClosed
 	}
 }
@@ -358,11 +419,4 @@ func (p *Port) close() {
 		p.closed.Store(true)
 		close(p.doneCh())
 	})
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

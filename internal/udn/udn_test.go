@@ -67,7 +67,7 @@ func TestSendRecvDelivers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if pkt.Src != 14 || pkt.Tag != 0xBEEF || len(pkt.Words) != 2 || pkt.Words[0] != 42 {
+	if pkt.Src != 14 || pkt.Tag != 0xBEEF || pkt.Len() != 2 || pkt.Word(0) != 42 {
 		t.Errorf("packet corrupted: %+v", pkt)
 	}
 	// Receiver's clock advanced to the arrival time.
@@ -204,7 +204,7 @@ func TestInterruptRoundTrip(t *testing.T) {
 
 	const svcNs = 500.0
 	err := target.SetHandler(func(req Packet) ([]uint64, vtime.Duration) {
-		return []uint64{req.Words[0] * 2}, vtime.FromNs(svcNs)
+		return []uint64{req.Word(0) * 2}, vtime.FromNs(svcNs)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -214,8 +214,8 @@ func TestInterruptRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rep.Words) != 1 || rep.Words[0] != 42 {
-		t.Errorf("reply = %+v, want [42]", rep.Words)
+	if rep.Len() != 1 || rep.Word(0) != 42 {
+		t.Errorf("reply = %v, want [42]", rep.Payload())
 	}
 	// Elapsed must cover two corner traversals (~31.5 ns each), the
 	// interrupt overhead (110 ns on the Gx) and the service time.

@@ -113,8 +113,10 @@ func (c *Clock) Advance(d Duration) {
 }
 
 // AdvanceTo moves the clock forward to t if t is in the future ("merge"
-// with a timestamp received from another PE). It reports the wait time, the
-// amount the clock moved (zero if t was in the past).
+// with a timestamp received from another PE). It returns how far the clock
+// advanced; if t is not in the future the clock is unchanged and AdvanceTo
+// returns zero. The returned duration is the time the caller spent waiting
+// for the merged event.
 func (c *Clock) AdvanceTo(t Time) Duration {
 	if t <= c.now {
 		return 0
