@@ -37,6 +37,13 @@ func MustLocal[T Elem](pe *PE, r Ref[T]) []T { return core.MustLocal(pe, r) }
 // Put copies nelems elements of the local source into target on PE tpe
 // (shmem_putmem / typed block puts). Non-blocking semantics: remote
 // visibility is guaranteed by Quiet, Fence, or a barrier.
+//
+// Caveat: the simulator performs the copy eagerly at issue time, so a
+// program that omits the Quiet/Fence/barrier still computes the right
+// answer here — and would corrupt data on real Tilera hardware, where the
+// put may still be in flight. Enable Config.Sanitize (or set
+// TSHMEM_SANITIZE=1) to have such programs flagged through
+// Report.Diagnostics instead of silently passing.
 func Put[T Elem](pe *PE, target, source Ref[T], nelems, tpe int) error {
 	return core.Put(pe, target, source, nelems, tpe)
 }

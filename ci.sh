@@ -45,11 +45,24 @@ if ! go run ./cmd/tshmem-bench -compare BENCH_baseline.json "$SMOKE" -threshold 
     echo "    if intentional, regenerate it: go run ./cmd/tshmem-bench -json BENCH_baseline.json"
 fi
 
+# Sanitize smoke: the library's own probes must be synchronization-clean
+# under the happens-before checker, and the deliberately racy programs in
+# internal/sanitize's tests must be flagged (they run as part of go test
+# above; this stage exercises the TSHMEM_SANITIZE env + CLI plumbing on
+# a real workload end to end). docs/OBSERVABILITY.md documents the
+# diagnostic schema.
+echo "== sanitize smoke: probes clean under the happens-before checker =="
+TSHMEM_SANITIZE=1 go run ./cmd/tshmem-bench -sanitize -probe put > /dev/null
+TSHMEM_SANITIZE=1 go run ./cmd/tshmem-bench -sanitize -probe bcast > /dev/null
+TSHMEM_SANITIZE=1 go run ./cmd/tshmem-bench -sanitize -probe barrier > /dev/null
+
 # Alloc smoke: the uninstrumented Put and Barrier fast paths must stay
-# allocation-free (docs/PERFORMANCE.md). A fixed -benchtime keeps this
-# fast; -benchmem prints "N allocs/op" which we grep for nonzero N.
+# allocation-free (docs/PERFORMANCE.md) — including the sanitizer-off
+# hook sites, so TSHMEM_SANITIZE is explicitly cleared here. A fixed
+# -benchtime keeps this fast; -benchmem prints "N allocs/op" which we
+# grep for nonzero N.
 echo "== bench-alloc smoke: Put/Barrier must report 0 allocs/op =="
-ALLOC_OUT=$(go test ./internal/bench -run '^$' \
+ALLOC_OUT=$(env -u TSHMEM_SANITIZE go test ./internal/bench -run '^$' \
     -bench '^(BenchmarkPut|BenchmarkBarrier)$' -benchtime 100x -benchmem)
 echo "$ALLOC_OUT"
 if echo "$ALLOC_OUT" | grep -E 'Benchmark(Put|Barrier)\b' | grep -vE '\s0 allocs/op'; then

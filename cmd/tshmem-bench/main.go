@@ -57,6 +57,7 @@ func run() int {
 		trace   = flag.String("trace", "", "write the probe's Chrome trace_event JSON to this file (implies -probe barrier)")
 		heatmap = flag.Bool("heatmap", false, "render the probe's per-link mesh utilization as an ASCII heatmap (implies -probe bcast)")
 		svgPath = flag.String("svg", "", "write the probe's mesh heatmap as SVG to this file (implies -probe bcast)")
+		san     = flag.Bool("sanitize", false, "run under the synchronization sanitizer; exit non-zero on any diagnostic")
 		jsonOut = flag.String("json", "", "run the probe suite and write a machine-readable baseline to this file")
 		compare = flag.String("compare", "", "baseline JSON to compare against; pass the current run's JSON as the positional argument")
 		thresh  = flag.String("threshold", "5%", "relative regression threshold for -compare (e.g. 5% or 0.05)")
@@ -127,14 +128,14 @@ func run() int {
 		*probe = "bcast"
 	}
 	if *probe != "" {
-		if err := runProbe(*probe, *trace, *heatmap, *svgPath); err != nil {
+		if err := runProbe(*probe, *trace, *heatmap, *svgPath, *san); err != nil {
 			fmt.Fprintf(os.Stderr, "tshmem-bench: %v\n", err)
 			return 1
 		}
 		return 0
 	}
 
-	opt := bench.Options{Quick: !*full}
+	opt := bench.Options{Quick: !*full, Sanitize: *san}
 	runners := bench.Runners()
 	if *exp != "" {
 		r, ok := bench.Lookup(*exp)
@@ -170,16 +171,25 @@ func run() int {
 
 // runProbe runs one observability probe, prints its counter and latency
 // tables, and optionally exports the event trace and mesh heatmap.
-func runProbe(id, tracePath string, heatmap bool, svgPath string) error {
+func runProbe(id, tracePath string, heatmap bool, svgPath string, sanitize bool) error {
 	p, ok := bench.LookupProbe(id)
 	if !ok {
 		return fmt.Errorf("unknown probe %q; valid probes: %s",
 			id, strings.Join(bench.ProbeIDs(), ", "))
 	}
 	start := time.Now()
-	rep, err := p.Run(bench.ProbeOpts{Trace: tracePath != ""})
+	rep, err := p.Run(bench.ProbeOpts{Trace: tracePath != "", Sanitize: sanitize})
 	if err != nil {
 		return fmt.Errorf("probe %s: %w", id, err)
+	}
+	if sanitize {
+		if len(rep.Diagnostics) > 0 {
+			for _, d := range rep.Diagnostics {
+				fmt.Fprintf(os.Stderr, "sanitizer: %s\n", d)
+			}
+			return fmt.Errorf("probe %s: sanitizer found %d synchronization issue(s)", id, len(rep.Diagnostics))
+		}
+		fmt.Printf("sanitizer: clean (0 diagnostics)\n")
 	}
 	fmt.Printf("== probe %s: %s ==\n", p.ID, p.Title)
 	fmt.Printf("virtual makespan: %.3f us over %d PEs\n", rep.MaxTime.Us(), len(rep.PECounters))

@@ -46,6 +46,12 @@ type Options struct {
 	// collector. tshmem-bench -stats prints the folded table next to the
 	// experiment's results.
 	Obs *stats.Collector
+
+	// Sanitize runs every launched program under the happens-before
+	// checker and fails the experiment if any run produced diagnostics —
+	// the library's own collectives and the case studies must be
+	// synchronization-clean. tshmem-bench -sanitize sets this.
+	Sanitize bool
 }
 
 // observedRun launches a program like core.Run does, with substrate
@@ -54,9 +60,16 @@ func observedRun(opt Options, cfg core.Config, body func(*core.PE) error) (*core
 	if opt.Obs != nil {
 		cfg.Observe = true
 	}
+	if opt.Sanitize {
+		cfg.Sanitize = true
+	}
 	rep, err := core.Run(cfg, body)
 	if err == nil && opt.Obs != nil {
 		opt.Obs.Fold(rep.Stats())
+	}
+	if err == nil && opt.Sanitize && len(rep.Diagnostics) > 0 {
+		return rep, fmt.Errorf("sanitizer found %d synchronization issue(s); first: %s",
+			len(rep.Diagnostics), rep.Diagnostics[0])
 	}
 	return rep, err
 }

@@ -16,6 +16,10 @@ type ProbeOpts struct {
 	// probes are written for. Baseline tests use this to run the same
 	// probe on a deliberately slowed chip model.
 	Chip *arch.Chip
+	// Sanitize runs the probe under the happens-before checker; the
+	// probe's Report then carries any Diagnostics. Virtual time — and so
+	// the probe's metrics — is unaffected.
+	Sanitize bool
 }
 
 func (o ProbeOpts) chip() *arch.Chip {
@@ -53,7 +57,7 @@ var probes = []Probe{
 		Run: func(opts ProbeOpts) (*core.Report, error) {
 			cfg := core.Config{
 				Chip: opts.chip(), NPEs: 16, HeapPerPE: 64 << 10,
-				Observe: true, Trace: opts.Trace,
+				Observe: true, Trace: opts.Trace, Sanitize: opts.Sanitize,
 			}
 			return core.Run(cfg, func(pe *core.PE) error {
 				if err := pe.AlignClocks(); err != nil {
@@ -76,7 +80,7 @@ var probes = []Probe{
 			const maxElems = 64 << 10 / 8
 			cfg := core.Config{
 				Chip: opts.chip(), NPEs: 2, HeapPerPE: 2*64<<10 + 1<<20,
-				Observe: true, Trace: opts.Trace,
+				Observe: true, Trace: opts.Trace, Sanitize: opts.Sanitize,
 			}
 			return core.Run(cfg, func(pe *core.PE) error {
 				x, err := core.Malloc[int64](pe, maxElems)
@@ -110,7 +114,7 @@ var probes = []Probe{
 			const nelems = 32 << 10 / 4 // 32 kB of int32
 			cfg := core.Config{
 				Chip: opts.chip(), NPEs: 16, HeapPerPE: 2*32<<10 + 1<<20,
-				Observe: true, Trace: opts.Trace,
+				Observe: true, Trace: opts.Trace, Sanitize: opts.Sanitize,
 			}
 			return core.Run(cfg, func(pe *core.PE) error {
 				target, err := core.Malloc[int32](pe, nelems)

@@ -58,6 +58,9 @@ func atomicTarget[T Elem](pe *PE, target Ref[T], tpe int) ([]byte, int64, error)
 		}
 	}
 	pe.clock.Advance(pe.prog.model.AtomicCost())
+	// Atomics on one word mutually order the PEs touching it (the fetch-op
+	// serializes at the line's home tile); the hook merges clocks both ways.
+	pe.san.AtomicEdge(tpe, target.off)
 	return pe.partBytes(tpe), target.off, nil
 }
 
@@ -75,6 +78,9 @@ func Swap[T AtomicT](pe *PE, target Ref[T], value T, tpe int) (T, error) {
 	} else {
 		old = atomicSwap64(part, off, toBits(value))
 	}
+	// Re-merge after the swap landed: a concurrent atomic that slipped in
+	// between atomicTarget's edge and ours is now ordered before us.
+	pe.san.AtomicEdge(tpe, off)
 	pe.prog.hubs[tpe].record(off, pe.clock.Now())
 	return fromBits[T](old), nil
 }
@@ -106,6 +112,7 @@ func CSwap[T AtomicInt](pe *PE, target Ref[T], cond, value T, tpe int) (T, error
 			swapped = atomicCAS64(part, off, curBits, toBits(value))
 		}
 		if swapped {
+			pe.san.AtomicEdge(tpe, off)
 			pe.prog.hubs[tpe].record(off, pe.clock.Now())
 			return cur, nil
 		}
@@ -137,6 +144,7 @@ func FAdd[T AtomicInt](pe *PE, target Ref[T], value T, tpe int) (T, error) {
 			swapped = atomicCAS64(part, off, curBits, toBits(next))
 		}
 		if swapped {
+			pe.san.AtomicEdge(tpe, off)
 			pe.prog.hubs[tpe].record(off, pe.clock.Now())
 			return cur, nil
 		}
@@ -168,6 +176,12 @@ func (pe *PE) SetLock(lock Ref[int64]) error {
 	if err := pe.check(); err != nil {
 		return err
 	}
+	// Re-acquiring a held lock spins forever on hardware; under the
+	// sanitizer the misuse is diagnosed and the call fails instead of
+	// deadlocking the run.
+	if pe.san.LockSelfAcquire(lock.off, pe.clock.Now()) {
+		return fmt.Errorf("tshmem: PE %d SetLock on a lock it already holds (self-deadlock)", pe.id)
+	}
 	backoff := vtime.Duration(pe.prog.chip.Cycles(50))
 	for {
 		old, err := CSwap(pe, lock, 0, int64(pe.id)+1, 0)
@@ -175,6 +189,7 @@ func (pe *PE) SetLock(lock Ref[int64]) error {
 			return err
 		}
 		if old == 0 {
+			pe.san.LockAcquired(lock.off)
 			return nil
 		}
 		if pe.prog.aborted.Load() {
@@ -194,6 +209,9 @@ func (pe *PE) ClearLock(lock Ref[int64]) error {
 	if err := pe.check(); err != nil {
 		return err
 	}
+	// Diagnose before the swap: the unconditional store below destroys the
+	// real holder's ownership whether or not we held the lock.
+	pe.san.LockRelease(lock.off, pe.clock.Now())
 	old, err := Swap(pe, lock, int64(0), 0)
 	if err != nil {
 		return err
@@ -213,6 +231,9 @@ func (pe *PE) TestLock(lock Ref[int64]) (bool, error) {
 	old, err := CSwap(pe, lock, 0, int64(pe.id)+1, 0)
 	if err != nil {
 		return false, err
+	}
+	if old == 0 {
+		pe.san.LockAcquired(lock.off)
 	}
 	return old != 0, nil
 }

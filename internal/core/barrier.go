@@ -106,7 +106,9 @@ func (pe *PE) BarrierAll() error {
 	pe.stats.Barriers++
 	if pe.prog.cfg.Barrier == TMCSpinBarrier {
 		start := pe.clock.Now()
+		tok := pe.san.SpinEnter()
 		pe.prog.spinBar.Wait(&pe.clock)
+		pe.san.BarrierExit(tok)
 		pe.rec.OpDone(stats.OpBarrier, start, &pe.clock, 0, int(stats.NoPeer))
 		return nil
 	}
@@ -146,13 +148,22 @@ func (pe *PE) barrierUDN(as ActiveSet) error {
 	defer pe.rec.OpDone(stats.OpBarrier, start, &pe.clock, 0, int(stats.NoPeer))
 	n := as.Size
 	gen := pe.nextBarGen(as)
+	// Sanitizer rendezvous: entering a barrier completes outstanding puts;
+	// the exit joins every participant's entry clock. The wait pass's full
+	// loop guarantees all members enter before anyone exits.
+	tok := pe.san.BarrierEnter(as.Start, as.LogStride, as.Size, gen)
 	if n == 1 {
 		pe.clock.Advance(vtime.FromNs(pe.prog.chip.BarrierArbiterNs))
+		pe.san.BarrierExit(tok)
 		return nil
 	}
 	tag := asTag(as, gen)
 	if pe.prog.nchips > 1 && !setOnOneChip(pe.prog, as) {
-		return pe.barrierHier(as, tag)
+		if err := pe.barrierHier(as, tag); err != nil {
+			return err
+		}
+		pe.san.BarrierExit(tok)
+		return nil
 	}
 	next := as.PE((idx + 1) % n)
 	fwd := vtime.FromNs(pe.prog.chip.UDNSWForwardNs)
@@ -167,6 +178,7 @@ func (pe *PE) barrierUDN(as ActiveSet) error {
 		if _, err := pe.recvBarrier(tag, sigWait); err != nil {
 			return err
 		}
+		pe.san.BarrierExit(tok)
 		pe.clock.Advance(fwd)
 		return pe.sendBarrier(next, tag, sigRelease)
 	}
@@ -182,6 +194,7 @@ func (pe *PE) barrierUDN(as ActiveSet) error {
 	if _, err := pe.recvBarrier(tag, sigRelease); err != nil {
 		return err
 	}
+	pe.san.BarrierExit(tok)
 	if idx < n-1 {
 		pe.clock.Advance(fwd)
 		return pe.sendBarrier(next, tag, sigRelease)
@@ -356,8 +369,10 @@ func (pe *PE) BarrierRootRelease(as ActiveSet) error {
 	defer pe.rec.OpDone(stats.OpBarrier, start, &pe.clock, 0, int(stats.NoPeer))
 	n := as.Size
 	gen := pe.nextBarGen(as)
+	tok := pe.san.BarrierEnter(as.Start, as.LogStride, as.Size, gen)
 	if n == 1 {
 		pe.clock.Advance(vtime.FromNs(pe.prog.chip.BarrierArbiterNs))
+		pe.san.BarrierExit(tok)
 		return nil
 	}
 	tag := asTag(as, gen)
@@ -372,6 +387,7 @@ func (pe *PE) BarrierRootRelease(as ActiveSet) error {
 		if _, err := pe.recvBarrier(tag, sigWait); err != nil {
 			return err
 		}
+		pe.san.BarrierExit(tok)
 		// Broadcast the release: one standalone send per member,
 		// serialized at the root.
 		for k := 1; k < n; k++ {
@@ -390,6 +406,9 @@ func (pe *PE) BarrierRootRelease(as ActiveSet) error {
 	if err := pe.sendBarrier(as.PE((idx+1)%n), tag, sigWait); err != nil {
 		return err
 	}
-	_, err := pe.recvBarrier(tag, sigRelease)
-	return err
+	if _, err := pe.recvBarrier(tag, sigRelease); err != nil {
+		return err
+	}
+	pe.san.BarrierExit(tok)
+	return nil
 }

@@ -117,7 +117,7 @@ func BroadcastBinomial[T Elem](pe *PE, target, source Ref[T], nelems, root int, 
 		buf = source
 	}
 	if rel != 0 {
-		if _, _, err := pe.recvSig(tag, fab); err != nil {
+		if _, _, _, err := pe.recvSig(tag, fab); err != nil {
 			return err
 		}
 	}

@@ -59,6 +59,7 @@ func (pe *PE) spansChips(as ActiveSet) bool {
 // sendSigWords sends a control signal for collective flow control: over the
 // chip-local UDN, or over the mPIPE fabric when the collective spans chips.
 func (pe *PE) sendSigWords(dst int, tag uint32, words []uint64, fab bool) error {
+	pe.san.SigSend(dst, tag)
 	if fab {
 		return pe.prog.fabric.Send(&pe.clock, pe.id, dst, tag, words)
 	}
@@ -70,6 +71,7 @@ func (pe *PE) sendSigWords(dst int, tag uint32, words []uint64, fab bool) error 
 // so its literal stays on the caller's stack, while the fabric transport
 // may hold the message and would force a shared literal to the heap.
 func (pe *PE) sendSig(dst int, tag uint32, word uint64, fab bool) error {
+	pe.san.SigSend(dst, tag)
 	if fab {
 		return pe.prog.fabric.Send(&pe.clock, pe.id, dst, tag, []uint64{word})
 	}
@@ -77,37 +79,40 @@ func (pe *PE) sendSig(dst int, tag uint32, word uint64, fab bool) error {
 }
 
 // recvSig receives the next control signal carrying tag from the chosen
-// transport, returning the sender's global rank and the first (up to) two
-// payload words — no collective protocol message carries more. Returning a
-// fixed array rather than a slice keeps the UDN receive path allocation-
-// free. Signals belonging to other in-flight collective instances are
-// stashed.
-func (pe *PE) recvSig(tag uint32, fab bool) (src int, w [2]uint64, err error) {
+// transport, returning the sender's global rank, the first (up to) two
+// payload words — no collective protocol message carries more — and the
+// payload's actual word count so protocol code can reject short or
+// malformed signals instead of silently reading zeros. Returning a fixed
+// array rather than a slice keeps the UDN receive path allocation-free.
+// Signals belonging to other in-flight collective instances are stashed.
+func (pe *PE) recvSig(tag uint32, fab bool) (src int, w [2]uint64, nw int, err error) {
 	if fab {
 		m, err := pe.recvFab(tag)
 		if err != nil {
-			return 0, w, err
+			return 0, w, 0, err
 		}
-		copy(w[:], m.Words)
-		return m.SrcPE, w, nil
+		pe.san.SigRecv(tag)
+		return m.SrcPE, w, copy(w[:], m.Words), nil
 	}
 	for i, pkt := range pe.collPending {
 		if pkt.Tag == tag {
-			copy(w[:], pkt.Payload())
+			nw = copy(w[:], pkt.Payload())
 			pe.collPending = append(pe.collPending[:i], pe.collPending[i+1:]...)
 			pe.clock.AdvanceTo(pkt.Arrive)
-			return pe.globalSrc(pkt.Src), w, nil
+			pe.san.SigRecv(tag)
+			return pe.globalSrc(pkt.Src), w, nw, nil
 		}
 	}
 	for {
 		pkt, err := pe.port.RecvRaw(qColl)
 		if err != nil {
-			return 0, w, err
+			return 0, w, 0, err
 		}
 		if pkt.Tag == tag {
-			copy(w[:], pkt.Payload())
+			nw = copy(w[:], pkt.Payload())
 			pe.clock.AdvanceTo(pkt.Arrive)
-			return pe.globalSrc(pkt.Src), w, nil
+			pe.san.SigRecv(tag)
+			return pe.globalSrc(pkt.Src), w, nw, nil
 		}
 		pe.collPending = append(pe.collPending, pkt)
 	}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"strings"
 	"testing"
 
 	"tshmem/internal/vtime"
@@ -178,6 +179,119 @@ func TestCollectTotalOverflow(t *testing.T) {
 	if !errors.Is(err, ErrBounds) {
 		t.Errorf("collect overflow: %v", err)
 	}
+}
+
+// TestCollectZeroElements: every concatenating collective must accept an
+// empty contribution from every PE — the stage-2 pull of a zero-length
+// concatenation must be skipped, not issued as a zero-byte Get.
+func TestCollectZeroElements(t *testing.T) {
+	const n = 4
+	kinds := []struct {
+		name string
+		run  func(pe *PE, target, source Ref[int32], ps PSync) error
+	}{
+		{"fcollect", func(pe *PE, target, source Ref[int32], ps PSync) error {
+			return FCollect(pe, target, source, 0, AllPEs(n), ps)
+		}},
+		{"collect", func(pe *PE, target, source Ref[int32], ps PSync) error {
+			return Collect(pe, target, source, 0, AllPEs(n), ps)
+		}},
+		{"fcollectrd", func(pe *PE, target, source Ref[int32], ps PSync) error {
+			return FCollectRD(pe, target, source, 0, AllPEs(n), ps)
+		}},
+	}
+	for _, k := range kinds {
+		t.Run(k.name, func(t *testing.T) {
+			runT(t, gxCfg(n), func(pe *PE) error {
+				target, source, ps := collEnv(t, pe, 4, 16)
+				sentinel := MustLocal(pe, target)
+				for i := range sentinel {
+					sentinel[i] = -7
+				}
+				if err := k.run(pe, target, source, ps); err != nil {
+					return err
+				}
+				// Nothing was contributed, so nothing may have landed.
+				got := MustLocal(pe, target)
+				for i, v := range got {
+					if v != -7 {
+						t.Errorf("PE %d: target[%d] = %d after empty %s, want untouched",
+							pe.MyPE(), i, v, k.name)
+						break
+					}
+				}
+				return pe.BarrierAll()
+			})
+		})
+	}
+}
+
+// TestMulElems covers the total-size overflow guard shared by FCollect and
+// FCollectRD. (It is unreachable through the public API today — nelems is
+// bounded by an allocated source first — but guards the slice-bounds
+// arithmetic against future callers.)
+func TestMulElems(t *testing.T) {
+	if got, err := mulElems(6, 4); err != nil || got != 24 {
+		t.Errorf("mulElems(6, 4) = %d, %v", got, err)
+	}
+	if got, err := mulElems(0, 32); err != nil || got != 0 {
+		t.Errorf("mulElems(0, 32) = %d, %v", got, err)
+	}
+	if _, err := mulElems(1<<62, 4); !errors.Is(err, ErrBounds) {
+		t.Errorf("overflowing product: %v, want ErrBounds", err)
+	}
+}
+
+// TestCollectRejectsMalformedSignals injects raw UDN control signals into
+// a live Collect, impersonating a participant, and checks that the
+// protocol rejects malformed payloads instead of silently reading zeros.
+func TestCollectRejectsMalformedSignals(t *testing.T) {
+	t.Run("negative-size-report", func(t *testing.T) {
+		var rootErr error
+		runT(t, gxCfg(2), func(pe *PE) error {
+			target, source, ps := collEnv(t, pe, 4, 8)
+			as := AllPEs(2)
+			if pe.MyPE() == 0 {
+				rootErr = Collect(pe, target, source, 2, as, ps)
+				return nil
+			}
+			// Mimic the member's entry, then report a negative size.
+			gen := pe.nextCollGen(as)
+			tag := asTag(as, gen) ^ 0x5bd1e995
+			if err := pe.barrierUDN(as); err != nil {
+				return err
+			}
+			return pe.sendSig(0, tag, ^uint64(0), false)
+		})
+		if !errors.Is(rootErr, ErrBadActiveSet) || !strings.Contains(rootErr.Error(), "negative") {
+			t.Errorf("root error = %v, want ErrBadActiveSet negative size report", rootErr)
+		}
+	})
+	t.Run("short-offset-reply", func(t *testing.T) {
+		var memberErr error
+		runT(t, gxCfg(2), func(pe *PE) error {
+			target, source, ps := collEnv(t, pe, 4, 8)
+			as := AllPEs(2)
+			if pe.MyPE() == 1 {
+				memberErr = Collect(pe, target, source, 2, as, ps)
+				return nil
+			}
+			// Mimic the root: consume the size report, then reply with one
+			// word where the protocol requires (offset, total).
+			gen := pe.nextCollGen(as)
+			tag := asTag(as, gen) ^ 0x5bd1e995
+			if err := pe.barrierUDN(as); err != nil {
+				return err
+			}
+			if _, _, _, err := pe.recvSig(tag, false); err != nil {
+				return err
+			}
+			return pe.sendSig(1, tag, 3, false)
+		})
+		if !errors.Is(memberErr, ErrBadActiveSet) || !strings.Contains(memberErr.Error(), "offset reply") {
+			t.Errorf("member error = %v, want ErrBadActiveSet short offset reply", memberErr)
+		}
+	})
 }
 
 func reduceEnv(t *testing.T, pe *PE, n int) (target, source, pwrk Ref[int64], ps PSync) {

@@ -2,9 +2,20 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"tshmem/internal/stats"
 )
+
+// mulElems computes nelems*size for a concatenating collective, guarding
+// against int overflow (the product feeds slice bounds). size is at least
+// 1 (ActiveSet.validate).
+func mulElems(nelems, size int) (int, error) {
+	if nelems > 0 && nelems > math.MaxInt/size {
+		return 0, fmt.Errorf("%w: %d x %d elements overflows", ErrBounds, nelems, size)
+	}
+	return nelems * size, nil
+}
 
 // FCollect concatenates the same-sized source array from every active-set
 // PE, in set order, into target on all of them (shmem_fcollect32/64).
@@ -23,8 +34,14 @@ func FCollect[T Elem](pe *PE, target, source Ref[T], nelems int, as ActiveSet, p
 	if err := checkPSync(ps, CollectSyncSize); err != nil {
 		return err
 	}
-	total := nelems * as.Size
-	if nelems < 0 || nelems > source.Len() || total > target.Len() {
+	if nelems < 0 || nelems > source.Len() {
+		return fmt.Errorf("%w: fcollect of %d elements (source %d)", ErrBounds, nelems, source.Len())
+	}
+	total, err := mulElems(nelems, as.Size)
+	if err != nil {
+		return err
+	}
+	if total > target.Len() {
 		return fmt.Errorf("%w: fcollect %d x %d elements into %d-element target",
 			ErrBounds, nelems, as.Size, target.Len())
 	}
@@ -46,8 +63,9 @@ func FCollect[T Elem](pe *PE, target, source Ref[T], nelems int, as ActiveSet, p
 	if err := pe.barrierUDN(as); err != nil { // root's target is complete
 		return err
 	}
-	// Stage 2: pull-based broadcast of the concatenated result.
-	if idx != 0 {
+	// Stage 2: pull-based broadcast of the concatenated result. Like
+	// Collect, an empty concatenation has nothing to pull.
+	if idx != 0 && total > 0 {
 		restore := pe.setHint(as.Size - 1)
 		err = Get(pe, target.Slice(0, total), target.Slice(0, total), total, rootPE)
 		restore()
@@ -88,7 +106,7 @@ func Collect[T Elem](pe *PE, target, source Ref[T], nelems int, as ActiveSet, ps
 		sizes := make([]int, as.Size)
 		sizes[0] = nelems
 		for i := 1; i < as.Size; i++ {
-			src, words, err := pe.recvSig(tag, fab)
+			src, words, nw, err := pe.recvSig(tag, fab)
 			if err != nil {
 				return err
 			}
@@ -96,7 +114,14 @@ func Collect[T Elem](pe *PE, target, source Ref[T], nelems int, as ActiveSet, ps
 			if !ok || who == 0 {
 				return fmt.Errorf("%w: stray size report from PE %d", ErrBadActiveSet, src)
 			}
-			sizes[who] = int(words[0])
+			if nw < 1 {
+				return fmt.Errorf("%w: size report from PE %d carried no payload", ErrBadActiveSet, src)
+			}
+			sz := int(words[0])
+			if sz < 0 {
+				return fmt.Errorf("%w: size report from PE %d is negative", ErrBadActiveSet, src)
+			}
+			sizes[who] = sz
 		}
 		offs := make([]int, as.Size)
 		for i := 1; i < as.Size; i++ {
@@ -113,11 +138,18 @@ func Collect[T Elem](pe *PE, target, source Ref[T], nelems int, as ActiveSet, ps
 		if err := pe.sendSig(rootPE, tag, uint64(nelems), fab); err != nil {
 			return err
 		}
-		_, words, err := pe.recvSig(tag, fab)
+		src, words, nw, err := pe.recvSig(tag, fab)
 		if err != nil {
 			return err
 		}
+		if src != rootPE || nw < 2 {
+			return fmt.Errorf("%w: offset reply carried %d words from PE %d, want 2 from root PE %d",
+				ErrBadActiveSet, nw, src, rootPE)
+		}
 		offset, total = int(words[0]), int(words[1])
+		if offset < 0 || total < 0 {
+			return fmt.Errorf("%w: offset reply from root PE %d is negative", ErrBadActiveSet, rootPE)
+		}
 	}
 	if total > target.Len() {
 		return fmt.Errorf("%w: collect total %d exceeds %d-element target", ErrBounds, total, target.Len())
@@ -166,8 +198,14 @@ func FCollectRD[T Elem](pe *PE, target, source Ref[T], nelems int, as ActiveSet,
 		return fmt.Errorf("%w: recursive-doubling fcollect needs a power-of-two set, got %d",
 			ErrBadActiveSet, as.Size)
 	}
-	total := nelems * as.Size
-	if nelems < 0 || nelems > source.Len() || total > target.Len() {
+	if nelems < 0 || nelems > source.Len() {
+		return fmt.Errorf("%w: fcollect of %d elements (source %d)", ErrBounds, nelems, source.Len())
+	}
+	total, err := mulElems(nelems, as.Size)
+	if err != nil {
+		return err
+	}
+	if total > target.Len() {
 		return fmt.Errorf("%w: fcollect %d x %d elements into %d-element target",
 			ErrBounds, nelems, as.Size, target.Len())
 	}
@@ -201,7 +239,7 @@ func FCollectRD[T Elem](pe *PE, target, source Ref[T], nelems int, as ActiveSet,
 		if err := pe.sendSig(partner, tag^uint32(round+1), 1, fab); err != nil {
 			return err
 		}
-		if _, _, err := pe.recvSig(tag^uint32(round+1), fab); err != nil {
+		if _, _, _, err := pe.recvSig(tag^uint32(round+1), fab); err != nil {
 			return err
 		}
 		round++

@@ -7,6 +7,7 @@ import (
 	"tshmem/internal/arch"
 	"tshmem/internal/cache"
 	"tshmem/internal/mpipe"
+	"tshmem/internal/sanitize"
 	"tshmem/internal/stats"
 	"tshmem/internal/tmc"
 	"tshmem/internal/udn"
@@ -64,7 +65,8 @@ type PE struct {
 
 	memo  cache.Memo // per-PE copy-cost memo; owned by the PE goroutine
 	stats Stats
-	rec   *stats.Recorder // substrate observability; nil unless Config.Observe
+	rec   *stats.Recorder   // substrate observability; nil unless Config.Observe
+	san   *sanitize.PEHooks // happens-before checker; nil unless Config.Sanitize
 }
 
 // allPEsSet reports whether as is the full-program active set, the case
@@ -300,7 +302,9 @@ func (pe *PE) AlignClocks() error {
 	if err := pe.check(); err != nil {
 		return err
 	}
+	tok := pe.san.SpinEnter()
 	pe.prog.spinBar.Wait(&pe.clock)
+	pe.san.BarrierExit(tok)
 	return nil
 }
 
@@ -309,6 +313,7 @@ func (pe *PE) AlignClocks() error {
 func (pe *PE) Quiet() {
 	start := pe.clock.Now()
 	tmc.MemFence(&pe.clock, pe.prog.model)
+	pe.san.Quiet()
 	pe.rec.OpDone(stats.OpFence, start, &pe.clock, 0, int(stats.NoPeer))
 }
 

@@ -170,7 +170,7 @@ func reduceRD[T Elem](pe *PE, target, source Ref[T], nelems int, fold func(a, b 
 		if err := pe.sendSig(partner, tag^uint32(round+1), 1, fab); err != nil {
 			return err
 		}
-		if _, _, err := pe.recvSig(tag^uint32(round+1), fab); err != nil {
+		if _, _, _, err := pe.recvSig(tag^uint32(round+1), fab); err != nil {
 			return err
 		}
 		mine, err := Local(pe, target)

@@ -4,10 +4,20 @@ import (
 	"fmt"
 
 	"tshmem/internal/cache"
+	"tshmem/internal/sanitize"
 	"tshmem/internal/stats"
 	"tshmem/internal/udn"
 	"tshmem/internal/vtime"
 )
+
+// sanSID maps a Ref to the sanitizer's region namespace: the static object
+// id, or DynamicSID for the symmetric heap.
+func sanSID[T Elem](r Ref[T]) int32 {
+	if r.kind == staticRef {
+		return r.sid
+	}
+	return sanitize.DynamicSID
+}
 
 // Copy modes forwarded to the memory model.
 const (
@@ -126,7 +136,11 @@ func Put[T Elem](pe *PE, target Ref[T], source Ref[T], nelems, tpe int) error {
 	if err != nil {
 		return err
 	}
-	return putResolved(pe, target, src, nelems, tpe)
+	if err := putResolved(pe, target, src, nelems, tpe); err != nil {
+		return err
+	}
+	pe.san.Read("Put(src)", pe.id, sanSID(source), source.off, src.nbytes, pe.clock.Now())
+	return nil
 }
 
 // PutSlice is Put with a private local Go slice as the source ("any source
@@ -150,6 +164,7 @@ func putResolved[T Elem](pe *PE, target Ref[T], src operand, nelems, tpe int) er
 	pe.stats.Puts++
 	pe.stats.PutBytes += src.nbytes
 	start := pe.clock.Now()
+	pe.san.Write("Put", tpe, sanSID(target), target.off, src.nbytes, start)
 	defer pe.rec.OpDone(stats.OpPut, start, &pe.clock, src.nbytes, tpe)
 
 	switch {
@@ -207,7 +222,11 @@ func Get[T Elem](pe *PE, target Ref[T], source Ref[T], nelems, spe int) error {
 	if err != nil {
 		return err
 	}
-	return getResolved(pe, dst, source, nelems, spe)
+	if err := getResolved(pe, dst, source, nelems, spe); err != nil {
+		return err
+	}
+	pe.san.Write("Get(dst)", pe.id, sanSID(target), target.off, dst.nbytes, pe.clock.Now())
+	return nil
 }
 
 // GetSlice is Get with a private local Go slice as the target.
@@ -230,6 +249,7 @@ func getResolved[T Elem](pe *PE, dst operand, source Ref[T], nelems, spe int) er
 	pe.stats.Gets++
 	pe.stats.GetBytes += src.nbytes
 	start := pe.clock.Now()
+	pe.san.Read("Get", spe, sanSID(source), source.off, src.nbytes, start)
 	defer pe.rec.OpDone(stats.OpGet, start, &pe.clock, src.nbytes, spe)
 
 	switch {
@@ -347,6 +367,7 @@ func P[T Elem](pe *PE, target Ref[T], value T, tpe int) error {
 	start := pe.clock.Now()
 	part := pe.partBytes(tpe)
 	off := target.off
+	pe.san.Signal(tpe, off, es, start)
 	pe.chargeXfer(es, sharedMode, tpe, true)
 	atomicStoreElem(part, off, es, toBits(value))
 	pe.prog.hubs[tpe].record(off, pe.clock.Now())
@@ -382,6 +403,7 @@ func G[T Elem](pe *PE, source Ref[T], spe int) (T, error) {
 	part := pe.partBytes(spe)
 	pe.chargeXfer(es, sharedMode, spe, false)
 	v := fromBits[T](atomicLoadElem(part, source.off, es))
+	pe.san.ReadElem(spe, source.off, es, start)
 	pe.rec.OpDone(stats.OpGet, start, &pe.clock, es, spe)
 	return v, nil
 }
@@ -406,10 +428,20 @@ func IPut[T Elem](pe *PE, target, source Ref[T], tst, sst int64, nelems, tpe int
 		dstView[int64(i)*tst] = srcView[int64(i)*sst]
 	}
 	pe.stats.Puts++
-	nb := int64(nelems) * sizeOf[T]()
+	es := sizeOf[T]()
+	nb := int64(nelems) * es
 	pe.stats.PutBytes += nb
 	start := pe.clock.Now()
-	pe.chargeXfer(nb, sharedMode, tpe, true)
+	pe.san.WriteStrided("IPut", tpe, sanSID(target), target.off, tst*es, nelems, es, start)
+	pe.san.ReadStrided("IPut(src)", pe.id, sanSID(source), source.off, sst*es, nelems, es, start)
+	// Like Put, a self-transfer between two static (non-common-memory)
+	// objects is a private copy; only common-memory traffic pays the
+	// shared-mode cost.
+	mode := sharedMode
+	if tpe == pe.id && target.kind == staticRef && source.kind == staticRef {
+		mode = privateMode
+	}
+	pe.chargeXfer(nb, mode, tpe, true)
 	pe.clock.Advance(pe.prog.chip.Cycles(2 * nelems)) // per-element stride arithmetic
 	pe.rec.OpDone(stats.OpPut, start, &pe.clock, nb, tpe)
 	return nil
@@ -432,10 +464,17 @@ func IGet[T Elem](pe *PE, target, source Ref[T], tst, sst int64, nelems, spe int
 		dstView[int64(i)*tst] = srcView[int64(i)*sst]
 	}
 	pe.stats.Gets++
-	nb := int64(nelems) * sizeOf[T]()
+	es := sizeOf[T]()
+	nb := int64(nelems) * es
 	pe.stats.GetBytes += nb
 	start := pe.clock.Now()
-	pe.chargeXfer(nb, sharedMode, spe, false)
+	pe.san.ReadStrided("IGet", spe, sanSID(source), source.off, sst*es, nelems, es, start)
+	pe.san.WriteStrided("IGet(dst)", pe.id, sanSID(target), target.off, tst*es, nelems, es, start)
+	mode := sharedMode
+	if spe == pe.id && target.kind == staticRef && source.kind == staticRef {
+		mode = privateMode
+	}
+	pe.chargeXfer(nb, mode, spe, false)
 	pe.clock.Advance(pe.prog.chip.Cycles(2 * nelems))
 	pe.rec.OpDone(stats.OpGet, start, &pe.clock, nb, spe)
 	return nil
@@ -480,12 +519,9 @@ func stridedCheck[T Elem](pe *PE, remote, local Ref[T], rst, lst int64, nelems, 
 	if remote.kind == staticRef && rpe != pe.id {
 		return fmt.Errorf("%w: strided transfers to/from remote static objects", ErrNotSupported)
 	}
-	if local.kind == staticRef {
-		// Local statics are fine (local access), but keep views in bounds.
-		if int64(nelems-1)*lst+1 > int64(local.n) {
-			return fmt.Errorf("%w: strided local span exceeds object", ErrBounds)
-		}
-	} else if int64(nelems-1)*lst+1 > int64(local.n) {
+	// Local statics are fine (local access); either kind only needs the
+	// strided span to stay within the object.
+	if int64(nelems-1)*lst+1 > int64(local.n) {
 		return fmt.Errorf("%w: strided local span exceeds object", ErrBounds)
 	}
 	if int64(nelems-1)*rst+1 > int64(remote.n) {

@@ -237,13 +237,110 @@ func TestStridedValidation(t *testing.T) {
 			t.Errorf("zero stride: %v", err)
 		}
 		if err := IPut(pe, x, x, 4, 1, 4, 1); !errors.Is(err, ErrBounds) {
-			t.Errorf("overlong strided span: %v", err)
+			t.Errorf("overlong target span: %v", err)
+		}
+		if err := IPut(pe, x, x, 1, 4, 4, 1); !errors.Is(err, ErrBounds) {
+			t.Errorf("overlong source span: %v", err)
 		}
 		if err := IGet(pe, x, x, 1, 1, 0, 1); !errors.Is(err, ErrBounds) {
 			t.Errorf("zero elements: %v", err)
 		}
+		if err := IGet(pe, x, x, 4, 1, 4, 1); !errors.Is(err, ErrBounds) {
+			t.Errorf("overlong local span: %v", err)
+		}
+		// Exact fit: (nelems-1)*stride+1 == len on both sides is legal.
+		// Self-targeted so the two PEs' writes don't overlap.
+		if err := IPut(pe, x, x, 3, 3, 4, pe.MyPE()); err != nil {
+			t.Errorf("exact-fit strided span rejected: %v", err)
+		}
+		return pe.BarrierAll()
+	})
+}
+
+// TestStridedSelfStaticPrivateCost is the IPut/IGet cost-model regression
+// test: a self-transfer between two static (private-memory) objects is a
+// private copy and must be charged like the equivalent block Put — not at
+// the shared-memory rate a transfer through common memory pays. Before the
+// fix, IPut charged sharedMode unconditionally, so the static-static and
+// heap-heap timings below were identical.
+func TestStridedSelfStaticPrivateCost(t *testing.T) {
+	const nelems = 4096
+	var iputStatic, iputHeap, igetStatic, igetHeap vtime.Duration
+	runT(t, gxCfg(1), func(pe *PE) error {
+		ssrc, err := DeclareStatic[int64](pe, "iput_cost_src", nelems)
+		if err != nil {
+			return err
+		}
+		sdst, err := DeclareStatic[int64](pe, "iput_cost_dst", nelems)
+		if err != nil {
+			return err
+		}
+		hsrc, err := Malloc[int64](pe, nelems)
+		if err != nil {
+			return err
+		}
+		hdst, err := Malloc[int64](pe, nelems)
+		if err != nil {
+			return err
+		}
+		measure := func(f func() error) (vtime.Duration, error) {
+			t0 := pe.Now()
+			err := f()
+			return pe.Now().Sub(t0), err
+		}
+		if iputStatic, err = measure(func() error {
+			return IPut(pe, sdst, ssrc, 1, 1, nelems, 0)
+		}); err != nil {
+			return err
+		}
+		if iputHeap, err = measure(func() error {
+			return IPut(pe, hdst, hsrc, 1, 1, nelems, 0)
+		}); err != nil {
+			return err
+		}
+		if igetStatic, err = measure(func() error {
+			return IGet(pe, sdst, ssrc, 1, 1, nelems, 0)
+		}); err != nil {
+			return err
+		}
+		if igetHeap, err = measure(func() error {
+			return IGet(pe, hdst, hsrc, 1, 1, nelems, 0)
+		}); err != nil {
+			return err
+		}
 		return nil
 	})
+	if iputStatic >= iputHeap {
+		t.Errorf("self static-static IPut (%v) not cheaper than heap-heap (%v); private mode not applied",
+			iputStatic, iputHeap)
+	}
+	if igetStatic >= igetHeap {
+		t.Errorf("self static-static IGet (%v) not cheaper than heap-heap (%v); private mode not applied",
+			igetStatic, igetHeap)
+	}
+	// Alignment with the block path: strided and block private copies of
+	// the same bytes differ only by the per-element stride arithmetic.
+	var putStatic vtime.Duration
+	runT(t, gxCfg(1), func(pe *PE) error {
+		src, err := DeclareStatic[int64](pe, "put_cost_src", nelems)
+		if err != nil {
+			return err
+		}
+		dst, err := DeclareStatic[int64](pe, "put_cost_dst", nelems)
+		if err != nil {
+			return err
+		}
+		t0 := pe.Now()
+		if err := Put(pe, dst, src, nelems, 0); err != nil {
+			return err
+		}
+		putStatic = pe.Now().Sub(t0)
+		return nil
+	})
+	if iputStatic < putStatic || iputStatic > 2*putStatic {
+		t.Errorf("strided private copy %v vs block %v: want block <= strided <= 2x block",
+			iputStatic, putStatic)
+	}
 }
 
 // TestFig6PutGetSymmetric checks the headline Figure 6 behavior: put and

@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"io"
+	"os"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -11,6 +13,7 @@ import (
 	"tshmem/internal/cache"
 	"tshmem/internal/mesh"
 	"tshmem/internal/mpipe"
+	"tshmem/internal/sanitize"
 	"tshmem/internal/stats"
 	"tshmem/internal/tmc"
 	"tshmem/internal/udn"
@@ -107,6 +110,20 @@ type Config struct {
 	// stats.DefaultTraceCap. Events beyond the cap are dropped and counted
 	// in Counters.TraceDropped.
 	TraceCap int
+
+	// Sanitize enables the happens-before checker over symmetric memory
+	// (internal/sanitize): the run additionally tracks synchronization
+	// edges and shadow accesses, and Report.Diagnostics lists programs
+	// that only work because the simulator copies puts eagerly (missing
+	// Quiet/Fence/barrier, racing puts, lock misuse). Off by default: the
+	// unsanitized path is allocation-free and virtual time is identical
+	// either way (the checker never touches clocks).
+	Sanitize bool
+
+	// sanitizeStrict makes Run fail when the sanitizer found anything. It
+	// is only set via the TSHMEM_SANITIZE environment variable, giving
+	// scripts (ci.sh, examples) a pass/fail signal without code changes.
+	sanitizeStrict bool
 }
 
 func (c *Config) fill() error {
@@ -144,6 +161,15 @@ func (c *Config) fill() error {
 	if c.Trace {
 		c.Observe = true
 	}
+	// TSHMEM_SANITIZE=1 force-enables the sanitizer and makes Run fail on
+	// diagnostics. Configs that opted in programmatically keep their own
+	// (non-strict) semantics: their callers inspect Report.Diagnostics.
+	if !c.Sanitize {
+		if v := os.Getenv("TSHMEM_SANITIZE"); v != "" && v != "0" {
+			c.Sanitize = true
+			c.sanitizeStrict = true
+		}
+	}
 	return nil
 }
 
@@ -166,6 +192,12 @@ type Report struct {
 	// (UDN packets and modeled same-chip RMA routes); empty unless the
 	// run was observed. Render with Utilization.ASCII/SVG.
 	MeshUtil []*mesh.Utilization
+
+	// Diagnostics lists the synchronization defects the happens-before
+	// checker found, sorted by virtual time; empty unless the run was
+	// configured with Config.Sanitize (and clean). See docs/OBSERVABILITY.md
+	// for the schema.
+	Diagnostics []sanitize.Diagnostic
 
 	perChip int           // PE ranks per chip (block distribution)
 	trace   []stats.Event // merged, start-ordered; empty unless Config.Trace
@@ -246,7 +278,8 @@ type Program struct {
 	spinBar *tmc.Barrier // TMC spin barrier across all PEs
 
 	statics staticRegistry
-	hubs    []watchHub // per-PE wait/wait_until hub
+	hubs    []watchHub        // per-PE wait/wait_until hub
+	san     *sanitize.Checker // nil unless Config.Sanitize
 
 	symCheck []int64 // per-PE slot for symmetry verification in Malloc
 
@@ -396,6 +429,18 @@ func Run(cfg Config, body func(*PE) error) (*Report, error) {
 			rep.MeshUtil = append(rep.MeshUtil, ls.Snapshot())
 		}
 	}
+	if prog.san != nil {
+		rep.Diagnostics = prog.san.Diagnostics()
+		if prog.cfg.sanitizeStrict && len(rep.Diagnostics) > 0 {
+			var b strings.Builder
+			fmt.Fprintf(&b, "tshmem: sanitizer found %d synchronization issue(s) (TSHMEM_SANITIZE):", len(rep.Diagnostics))
+			for _, d := range rep.Diagnostics {
+				b.WriteString("\n  ")
+				b.WriteString(d.String())
+			}
+			return nil, fmt.Errorf("%s", b.String())
+		}
+	}
 	return rep, nil
 }
 
@@ -471,6 +516,9 @@ func newProgram(cfg Config) (*Program, error) {
 		p.hubs[i].init()
 	}
 	p.symCheck = make([]int64, cfg.NPEs)
+	if cfg.Sanitize {
+		p.san = sanitize.New(cfg.NPEs)
+	}
 
 	p.pes = make([]*PE, cfg.NPEs)
 	for i := range p.pes {
@@ -495,6 +543,9 @@ func newProgram(cfg Config) (*Program, error) {
 			rec := stats.New(i, cfg.Trace, cfg.TraceCap)
 			p.pes[i].rec = rec
 			port.SetRecorder(rec)
+		}
+		if p.san != nil {
+			p.pes[i].san = p.san.PE(i)
 		}
 	}
 

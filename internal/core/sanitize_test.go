@@ -1,0 +1,418 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"tshmem/internal/sanitize"
+)
+
+func sanCfg(npes int) Config {
+	c := gxCfg(npes)
+	c.Sanitize = true
+	return c
+}
+
+// missingQuietBody is the acceptance scenario: PE 0 puts a data buffer to
+// PE 1 and then sets a flag word, with or without the shmem_quiet the
+// OpenSHMEM memory model requires in between. dataOff receives the data
+// buffer's symmetric byte offset (written by PE 0 only).
+func missingQuietBody(quiet bool, dataOff *int64) func(*PE) error {
+	return func(pe *PE) error {
+		data, err := Malloc[int64](pe, 8)
+		if err != nil {
+			return err
+		}
+		flag, err := Malloc[int64](pe, 1)
+		if err != nil {
+			return err
+		}
+		scratch, err := Malloc[int64](pe, 8)
+		if err != nil {
+			return err
+		}
+		if err := pe.BarrierAll(); err != nil {
+			return err
+		}
+		if pe.MyPE() == 0 {
+			*dataOff = data.off
+			src := MustLocal(pe, data)
+			for i := range src {
+				src[i] = int64(i) + 1
+			}
+			if err := Put(pe, data, data, 8, 1); err != nil {
+				return err
+			}
+			if quiet {
+				pe.Quiet()
+			}
+			if err := P(pe, flag, int64(1), 1); err != nil {
+				return err
+			}
+		} else {
+			if err := WaitUntil(pe, flag, CmpEQ, int64(1)); err != nil {
+				return err
+			}
+			if err := Get(pe, scratch, data, 8, pe.MyPE()); err != nil {
+				return err
+			}
+			got := MustLocal(pe, scratch)
+			for i := range got {
+				if got[i] != int64(i)+1 {
+					// The simulator's eager copy makes this unreachable —
+					// which is exactly why the sanitizer exists.
+					return errors.New("data not visible after flag")
+				}
+			}
+		}
+		return pe.BarrierAll()
+	}
+}
+
+// TestSanitizeFlagsMissingQuiet is the acceptance scenario of the
+// sanitizer: a put-then-flag program with no Quiet is flagged with the
+// correct PE pair and symmetric offset; the same program with the Quiet
+// runs clean.
+func TestSanitizeFlagsMissingQuiet(t *testing.T) {
+	var dataOff int64
+	rep := runT(t, sanCfg(2), missingQuietBody(false, &dataOff))
+	var sig, read bool
+	for _, d := range rep.Diagnostics {
+		switch d.Kind {
+		case sanitize.UnfencedSignal:
+			sig = true
+			if d.PE != 0 || d.TargetPE != 1 || d.Offset != dataOff || d.Bytes != 64 {
+				t.Errorf("unfenced-signal misattributed: %+v (data at offset %d)", d, dataOff)
+			}
+		case sanitize.UnfencedRead:
+			read = true
+			if d.PE != 1 || d.OtherPE != 0 || d.Offset != dataOff {
+				t.Errorf("unfenced-read misattributed: %+v (data at offset %d)", d, dataOff)
+			}
+		default:
+			t.Errorf("unexpected diagnostic: %v", d)
+		}
+	}
+	if !sig || !read {
+		t.Fatalf("diagnostics = %v, want unfenced-signal and unfenced-read", rep.Diagnostics)
+	}
+
+	rep = runT(t, sanCfg(2), missingQuietBody(true, &dataOff))
+	if len(rep.Diagnostics) != 0 {
+		t.Fatalf("quiet variant flagged: %v", rep.Diagnostics)
+	}
+}
+
+// TestSanitizeFlagsRacingPuts: two PEs put to overlapping bytes of a third
+// PE's partition with no SHMEM ordering. The conflicting accesses are
+// serialized host-side through a Go channel — invisible to the SHMEM
+// happens-before model, so the race is still flagged, deterministically
+// oriented, and the Go race detector stays quiet.
+func TestSanitizeFlagsRacingPuts(t *testing.T) {
+	for _, ordered := range []bool{false, true} {
+		name := "racy"
+		if ordered {
+			name = "barrier-ordered"
+		}
+		t.Run(name, func(t *testing.T) {
+			ch := make(chan struct{})
+			var xOff int64
+			rep := runT(t, sanCfg(3), func(pe *PE) error {
+				x, err := Malloc[int64](pe, 16)
+				if err != nil {
+					return err
+				}
+				if err := pe.BarrierAll(); err != nil {
+					return err
+				}
+				if pe.MyPE() == 0 {
+					xOff = x.off
+					if err := Put(pe, x, x, 16, 2); err != nil {
+						return err
+					}
+					pe.Quiet()
+				}
+				if ordered {
+					if err := pe.BarrierAll(); err != nil {
+						return err
+					}
+				} else {
+					switch pe.MyPE() {
+					case 0:
+						close(ch)
+					case 1:
+						<-ch
+					}
+				}
+				if pe.MyPE() == 1 {
+					half := x.Slice(8, 16)
+					if err := Put(pe, half, half, 8, 2); err != nil {
+						return err
+					}
+					pe.Quiet()
+				}
+				return pe.BarrierAll()
+			})
+			if ordered {
+				if len(rep.Diagnostics) != 0 {
+					t.Fatalf("ordered puts flagged: %v", rep.Diagnostics)
+				}
+				return
+			}
+			if len(rep.Diagnostics) != 1 {
+				t.Fatalf("diagnostics = %v, want exactly one", rep.Diagnostics)
+			}
+			d := rep.Diagnostics[0]
+			if d.Kind != sanitize.RacePutPut || d.PE != 1 || d.OtherPE != 0 ||
+				d.TargetPE != 2 || d.Offset != xOff+8*8 {
+				t.Errorf("race misattributed: %+v (want PE 1 vs 0 at target 2, offset %d)", d, xOff+8*8)
+			}
+		})
+	}
+}
+
+// TestSanitizeFlagsPutGetRace: an unordered get overlapping another PE's
+// put is a read of undefined bytes.
+func TestSanitizeFlagsPutGetRace(t *testing.T) {
+	ch := make(chan struct{})
+	rep := runT(t, sanCfg(3), func(pe *PE) error {
+		x, err := Malloc[int64](pe, 16)
+		if err != nil {
+			return err
+		}
+		scratch, err := Malloc[int64](pe, 16)
+		if err != nil {
+			return err
+		}
+		if err := pe.BarrierAll(); err != nil {
+			return err
+		}
+		switch pe.MyPE() {
+		case 0:
+			if err := Put(pe, x, x, 16, 2); err != nil {
+				return err
+			}
+			pe.Quiet()
+			close(ch)
+		case 1:
+			<-ch
+			if err := Get(pe, scratch, x, 16, 2); err != nil {
+				return err
+			}
+		}
+		return pe.BarrierAll()
+	})
+	if len(rep.Diagnostics) != 1 || rep.Diagnostics[0].Kind != sanitize.RacePutGet {
+		t.Fatalf("diagnostics = %v, want one race:put/get", rep.Diagnostics)
+	}
+	if d := rep.Diagnostics[0]; d.PE != 1 || d.OtherPE != 0 || d.TargetPE != 2 {
+		t.Errorf("race misattributed: %+v", d)
+	}
+}
+
+// TestSanitizeStridedPrecision: concurrent IPuts into interleaved columns
+// of one region (the distributed-transpose pattern) touch disjoint
+// elements and must not be flagged; the same IPuts aimed at the same
+// column must be.
+func TestSanitizeStridedPrecision(t *testing.T) {
+	for _, collide := range []bool{false, true} {
+		name := "interleaved-clean"
+		if collide {
+			name = "same-column-race"
+		}
+		t.Run(name, func(t *testing.T) {
+			ch := make(chan struct{})
+			rep := runT(t, sanCfg(3), func(pe *PE) error {
+				x, err := Malloc[int64](pe, 16)
+				if err != nil {
+					return err
+				}
+				src, err := Malloc[int64](pe, 8)
+				if err != nil {
+					return err
+				}
+				if err := pe.BarrierAll(); err != nil {
+					return err
+				}
+				switch pe.MyPE() {
+				case 0:
+					// Even elements of x on PE 2.
+					if err := IPut(pe, x, src, 2, 1, 8, 2); err != nil {
+						return err
+					}
+					pe.Quiet()
+					if collide {
+						close(ch)
+					}
+				case 1:
+					target := x.Slice(1, 16) // odd elements: disjoint
+					if collide {
+						<-ch
+						target = x // even elements: collision
+					}
+					if err := IPut(pe, target, src, 2, 1, 8, 2); err != nil {
+						return err
+					}
+					pe.Quiet()
+				}
+				return pe.BarrierAll()
+			})
+			if collide {
+				if len(rep.Diagnostics) != 1 || rep.Diagnostics[0].Kind != sanitize.RacePutPut {
+					t.Fatalf("diagnostics = %v, want one race:put/put", rep.Diagnostics)
+				}
+			} else if len(rep.Diagnostics) != 0 {
+				t.Fatalf("disjoint interleaved IPuts flagged: %v", rep.Diagnostics)
+			}
+		})
+	}
+}
+
+// TestSanitizeLockMisuse: double acquire fails fast instead of
+// deadlocking, and a release without ownership is diagnosed.
+func TestSanitizeLockMisuse(t *testing.T) {
+	t.Run("double-acquire", func(t *testing.T) {
+		rep := runT(t, sanCfg(2), func(pe *PE) error {
+			lk, err := Malloc[int64](pe, 1)
+			if err != nil {
+				return err
+			}
+			if err := pe.BarrierAll(); err != nil {
+				return err
+			}
+			if pe.MyPE() == 0 {
+				if err := pe.SetLock(lk); err != nil {
+					return err
+				}
+				if err := pe.SetLock(lk); err == nil {
+					return errors.New("second SetLock did not fail")
+				} else if !strings.Contains(err.Error(), "already holds") {
+					return err
+				}
+				if err := pe.ClearLock(lk); err != nil {
+					return err
+				}
+			}
+			return pe.BarrierAll()
+		})
+		if len(rep.Diagnostics) != 1 || rep.Diagnostics[0].Kind != sanitize.LockDoubleAcquire {
+			t.Fatalf("diagnostics = %v, want one lock:double-acquire", rep.Diagnostics)
+		}
+	})
+	t.Run("bad-release", func(t *testing.T) {
+		rep := runT(t, sanCfg(2), func(pe *PE) error {
+			lk, err := Malloc[int64](pe, 1)
+			if err != nil {
+				return err
+			}
+			if err := pe.BarrierAll(); err != nil {
+				return err
+			}
+			if pe.MyPE() == 0 {
+				if err := pe.ClearLock(lk); err == nil {
+					return errors.New("ClearLock of an unheld lock did not fail")
+				}
+			}
+			return pe.BarrierAll()
+		})
+		if len(rep.Diagnostics) != 1 || rep.Diagnostics[0].Kind != sanitize.LockBadRelease {
+			t.Fatalf("diagnostics = %v, want one lock:bad-release", rep.Diagnostics)
+		}
+	})
+}
+
+// TestSanitizeCleanProgram: a program using the full synchronization
+// vocabulary correctly — collectives, reductions, atomics, a lock —
+// produces no diagnostics.
+func TestSanitizeCleanProgram(t *testing.T) {
+	rep := runT(t, sanCfg(4), func(pe *PE) error {
+		me := pe.MyPE()
+		as := AllPEs(4)
+		src, err := Malloc[int32](pe, 4)
+		if err != nil {
+			return err
+		}
+		dst, err := Malloc[int32](pe, 16)
+		if err != nil {
+			return err
+		}
+		ps, err := Malloc[int64](pe, CollectSyncSize)
+		if err != nil {
+			return err
+		}
+		rt, rs, pwrk, rps := reduceEnv(t, pe, 8)
+		cnt, err := Malloc[int64](pe, 1)
+		if err != nil {
+			return err
+		}
+		lk, err := Malloc[int64](pe, 1)
+		if err != nil {
+			return err
+		}
+		v := MustLocal(pe, src)
+		for i := range v {
+			v[i] = int32(10*me + i)
+		}
+		w := MustLocal(pe, rs)
+		for i := range w {
+			w[i] = int64(me + i)
+		}
+		if err := pe.BarrierAll(); err != nil {
+			return err
+		}
+		if err := Broadcast(pe, dst, src, 4, 0, as, ps); err != nil {
+			return err
+		}
+		if err := FCollect(pe, dst, src, 4, as, ps); err != nil {
+			return err
+		}
+		if err := Collect(pe, dst, src, me%3, as, ps); err != nil {
+			return err
+		}
+		if err := FCollectRD(pe, dst, src, 4, as, ps); err != nil {
+			return err
+		}
+		if err := SumToAll(pe, rt, rs, 8, as, pwrk, rps); err != nil {
+			return err
+		}
+		if _, err := FInc(pe, cnt, 0); err != nil {
+			return err
+		}
+		if err := pe.SetLock(lk); err != nil {
+			return err
+		}
+		if err := pe.ClearLock(lk); err != nil {
+			return err
+		}
+		return pe.BarrierAll()
+	})
+	if len(rep.Diagnostics) != 0 {
+		t.Fatalf("clean program flagged: %v", rep.Diagnostics)
+	}
+}
+
+// TestSanitizeStrictEnv: TSHMEM_SANITIZE turns diagnostics into a run
+// error (the mode ci.sh and ad-hoc shell runs use), while clean programs
+// still pass.
+func TestSanitizeStrictEnv(t *testing.T) {
+	t.Setenv("TSHMEM_SANITIZE", "1")
+	var off int64
+	_, err := Run(gxCfg(2), missingQuietBody(false, &off))
+	if err == nil || !strings.Contains(err.Error(), "sanitizer") {
+		t.Fatalf("strict mode error = %v, want sanitizer failure", err)
+	}
+	if _, err := Run(gxCfg(2), missingQuietBody(true, &off)); err != nil {
+		t.Fatalf("clean program failed under TSHMEM_SANITIZE: %v", err)
+	}
+}
+
+// TestSanitizeOffByDefault: without Config.Sanitize the report carries no
+// diagnostics and racy programs run exactly as before.
+func TestSanitizeOffByDefault(t *testing.T) {
+	var off int64
+	rep := runT(t, gxCfg(2), missingQuietBody(false, &off))
+	if rep.Diagnostics != nil {
+		t.Fatalf("diagnostics present with sanitizer off: %v", rep.Diagnostics)
+	}
+}

@@ -97,6 +97,9 @@ func WaitUntil[T Integer](pe *PE, ivar Ref[T], cmp Cmp, value T) error {
 	if t > 0 {
 		pe.clock.AdvanceTo(t)
 	}
+	// The satisfying store was a P or atomic on this word; acquire its
+	// publisher's clock.
+	pe.san.WaitEdge(off)
 	pe.rec.OpDone(stats.OpWait, start, &pe.clock, 0, int(stats.NoPeer))
 	return nil
 }

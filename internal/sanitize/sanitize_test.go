@@ -1,0 +1,270 @@
+package sanitize
+
+import (
+	"strings"
+	"testing"
+
+	"tshmem/internal/vtime"
+)
+
+func rec(off, stride, cnt, es int64) *accessRec {
+	return &accessRec{off: off, stride: stride, cnt: cnt, es: es}
+}
+
+func TestFloorDiv(t *testing.T) {
+	cases := []struct{ a, b, want int64 }{
+		{7, 2, 3}, {8, 2, 4}, {0, 3, 0},
+		{-1, 2, -1}, {-4, 2, -2}, {-7, 3, -3},
+	}
+	for _, c := range cases {
+		if got := floorDiv(c.a, c.b); got != c.want {
+			t.Errorf("floorDiv(%d, %d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestOverlaps(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b *accessRec
+		want bool
+	}{
+		{"contig-overlap", rec(0, 64, 1, 64), rec(32, 64, 1, 64), true},
+		{"contig-disjoint", rec(0, 32, 1, 32), rec(32, 32, 1, 32), false},
+		// The distributed-transpose shape: two columns of an 8-byte-element
+		// matrix with row pitch 16. Spans interleave, elements never touch.
+		{"interleaved-columns", rec(0, 16, 4, 8), rec(8, 16, 4, 8), false},
+		{"same-column", rec(0, 16, 4, 8), rec(0, 16, 4, 8), true},
+		{"column-vs-covering-block", rec(0, 16, 4, 8), rec(0, 64, 1, 64), true},
+		{"contig-hits-element", rec(0, 16, 4, 8), rec(32, 8, 1, 8), true},
+		{"contig-in-gap", rec(0, 16, 4, 8), rec(8, 8, 1, 8), false},
+		{"mixed-strides-hit", rec(0, 24, 4, 8), rec(16, 16, 4, 8), true}, // both contain 48
+		{"mixed-strides-miss", rec(0, 48, 2, 8), rec(16, 16, 2, 8), false},
+		{"span-disjoint-strided", rec(0, 16, 4, 8), rec(100, 16, 4, 8), false},
+	}
+	for _, c := range cases {
+		if got := c.a.overlaps(c.b); got != c.want {
+			t.Errorf("%s: overlaps = %v, want %v", c.name, got, c.want)
+		}
+		if got := c.b.overlaps(c.a); got != c.want {
+			t.Errorf("%s (swapped): overlaps = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestSupersedes(t *testing.T) {
+	if !supersedes(rec(0, 64, 1, 64), rec(8, 16, 1, 16)) {
+		t.Error("covering contiguous write should supersede")
+	}
+	if supersedes(rec(0, 32, 1, 32), rec(8, 40, 1, 40)) {
+		t.Error("partial cover must not supersede")
+	}
+	if !supersedes(rec(0, 16, 4, 8), rec(0, 16, 3, 8)) {
+		t.Error("identical strided pattern rewrite should supersede")
+	}
+	if supersedes(rec(0, 16, 4, 8), rec(8, 16, 4, 8)) {
+		t.Error("shifted strided pattern must not supersede")
+	}
+}
+
+func TestVClock(t *testing.T) {
+	a := vclock{1, 5, 0}
+	b := vclock{2, 3, 0}
+	if a.leq(b) || b.leq(a) {
+		t.Error("incomparable clocks reported ordered")
+	}
+	j := a.clone()
+	j.join(b)
+	if !a.leq(j) || !b.leq(j) {
+		t.Errorf("join %v not an upper bound of %v, %v", j, a, b)
+	}
+	if !a.leq(a) {
+		t.Error("leq not reflexive")
+	}
+}
+
+// TestRaceThenBarrierOrders drives the checker directly: two PEs put to
+// overlapping bytes with no edge (a race), then the same pair ordered by a
+// barrier (clean).
+func TestRaceThenBarrierOrders(t *testing.T) {
+	c := New(2)
+	h0, h1 := c.PE(0), c.PE(1)
+	h0.Write("Put", 1, DynamicSID, 0, 64, 10)
+	h1.Write("Put", 1, DynamicSID, 32, 64, 20)
+	d := c.Diagnostics()
+	if len(d) != 1 || d[0].Kind != RacePutPut {
+		t.Fatalf("diagnostics = %v, want one race:put/put", d)
+	}
+	if d[0].TargetPE != 1 || d[0].PE+d[0].OtherPE != 1 {
+		t.Errorf("race attributed to %+v, want PE pair {0,1} on target 1", d[0])
+	}
+
+	c = New(2)
+	h0, h1 = c.PE(0), c.PE(1)
+	h0.Write("Put", 1, DynamicSID, 0, 64, 10)
+	b0 := h0.BarrierEnter(0, 0, 2, 1)
+	b1 := h1.BarrierEnter(0, 0, 2, 1)
+	h0.BarrierExit(b0)
+	h1.BarrierExit(b1)
+	h1.Write("Put", 1, DynamicSID, 32, 64, 20)
+	if d := c.Diagnostics(); len(d) != 0 {
+		t.Errorf("barrier-ordered puts flagged: %v", d)
+	}
+}
+
+// TestSignalWithoutQuiet is the missing-shmem_quiet pattern at the hook
+// level: data put, flag P, waiter reads the data. The unfenced data put is
+// flagged twice — at the signal and at the read — and a Quiet fixes both.
+func TestSignalWithoutQuiet(t *testing.T) {
+	const dataOff, flagOff = 0, 4096
+	c := New(2)
+	h0, h1 := c.PE(0), c.PE(1)
+	h0.Write("Put", 1, DynamicSID, dataOff, 64, 10)
+	h0.Signal(1, flagOff, 8, 11)
+	h1.WaitEdge(flagOff)
+	h1.Read("Get", 1, DynamicSID, dataOff, 64, 12)
+	var kinds []string
+	for _, d := range c.Diagnostics() {
+		kinds = append(kinds, d.Kind.String())
+		if d.Offset != dataOff {
+			t.Errorf("%s at offset %d, want %d", d.Kind, d.Offset, dataOff)
+		}
+	}
+	if got := strings.Join(kinds, ","); got != "unfenced-signal,unfenced-read" {
+		t.Fatalf("kinds = %q, want unfenced-signal then unfenced-read", got)
+	}
+
+	c = New(2)
+	h0, h1 = c.PE(0), c.PE(1)
+	h0.Write("Put", 1, DynamicSID, dataOff, 64, 10)
+	h0.Quiet()
+	h0.Signal(1, flagOff, 8, 11)
+	h1.WaitEdge(flagOff)
+	h1.Read("Get", 1, DynamicSID, dataOff, 64, 12)
+	if d := c.Diagnostics(); len(d) != 0 {
+		t.Errorf("quiet-then-signal flagged: %v", d)
+	}
+}
+
+func TestDedupeFoldsRepeats(t *testing.T) {
+	c := New(2)
+	h0, h1 := c.PE(0), c.PE(1)
+	h0.Write("Put", 1, DynamicSID, 0, 64, 10)
+	h1.Write("Put", 1, DynamicSID, 0, 64, 20)
+	h1.Write("Put", 1, DynamicSID, 0, 64, 30)
+	d := c.Diagnostics()
+	if len(d) != 1 || d[0].Count != 2 {
+		t.Fatalf("diagnostics = %v, want one diagnostic with Count=2", d)
+	}
+	if !strings.Contains(d[0].String(), "x2") {
+		t.Errorf("String() = %q, want folded count suffix", d[0].String())
+	}
+}
+
+func TestLockHooks(t *testing.T) {
+	c := New(2)
+	h0, h1 := c.PE(0), c.PE(1)
+	if h0.LockSelfAcquire(128, 1) {
+		t.Fatal("unheld lock reported self-held")
+	}
+	h0.LockAcquired(128)
+	if !h0.LockSelfAcquire(128, 2) {
+		t.Fatal("double acquire not reported")
+	}
+	h1.LockRelease(128, 3) // PE 1 never held it
+	var kinds []Kind
+	for _, d := range c.Diagnostics() {
+		kinds = append(kinds, d.Kind)
+	}
+	if len(kinds) != 2 || kinds[0] != LockDoubleAcquire || kinds[1] != LockBadRelease {
+		t.Fatalf("kinds = %v, want [LockDoubleAcquire LockBadRelease]", kinds)
+	}
+}
+
+func TestAtomicEdgeOrders(t *testing.T) {
+	c := New(2)
+	h0, h1 := c.PE(0), c.PE(1)
+	h0.Write("Put", 1, DynamicSID, 0, 64, 10)
+	h0.Quiet()
+	h0.AtomicEdge(1, 4096) // e.g. FAdd on a counter after completing the put
+	h1.AtomicEdge(1, 4096)
+	h1.Read("Get", 1, DynamicSID, 0, 64, 20)
+	if d := c.Diagnostics(); len(d) != 0 {
+		t.Errorf("atomic-ordered read flagged: %v", d)
+	}
+}
+
+func TestSigEdges(t *testing.T) {
+	c := New(2)
+	h0, h1 := c.PE(0), c.PE(1)
+	h0.Write("Put", 1, DynamicSID, 0, 64, 10)
+	h0.Quiet()
+	h0.SigSend(1, 7)
+	h1.SigRecv(7)
+	h1.Read("Get", 1, DynamicSID, 0, 64, 20)
+	if d := c.Diagnostics(); len(d) != 0 {
+		t.Errorf("signal-ordered read flagged: %v", d)
+	}
+}
+
+// TestStridedHooksPrecise checks that interleaved strided writes from two
+// PEs are not flagged, while colliding ones are.
+func TestStridedHooksPrecise(t *testing.T) {
+	c := New(2)
+	h0, h1 := c.PE(0), c.PE(1)
+	h0.WriteStrided("IPut", 0, DynamicSID, 0, 16, 8, 8, 10)
+	h1.WriteStrided("IPut", 0, DynamicSID, 8, 16, 8, 8, 20)
+	if d := c.Diagnostics(); len(d) != 0 {
+		t.Errorf("disjoint interleaved strided puts flagged: %v", d)
+	}
+
+	c = New(2)
+	h0, h1 = c.PE(0), c.PE(1)
+	h0.WriteStrided("IPut", 0, DynamicSID, 0, 16, 8, 8, 10)
+	h1.WriteStrided("IPut", 0, DynamicSID, 16, 16, 8, 8, 20)
+	d := c.Diagnostics()
+	if len(d) != 1 || d[0].Kind != RacePutPut {
+		t.Fatalf("colliding strided puts: %v, want one race:put/put", d)
+	}
+}
+
+func TestNilHooksAreNoOps(t *testing.T) {
+	var h *PEHooks
+	h.Write("Put", 0, DynamicSID, 0, 8, 0)
+	h.WriteStrided("IPut", 0, DynamicSID, 0, 8, 1, 8, 0)
+	h.Read("Get", 0, DynamicSID, 0, 8, 0)
+	h.ReadStrided("IGet", 0, DynamicSID, 0, 8, 1, 8, 0)
+	h.ReadElem(0, 0, 8, 0)
+	h.Quiet()
+	h.Signal(0, 0, 8, 0)
+	h.WaitEdge(0)
+	h.AtomicEdge(0, 0)
+	h.SigSend(0, 0)
+	h.SigRecv(0)
+	h.BarrierExit(h.BarrierEnter(0, 0, 1, 0))
+	h.BarrierExit(h.SpinEnter())
+	if h.LockSelfAcquire(0, 0) {
+		t.Error("nil hooks reported a held lock")
+	}
+	h.LockAcquired(0)
+	h.LockRelease(0, 0)
+}
+
+func TestDiagnosticStrings(t *testing.T) {
+	kinds := []Kind{RacePutPut, RacePutGet, UnfencedPut, UnfencedRead,
+		UnfencedSignal, LockDoubleAcquire, LockBadRelease, Kind(99)}
+	for _, k := range kinds {
+		if k.String() == "" {
+			t.Errorf("empty String for kind %d", int(k))
+		}
+	}
+	d := Diagnostic{Kind: RacePutPut, PE: 1, OtherPE: 0, TargetPE: 2,
+		SID: 3, Offset: 64, Bytes: 8, Op: "Put", OtherOp: "Put",
+		VTime: vtime.Time(5), OtherVT: vtime.Time(4), Count: 1}
+	s := d.String()
+	for _, want := range []string{"race:put/put", "static 3", "[64,72)"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+}

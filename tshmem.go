@@ -46,6 +46,7 @@ import (
 	"tshmem/internal/arch"
 	"tshmem/internal/cache"
 	"tshmem/internal/core"
+	"tshmem/internal/sanitize"
 	"tshmem/internal/stats"
 )
 
@@ -118,6 +119,28 @@ const (
 	OpReduce    = stats.OpReduce
 	OpWait      = stats.OpWait
 	NumOps      = stats.NumOps
+)
+
+// Synchronization sanitizer (Config.Sanitize; see docs/OBSERVABILITY.md).
+type (
+	// Diagnostic is one synchronization defect the happens-before checker
+	// found: the PE pair, op pair, symmetric region and offset, and the
+	// virtual timestamps of the conflicting operations. Report.Diagnostics
+	// lists them when the run was configured with Config.Sanitize.
+	Diagnostic = sanitize.Diagnostic
+	// DiagKind classifies a Diagnostic.
+	DiagKind = sanitize.Kind
+)
+
+// Diagnostic kinds (Diagnostic.Kind values).
+const (
+	DiagRacePutPut        = sanitize.RacePutPut
+	DiagRacePutGet        = sanitize.RacePutGet
+	DiagUnfencedPut       = sanitize.UnfencedPut
+	DiagUnfencedRead      = sanitize.UnfencedRead
+	DiagUnfencedSignal    = sanitize.UnfencedSignal
+	DiagLockDoubleAcquire = sanitize.LockDoubleAcquire
+	DiagLockBadRelease    = sanitize.LockBadRelease
 )
 
 // Ref is a handle to a symmetric object of element type T, valid on every
