@@ -70,4 +70,46 @@ if echo "$ALLOC_OUT" | grep -E 'Benchmark(Put|Barrier)\b' | grep -vE '\s0 allocs
     exit 1
 fi
 
+# Fault smoke: with faults off the probe JSON must be byte-identical to
+# the committed baseline — the injection hook sites are nil-guarded
+# no-ops, so arming nothing may not move a single modeled picosecond
+# (docs/ROBUSTNESS.md). The threshold compare above tolerates drift;
+# this does not. Then the demo stall plan must terminate (bounded waits,
+# zero hangs) and surface a timeout diagnostic naming the stalled PE.
+echo "== fault smoke: faults-off byte-identity + bounded-wait demo =="
+if ! cmp -s BENCH_baseline.json "$SMOKE"; then
+    echo "ci: FAIL — faults-off probe JSON differs from BENCH_baseline.json byte-for-byte;" >&2
+    echo "    fault hooks must be exact no-ops when Config.Faults is nil" >&2
+    exit 1
+fi
+FAULT_OUT=$(go run ./cmd/tshmem-bench -faults 'stall:pe=3,q=0')
+echo "$FAULT_OUT" | grep 'fault event 0' > /dev/null || {
+    echo "ci: FAIL — demo stall plan produced no attributed fault trigger" >&2
+    echo "$FAULT_OUT" >&2
+    exit 1
+}
+echo "$FAULT_OUT" | grep 'timeout' | grep 'PE 3' > /dev/null || {
+    echo "ci: FAIL — demo stall plan produced no timeout diagnostic naming PE 3" >&2
+    echo "$FAULT_OUT" >&2
+    exit 1
+}
+
+# Fuzz smoke: run each native fuzz target briefly against its committed
+# seed corpus plus fresh random inputs. Failures minimize into
+# testdata/fuzz/<target>/ — commit the minimized case as a regression
+# seed. (A fuzz run only accepts one target per invocation.)
+echo "== fuzz smoke: 10s per target =="
+go test ./internal/sanitize -run '^$' -fuzz '^FuzzStridedOverlap$' -fuzztime 10s
+go test ./internal/alloc -run '^$' -fuzz '^FuzzAlloc$' -fuzztime 10s
+
+# Examples smoke: every example program must build and run to completion
+# on a small input. Exit status is the check; output is the user's.
+echo "== examples smoke: build + run all examples =="
+go run ./examples/quickstart > /dev/null
+go run ./examples/heat2d -n 64 -pes 4 -iters 20 > /dev/null
+go run ./examples/fft2d -n 64 -pes 4 > /dev/null
+go run ./examples/summa -n 64 -g 2 > /dev/null
+go run ./examples/cbir -images 200 -pes 4 > /dev/null
+go run ./examples/multichip -pes 4 -chips 2 > /dev/null
+
 echo "ci: OK"

@@ -14,6 +14,8 @@
 //	tshmem-bench -trace out.json # probe + Chrome trace_event JSON (Perfetto)
 //	tshmem-bench -probe bcast -heatmap       # per-link mesh utilization map
 //	tshmem-bench -probe bcast -svg mesh.svg  # same heatmap as standalone SVG
+//	tshmem-bench -faults seed:7              # probe under a seeded fault plan
+//	tshmem-bench -faults 'stall:pe=3,q=0'    # probe with one UDN queue stalled
 //	tshmem-bench -json out.json              # machine-readable probe baseline
 //	tshmem-bench -compare BENCH_baseline.json new.json -threshold 5%
 //	tshmem-bench -cpuprofile cpu.pprof       # profile the simulator host cost
@@ -30,6 +32,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -39,6 +42,9 @@ import (
 	"time"
 
 	"tshmem/internal/bench"
+	"tshmem/internal/core"
+	"tshmem/internal/fault"
+	"tshmem/internal/sanitize"
 	"tshmem/internal/stats"
 )
 
@@ -58,6 +64,7 @@ func run() int {
 		heatmap = flag.Bool("heatmap", false, "render the probe's per-link mesh utilization as an ASCII heatmap (implies -probe bcast)")
 		svgPath = flag.String("svg", "", "write the probe's mesh heatmap as SVG to this file (implies -probe bcast)")
 		san     = flag.Bool("sanitize", false, "run under the synchronization sanitizer; exit non-zero on any diagnostic")
+		faults  = flag.String("faults", "", "fault plan for the probe: seed:N, a bare seed, or a plan literal like 'stall:pe=3,q=0' (implies -probe barrier; see docs/ROBUSTNESS.md)")
 		jsonOut = flag.String("json", "", "run the probe suite and write a machine-readable baseline to this file")
 		compare = flag.String("compare", "", "baseline JSON to compare against; pass the current run's JSON as the positional argument")
 		thresh  = flag.String("threshold", "5%", "relative regression threshold for -compare (e.g. 5% or 0.05)")
@@ -121,14 +128,14 @@ func run() int {
 		}
 		return 0
 	}
-	if *trace != "" && *probe == "" {
+	if (*trace != "" || *faults != "") && *probe == "" {
 		*probe = "barrier"
 	}
 	if (*heatmap || *svgPath != "") && *probe == "" {
 		*probe = "bcast"
 	}
 	if *probe != "" {
-		if err := runProbe(*probe, *trace, *heatmap, *svgPath, *san); err != nil {
+		if err := runProbe(*probe, *trace, *heatmap, *svgPath, *san, *faults); err != nil {
 			fmt.Fprintf(os.Stderr, "tshmem-bench: %v\n", err)
 			return 1
 		}
@@ -170,24 +177,57 @@ func run() int {
 }
 
 // runProbe runs one observability probe, prints its counter and latency
-// tables, and optionally exports the event trace and mesh heatmap.
-func runProbe(id, tracePath string, heatmap bool, svgPath string, sanitize bool) error {
+// tables, and optionally exports the event trace and mesh heatmap. With a
+// fault spec the probe runs under the injected plan: bounded waits that
+// expire are reported as timeout diagnostics rather than failing the run.
+func runProbe(id, tracePath string, heatmap bool, svgPath string, sanOn bool, faultSpec string) error {
 	p, ok := bench.LookupProbe(id)
 	if !ok {
 		return fmt.Errorf("unknown probe %q; valid probes: %s",
 			id, strings.Join(bench.ProbeIDs(), ", "))
 	}
-	start := time.Now()
-	rep, err := p.Run(bench.ProbeOpts{Trace: tracePath != "", Sanitize: sanitize})
-	if err != nil {
-		return fmt.Errorf("probe %s: %w", id, err)
+	var plan *fault.Plan
+	if faultSpec != "" {
+		var err error
+		if plan, err = fault.Parse(faultSpec); err != nil {
+			return err
+		}
 	}
-	if sanitize {
-		if len(rep.Diagnostics) > 0 {
-			for _, d := range rep.Diagnostics {
-				fmt.Fprintf(os.Stderr, "sanitizer: %s\n", d)
+	start := time.Now()
+	rep, err := p.Run(bench.ProbeOpts{Trace: tracePath != "", Sanitize: sanOn, Faults: plan})
+	if err != nil {
+		// Under fault injection a timed-out wait is the expected outcome
+		// being demonstrated: report it and keep going with the Report.
+		if rep == nil || !errors.Is(err, core.ErrTimeout) {
+			return fmt.Errorf("probe %s: %w", id, err)
+		}
+		fmt.Printf("fault injection: %v\n", err)
+	}
+	if plan != nil {
+		fmt.Printf("fault plan: %s\n", rep.FaultPlan)
+		for i, n := range rep.FaultCounts {
+			if n > 0 {
+				fmt.Printf("fault event %d (%s): triggered %d time(s)\n", i, rep.FaultPlan.Events[i], n)
 			}
-			return fmt.Errorf("probe %s: sanitizer found %d synchronization issue(s)", id, len(rep.Diagnostics))
+		}
+		for _, d := range rep.Diagnostics {
+			if d.Kind == sanitize.Timeout {
+				fmt.Printf("diagnostic: %s\n", d)
+			}
+		}
+	}
+	if sanOn {
+		// Timeout diagnostics are fault-injection outcomes (printed above),
+		// not synchronization defects; only the latter fail a -sanitize run.
+		defects := 0
+		for _, d := range rep.Diagnostics {
+			if d.Kind != sanitize.Timeout {
+				fmt.Fprintf(os.Stderr, "sanitizer: %s\n", d)
+				defects++
+			}
+		}
+		if defects > 0 {
+			return fmt.Errorf("probe %s: sanitizer found %d synchronization issue(s)", id, defects)
 		}
 		fmt.Printf("sanitizer: clean (0 diagnostics)\n")
 	}

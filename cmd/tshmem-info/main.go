@@ -1,6 +1,7 @@
 // Command tshmem-info prints the modeled Tilera processor catalogue,
-// including the paper's Table II architecture comparison, and the
-// substrate observability counter taxonomy (-counters).
+// including the paper's Table II architecture comparison, the substrate
+// observability counter taxonomy (-counters), and the fault-injection
+// kind taxonomy (-faults).
 package main
 
 import (
@@ -8,6 +9,7 @@ import (
 	"fmt"
 
 	"tshmem/internal/arch"
+	"tshmem/internal/fault"
 	"tshmem/internal/stats"
 )
 
@@ -15,10 +17,15 @@ func main() {
 	var chips = flag.String("chips", "TILE-Gx8036,TILEPro64", "comma-separated chip names (see -all)")
 	var all = flag.Bool("all", false, "print every modeled chip")
 	var counters = flag.Bool("counters", false, "print the observability counter taxonomy and exit")
+	var faults = flag.Bool("faults", false, "print the fault-injection kind taxonomy and exit")
 	flag.Parse()
 
 	if *counters {
 		fmt.Print(stats.Taxonomy())
+		return
+	}
+	if *faults {
+		fmt.Print(fault.Taxonomy())
 		return
 	}
 

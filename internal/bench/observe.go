@@ -5,6 +5,7 @@ import (
 
 	"tshmem/internal/arch"
 	"tshmem/internal/core"
+	"tshmem/internal/fault"
 	"tshmem/internal/stats"
 )
 
@@ -20,6 +21,10 @@ type ProbeOpts struct {
 	// probe's Report then carries any Diagnostics. Virtual time — and so
 	// the probe's metrics — is unaffected.
 	Sanitize bool
+	// Faults injects a deterministic fault plan into the probe's substrate
+	// and bounds every blocking wait (see docs/ROBUSTNESS.md). A probe run
+	// under faults may return both a Report and a core.ErrTimeout error.
+	Faults *fault.Plan
 }
 
 func (o ProbeOpts) chip() *arch.Chip {
@@ -57,7 +62,7 @@ var probes = []Probe{
 		Run: func(opts ProbeOpts) (*core.Report, error) {
 			cfg := core.Config{
 				Chip: opts.chip(), NPEs: 16, HeapPerPE: 64 << 10,
-				Observe: true, Trace: opts.Trace, Sanitize: opts.Sanitize,
+				Observe: true, Trace: opts.Trace, Sanitize: opts.Sanitize, Faults: opts.Faults,
 			}
 			return core.Run(cfg, func(pe *core.PE) error {
 				if err := pe.AlignClocks(); err != nil {
@@ -80,7 +85,7 @@ var probes = []Probe{
 			const maxElems = 64 << 10 / 8
 			cfg := core.Config{
 				Chip: opts.chip(), NPEs: 2, HeapPerPE: 2*64<<10 + 1<<20,
-				Observe: true, Trace: opts.Trace, Sanitize: opts.Sanitize,
+				Observe: true, Trace: opts.Trace, Sanitize: opts.Sanitize, Faults: opts.Faults,
 			}
 			return core.Run(cfg, func(pe *core.PE) error {
 				x, err := core.Malloc[int64](pe, maxElems)
@@ -114,7 +119,7 @@ var probes = []Probe{
 			const nelems = 32 << 10 / 4 // 32 kB of int32
 			cfg := core.Config{
 				Chip: opts.chip(), NPEs: 16, HeapPerPE: 2*32<<10 + 1<<20,
-				Observe: true, Trace: opts.Trace, Sanitize: opts.Sanitize,
+				Observe: true, Trace: opts.Trace, Sanitize: opts.Sanitize, Faults: opts.Faults,
 			}
 			return core.Run(cfg, func(pe *core.PE) error {
 				target, err := core.Malloc[int32](pe, nelems)

@@ -326,6 +326,26 @@ func (m *Model) HomeTile(addr int64, h Homing, accessor, partner int) int {
 	}
 }
 
+// HomeShare estimates the fraction of a bulk copy performed by accessor
+// whose cache lines are homed at tile home, under homing policy h, on a
+// chip of tiles tiles. Hash-for-home spreads successive lines round-robin,
+// so any one tile homes ~1/tiles of a bulk transfer; LocalHome
+// concentrates everything at the accessor; RemoteHome's partner varies per
+// transfer, so it is approximated by the same 1/tiles spread. Used by
+// internal/fault to size the penalty of a stuck home tile.
+func HomeShare(h Homing, accessor, home, tiles int) float64 {
+	if tiles <= 0 {
+		return 0
+	}
+	if h == LocalHome {
+		if accessor == home {
+			return 1
+		}
+		return 0
+	}
+	return 1 / float64(tiles)
+}
+
 // curveTable is a bandwidth curve with the per-anchor constants of the
 // log-linear interpolation precomputed: the log2 of each anchor size and
 // each segment's log2 span. interp evaluates exactly the expression the

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"tshmem/internal/mpipe"
@@ -107,7 +108,9 @@ func (pe *PE) BarrierAll() error {
 	if pe.prog.cfg.Barrier == TMCSpinBarrier {
 		start := pe.clock.Now()
 		tok := pe.san.SpinEnter()
-		pe.prog.spinBar.Wait(&pe.clock)
+		if err := pe.spinWait("spin-barrier"); err != nil {
+			return err
+		}
 		pe.san.BarrierExit(tok)
 		pe.rec.OpDone(stats.OpBarrier, start, &pe.clock, 0, int(stats.NoPeer))
 		return nil
@@ -298,49 +301,80 @@ func (pe *PE) barrierHier(as ActiveSet, tag uint32) error {
 }
 
 // recvFab receives the next mPIPE control message carrying tag, stashing
-// messages of other in-flight operations.
+// messages of other in-flight operations. Under fault injection the wait
+// is bounded (op "mpipe").
 func (pe *PE) recvFab(tag uint32) (mpipe.Msg, error) {
+	start := pe.clock.Now()
+	deadline := pe.waitDeadline()
 	for i, m := range pe.fabPending {
 		if m.Tag == tag {
 			pe.fabPending = append(pe.fabPending[:i], pe.fabPending[i+1:]...)
-			pe.rec.BarrierWait(pe.clock.AdvanceTo(m.Arrive))
-			return m, nil
+			return pe.consumeFab(m, start, deadline)
 		}
 	}
 	for {
 		m, err := pe.prog.fabric.RecvRaw(pe.id)
 		if err != nil {
+			if errors.Is(err, mpipe.ErrTimeout) {
+				return mpipe.Msg{}, pe.timeoutAt("mpipe", -1, start, deadline)
+			}
 			return mpipe.Msg{}, err
 		}
 		if m.Tag == tag {
-			pe.rec.BarrierWait(pe.clock.AdvanceTo(m.Arrive))
-			return m, nil
+			return pe.consumeFab(m, start, deadline)
 		}
 		pe.fabPending = append(pe.fabPending, m)
 	}
 }
 
+// consumeFab merges the clock with a fabric message's arrival, enforcing
+// the virtual deadline when fault injection bounds the wait.
+func (pe *PE) consumeFab(m mpipe.Msg, start vtime.Time, deadline vtime.Time) (mpipe.Msg, error) {
+	if deadline > 0 && m.Arrive > deadline {
+		return mpipe.Msg{}, pe.timeoutAt("mpipe", m.SrcPE, start, deadline)
+	}
+	pe.rec.BarrierWait(pe.clock.AdvanceTo(m.Arrive))
+	return m, nil
+}
+
 // recvBarrier receives the next barrier signal carrying tag, stashing
 // signals for other (overlapping) barrier instances until their turn.
+// Under fault injection the wait is bounded: a signal that never arrives
+// (a fault dropped it, or the chain is stalled past the host grace) or
+// that arrives virtually past the deadline surfaces as a timeout instead
+// of deadlocking the chain.
 func (pe *PE) recvBarrier(tag uint32, want uint64) (udn.Packet, error) {
+	start := pe.clock.Now()
+	deadline := pe.waitDeadline()
 	for i, pkt := range pe.barPending {
 		if pkt.Tag == tag && pkt.Word(0) == want {
 			pe.barPending = append(pe.barPending[:i], pe.barPending[i+1:]...)
-			pe.rec.BarrierWait(pe.clock.AdvanceTo(pkt.Arrive))
-			return pkt, nil
+			return pe.consumeBarrier(pkt, start, deadline)
 		}
 	}
 	for {
 		pkt, err := pe.port.RecvRaw(qBarrier)
 		if err != nil {
+			if errors.Is(err, udn.ErrTimeout) {
+				return udn.Packet{}, pe.timeoutAt("barrier", -1, start, deadline)
+			}
 			return udn.Packet{}, err
 		}
 		if pkt.Tag == tag && pkt.Len() == 1 && pkt.Word(0) == want {
-			pe.rec.BarrierWait(pe.clock.AdvanceTo(pkt.Arrive))
-			return pkt, nil
+			return pe.consumeBarrier(pkt, start, deadline)
 		}
 		pe.barPending = append(pe.barPending, pkt)
 	}
+}
+
+// consumeBarrier merges the clock with a barrier signal's arrival,
+// enforcing the virtual deadline when fault injection bounds the wait.
+func (pe *PE) consumeBarrier(pkt udn.Packet, start vtime.Time, deadline vtime.Time) (udn.Packet, error) {
+	if deadline > 0 && pkt.Arrive > deadline {
+		return udn.Packet{}, pe.timeoutAt("barrier", pe.globalSrc(pkt.Src), start, deadline)
+	}
+	pe.rec.BarrierWait(pe.clock.AdvanceTo(pkt.Arrive))
+	return pkt, nil
 }
 
 // BarrierRootRelease is the alternative barrier design the paper evaluated

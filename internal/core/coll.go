@@ -1,6 +1,12 @@
 package core
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+
+	"tshmem/internal/udn"
+	"tshmem/internal/vtime"
+)
 
 // OpenSHMEM work-array size constants. TSHMEM's collectives synchronize
 // over the UDN and need no symmetric scratch (matching the paper), but the
@@ -94,26 +100,37 @@ func (pe *PE) recvSig(tag uint32, fab bool) (src int, w [2]uint64, nw int, err e
 		pe.san.SigRecv(tag)
 		return m.SrcPE, w, copy(w[:], m.Words), nil
 	}
+	start := pe.clock.Now()
+	deadline := pe.waitDeadline()
 	for i, pkt := range pe.collPending {
 		if pkt.Tag == tag {
-			nw = copy(w[:], pkt.Payload())
 			pe.collPending = append(pe.collPending[:i], pe.collPending[i+1:]...)
-			pe.clock.AdvanceTo(pkt.Arrive)
-			pe.san.SigRecv(tag)
-			return pe.globalSrc(pkt.Src), w, nw, nil
+			return pe.consumeSig(pkt, tag, start, deadline)
 		}
 	}
 	for {
 		pkt, err := pe.port.RecvRaw(qColl)
 		if err != nil {
+			if errors.Is(err, udn.ErrTimeout) {
+				return 0, w, 0, pe.timeoutAt("collective", -1, start, deadline)
+			}
 			return 0, w, 0, err
 		}
 		if pkt.Tag == tag {
-			nw = copy(w[:], pkt.Payload())
-			pe.clock.AdvanceTo(pkt.Arrive)
-			pe.san.SigRecv(tag)
-			return pe.globalSrc(pkt.Src), w, nw, nil
+			return pe.consumeSig(pkt, tag, start, deadline)
 		}
 		pe.collPending = append(pe.collPending, pkt)
 	}
+}
+
+// consumeSig merges the clock with a collective signal's arrival,
+// enforcing the virtual deadline when fault injection bounds the wait.
+func (pe *PE) consumeSig(pkt udn.Packet, tag uint32, start, deadline vtime.Time) (src int, w [2]uint64, nw int, err error) {
+	if deadline > 0 && pkt.Arrive > deadline {
+		return 0, w, 0, pe.timeoutAt("collective", pe.globalSrc(pkt.Src), start, deadline)
+	}
+	nw = copy(w[:], pkt.Payload())
+	pe.clock.AdvanceTo(pkt.Arrive)
+	pe.san.SigRecv(tag)
+	return pe.globalSrc(pkt.Src), w, nw, nil
 }

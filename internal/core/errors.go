@@ -1,6 +1,11 @@
 package core
 
-import "errors"
+import (
+	"errors"
+	"fmt"
+
+	"tshmem/internal/vtime"
+)
 
 // Errors reported by TSHMEM operations.
 var (
@@ -36,4 +41,39 @@ var (
 	// ErrUnknownStatic reports access to a static object that was not
 	// declared (or not yet declared by the target PE).
 	ErrUnknownStatic = errors.New("tshmem: unknown static symmetric object")
+
+	// ErrTimeout reports a bounded wait that expired under fault injection
+	// (Config.Faults): a barrier, collective, WaitUntil, init handshake, or
+	// redirected transfer whose partner never progressed within the wait
+	// budget. Concrete errors are *TimeoutError values wrapping this
+	// sentinel; match with errors.Is(err, ErrTimeout). The Report carries
+	// the same information as Timeout diagnostics.
+	ErrTimeout = errors.New("tshmem: bounded wait timed out")
 )
+
+// TimeoutError is the typed diagnostic behind ErrTimeout: which PE was
+// stuck in which operation, whom it was waiting for, which fault-plan
+// event is blamed, and the virtual window it waited through.
+type TimeoutError struct {
+	PE       int        // the stuck PE
+	Peer     int        // awaited peer, -1 when the wait had no single peer
+	Op       string     // blocked operation ("barrier", "wait_until", ...)
+	Fault    int        // blamed fault-plan event id, -1 when unattributed
+	Start    vtime.Time // virtual time the wait began
+	Deadline vtime.Time // virtual deadline that expired (Start + WaitBudget)
+}
+
+func (e *TimeoutError) Error() string {
+	s := fmt.Sprintf("tshmem: PE %d timed out in %s", e.PE, e.Op)
+	if e.Peer >= 0 {
+		s += fmt.Sprintf(" awaiting PE %d", e.Peer)
+	}
+	s += fmt.Sprintf(" (vt %v..%v", e.Start, e.Deadline)
+	if e.Fault >= 0 {
+		s += fmt.Sprintf(", fault event %d", e.Fault)
+	}
+	return s + ")"
+}
+
+// Unwrap makes errors.Is(err, ErrTimeout) match.
+func (e *TimeoutError) Unwrap() error { return ErrTimeout }

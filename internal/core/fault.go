@@ -1,0 +1,86 @@
+package core
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"tshmem/internal/sanitize"
+	"tshmem/internal/vtime"
+)
+
+// DefaultWaitBudget is the virtual-time bound applied to every blocking
+// wait when fault injection is active (Config.WaitBudget unset): 50 ms of
+// virtual time, roughly five orders of magnitude beyond any healthy
+// barrier or signal wait in the modeled system, so only genuinely starved
+// waits trip it.
+const DefaultWaitBudget vtime.Duration = 50_000_000_000 // 50 ms in ps
+
+// DefaultWaitGrace is the host-time liveness fallback when fault
+// injection is active (Config.WaitGrace unset). The virtual budget is
+// authoritative — a wait whose packet arrives past the deadline times out
+// at exactly Start+WaitBudget — but a packet a fault swallowed never
+// arrives in host time either, and this timer unblocks that wait with the
+// identical virtual outcome.
+const DefaultWaitGrace = 2 * time.Second
+
+// timeoutLog accumulates Timeout diagnostics across PE goroutines; the
+// report sorts them deterministically afterwards.
+type timeoutLog struct {
+	mu   sync.Mutex
+	list []sanitize.Diagnostic
+}
+
+func (l *timeoutLog) add(d sanitize.Diagnostic) {
+	l.mu.Lock()
+	l.list = append(l.list, d)
+	l.mu.Unlock()
+}
+
+// diagnostics returns the recorded timeouts sorted by (PE, start time,
+// op) — a total order independent of host scheduling.
+func (l *timeoutLog) diagnostics() []sanitize.Diagnostic {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := append([]sanitize.Diagnostic(nil), l.list...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].PE != out[j].PE {
+			return out[i].PE < out[j].PE
+		}
+		if out[i].VTime != out[j].VTime {
+			return out[i].VTime < out[j].VTime
+		}
+		return out[i].Op < out[j].Op
+	})
+	return out
+}
+
+// waitDeadline returns the virtual deadline for a blocking wait starting
+// now, or 0 when fault injection is off and waits are unbounded.
+func (pe *PE) waitDeadline() vtime.Time {
+	if pe.prog.flt == nil {
+		return 0
+	}
+	return pe.clock.Now().Add(pe.prog.waitBudget)
+}
+
+// waitGrace returns the host-time liveness bound (0 when faults are off).
+func (pe *PE) waitGrace() time.Duration { return pe.prog.waitGrace }
+
+// timeoutAt finalizes a bounded wait that expired: the PE's clock lands
+// exactly on the virtual deadline (deterministic regardless of whether
+// the virtual budget or the host grace tripped first), a Timeout
+// diagnostic is logged for the report, and the typed error is returned
+// for the PE body to propagate. peer is the awaited PE (-1 when the wait
+// had no single peer).
+func (pe *PE) timeoutAt(op string, peer int, start, deadline vtime.Time) error {
+	pe.clock.AdvanceTo(deadline)
+	id := pe.prog.flt.Blame(pe.id, start)
+	pe.prog.tmo.add(sanitize.Diagnostic{
+		Kind: sanitize.Timeout, PE: pe.id, OtherPE: peer, TargetPE: pe.id,
+		SID: sanitize.DynamicSID, Op: op, VTime: start, OtherVT: deadline,
+		Count: 1, Fault: int32(id),
+	})
+	pe.rec.FaultTimeout(id, peer, start, deadline)
+	return &TimeoutError{PE: pe.id, Peer: peer, Op: op, Fault: id, Start: start, Deadline: deadline}
+}

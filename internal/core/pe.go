@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"tshmem/internal/alloc"
@@ -162,7 +163,12 @@ func (pe *PE) sendUDN(dst, q int, tag uint32, words []uint64) error {
 	if !pe.prog.sameChip(pe.id, dst) {
 		return fmt.Errorf("tshmem: internal: UDN send from PE %d to PE %d crosses chips", pe.id, dst)
 	}
-	return pe.port.Send(&pe.clock, pe.prog.localIdx(dst), q, tag, words)
+	start := pe.clock.Now()
+	err := pe.port.Send(&pe.clock, pe.prog.localIdx(dst), q, tag, words)
+	if errors.Is(err, udn.ErrTimeout) {
+		return pe.timeoutAt("udn.send", dst, start, start.Add(pe.prog.waitBudget))
+	}
+	return err
 }
 
 // sendBarrier sends one wait/release signal on the barrier queue, counting
@@ -214,26 +220,43 @@ func (pe *PE) startPEs() error {
 }
 
 // recvInitFrom receives the start_pes report from the given chip-local
-// tile, stashing reports that arrive ahead of their round.
+// tile, stashing reports that arrive ahead of their round. Under fault
+// injection the wait is bounded: a report that never arrives (or arrives
+// virtually past the deadline) surfaces as a timeout naming the awaited
+// peer.
 func (pe *PE) recvInitFrom(localSrc int) (udn.Packet, error) {
+	start := pe.clock.Now()
+	deadline := pe.waitDeadline()
+	peer := pe.globalSrc(localSrc)
 	for i, pkt := range pe.initPending {
 		if pkt.Src == localSrc {
 			pe.initPending = append(pe.initPending[:i], pe.initPending[i+1:]...)
-			pe.clock.AdvanceTo(pkt.Arrive)
-			return pkt, nil
+			return pe.consumeInit(pkt, start, deadline)
 		}
 	}
 	for {
 		pkt, err := pe.port.RecvRaw(qInit)
 		if err != nil {
+			if errors.Is(err, udn.ErrTimeout) {
+				return udn.Packet{}, pe.timeoutAt("init", peer, start, deadline)
+			}
 			return udn.Packet{}, err
 		}
 		if pkt.Src == localSrc {
-			pe.clock.AdvanceTo(pkt.Arrive)
-			return pkt, nil
+			return pe.consumeInit(pkt, start, deadline)
 		}
 		pe.initPending = append(pe.initPending, pkt)
 	}
+}
+
+// consumeInit merges the clock with an init report's arrival, enforcing
+// the virtual deadline when fault injection bounds the wait.
+func (pe *PE) consumeInit(pkt udn.Packet, start vtime.Time, deadline vtime.Time) (udn.Packet, error) {
+	if deadline > 0 && pkt.Arrive > deadline {
+		return udn.Packet{}, pe.timeoutAt("init", pe.globalSrc(pkt.Src), start, deadline)
+	}
+	pe.clock.AdvanceTo(pkt.Arrive)
+	return pkt, nil
 }
 
 // Finalize implements the shmem_finalize() extension the paper proposes:
@@ -303,8 +326,29 @@ func (pe *PE) AlignClocks() error {
 		return err
 	}
 	tok := pe.san.SpinEnter()
-	pe.prog.spinBar.Wait(&pe.clock)
+	if err := pe.spinWait("align"); err != nil {
+		return err
+	}
 	pe.san.BarrierExit(tok)
+	return nil
+}
+
+// spinWait enters the program-wide TMC spin barrier, bounding the
+// rendezvous in host time when fault injection is active. The bound is a
+// liveness fallback only: a rendezvous that does complete keeps its exact
+// unbounded virtual timing (see docs/ROBUSTNESS.md for the caveat that
+// the UDN chain barrier, not the spin barrier, is the instrument for
+// virtual-deadline experiments).
+func (pe *PE) spinWait(op string) error {
+	if pe.prog.flt == nil {
+		pe.prog.spinBar.Wait(&pe.clock)
+		return nil
+	}
+	start := pe.clock.Now()
+	deadline := start.Add(pe.prog.waitBudget)
+	if !pe.prog.spinBar.WaitTimeout(&pe.clock, pe.prog.waitGrace) {
+		return pe.timeoutAt(op, -1, start, deadline)
+	}
 	return nil
 }
 

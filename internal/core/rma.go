@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"tshmem/internal/cache"
@@ -92,7 +93,15 @@ func resolve[T Elem](pe *PE, r Ref[T], onPE, nelems int) (operand, error) {
 // per-link accounting is on.
 func (pe *PE) chargeXfer(nbytes int64, mode cache.Mode, remotePE int, toRemote bool) {
 	t0 := pe.clock.Now()
-	pe.clock.Advance(pe.prog.model.CopyCostHomedMemoRec(&pe.memo, nbytes, mode, pe.prog.cfg.Homing, pe.curHint(), pe.rec))
+	base := pe.prog.model.CopyCostHomedMemoRec(&pe.memo, nbytes, mode, pe.prog.cfg.Homing, pe.curHint(), pe.rec)
+	pe.clock.Advance(base)
+	// Fault injection: slow tiles and stuck cache-home tiles stretch the
+	// copy in proportion to how much of it they serve (nil-safe no-op when
+	// faults are off).
+	if extra, id := pe.prog.flt.CopyExtra(pe.id, pe.prog.cfg.Homing, pe.prog.chip.Tiles, t0, base); extra > 0 {
+		pe.clock.Advance(extra)
+		pe.rec.FaultDelay(id, remotePE, t0, extra)
+	}
 	if remotePE != pe.id && !pe.prog.sameChip(pe.id, remotePE) {
 		// Store-and-forward through mPIPE: the data still traverses the
 		// local memory system (charged above), then rides the wire.
@@ -302,9 +311,13 @@ func getResolved[T Elem](pe *PE, dst operand, source Ref[T], nelems, spe int) er
 // between its static object sid and common memory (S IV.B.2).
 func (pe *PE) redirect(target int, op uint64, sid int32, sOff, gOff, nbytes int64) error {
 	pe.stats.Redirects++
+	start := pe.clock.Now()
 	rep, err := pe.port.Interrupt(&pe.clock, pe.prog.localIdx(target), uint32(op),
 		[]uint64{op, uint64(sid), uint64(sOff), uint64(gOff), uint64(nbytes)})
 	if err != nil {
+		if errors.Is(err, udn.ErrTimeout) {
+			return pe.timeoutAt("redirect", target, start, start.Add(pe.prog.waitBudget))
+		}
 		return err
 	}
 	if rep.Len() == 0 || rep.Word(0) != stOK {

@@ -1,16 +1,19 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"os"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"tshmem/internal/alloc"
 	"tshmem/internal/arch"
 	"tshmem/internal/cache"
+	"tshmem/internal/fault"
 	"tshmem/internal/mesh"
 	"tshmem/internal/mpipe"
 	"tshmem/internal/sanitize"
@@ -124,6 +127,29 @@ type Config struct {
 	// is only set via the TSHMEM_SANITIZE environment variable, giving
 	// scripts (ci.sh, examples) a pass/fail signal without code changes.
 	sanitizeStrict bool
+
+	// Faults attaches a deterministic substrate fault plan (internal/
+	// fault): UDN queue stalls, dropped interrupts, slow links, slow or
+	// dead tiles, stuck cache-home tiles. A seed-only plan (Events empty,
+	// Seed non-zero) is expanded with fault.FromSeed at launch; a plan
+	// with no events and no seed just arms the bounded waits without
+	// perturbing anything. With faults active every blocking path is
+	// bounded: a starved wait surfaces a Timeout diagnostic in
+	// Report.Diagnostics and Run returns an ErrTimeout-wrapping error
+	// instead of hanging. Nil (the default) is the perfect substrate.
+	// See docs/ROBUSTNESS.md.
+	Faults *fault.Plan
+
+	// WaitBudget bounds each blocking wait in virtual time when Faults is
+	// set; 0 means DefaultWaitBudget. A wait that cannot complete by
+	// start+WaitBudget times out with its clock exactly on that deadline.
+	WaitBudget vtime.Duration
+
+	// WaitGrace is the host-time liveness fallback for waits whose
+	// traffic a fault swallowed entirely; 0 means DefaultWaitGrace. It
+	// never affects virtual time — only how long the host blocks before
+	// declaring the (virtually determined) timeout.
+	WaitGrace time.Duration
 }
 
 func (c *Config) fill() error {
@@ -170,6 +196,20 @@ func (c *Config) fill() error {
 			c.sanitizeStrict = true
 		}
 	}
+	if c.Faults != nil {
+		if len(c.Faults.Events) == 0 && c.Faults.Seed != 0 {
+			c.Faults = fault.FromSeed(c.Faults.Seed, c.NPEs)
+		}
+		if err := c.Faults.Validate(c.NPEs); err != nil {
+			return err
+		}
+		if c.WaitBudget <= 0 {
+			c.WaitBudget = DefaultWaitBudget
+		}
+		if c.WaitGrace <= 0 {
+			c.WaitGrace = DefaultWaitGrace
+		}
+	}
 	return nil
 }
 
@@ -194,10 +234,18 @@ type Report struct {
 	MeshUtil []*mesh.Utilization
 
 	// Diagnostics lists the synchronization defects the happens-before
-	// checker found, sorted by virtual time; empty unless the run was
-	// configured with Config.Sanitize (and clean). See docs/OBSERVABILITY.md
-	// for the schema.
+	// checker found (sorted by virtual time) followed by the Timeout
+	// diagnostics of bounded waits that expired under fault injection
+	// (sorted by PE, then start time); empty unless the run was configured
+	// with Config.Sanitize or Config.Faults. See docs/OBSERVABILITY.md and
+	// docs/ROBUSTNESS.md for the schemas.
 	Diagnostics []sanitize.Diagnostic
+
+	// FaultPlan echoes the executed fault plan (seed-expanded) and
+	// FaultCounts how often each of its events perturbed the run, indexed
+	// like FaultPlan.Events. Nil/empty without Config.Faults.
+	FaultPlan   *fault.Plan
+	FaultCounts []int64
 
 	perChip int           // PE ranks per chip (block distribution)
 	trace   []stats.Event // merged, start-ordered; empty unless Config.Trace
@@ -283,6 +331,11 @@ type Program struct {
 
 	symCheck []int64 // per-PE slot for symmetry verification in Malloc
 
+	flt        *fault.Injector // nil unless Config.Faults
+	waitBudget vtime.Duration  // virtual bound per blocking wait (faults only)
+	waitGrace  time.Duration   // host liveness fallback (faults only)
+	tmo        timeoutLog      // Timeout diagnostics from bounded waits
+
 	pes []*PE
 
 	abortOnce sync.Once
@@ -354,6 +407,13 @@ func (p *Program) chipPEs(c int) int {
 //
 // The first error (or panic) from any PE aborts the report. Run returns the
 // per-PE virtual-time report on success.
+//
+// Under fault injection (Config.Faults) a bounded wait that expires does
+// NOT abort the program: the stuck PE unwinds with a *TimeoutError, its
+// peers time out (or complete) on their own budgets, and Run returns BOTH
+// the report — carrying the Timeout diagnostics, the executed plan, and
+// the per-event perturbation counts — and an error matching
+// errors.Is(err, ErrTimeout).
 func Run(cfg Config, body func(*PE) error) (*Report, error) {
 	prog, err := newProgram(cfg)
 	if err != nil {
@@ -376,7 +436,12 @@ func Run(cfg Config, body func(*PE) error) (*Report, error) {
 					// Fatalf); treat it as a failure so peers don't hang.
 					errs[pe.id] = fmt.Errorf("tshmem: PE %d exited without completing", pe.id)
 				}
-				if errs[pe.id] != nil {
+				// Timeouts deliberately do not abort: every blocking path is
+				// bounded under fault injection, so the other PEs unblock on
+				// their own budgets, keeping their clocks (and the report)
+				// deterministic. Tearing the networks down here would race
+				// ErrClosed against those still-pending bounded waits.
+				if errs[pe.id] != nil && !errors.Is(errs[pe.id], ErrTimeout) {
 					prog.abort(fmt.Errorf("PE %d: %w", pe.id, errs[pe.id]))
 				}
 			}()
@@ -439,6 +504,27 @@ func Run(cfg Config, body func(*PE) error) (*Report, error) {
 				b.WriteString(d.String())
 			}
 			return nil, fmt.Errorf("%s", b.String())
+		}
+	}
+	if prog.flt.Active() {
+		rep.Diagnostics = append(rep.Diagnostics, prog.tmo.diagnostics()...)
+		rep.FaultPlan = prog.flt.Plan()
+		rep.FaultCounts = prog.flt.Counts()
+		var timeouts int
+		var first error
+		for _, err := range errs {
+			if err != nil && errors.Is(err, ErrTimeout) {
+				timeouts++
+				if first == nil {
+					first = err
+				}
+			}
+		}
+		if timeouts > 0 {
+			// Wrap the lowest-ranked PE's typed error so callers can
+			// errors.As for the faulting PE pair; it unwraps to ErrTimeout.
+			return rep, fmt.Errorf("tshmem: %d PE(s) timed out in bounded waits under fault injection (see Report.Diagnostics): %w",
+				timeouts, first)
 		}
 	}
 	return rep, nil
@@ -504,6 +590,17 @@ func newProgram(cfg Config) (*Program, error) {
 		p.fabric, err = mpipe.New(cfg.Chip, p.nchips, cfg.NPEs, p.chipOf)
 		if err != nil {
 			return nil, err
+		}
+	}
+	if cfg.Faults != nil {
+		p.flt = fault.NewInjector(cfg.Faults, cfg.NPEs, p.perChip)
+		p.waitBudget = cfg.WaitBudget
+		p.waitGrace = cfg.WaitGrace
+		for c := range p.nets {
+			p.nets[c].SetFaults(p.flt.Chip(c*p.perChip, p.geos[c]), cfg.WaitGrace)
+		}
+		if p.fabric != nil {
+			p.fabric.SetGrace(cfg.WaitGrace)
 		}
 	}
 	p.spinBar, err = tmc.NewBarrier(cfg.Chip, tmc.SpinBarrier, cfg.NPEs)

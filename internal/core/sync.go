@@ -88,12 +88,24 @@ func WaitUntil[T Integer](pe *PE, ivar Ref[T], cmp Cmp, value T) error {
 	}
 
 	start := pe.clock.Now()
+	deadline := pe.waitDeadline()
 	hub := &pe.prog.hubs[pe.id]
-	t, ok := hub.await(off, check)
-	if !ok {
+	t, st := hub.await(off, check, pe.waitGrace())
+	switch st {
+	case hubAborted:
 		return fmt.Errorf("tshmem: program aborted while PE %d waited on a symmetric variable", pe.id)
+	case hubTimedOut:
+		// The writer is starved by fault injection: the flag never got
+		// written within the host grace. The virtual outcome is the
+		// deadline expiring.
+		return pe.timeoutAt("wait_until", -1, start, deadline)
 	}
 	pe.clock.Advance(pe.prog.chip.Cycles(2))
+	if deadline > 0 && t > deadline {
+		// The satisfying store exists but became visible only after the
+		// virtual deadline (the writer was slowed past the budget).
+		return pe.timeoutAt("wait_until", -1, start, deadline)
+	}
 	if t > 0 {
 		pe.clock.AdvanceTo(t)
 	}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"sync"
+	"time"
 
 	"tshmem/internal/vtime"
 )
@@ -36,19 +37,41 @@ func (h *watchHub) record(off int64, t vtime.Time) {
 	h.cond.Broadcast()
 }
 
+// await outcomes.
+const (
+	hubOK       = iota // predicate satisfied
+	hubAborted         // program aborted while waiting
+	hubTimedOut        // host-time grace expired (fault injection)
+)
+
 // await blocks until pred returns true, then reports the recorded
-// visibility time of offset off (zero if never recorded). ok is false when
-// the program aborted while waiting.
-func (h *watchHub) await(off int64, pred func() bool) (vtime.Time, bool) {
+// visibility time of offset off (zero if never recorded) and hubOK. A
+// grace > 0 arms a host-time bound: if the predicate is still false after
+// grace — the writer is starved by fault injection — await gives up with
+// hubTimedOut. hubAborted reports a program abort while waiting.
+func (h *watchHub) await(off int64, pred func() bool, grace time.Duration) (vtime.Time, int) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	var timedOut bool
+	if grace > 0 {
+		timer := time.AfterFunc(grace, func() {
+			h.mu.Lock()
+			timedOut = true
+			h.mu.Unlock()
+			h.cond.Broadcast()
+		})
+		defer timer.Stop()
+	}
 	for !pred() {
 		if h.aborted {
-			return 0, false
+			return 0, hubAborted
+		}
+		if timedOut {
+			return 0, hubTimedOut
 		}
 		h.cond.Wait()
 	}
-	return h.times[off], true
+	return h.times[off], hubOK
 }
 
 // abort wakes all waiters after a program failure.

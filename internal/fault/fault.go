@@ -1,0 +1,383 @@
+// Package fault injects deterministic substrate degradation into a TSHMEM
+// run: seeded, virtual-time-scheduled fault plans that stall UDN demux
+// queues, drop interrupts, slow mesh links, slow or kill tiles, and
+// congest cache-home tiles. The paper assumes a perfect substrate; this
+// package lets degradation experiments ask what the library does when the
+// iMesh, the UDN, or the Dynamic Distributed Cache misbehaves — and lets
+// internal/core fail with diagnostics instead of hanging.
+//
+// Every decision an Injector makes is a pure function of (virtual time,
+// tile ids, the plan), so a run under a fault plan is exactly as
+// deterministic as a fault-free run: same seed, same Report, same trace,
+// independent of GOMAXPROCS. A nil *Injector (and a nil *ChipView) is the
+// disabled state — every method nil-checks its receiver and the hot path
+// stays allocation-free, the same discipline as stats.Recorder and
+// sanitize.PEHooks. See docs/ROBUSTNESS.md.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"tshmem/internal/vtime"
+)
+
+// Kind classifies one fault event.
+type Kind uint8
+
+const (
+	// UDNStall holds packets arriving at one demux queue of a tile: a
+	// packet arriving inside the window becomes available only when the
+	// window ends. A window with End==0 (forever) swallows the packets
+	// entirely — the modeled demux engine never drains.
+	UDNStall Kind = iota
+	// UDNDropIntr drops UDN interrupt requests raised toward a tile; the
+	// requester's bounded wait expires instead of the redirected transfer
+	// completing.
+	UDNDropIntr
+	// LinkSlow scales the wire latency of every packet whose XY route
+	// crosses the directed mesh link From->To, and adds Extra on top — a
+	// congestion hotspot on one link.
+	LinkSlow
+	// TileSlow scales the UDN injection and wire latency of packets the
+	// tile sends, and the charged cost of memory copies the tile performs —
+	// a thermally throttled or contended tile.
+	TileSlow
+	// TileDead drops every UDN packet to or from the tile and every
+	// interrupt raised toward it: the tile's network interface died. The
+	// PE goroutine itself still runs — its sends vanish and its receives
+	// starve, so it (and everyone waiting on it) times out.
+	TileDead
+	// CacheStuck scales the charged cost of memory copies in proportion to
+	// the share of their cache lines homed at the stuck tile (the
+	// hash-for-home spread), modeling one overloaded home tile.
+	CacheStuck
+
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	"stall", "dropintr", "linkslow", "tileslow", "tiledead", "cachestuck",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// kindDesc describes each kind for the CLI taxonomy (tshmem-info -faults).
+var kindDesc = [numKinds]string{
+	"hold packets to one demux queue of tile pe until the window ends (end=0: swallow them)",
+	"drop UDN interrupt requests raised toward tile pe",
+	"scale wire latency of packets routed over the directed link from->to, plus extra",
+	"scale UDN send latency and charged copy costs of tile pe",
+	"drop all UDN traffic to/from tile pe (its network interface dies; the PE itself keeps running)",
+	"scale charged copy costs by the share of lines homed at the stuck tile pe",
+}
+
+// Taxonomy describes the fault kinds and the plan grammar; tshmem-info
+// -faults prints it.
+func Taxonomy() string {
+	var b strings.Builder
+	b.WriteString("fault kinds (plan events, docs/ROBUSTNESS.md):\n")
+	for k := Kind(0); k < numKinds; k++ {
+		fmt.Fprintf(&b, "  %-11s %s\n", k, kindDesc[k])
+	}
+	b.WriteString("plan grammar: \"kind:key=val,...;kind:...\" or \"seed:N\" (or a bare integer seed)\n" +
+		"  keys: pe, q (demux queue, -1=all), from, to, factor, extra, start, end\n" +
+		"  durations/times take ns/us/ms/s suffixes; end=0 (or omitted) means forever\n")
+	return b.String()
+}
+
+// Event is one scheduled fault. The zero value of unused fields is
+// ignored; which fields matter depends on Kind (see the Kind constants).
+// Tile, From, and To are global PE ranks.
+type Event struct {
+	Kind   Kind
+	Tile   int            // target tile (UDNStall, UDNDropIntr, TileSlow, TileDead, CacheStuck)
+	Queue  int            // demux queue for UDNStall; -1 means every queue
+	From   int            // directed link source (LinkSlow)
+	To     int            // directed link destination (LinkSlow)
+	Factor float64        // latency/cost multiplier; >= 1 (LinkSlow, TileSlow, CacheStuck)
+	Extra  vtime.Duration // additive latency (LinkSlow)
+	Start  vtime.Time     // activation instant (virtual)
+	End    vtime.Time     // deactivation instant; 0 means forever
+}
+
+// active reports whether the event applies at virtual time t.
+func (e *Event) active(t vtime.Time) bool {
+	return t >= e.Start && (e.End == 0 || t < e.End)
+}
+
+func (e Event) String() string {
+	var b strings.Builder
+	b.WriteString(e.Kind.String())
+	b.WriteByte(':')
+	switch e.Kind {
+	case LinkSlow:
+		fmt.Fprintf(&b, "from=%d,to=%d", e.From, e.To)
+	default:
+		fmt.Fprintf(&b, "pe=%d", e.Tile)
+	}
+	if e.Kind == UDNStall && e.Queue >= 0 {
+		fmt.Fprintf(&b, ",q=%d", e.Queue)
+	}
+	if e.Factor > 1 {
+		fmt.Fprintf(&b, ",factor=%g", e.Factor)
+	}
+	if e.Extra > 0 {
+		fmt.Fprintf(&b, ",extra=%gns", e.Extra.Ns())
+	}
+	if e.Start > 0 {
+		fmt.Fprintf(&b, ",start=%gns", e.Start.Ns())
+	}
+	if e.End > 0 {
+		fmt.Fprintf(&b, ",end=%gns", e.End.Ns())
+	}
+	return b.String()
+}
+
+// Plan is a deterministic fault schedule. Seed is informational (non-zero
+// when the plan came from FromSeed); the Events are what the Injector
+// executes.
+type Plan struct {
+	Seed   int64
+	Events []Event
+}
+
+// String renders the plan in the grammar Parse accepts.
+func (p *Plan) String() string {
+	if p == nil {
+		return ""
+	}
+	parts := make([]string, len(p.Events))
+	for i, e := range p.Events {
+		parts[i] = e.String()
+	}
+	return strings.Join(parts, ";")
+}
+
+// Validate checks the plan against a program of npes PEs.
+func (p *Plan) Validate(npes int) error {
+	if p == nil {
+		return nil
+	}
+	for i, e := range p.Events {
+		if e.Kind >= numKinds {
+			return fmt.Errorf("fault: event %d: unknown kind %d", i, int(e.Kind))
+		}
+		tileKinds := e.Kind != LinkSlow
+		if tileKinds && (e.Tile < 0 || e.Tile >= npes) {
+			return fmt.Errorf("fault: event %d (%s): tile %d outside [0,%d)", i, e.Kind, e.Tile, npes)
+		}
+		if e.Kind == LinkSlow {
+			if e.From < 0 || e.From >= npes || e.To < 0 || e.To >= npes {
+				return fmt.Errorf("fault: event %d (linkslow): link %d->%d outside [0,%d)", i, e.From, e.To, npes)
+			}
+		}
+		if e.Kind == UDNStall && (e.Queue < -1 || e.Queue > 3) {
+			return fmt.Errorf("fault: event %d (stall): queue %d outside [-1,3]", i, e.Queue)
+		}
+		switch e.Kind {
+		case LinkSlow, TileSlow, CacheStuck:
+			if e.Factor < 1 && !(e.Kind == LinkSlow && e.Extra > 0) {
+				return fmt.Errorf("fault: event %d (%s): factor %g < 1", i, e.Kind, e.Factor)
+			}
+		}
+		if e.Extra < 0 {
+			return fmt.Errorf("fault: event %d: negative extra", i)
+		}
+		if e.End != 0 && e.End < e.Start {
+			return fmt.Errorf("fault: event %d: end %v before start %v", i, e.End, e.Start)
+		}
+	}
+	return nil
+}
+
+// Parse turns a plan spec into a Plan. The spec is either a seed — a bare
+// integer or "seed:N", expanded by FromSeed at Run time — or a literal:
+// semicolon-separated events of the form "kind:key=val,key=val".
+//
+//	stall:pe=3,q=0                       swallow tile 3's barrier queue forever
+//	stall:pe=3,q=0,start=1us,end=40us    hold it during a window instead
+//	linkslow:from=0,to=1,factor=8        8x wire latency on the 0->1 link
+//	tileslow:pe=5,factor=4               tile 5 sends and copies 4x slower
+//	tiledead:pe=7,start=10us             tile 7's NIC dies at 10us
+//	cachestuck:pe=1,factor=16            home tile 1 is 16x slower
+//	dropintr:pe=2                        interrupts toward tile 2 vanish
+//
+// Durations and times accept ns/us/ms/s suffixes (bare numbers are
+// nanoseconds). Because a seed spec needs the PE count to expand, Parse
+// returns a Plan with only Seed set in that case; core expands it.
+func Parse(spec string) (*Plan, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, fmt.Errorf("fault: empty plan spec")
+	}
+	if n, err := strconv.ParseInt(strings.TrimPrefix(spec, "seed:"), 10, 64); err == nil {
+		return &Plan{Seed: n}, nil
+	}
+	p := &Plan{}
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		ev, err := parseEvent(part)
+		if err != nil {
+			return nil, err
+		}
+		p.Events = append(p.Events, ev)
+	}
+	if len(p.Events) == 0 {
+		return nil, fmt.Errorf("fault: plan %q has no events", spec)
+	}
+	return p, nil
+}
+
+func parseEvent(s string) (Event, error) {
+	kind, rest, ok := strings.Cut(s, ":")
+	if !ok {
+		return Event{}, fmt.Errorf("fault: event %q: want kind:key=val,...", s)
+	}
+	ev := Event{Queue: -1, Factor: 1}
+	found := false
+	for k := Kind(0); k < numKinds; k++ {
+		if kindNames[k] == kind {
+			ev.Kind, found = k, true
+			break
+		}
+	}
+	if !found {
+		return Event{}, fmt.Errorf("fault: unknown kind %q (want one of %s)", kind, strings.Join(kindNames[:], ", "))
+	}
+	for _, kv := range strings.Split(rest, ",") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return Event{}, fmt.Errorf("fault: event %q: bad field %q", s, kv)
+		}
+		var err error
+		switch key {
+		case "pe", "tile":
+			ev.Tile, err = strconv.Atoi(val)
+		case "q", "queue":
+			ev.Queue, err = strconv.Atoi(val)
+		case "from":
+			ev.From, err = strconv.Atoi(val)
+		case "to":
+			ev.To, err = strconv.Atoi(val)
+		case "factor":
+			ev.Factor, err = strconv.ParseFloat(val, 64)
+		case "extra":
+			var d vtime.Duration
+			d, err = parseDur(val)
+			ev.Extra = d
+		case "start":
+			var d vtime.Duration
+			d, err = parseDur(val)
+			ev.Start = vtime.Time(d)
+		case "end":
+			var d vtime.Duration
+			d, err = parseDur(val)
+			ev.End = vtime.Time(d)
+		default:
+			return Event{}, fmt.Errorf("fault: event %q: unknown key %q", s, key)
+		}
+		if err != nil {
+			return Event{}, fmt.Errorf("fault: event %q: field %q: %v", s, kv, err)
+		}
+	}
+	return ev, nil
+}
+
+// parseDur parses a duration with an ns/us/ms/s suffix; a bare number is
+// nanoseconds.
+func parseDur(s string) (vtime.Duration, error) {
+	mult := 1.0
+	switch {
+	case strings.HasSuffix(s, "ns"):
+		s = strings.TrimSuffix(s, "ns")
+	case strings.HasSuffix(s, "us"):
+		s, mult = strings.TrimSuffix(s, "us"), 1e3
+	case strings.HasSuffix(s, "ms"):
+		s, mult = strings.TrimSuffix(s, "ms"), 1e6
+	case strings.HasSuffix(s, "s"):
+		s, mult = strings.TrimSuffix(s, "s"), 1e9
+	}
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, err
+	}
+	if f < 0 {
+		return 0, fmt.Errorf("negative duration %q", s)
+	}
+	return vtime.FromNs(f * mult), nil
+}
+
+// FromSeed expands a seed into a transient fault plan for an npes-PE
+// program: one to three windowed degradation events (queue stalls, link
+// and tile slowdowns, stuck home tiles) drawn from math/rand's stable
+// generator, so the same seed always yields the same plan. Seeded plans
+// never drop traffic outright — every window closes — so seeded
+// degradation experiments complete and report how much slower they ran;
+// permanent faults (tiledead, end-less stalls) are expressed with plan
+// literals.
+func FromSeed(seed int64, npes int) *Plan {
+	rng := rand.New(rand.NewSource(seed))
+	p := &Plan{Seed: seed}
+	n := 1 + rng.Intn(3)
+	// The square test-area side AreaGeometry picks, for adjacent-link
+	// selection.
+	side := 1
+	for side*side < npes {
+		side++
+	}
+	for i := 0; i < n; i++ {
+		start := vtime.Time(vtime.FromNs(float64(1+rng.Intn(30)) * 1e3))
+		end := start.Add(vtime.FromNs(float64(5+rng.Intn(45)) * 1e3))
+		factor := float64(2 + rng.Intn(15))
+		switch rng.Intn(4) {
+		case 0:
+			p.Events = append(p.Events, Event{
+				Kind: UDNStall, Tile: rng.Intn(npes), Queue: -1,
+				Factor: 1, Start: start, End: end,
+			})
+		case 1:
+			// Pick a horizontally adjacent pair inside the test area.
+			from := rng.Intn(npes)
+			if (from+1)%side == 0 || from+1 >= npes {
+				from--
+			}
+			if from < 0 {
+				from = 0
+			}
+			to := from + 1
+			if to >= npes {
+				to = from
+			}
+			p.Events = append(p.Events, Event{
+				Kind: LinkSlow, From: from, To: to, Queue: -1,
+				Factor: factor, Start: start, End: end,
+			})
+		case 2:
+			p.Events = append(p.Events, Event{
+				Kind: TileSlow, Tile: rng.Intn(npes), Queue: -1,
+				Factor: factor, Start: start, End: end,
+			})
+		default:
+			p.Events = append(p.Events, Event{
+				Kind: CacheStuck, Tile: rng.Intn(npes), Queue: -1,
+				Factor: factor, Start: start, End: end,
+			})
+		}
+	}
+	return p
+}

@@ -1,0 +1,347 @@
+package fault
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"tshmem/internal/arch"
+	"tshmem/internal/cache"
+	"tshmem/internal/mesh"
+	"tshmem/internal/vtime"
+)
+
+func TestParseSeed(t *testing.T) {
+	for _, spec := range []string{"42", "seed:42"} {
+		p, err := Parse(spec)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", spec, err)
+		}
+		if p.Seed != 42 || len(p.Events) != 0 {
+			t.Fatalf("Parse(%q) = %+v, want seed-only plan", spec, p)
+		}
+	}
+}
+
+func TestParseLiteral(t *testing.T) {
+	p, err := Parse("stall:pe=3,q=0,start=1us,end=40us; linkslow:from=0,to=1,factor=8,extra=50ns")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Event{
+		{Kind: UDNStall, Tile: 3, Queue: 0, Factor: 1,
+			Start: vtime.Time(vtime.FromNs(1e3)), End: vtime.Time(vtime.FromNs(40e3))},
+		{Kind: LinkSlow, From: 0, To: 1, Queue: -1, Factor: 8, Extra: vtime.FromNs(50)},
+	}
+	if !reflect.DeepEqual(p.Events, want) {
+		t.Fatalf("events = %+v, want %+v", p.Events, want)
+	}
+	if err := p.Validate(16); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	spec := "stall:pe=3,q=0,start=1000ns,end=40000ns;tileslow:pe=5,factor=4;tiledead:pe=7,start=10000ns;cachestuck:pe=1,factor=16;dropintr:pe=2"
+	p, err := Parse(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Parse(p.String())
+	if err != nil {
+		t.Fatalf("re-Parse(%q): %v", p.String(), err)
+	}
+	if !reflect.DeepEqual(p, p2) {
+		t.Fatalf("round trip: %+v != %+v", p, p2)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, spec := range []string{"", "bogus:pe=1", "stall:pe", "stall:wat=1", "stall:pe=x", "linkslow:from=0,to=1,extra=-5ns"} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q): want error", spec)
+		}
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []Plan{
+		{Events: []Event{{Kind: UDNStall, Tile: 99, Queue: -1, Factor: 1}}},
+		{Events: []Event{{Kind: UDNStall, Tile: 0, Queue: 7, Factor: 1}}},
+		{Events: []Event{{Kind: LinkSlow, From: -1, To: 0, Factor: 2}}},
+		{Events: []Event{{Kind: TileSlow, Tile: 0, Factor: 0.5}}},
+		{Events: []Event{{Kind: UDNStall, Tile: 0, Queue: -1, Factor: 1,
+			Start: vtime.Time(vtime.FromNs(100)), End: vtime.Time(vtime.FromNs(10))}}},
+	}
+	for i := range cases {
+		if err := cases[i].Validate(16); err == nil {
+			t.Errorf("case %d: want validation error, got nil (%+v)", i, cases[i].Events)
+		}
+	}
+}
+
+func TestFromSeedDeterministic(t *testing.T) {
+	a := FromSeed(7, 16)
+	b := FromSeed(7, 16)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed, different plans:\n%+v\n%+v", a, b)
+	}
+	if len(a.Events) == 0 {
+		t.Fatal("seeded plan has no events")
+	}
+	if err := a.Validate(16); err != nil {
+		t.Fatalf("seeded plan invalid: %v", err)
+	}
+	// Seeded plans are transient: every window must close.
+	for i, e := range a.Events {
+		if e.End == 0 {
+			t.Errorf("event %d: seeded plans must not contain forever events", i)
+		}
+	}
+	if c := FromSeed(8, 16); reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical plans")
+	}
+}
+
+func TestFromSeedAlwaysValid(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		for _, npes := range []int{2, 3, 4, 5, 16, 36} {
+			if err := FromSeed(seed, npes).Validate(npes); err != nil {
+				t.Fatalf("seed %d npes %d: %v", seed, npes, err)
+			}
+		}
+	}
+}
+
+func TestNilInjectorSafe(t *testing.T) {
+	var in *Injector
+	if in.Active() || in.Plan() != nil || in.Counts() != nil {
+		t.Fatal("nil Injector not inert")
+	}
+	if id := in.Blame(0, 0); id != -1 {
+		t.Fatalf("nil Blame = %d", id)
+	}
+	if d, id := in.CopyExtra(0, cache.HashForHome, 36, 0, vtime.FromNs(10)); d != 0 || id != -1 {
+		t.Fatalf("nil CopyExtra = %v, %d", d, id)
+	}
+	var cv *ChipView = in.Chip(0, mesh.Geometry{})
+	if cv != nil {
+		t.Fatal("nil Injector.Chip should be nil")
+	}
+	s, w, id, drop := cv.AdjustSend(0, 1, 0, 1, 2)
+	if s != 1 || w != 2 || id != -1 || drop {
+		t.Fatal("nil AdjustSend not identity")
+	}
+	at, id, drop := cv.HoldArrive(0, 0, 5)
+	if at != 5 || id != -1 || drop {
+		t.Fatal("nil HoldArrive not identity")
+	}
+	if id, drop := cv.DropInterrupt(0, 1, 0); id != -1 || drop {
+		t.Fatal("nil DropInterrupt not identity")
+	}
+}
+
+func geo16(t *testing.T) mesh.Geometry {
+	t.Helper()
+	g, err := mesh.AreaGeometry(arch.Gx8036(), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestHoldArrive(t *testing.T) {
+	end := vtime.Time(vtime.FromNs(100))
+	plan := &Plan{Events: []Event{
+		{Kind: UDNStall, Tile: 3, Queue: 0, Factor: 1, Start: vtime.Time(vtime.FromNs(10)), End: end},
+	}}
+	cv := NewInjector(plan, 16, 16).Chip(0, geo16(t))
+
+	// Before the window: untouched.
+	if at, _, drop := cv.HoldArrive(3, 0, vtime.Time(vtime.FromNs(5))); at != vtime.Time(vtime.FromNs(5)) || drop {
+		t.Fatalf("pre-window arrival perturbed: %v", at)
+	}
+	// Inside the window: deferred to End.
+	if at, id, drop := cv.HoldArrive(3, 0, vtime.Time(vtime.FromNs(50))); at != end || id != 0 || drop {
+		t.Fatalf("in-window arrival = %v id %d drop %v, want %v, 0, false", at, id, drop, end)
+	}
+	// Wrong queue or wrong tile: untouched.
+	if at, _, _ := cv.HoldArrive(3, 2, vtime.Time(vtime.FromNs(50))); at != vtime.Time(vtime.FromNs(50)) {
+		t.Fatal("wrong-queue arrival perturbed")
+	}
+	if at, _, _ := cv.HoldArrive(4, 0, vtime.Time(vtime.FromNs(50))); at != vtime.Time(vtime.FromNs(50)) {
+		t.Fatal("wrong-tile arrival perturbed")
+	}
+
+	// Forever stall drops.
+	forever := &Plan{Events: []Event{{Kind: UDNStall, Tile: 3, Queue: -1, Factor: 1}}}
+	cvf := NewInjector(forever, 16, 16).Chip(0, geo16(t))
+	if _, _, drop := cvf.HoldArrive(3, 1, vtime.Time(vtime.FromNs(50))); !drop {
+		t.Fatal("forever stall did not drop")
+	}
+}
+
+func TestAdjustSend(t *testing.T) {
+	plan := &Plan{Events: []Event{
+		{Kind: TileSlow, Tile: 2, Queue: -1, Factor: 4},
+		{Kind: LinkSlow, From: 0, To: 1, Queue: -1, Factor: 2, Extra: vtime.FromNs(10)},
+		{Kind: TileDead, Tile: 9, Queue: -1, Factor: 1, Start: vtime.Time(vtime.FromNs(100))},
+	}}
+	in := NewInjector(plan, 16, 16)
+	cv := in.Chip(0, geo16(t))
+	send, wire := vtime.FromNs(3), vtime.FromNs(7)
+
+	// Slow tile 2 scales both legs.
+	s, w, id, drop := cv.AdjustSend(2, 5, 0, send, wire)
+	if drop || id != 0 || s != 4*send || w != 4*wire {
+		t.Fatalf("tileslow: s=%v w=%v id=%d drop=%v", s, w, id, drop)
+	}
+	// Route 0->3 crosses link 0->1 on the horizontal leg (row 0 of a 4x4 grid).
+	s, w, id, drop = cv.AdjustSend(0, 3, 0, send, wire)
+	if drop || id != 1 || s != send || w != 2*wire+vtime.FromNs(10) {
+		t.Fatalf("linkslow: s=%v w=%v id=%d drop=%v", s, w, id, drop)
+	}
+	// Reverse direction 3->0 does not use the directed 0->1 link.
+	s, w, id, drop = cv.AdjustSend(3, 0, 0, send, wire)
+	if drop || id != -1 || s != send || w != wire {
+		t.Fatalf("reverse link perturbed: s=%v w=%v id=%d", s, w, id)
+	}
+	// Dead tile drops, but only inside its window.
+	if _, _, _, drop = cv.AdjustSend(9, 5, vtime.Time(vtime.FromNs(50)), send, wire); drop {
+		t.Fatal("tiledead dropped before its start")
+	}
+	if _, _, id, drop = cv.AdjustSend(5, 9, vtime.Time(vtime.FromNs(200)), send, wire); !drop || id != 2 {
+		t.Fatalf("tiledead did not drop toward dead tile: id=%d drop=%v", id, drop)
+	}
+
+	counts := in.Counts()
+	if counts[0] == 0 || counts[1] == 0 || counts[2] == 0 {
+		t.Fatalf("counts not recorded: %v", counts)
+	}
+}
+
+func TestDropInterrupt(t *testing.T) {
+	plan := &Plan{Events: []Event{
+		{Kind: UDNDropIntr, Tile: 4, Queue: -1, Factor: 1},
+		{Kind: TileDead, Tile: 7, Queue: -1, Factor: 1},
+	}}
+	cv := NewInjector(plan, 16, 16).Chip(0, geo16(t))
+	if id, drop := cv.DropInterrupt(0, 4, 0); !drop || id != 0 {
+		t.Fatalf("dropintr miss: id=%d drop=%v", id, drop)
+	}
+	if id, drop := cv.DropInterrupt(7, 3, 0); !drop || id != 1 {
+		t.Fatalf("tiledead src intr miss: id=%d drop=%v", id, drop)
+	}
+	if _, drop := cv.DropInterrupt(0, 3, 0); drop {
+		t.Fatal("healthy interrupt dropped")
+	}
+}
+
+func TestCopyExtra(t *testing.T) {
+	plan := &Plan{Events: []Event{
+		{Kind: TileSlow, Tile: 2, Queue: -1, Factor: 3},
+		{Kind: CacheStuck, Tile: 5, Queue: -1, Factor: 17},
+	}}
+	in := NewInjector(plan, 16, 16)
+	base := vtime.FromNs(100)
+
+	// TileSlow: pe 2 pays (3-1)*base extra.
+	d, id := in.CopyExtra(2, cache.HashForHome, 16, 0, base)
+	want := vtime.Duration(float64(base) * 2)
+	if id < 0 || d < want || d <= 0 {
+		t.Fatalf("tileslow extra = %v id %d, want >= %v", d, id, want)
+	}
+	// CacheStuck under hash-for-home: every PE pays (17-1)*base/16.
+	d, id = in.CopyExtra(0, cache.HashForHome, 16, 0, base)
+	if id != 1 || d != vtime.Duration(float64(base)*16/16) {
+		t.Fatalf("cachestuck extra = %v id %d", d, id)
+	}
+	// LocalHome: only the stuck tile itself pays.
+	if d, _ := in.CopyExtra(0, cache.LocalHome, 16, 0, base); d != 0 {
+		t.Fatalf("localhome non-home pe paid %v", d)
+	}
+	if d, _ := in.CopyExtra(5, cache.LocalHome, 16, 0, base); d != vtime.Duration(float64(base)*16) {
+		t.Fatalf("localhome home pe paid %v", d)
+	}
+}
+
+func TestBlame(t *testing.T) {
+	plan := &Plan{Events: []Event{
+		{Kind: LinkSlow, From: 0, To: 1, Queue: -1, Factor: 2,
+			Start: vtime.Time(vtime.FromNs(10)), End: vtime.Time(vtime.FromNs(20))},
+		{Kind: UDNStall, Tile: 3, Queue: -1, Factor: 1,
+			Start: vtime.Time(vtime.FromNs(10)), End: vtime.Time(vtime.FromNs(20))},
+	}}
+	in := NewInjector(plan, 16, 16)
+	// Tile-targeted event wins for its tile.
+	if id := in.Blame(3, vtime.Time(vtime.FromNs(15))); id != 1 {
+		t.Fatalf("Blame(3) = %d, want 1", id)
+	}
+	// Other tiles get the first active event.
+	if id := in.Blame(0, vtime.Time(vtime.FromNs(15))); id != 0 {
+		t.Fatalf("Blame(0) = %d, want 0", id)
+	}
+	// After every window: last started event.
+	if id := in.Blame(0, vtime.Time(vtime.FromNs(100))); id != 1 {
+		t.Fatalf("Blame after windows = %d, want 1", id)
+	}
+	// Before anything: no blame.
+	if id := in.Blame(0, vtime.Time(vtime.FromNs(1))); id != -1 {
+		t.Fatalf("Blame before start = %d, want -1", id)
+	}
+}
+
+func TestTaxonomy(t *testing.T) {
+	tax := Taxonomy()
+	for k := Kind(0); k < numKinds; k++ {
+		if !strings.Contains(tax, k.String()) {
+			t.Errorf("taxonomy missing kind %s", k)
+		}
+	}
+}
+
+func TestRouteUsesLink(t *testing.T) {
+	g := geo16(t) // 4x4
+	cases := []struct {
+		src, dst, a, b int
+		want           bool
+	}{
+		{0, 3, 0, 1, true},   // horizontal leg crosses 0->1
+		{0, 3, 1, 2, true},   // ... and 1->2
+		{0, 3, 2, 3, true},   // ... and 2->3
+		{3, 0, 0, 1, false},  // reverse route uses 1->0, not 0->1
+		{3, 0, 1, 0, true},   // leftward link on the reverse route
+		{0, 12, 0, 4, true},  // pure vertical leg (column 0)
+		{0, 12, 4, 0, false}, // wrong direction
+		{0, 5, 0, 1, true},   // XY: horizontal first through 0->1
+		{0, 5, 1, 5, true},   // then vertical through 1->5 (dst column)
+		{0, 5, 0, 4, false},  // never vertical on the src column
+		{5, 5, 4, 5, false},  // self route uses nothing
+		{0, 3, 0, 4, false},  // vertical link off a horizontal route
+		{0, 3, 0, 2, false},  // not a unit link
+	}
+	for _, c := range cases {
+		got, err := g.RouteUsesLink(c.src, c.dst, c.a, c.b)
+		if err != nil {
+			t.Fatalf("RouteUsesLink(%d,%d,%d,%d): %v", c.src, c.dst, c.a, c.b, err)
+		}
+		if got != c.want {
+			t.Errorf("RouteUsesLink(%d,%d,%d,%d) = %v, want %v", c.src, c.dst, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestHomeShare(t *testing.T) {
+	if s := cache.HomeShare(cache.HashForHome, 0, 5, 16); s != 1.0/16 {
+		t.Fatalf("hash share = %v", s)
+	}
+	if s := cache.HomeShare(cache.LocalHome, 5, 5, 16); s != 1 {
+		t.Fatalf("local home-at-accessor share = %v", s)
+	}
+	if s := cache.HomeShare(cache.LocalHome, 0, 5, 16); s != 0 {
+		t.Fatalf("local elsewhere share = %v", s)
+	}
+	if s := cache.HomeShare(cache.HashForHome, 0, 0, 0); s != 0 {
+		t.Fatalf("zero tiles share = %v", s)
+	}
+}

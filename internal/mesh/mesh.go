@@ -191,6 +191,53 @@ func DirectionOf(a, b Coord) Direction {
 	}
 }
 
+// RouteUsesLink reports whether the XY dimension-order route from src to
+// dst (virtual CPUs) crosses the directed link a->b. The link must be one
+// unit mesh step; anything else (including out-of-range endpoints) simply
+// never matches. Used by internal/fault to decide whether a LinkSlow
+// hotspot applies to a packet.
+func (g Geometry) RouteUsesLink(src, dst, a, b int) (bool, error) {
+	cs, err := g.Coord(src)
+	if err != nil {
+		return false, err
+	}
+	cd, err := g.Coord(dst)
+	if err != nil {
+		return false, err
+	}
+	n := g.Tiles()
+	if a < 0 || a >= n || b < 0 || b >= n {
+		return false, nil
+	}
+	ca, _ := g.Coord(a)
+	cb, _ := g.Coord(b)
+	if Hops(ca, cb) != 1 {
+		return false, nil
+	}
+	if cb.Y == ca.Y {
+		// Horizontal link: the route's horizontal leg runs along row cs.Y
+		// from cs.X toward cd.X.
+		if ca.Y != cs.Y {
+			return false, nil
+		}
+		if cb.X == ca.X+1 { // rightward link
+			return cs.X <= ca.X && ca.X < cd.X, nil
+		}
+		// leftward link
+		return cd.X < ca.X && ca.X <= cs.X, nil
+	}
+	// Vertical link: the vertical leg runs along column cd.X from cs.Y
+	// toward cd.Y.
+	if ca.X != cd.X {
+		return false, nil
+	}
+	if cb.Y == ca.Y+1 { // downward link
+		return cs.Y <= ca.Y && ca.Y < cd.Y, nil
+	}
+	// upward link
+	return cd.Y < ca.Y && ca.Y <= cs.Y, nil
+}
+
 // PathInfo is the resolved route of one packet: the hop count and initial
 // direction of its XY route, and its one-way latency split into the
 // sender-side injection share (Send) and the in-flight remainder (Wire).

@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"tshmem/internal/arch"
 	"tshmem/internal/vtime"
@@ -27,6 +28,12 @@ var (
 	ErrNoMPIPE = errors.New("mpipe: chip has no mPIPE engine")
 	ErrClosed  = errors.New("mpipe: fabric closed")
 	ErrBadPE   = errors.New("mpipe: destination PE out of range")
+
+	// ErrTimeout reports a receive that exceeded the host-time grace set
+	// with SetGrace (fault injection on the sender's chip may have
+	// swallowed the expected message). Never returned when no grace is
+	// armed.
+	ErrTimeout = errors.New("mpipe: bounded wait timed out")
 )
 
 // Msg is one cross-chip control message.
@@ -51,6 +58,7 @@ type Fabric struct {
 
 	closed    chan struct{}
 	closeOnce sync.Once
+	grace     time.Duration // host-time bound on receives; 0 = unbounded
 }
 
 // New creates a fabric for npes PEs spread over nchips chips; chipOf maps a
@@ -109,6 +117,24 @@ func (f *Fabric) wire(a, b int) *vtime.Resource {
 	return r
 }
 
+// SetGrace arms a host-time bound on blocking receives: with fault
+// injection active on some chip, a leader that never hears from a starved
+// peer must unblock with ErrTimeout rather than hang. The fabric itself
+// is not a fault target — chip-local substrate faults are modeled in
+// internal/udn — so the bound is purely a liveness fallback. Set before
+// PEs start communicating; 0 (the default) means unbounded.
+func (f *Fabric) SetGrace(d time.Duration) { f.grace = d }
+
+// timeoutCh returns a grace-timer channel (nil, never ready, when no
+// grace is armed) plus its timer for stopping.
+func (f *Fabric) timeoutCh() (<-chan time.Time, *time.Timer) {
+	if f.grace <= 0 {
+		return nil, nil
+	}
+	t := time.NewTimer(f.grace)
+	return t.C, t
+}
+
 // Send delivers a control message to PE dst on another chip. The sender's
 // clock advances by the injection share; the message carries the arrival
 // time.
@@ -139,10 +165,16 @@ func (f *Fabric) Recv(clock *vtime.Clock, pe int) (Msg, error) {
 	if pe < 0 || pe >= len(f.inbox) {
 		return Msg{}, fmt.Errorf("%w: %d", ErrBadPE, pe)
 	}
+	timeout, timer := f.timeoutCh()
+	if timer != nil {
+		defer timer.Stop()
+	}
 	select {
 	case m := <-f.inbox[pe]:
 		clock.AdvanceTo(m.Arrive)
 		return m, nil
+	case <-timeout:
+		return Msg{}, ErrTimeout
 	case <-f.closed:
 		// Drain what is already queued before reporting closure.
 		select {
@@ -161,9 +193,15 @@ func (f *Fabric) RecvRaw(pe int) (Msg, error) {
 	if pe < 0 || pe >= len(f.inbox) {
 		return Msg{}, fmt.Errorf("%w: %d", ErrBadPE, pe)
 	}
+	timeout, timer := f.timeoutCh()
+	if timer != nil {
+		defer timer.Stop()
+	}
 	select {
 	case m := <-f.inbox[pe]:
 		return m, nil
+	case <-timeout:
+		return Msg{}, ErrTimeout
 	case <-f.closed:
 		select {
 		case m := <-f.inbox[pe]:

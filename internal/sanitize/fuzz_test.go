@@ -1,0 +1,83 @@
+package sanitize
+
+import (
+	"testing"
+)
+
+// bruteOverlap is the reference implementation of accessRec.overlaps: walk
+// every byte of every element of r and test membership in any element of
+// o. O(cnt*es) per record, affordable at fuzz sizes.
+func bruteOverlap(r, o *accessRec) bool {
+	covered := make(map[int64]bool)
+	for i := int64(0); i < r.cnt; i++ {
+		x := r.off + i*r.stride
+		for b := x; b < x+r.es; b++ {
+			covered[b] = true
+		}
+	}
+	for j := int64(0); j < o.cnt; j++ {
+		y := o.off + j*o.stride
+		for b := y; b < y+o.es; b++ {
+			if covered[b] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// clampRec builds a structurally valid accessRec from arbitrary fuzz
+// inputs: positive element size, stride, and count, bounded so the
+// brute-force reference stays cheap. Offsets may be "negative" relative to
+// each other — overlap arithmetic must not assume ordering.
+func clampRec(off, stride, cnt, es int64) accessRec {
+	abs := func(v int64) int64 {
+		if v < 0 {
+			return -v
+		}
+		return v
+	}
+	r := accessRec{
+		off:    abs(off) % 512,
+		es:     1 + abs(es)%16,
+		cnt:    1 + abs(cnt)%48,
+		stride: 1 + abs(stride)%96,
+	}
+	if r.cnt == 1 {
+		// Contiguous records are built by contigRec with stride == es.
+		r.stride = r.es
+	}
+	return r
+}
+
+// FuzzStridedOverlap cross-checks the element-precise strided overlap
+// predicate (the O(1)-per-element interval solve) against a byte-exact
+// brute-force reference over randomized access pairs, including the
+// contiguous fast path and records whose spans overlap while their
+// elements interleave disjointly (the transpose pattern the comment on
+// accessRec describes).
+func FuzzStridedOverlap(f *testing.F) {
+	// Interleaved columns: spans overlap, elements never do.
+	f.Add(int64(0), int64(16), int64(8), int64(8), int64(8), int64(16), int64(8), int64(8))
+	// Identical strided patterns: every element collides.
+	f.Add(int64(0), int64(24), int64(4), int64(8), int64(0), int64(24), int64(4), int64(8))
+	// Contiguous vs strided.
+	f.Add(int64(0), int64(64), int64(1), int64(64), int64(32), int64(48), int64(3), int64(8))
+	// Disjoint spans.
+	f.Add(int64(0), int64(8), int64(4), int64(8), int64(400), int64(8), int64(4), int64(8))
+	// Coprime strides brushing past each other.
+	f.Add(int64(1), int64(7), int64(20), int64(3), int64(2), int64(11), int64(13), int64(5))
+
+	f.Fuzz(func(t *testing.T, off1, st1, cnt1, es1, off2, st2, cnt2, es2 int64) {
+		r := clampRec(off1, st1, cnt1, es1)
+		o := clampRec(off2, st2, cnt2, es2)
+		want := bruteOverlap(&r, &o)
+		if got := r.overlaps(&o); got != want {
+			t.Fatalf("overlaps(%+v, %+v) = %v, brute force says %v", r, o, got, want)
+		}
+		// The predicate must be symmetric.
+		if got := o.overlaps(&r); got != want {
+			t.Fatalf("overlaps(%+v, %+v) = %v (asymmetric), brute force says %v", o, r, got, want)
+		}
+	})
+}

@@ -62,6 +62,13 @@ const (
 	LockDoubleAcquire
 	// LockBadRelease: ClearLock on a lock the calling PE does not hold.
 	LockBadRelease
+	// Timeout: a bounded wait expired under fault injection (internal/
+	// fault) — a barrier, collective signal, WaitUntil, init handshake, or
+	// redirected transfer whose partner never progressed. Produced by
+	// internal/core, not the happens-before checker; it reuses this
+	// diagnostic type so every defect a run surfaces flows through one
+	// Report.Diagnostics stream.
+	Timeout
 )
 
 func (k Kind) String() string {
@@ -80,6 +87,8 @@ func (k Kind) String() string {
 		return "lock:double-acquire"
 	case LockBadRelease:
 		return "lock:bad-release"
+	case Timeout:
+		return "timeout"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -105,9 +114,30 @@ type Diagnostic struct {
 	VTime    vtime.Time // virtual time of the later operation
 	OtherVT  vtime.Time // virtual time of the earlier operation
 	Count    int        // occurrences folded into this diagnostic
+	// Fault is the fault-plan event id blamed for a Kind == Timeout
+	// diagnostic (-1 when no plan event was active); ignored otherwise.
+	Fault int32
 }
 
 func (d Diagnostic) String() string {
+	if d.Kind == Timeout {
+		// For timeouts the fields are repurposed: PE is the stuck PE, Op
+		// the blocked operation, OtherPE the awaited peer (-1 when the wait
+		// had no single peer), VTime the wait start and OtherVT the
+		// expired virtual deadline.
+		s := fmt.Sprintf("timeout: PE %d blocked in %s", d.PE, d.Op)
+		if d.OtherPE >= 0 {
+			s += fmt.Sprintf(" (awaiting PE %d)", d.OtherPE)
+		}
+		s += fmt.Sprintf(" from vt %v until deadline %v", d.VTime, d.OtherVT)
+		if d.Fault >= 0 {
+			s += fmt.Sprintf(" [fault event %d]", d.Fault)
+		}
+		if d.Count > 1 {
+			s += fmt.Sprintf(" x%d", d.Count)
+		}
+		return s
+	}
 	region := "heap"
 	if d.SID != DynamicSID {
 		region = fmt.Sprintf("static %d", d.SID)

@@ -168,6 +168,55 @@ func (r *Recorder) CacheCopy(level CacheLevel, nbytes int, d vtime.Duration) {
 	r.C.Hists[HistForCache(level)].Observe(int64(d))
 }
 
+// FaultDelay accounts one packet (or copy) delayed by fault-plan event id:
+// d extra virtual time injected at at, affecting peer. No-op when d <= 0.
+func (r *Recorder) FaultDelay(id, peer int, at vtime.Time, d vtime.Duration) {
+	if r == nil || d <= 0 {
+		return
+	}
+	r.C.FaultDelays++
+	r.C.FaultDelayPs += int64(d)
+	r.C.Hists[HistForOp(OpFault)].Observe(int64(d))
+	r.faultEvent(id, peer, at, at.Add(d))
+}
+
+// FaultDrop accounts one packet or interrupt swallowed by fault-plan
+// event id at virtual time at.
+func (r *Recorder) FaultDrop(id, peer int, at vtime.Time) {
+	if r == nil {
+		return
+	}
+	r.C.FaultDrops++
+	r.faultEvent(id, peer, at, at)
+}
+
+// FaultTimeout accounts one bounded wait that expired: this PE waited
+// from start to deadline, blaming fault-plan event id, while expecting
+// peer (-1 when no single peer).
+func (r *Recorder) FaultTimeout(id, peer int, start, deadline vtime.Time) {
+	if r == nil {
+		return
+	}
+	r.C.FaultTimeouts++
+	r.faultEvent(id, peer, start, deadline)
+}
+
+// faultEvent appends an OpFault trace event carrying the plan event id in
+// Bytes (-1 when unattributed) and the affected peer in Peer.
+func (r *Recorder) faultEvent(id, peer int, start, end vtime.Time) {
+	if !r.traceOn {
+		return
+	}
+	if len(r.events) >= r.cap {
+		r.C.TraceDropped++
+		return
+	}
+	r.events = append(r.events, Event{
+		PE: r.pe, Op: OpFault, Start: start, End: end,
+		Bytes: int64(id), Peer: int32(peer),
+	})
+}
+
 // OpDone counts one completed operation of class op that began at start.
 // The end time is read from clock at call time, so the idiomatic use is
 //

@@ -53,6 +53,11 @@ const (
 	OpReduce
 	// OpWait is shmem_wait/shmem_wait_until.
 	OpWait
+	// OpFault is a fault-injection perturbation (internal/fault): a
+	// delayed or dropped packet, or a bounded wait that timed out. Trace
+	// events of this class carry the plan event id in Bytes and the
+	// affected peer in Peer.
+	OpFault
 
 	// NumOps bounds the Op enum; counter arrays are indexed by Op.
 	NumOps
@@ -60,7 +65,7 @@ const (
 
 var opNames = [NumOps]string{
 	"init", "put", "get", "atomic", "fence",
-	"barrier", "broadcast", "collect", "reduce", "wait",
+	"barrier", "broadcast", "collect", "reduce", "wait", "fault",
 }
 
 func (o Op) String() string {
@@ -161,6 +166,15 @@ type Counters struct {
 	// TraceDropped counts events discarded after the per-PE trace cap.
 	TraceDropped int64
 
+	// Fault-injection perturbations (internal/fault): packets delayed or
+	// dropped by the active plan, bounded waits that timed out, and the
+	// total injected delay. All zero when faults are off, so they vanish
+	// from Table/Map output and leave baselines untouched.
+	FaultDelays   int64
+	FaultDrops    int64
+	FaultTimeouts int64
+	FaultDelayPs  int64
+
 	// Hists holds one latency histogram per HistClass: the distribution
 	// behind each counter above (operation spans, UDN packet latencies and
 	// receive stalls, barrier-signal stalls, RMA and cache-copy charges).
@@ -190,6 +204,10 @@ func (c *Counters) Add(o *Counters) {
 		c.CacheBytes[i] += o.CacheBytes[i]
 	}
 	c.TraceDropped += o.TraceDropped
+	c.FaultDelays += o.FaultDelays
+	c.FaultDrops += o.FaultDrops
+	c.FaultTimeouts += o.FaultTimeouts
+	c.FaultDelayPs += o.FaultDelayPs
 	for i := range c.Hists {
 		c.Hists[i].Add(&o.Hists[i])
 	}
@@ -245,6 +263,12 @@ func (c *Counters) Table() string {
 		row("cache.bytes."+l.String(), c.CacheBytes[l])
 	}
 	row("trace.dropped", c.TraceDropped)
+	row("fault.delays", c.FaultDelays)
+	row("fault.drops", c.FaultDrops)
+	row("fault.timeouts", c.FaultTimeouts)
+	if c.FaultDelayPs != 0 {
+		fmt.Fprintf(&b, "  %-24s %14.3f\n", "fault.delay_us", float64(c.FaultDelayPs)/1e6)
+	}
 	if b.Len() == 0 {
 		return "  (no substrate events recorded)\n"
 	}
@@ -281,6 +305,10 @@ func (c *Counters) Map() map[string]int64 {
 		put("cache.bytes."+l.String(), c.CacheBytes[l])
 	}
 	put("trace.dropped", c.TraceDropped)
+	put("fault.delays", c.FaultDelays)
+	put("fault.drops", c.FaultDrops)
+	put("fault.timeouts", c.FaultTimeouts)
+	put("fault.delay_ps", c.FaultDelayPs)
 	return m
 }
 
@@ -334,7 +362,9 @@ func Taxonomy() string {
 	b.WriteString("UDN: msgs/words sent+received (payload words, header excluded),\n" +
 		"     interrupts raised, and total mesh hops of injected packets.\n" +
 		"barrier.rounds: wait/release signals sent on barrier chains\n" +
-		"     (2(n-1)+1 signals per n-PE linear-chain barrier instance).\n")
+		"     (2(n-1)+1 signals per n-PE linear-chain barrier instance).\n" +
+		"fault.*: injection perturbations (delays/drops/timeouts and total\n" +
+		"     injected delay) under a fault plan; zero when faults are off.\n")
 	b.WriteString("latency histogram classes (Counters.Hists, p50/p90/p99/max):\n")
 	for h := HistClass(0); h < NumHistClasses; h++ {
 		if h < HistClass(NumOps) {
@@ -357,6 +387,7 @@ var opDesc = [NumOps]string{
 	"shmem_collect / fcollect (naive or recursive doubling)",
 	"to_all reduction (naive or recursive doubling)",
 	"shmem_wait / shmem_wait_until",
+	"fault-injection perturbation (delay span, drop, or wait timeout)",
 }
 
 var localityDesc = [NumLocalities]string{

@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"tshmem/internal/arch"
 	"tshmem/internal/cache"
@@ -191,6 +192,55 @@ func (b *Barrier) Wait(clock *vtime.Clock) {
 	rel := b.release
 	b.mu.Unlock()
 	clock.AdvanceTo(rel)
+}
+
+// WaitTimeout is Wait with a host-time bound: if the rendezvous does not
+// complete within grace (some participant is stuck under fault
+// injection), the caller withdraws from the barrier and returns false
+// with its clock unchanged; the remaining participants' rendezvous state
+// is left consistent, so they can time out (or complete a later
+// generation) themselves. Returns true when the barrier completed
+// normally. grace <= 0 behaves exactly like Wait.
+func (b *Barrier) WaitTimeout(clock *vtime.Clock, grace time.Duration) bool {
+	b.mu.Lock()
+	g := b.gen
+	b.latest = vtime.Max(b.latest, clock.Now())
+	b.count++
+	if b.count == b.n {
+		b.release = b.latest.Add(b.model.Latency(b.n))
+		b.count = 0
+		b.latest = 0
+		b.gen++
+		b.cond.Broadcast()
+		rel := b.release
+		b.mu.Unlock()
+		clock.AdvanceTo(rel)
+		return true
+	}
+	var timedOut bool
+	var timer *time.Timer
+	if grace > 0 {
+		timer = time.AfterFunc(grace, func() {
+			b.mu.Lock()
+			timedOut = true
+			b.mu.Unlock()
+			b.cond.Broadcast()
+		})
+		defer timer.Stop()
+	}
+	for g == b.gen && !b.aborted && !timedOut {
+		b.cond.Wait()
+	}
+	if g == b.gen && !b.aborted {
+		// Timed out with the generation still open: take our arrival back.
+		b.count--
+		b.mu.Unlock()
+		return false
+	}
+	rel := b.release
+	b.mu.Unlock()
+	clock.AdvanceTo(rel)
+	return true
 }
 
 // Abort wakes all waiters without completing the rendezvous; used when the

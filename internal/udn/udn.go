@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"tshmem/internal/fault"
 	"tshmem/internal/mesh"
 	"tshmem/internal/stats"
 	"tshmem/internal/vtime"
@@ -19,6 +21,13 @@ var (
 	ErrPayload      = errors.New("udn: payload size out of range")
 	ErrNoInterrupts = errors.New("udn: chip does not support UDN interrupts")
 	ErrNoHandler    = errors.New("udn: destination tile has no interrupt handler")
+
+	// ErrTimeout reports a bounded wait that expired under fault
+	// injection: a receive that never completed within the host-time
+	// grace, a send stuck on backpressure, or an interrupt whose request
+	// or reply was dropped. Only possible after SetFaults; the caller
+	// (internal/core) converts it into a virtual-time diagnostic.
+	ErrTimeout = errors.New("udn: bounded wait timed out")
 )
 
 // queueCap bounds in-flight packets per demux queue. The hardware queue
@@ -101,6 +110,8 @@ type Network struct {
 	geo   mesh.Geometry
 	ports []*Port
 	links *mesh.LinkStats // nil disables per-link accounting
+	flt   *fault.ChipView // nil disables fault injection
+	grace time.Duration   // host-time bound on blocking ops; 0 = unbounded
 }
 
 // SetLinkStats attaches per-directed-link utilization accounting: every
@@ -108,6 +119,31 @@ type Network struct {
 // high-water marks are tracked per destination tile. A nil ls (the
 // default) disables accounting. Set before PEs start communicating.
 func (n *Network) SetLinkStats(ls *mesh.LinkStats) { n.links = ls }
+
+// SetFaults attaches a fault-injection view of this chip and arms the
+// host-time grace bound on every blocking operation: a Send stuck on
+// backpressure, a Recv with nothing arriving, or an Interrupt owed a
+// reply gives up after grace with ErrTimeout instead of blocking
+// forever. The fault view perturbs packets deterministically in virtual
+// time; the grace timer is purely a host-liveness fallback for traffic a
+// fault swallowed, so it never influences virtual timestamps. A nil cv
+// with grace 0 (the default) restores the perfect substrate. Set before
+// PEs start communicating.
+func (n *Network) SetFaults(cv *fault.ChipView, grace time.Duration) {
+	n.flt = cv
+	n.grace = grace
+}
+
+// timeoutCh returns a channel that fires after the network's grace bound,
+// plus its timer (stop it when done). A nil channel — never ready — is
+// returned when no grace is armed, so selects can always include it.
+func (n *Network) timeoutCh() (<-chan time.Time, *time.Timer) {
+	if n.grace <= 0 {
+		return nil, nil
+	}
+	t := time.NewTimer(n.grace)
+	return t.C, t
+}
 
 // New builds a UDN over the given test-area geometry.
 func New(geo mesh.Geometry) *Network {
@@ -210,14 +246,48 @@ func (p *Port) Send(clock *vtime.Clock, dst, dq int, tag uint32, words []uint64)
 	if err != nil {
 		return err
 	}
-	clock.Advance(path.Send)
-	p.rec.UDNSend(nw, path.Hops, path.Latency())
+	send, wire := path.Send, path.Wire
+	if p.net.flt != nil {
+		s2, w2, id, drop := p.net.flt.AdjustSend(p.cpu, dst, clock.Now(), send, wire)
+		if drop {
+			// A dead tile swallows the packet silently: the sender pays its
+			// injection cost and moves on, exactly like fire-and-forget
+			// hardware. Whoever expected this packet will time out.
+			clock.Advance(s2)
+			p.rec.FaultDrop(id, dst, clock.Now())
+			return nil
+		}
+		if id >= 0 {
+			p.rec.FaultDelay(id, dst, clock.Now(), (s2+w2)-(send+wire))
+			send, wire = s2, w2
+		}
+	}
+	clock.Advance(send)
+	p.rec.UDNSend(nw, path.Hops, send+wire)
 	p.net.links.RecordRoute(p.cpu, dst, nw)
-	pkt := makePacket(p.cpu, tag, words, clock.Now().Add(path.Wire))
+	arrive := clock.Now().Add(wire)
+	if p.net.flt != nil {
+		a2, id, drop := p.net.flt.HoldArrive(dst, dq, arrive)
+		if drop {
+			p.rec.FaultDrop(id, dst, arrive)
+			return nil
+		}
+		if a2 > arrive {
+			p.rec.FaultDelay(id, dst, arrive, a2.Sub(arrive))
+			arrive = a2
+		}
+	}
+	pkt := makePacket(p.cpu, tag, words, arrive)
+	timeout, timer := p.net.timeoutCh()
+	if timer != nil {
+		defer timer.Stop()
+	}
 	select {
 	case dp.queues[dq] <- pkt:
 		p.net.links.RecordQueueDepth(dst, len(dp.queues[dq]))
 		return nil
+	case <-timeout:
+		return ErrTimeout
 	case <-dp.doneCh():
 		return ErrClosed
 	}
@@ -229,11 +299,17 @@ func (p *Port) Recv(clock *vtime.Clock, dq int) (Packet, error) {
 	if dq < 0 || dq >= len(p.queues) {
 		return Packet{}, fmt.Errorf("%w: %d", ErrBadQueue, dq)
 	}
+	timeout, timer := p.net.timeoutCh()
+	if timer != nil {
+		defer timer.Stop()
+	}
 	select {
 	case pkt := <-p.queues[dq]:
 		wait := clock.AdvanceTo(pkt.Arrive)
 		p.rec.UDNRecvWait(pkt.Len(), wait)
 		return pkt, nil
+	case <-timeout:
+		return Packet{}, ErrTimeout
 	case <-p.doneCh():
 		// Drain anything already queued before reporting closure.
 		select {
@@ -256,10 +332,16 @@ func (p *Port) RecvRaw(dq int) (Packet, error) {
 	if dq < 0 || dq >= len(p.queues) {
 		return Packet{}, fmt.Errorf("%w: %d", ErrBadQueue, dq)
 	}
+	timeout, timer := p.net.timeoutCh()
+	if timer != nil {
+		defer timer.Stop()
+	}
 	select {
 	case pkt := <-p.queues[dq]:
 		p.rec.UDNRecv(pkt.Len())
 		return pkt, nil
+	case <-timeout:
+		return Packet{}, ErrTimeout
 	case <-p.doneCh():
 		select {
 		case pkt := <-p.queues[dq]:
@@ -375,6 +457,18 @@ func (p *Port) Interrupt(clock *vtime.Clock, dst int, tag uint32, words []uint64
 	if err != nil {
 		return Packet{}, err
 	}
+	if p.net.flt != nil {
+		// Interrupts model only drop faults (a dead tile or a dropped
+		// interrupt lane); slow-tile and slow-link plans leave the
+		// interrupt round-trip untouched. The requester pays its injection
+		// cost and learns immediately — deterministically in virtual time —
+		// that no reply will ever come.
+		if id, drop := p.net.flt.DropInterrupt(p.cpu, dst, clock.Now()); drop {
+			clock.Advance(path.Send)
+			p.rec.FaultDrop(id, dst, clock.Now())
+			return Packet{}, ErrTimeout
+		}
+	}
 	clock.Advance(path.Send)
 	p.net.links.RecordRoute(p.cpu, dst, nw)
 	if p.replyCh == nil {
@@ -384,8 +478,14 @@ func (p *Port) Interrupt(clock *vtime.Clock, dst int, tag uint32, words []uint64
 		pkt:   makePacket(p.cpu, tag, words, clock.Now().Add(path.Wire)),
 		reply: p.replyCh,
 	}
+	timeout, timer := p.net.timeoutCh()
+	if timer != nil {
+		defer timer.Stop()
+	}
 	select {
 	case svc.reqs <- req:
+	case <-timeout:
+		return Packet{}, ErrTimeout
 	case <-dp.doneCh():
 		return Packet{}, ErrClosed
 	}
@@ -405,6 +505,11 @@ func (p *Port) Interrupt(clock *vtime.Clock, dst int, tag uint32, words []uint64
 		p.rec.UDNInterrupt(nw, repWords, path.Hops)
 		p.net.links.RecordRoute(dst, p.cpu, repWords)
 		return rep, nil
+	case <-timeout:
+		// Same stale-reply hazard as the closed case below: a reply may
+		// still land on this channel after we give up.
+		p.replyCh = nil
+		return Packet{}, ErrTimeout
 	case <-p.doneCh():
 		// The servicer still owes a reply on this channel; its buffered
 		// send will land after we are gone. Drop the channel so the next

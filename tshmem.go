@@ -46,6 +46,7 @@ import (
 	"tshmem/internal/arch"
 	"tshmem/internal/cache"
 	"tshmem/internal/core"
+	"tshmem/internal/fault"
 	"tshmem/internal/sanitize"
 	"tshmem/internal/stats"
 )
@@ -141,7 +142,46 @@ const (
 	DiagUnfencedSignal    = sanitize.UnfencedSignal
 	DiagLockDoubleAcquire = sanitize.LockDoubleAcquire
 	DiagLockBadRelease    = sanitize.LockBadRelease
+	DiagTimeout           = sanitize.Timeout
 )
+
+// Fault injection (Config.Faults; see docs/ROBUSTNESS.md).
+type (
+	// FaultPlan is a deterministic, virtual-time-scheduled schedule of
+	// substrate degradation events. Assign one to Config.Faults (a literal,
+	// a parsed spec, or a seeded plan) to run a program under injected
+	// faults with every blocking wait bounded.
+	FaultPlan = fault.Plan
+	// FaultEvent is one scheduled degradation: what breaks, where, by how
+	// much, and over which virtual-time window.
+	FaultEvent = fault.Event
+	// FaultKind classifies a FaultEvent (UDN stall, dropped interrupt,
+	// slow link, slow/dead tile, stuck cache-home tile).
+	FaultKind = fault.Kind
+	// TimeoutError is the typed diagnostic behind ErrTimeout: the stuck
+	// PE, awaited peer, operation, blamed fault event, and virtual window.
+	TimeoutError = core.TimeoutError
+)
+
+// Fault kinds (FaultEvent.Kind values).
+const (
+	FaultUDNStall    = fault.UDNStall
+	FaultUDNDropIntr = fault.UDNDropIntr
+	FaultLinkSlow    = fault.LinkSlow
+	FaultTileSlow    = fault.TileSlow
+	FaultTileDead    = fault.TileDead
+	FaultCacheStuck  = fault.CacheStuck
+)
+
+// ParseFaults parses a fault-plan spec: "seed:N", a bare integer seed, or
+// a semicolon-separated event list like "stall:pe=3,q=0,start=1us,end=9us"
+// (the grammar is documented in docs/ROBUSTNESS.md).
+func ParseFaults(spec string) (*FaultPlan, error) { return fault.Parse(spec) }
+
+// FaultsFromSeed derives a small deterministic transient fault plan for an
+// npes-PE program from a seed; the same (seed, npes) always yields the
+// same plan.
+func FaultsFromSeed(seed int64, npes int) *FaultPlan { return fault.FromSeed(seed, npes) }
 
 // Ref is a handle to a symmetric object of element type T, valid on every
 // PE.
@@ -243,6 +283,9 @@ var (
 	ErrFinalized     = core.ErrFinalized
 	ErrStatic        = core.ErrStatic
 	ErrUnknownStatic = core.ErrUnknownStatic
+	// ErrTimeout reports a bounded wait that expired under fault injection;
+	// match with errors.Is. Concrete errors are *TimeoutError values.
+	ErrTimeout = core.ErrTimeout
 )
 
 // AllPEs is the active set covering every PE of an n-PE program.
