@@ -56,6 +56,23 @@ TSHMEM_SANITIZE=1 go run ./cmd/tshmem-bench -sanitize -probe put > /dev/null
 TSHMEM_SANITIZE=1 go run ./cmd/tshmem-bench -sanitize -probe bcast > /dev/null
 TSHMEM_SANITIZE=1 go run ./cmd/tshmem-bench -sanitize -probe barrier > /dev/null
 
+# Sync-algo smoke: every selectable barrier algorithm must run the
+# barrier probe sanitizer-clean (the library algorithms publish the same
+# happens-before edges as the paper's chain; docs/SYNC.md), and the
+# crossover sweep must render end to end. The default-algorithm
+# byte-identity is already enforced by the cmp below — ProbeOpts zero
+# values select the legacy algorithms.
+echo "== sync-algo smoke: probes clean under every barrier algorithm + sweep =="
+for ALGO in linear tmc-spin counter dissemination tournament mcs-tree; do
+    TSHMEM_SANITIZE=1 go run ./cmd/tshmem-bench -sanitize -probe barrier \
+        -barrier-algo "$ALGO" > /dev/null
+done
+for ALGO in cas ticket mcs; do
+    TSHMEM_SANITIZE=1 go run ./cmd/tshmem-bench -sanitize -probe barrier \
+        -lock-algo "$ALGO" > /dev/null
+done
+go run ./cmd/tshmem-bench -sweep-algos > /dev/null
+
 # Alloc smoke: the uninstrumented Put and Barrier fast paths must stay
 # allocation-free (docs/PERFORMANCE.md) — including the sanitizer-off
 # hook sites, so TSHMEM_SANITIZE is explicitly cleared here. A fixed

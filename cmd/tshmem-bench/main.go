@@ -70,6 +70,9 @@ func run() int {
 		thresh  = flag.String("threshold", "5%", "relative regression threshold for -compare (e.g. 5% or 0.05)")
 		cpuProf = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProf = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
+		barAlgo = flag.String("barrier-algo", "", "barrier algorithm for the probe: linear, tmc-spin, counter, dissemination, tournament, mcs-tree (default: legacy dispatch; see docs/SYNC.md)")
+		lkAlgo  = flag.String("lock-algo", "", "lock algorithm for the probe: cas, ticket, mcs (default cas; see docs/SYNC.md)")
+		sweep   = flag.Bool("sweep-algos", false, "sweep every barrier/lock algorithm across PE counts on both chips and print the crossover tables (docs/SYNC.md)")
 	)
 	flag.Parse()
 
@@ -128,14 +131,25 @@ func run() int {
 		}
 		return 0
 	}
-	if (*trace != "" || *faults != "") && *probe == "" {
+	if *sweep {
+		start := time.Now()
+		out, err := bench.SweepAlgos(bench.Options{Quick: !*full, Sanitize: *san})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tshmem-bench: %v\n", err)
+			return 1
+		}
+		fmt.Print(out)
+		fmt.Printf("(regenerated in %.1fs wall time)\n", time.Since(start).Seconds())
+		return 0
+	}
+	if (*trace != "" || *faults != "" || *barAlgo != "" || *lkAlgo != "") && *probe == "" {
 		*probe = "barrier"
 	}
 	if (*heatmap || *svgPath != "") && *probe == "" {
 		*probe = "bcast"
 	}
 	if *probe != "" {
-		if err := runProbe(*probe, *trace, *heatmap, *svgPath, *san, *faults); err != nil {
+		if err := runProbe(*probe, *trace, *heatmap, *svgPath, *san, *faults, *barAlgo, *lkAlgo); err != nil {
 			fmt.Fprintf(os.Stderr, "tshmem-bench: %v\n", err)
 			return 1
 		}
@@ -180,7 +194,7 @@ func run() int {
 // tables, and optionally exports the event trace and mesh heatmap. With a
 // fault spec the probe runs under the injected plan: bounded waits that
 // expire are reported as timeout diagnostics rather than failing the run.
-func runProbe(id, tracePath string, heatmap bool, svgPath string, sanOn bool, faultSpec string) error {
+func runProbe(id, tracePath string, heatmap bool, svgPath string, sanOn bool, faultSpec, barAlgo, lkAlgo string) error {
 	p, ok := bench.LookupProbe(id)
 	if !ok {
 		return fmt.Errorf("unknown probe %q; valid probes: %s",
@@ -193,8 +207,19 @@ func runProbe(id, tracePath string, heatmap bool, svgPath string, sanOn bool, fa
 			return err
 		}
 	}
+	ba, err := core.ParseBarrierAlgo(barAlgo)
+	if err != nil {
+		return err
+	}
+	la, err := core.ParseLockAlgo(lkAlgo)
+	if err != nil {
+		return err
+	}
 	start := time.Now()
-	rep, err := p.Run(bench.ProbeOpts{Trace: tracePath != "", Sanitize: sanOn, Faults: plan})
+	rep, err := p.Run(bench.ProbeOpts{
+		Trace: tracePath != "", Sanitize: sanOn, Faults: plan,
+		BarrierAlgo: ba, LockAlgo: la,
+	})
 	if err != nil {
 		// Under fault injection a timed-out wait is the expected outcome
 		// being demonstrated: report it and keep going with the Report.

@@ -25,6 +25,11 @@ type ProbeOpts struct {
 	// and bounds every blocking wait (see docs/ROBUSTNESS.md). A probe run
 	// under faults may return both a Report and a core.ErrTimeout error.
 	Faults *fault.Plan
+	// BarrierAlgo/LockAlgo select synchronization algorithms for the
+	// probe's run (docs/SYNC.md). The zero values are the legacy defaults,
+	// keeping default probe runs — and BENCH_baseline.json — byte-identical.
+	BarrierAlgo core.BarrierAlgo
+	LockAlgo    core.LockAlgo
 }
 
 func (o ProbeOpts) chip() *arch.Chip {
@@ -63,6 +68,7 @@ var probes = []Probe{
 			cfg := core.Config{
 				Chip: opts.chip(), NPEs: 16, HeapPerPE: 64 << 10,
 				Observe: true, Trace: opts.Trace, Sanitize: opts.Sanitize, Faults: opts.Faults,
+				BarrierAlgo: opts.BarrierAlgo, LockAlgo: opts.LockAlgo,
 			}
 			return core.Run(cfg, func(pe *core.PE) error {
 				if err := pe.AlignClocks(); err != nil {
@@ -86,6 +92,7 @@ var probes = []Probe{
 			cfg := core.Config{
 				Chip: opts.chip(), NPEs: 2, HeapPerPE: 2*64<<10 + 1<<20,
 				Observe: true, Trace: opts.Trace, Sanitize: opts.Sanitize, Faults: opts.Faults,
+				BarrierAlgo: opts.BarrierAlgo, LockAlgo: opts.LockAlgo,
 			}
 			return core.Run(cfg, func(pe *core.PE) error {
 				x, err := core.Malloc[int64](pe, maxElems)
@@ -120,6 +127,7 @@ var probes = []Probe{
 			cfg := core.Config{
 				Chip: opts.chip(), NPEs: 16, HeapPerPE: 2*32<<10 + 1<<20,
 				Observe: true, Trace: opts.Trace, Sanitize: opts.Sanitize, Faults: opts.Faults,
+				BarrierAlgo: opts.BarrierAlgo, LockAlgo: opts.LockAlgo,
 			}
 			return core.Run(cfg, func(pe *core.PE) error {
 				target, err := core.Malloc[int32](pe, nelems)

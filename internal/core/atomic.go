@@ -170,9 +170,16 @@ func Inc[T AtomicInt](pe *PE, target Ref[T], tpe int) error {
 }
 
 // SetLock acquires a distributed lock (shmem_set_lock). The lock is a
-// symmetric long variable; this implementation arbitrates through the
-// instance on PE 0 with a compare-and-swap loop and exponential backoff.
+// symmetric long variable arbitrated through the instance on PE 0; the
+// algorithm is selected by Config.LockAlgo (docs/SYNC.md). The default is
+// a compare-and-swap loop with exponential backoff.
 func (pe *PE) SetLock(lock Ref[int64]) error {
+	switch pe.prog.cfg.LockAlgo {
+	case LockAlgoTicket:
+		return pe.setLockTicket(lock)
+	case LockAlgoMCS:
+		return pe.setLockMCS(lock)
+	}
 	if err := pe.check(); err != nil {
 		return err
 	}
@@ -182,6 +189,7 @@ func (pe *PE) SetLock(lock Ref[int64]) error {
 	if pe.san.LockSelfAcquire(lock.off, pe.clock.Now()) {
 		return fmt.Errorf("tshmem: PE %d SetLock on a lock it already holds (self-deadlock)", pe.id)
 	}
+	start := pe.clock.Now()
 	backoff := vtime.Duration(pe.prog.chip.Cycles(50))
 	for {
 		old, err := CSwap(pe, lock, 0, int64(pe.id)+1, 0)
@@ -189,9 +197,11 @@ func (pe *PE) SetLock(lock Ref[int64]) error {
 			return err
 		}
 		if old == 0 {
-			pe.san.LockAcquired(lock.off)
+			pe.lockFreeVisible(lock.off)
+			pe.lockAcquired(lock.off, stats.LockAlgoCAS, start)
 			return nil
 		}
+		pe.rec.LockRetries(1)
 		if pe.prog.aborted.Load() {
 			return fmt.Errorf("tshmem: program aborted while PE %d waited for a lock", pe.id)
 		}
@@ -206,6 +216,12 @@ func (pe *PE) SetLock(lock Ref[int64]) error {
 
 // ClearLock releases a lock held by this PE (shmem_clear_lock).
 func (pe *PE) ClearLock(lock Ref[int64]) error {
+	switch pe.prog.cfg.LockAlgo {
+	case LockAlgoTicket:
+		return pe.clearLockTicket(lock)
+	case LockAlgoMCS:
+		return pe.clearLockMCS(lock)
+	}
 	if err := pe.check(); err != nil {
 		return err
 	}
@@ -219,6 +235,8 @@ func (pe *PE) ClearLock(lock Ref[int64]) error {
 	if old != int64(pe.id)+1 {
 		return fmt.Errorf("tshmem: PE %d cleared a lock held by %d", pe.id, old-1)
 	}
+	pe.prog.clearLockHolder(lock.off, pe.id)
+	pe.prog.setLockRelease(lock.off, pe.clock.Now())
 	return nil
 }
 
@@ -228,12 +246,20 @@ func (pe *PE) TestLock(lock Ref[int64]) (bool, error) {
 	if err := pe.check(); err != nil {
 		return false, err
 	}
+	if pe.prog.cfg.LockAlgo == LockAlgoTicket {
+		return pe.testLockTicket(lock)
+	}
+	// The CAS and MCS lock words agree when uncontended (holder PE + 1, 0
+	// when free), so a conditional swap is a correct non-blocking probe
+	// for both.
+	start := pe.clock.Now()
 	old, err := CSwap(pe, lock, 0, int64(pe.id)+1, 0)
 	if err != nil {
 		return false, err
 	}
 	if old == 0 {
-		pe.san.LockAcquired(lock.off)
+		pe.lockFreeVisible(lock.off)
+		pe.lockAcquired(lock.off, pe.prog.cfg.LockAlgo.statsID(), start)
 	}
 	return old != 0, nil
 }

@@ -31,6 +31,10 @@ func atomicSwap64(b []byte, off int64, v uint64) uint64 {
 	return atomic.SwapUint64(u64ptr(b, off), v)
 }
 
+func atomicAdd64(b []byte, off int64, v uint64) uint64 {
+	return atomic.AddUint64(u64ptr(b, off), v)
+}
+
 func atomicCAS32(b []byte, off int64, old, new uint32) bool {
 	return atomic.CompareAndSwapUint32(u32ptr(b, off), old, new)
 }

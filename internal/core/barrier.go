@@ -105,15 +105,11 @@ func (pe *PE) BarrierAll() error {
 		return err
 	}
 	pe.stats.Barriers++
+	if a := pe.prog.cfg.BarrierAlgo; a != BarrierAlgoDefault {
+		return pe.barrierAlgo(AllPEs(pe.n))
+	}
 	if pe.prog.cfg.Barrier == TMCSpinBarrier {
-		start := pe.clock.Now()
-		tok := pe.san.SpinEnter()
-		if err := pe.spinWait("spin-barrier"); err != nil {
-			return err
-		}
-		pe.san.BarrierExit(tok)
-		pe.rec.OpDone(stats.OpBarrier, start, &pe.clock, 0, int(stats.NoPeer))
-		return nil
+		return pe.barrierSpin(AllPEs(pe.n))
 	}
 	return pe.barrierUDN(AllPEs(pe.n))
 }
@@ -130,6 +126,9 @@ func (pe *PE) Barrier(as ActiveSet) error {
 		return err
 	}
 	pe.stats.Barriers++
+	if a := pe.prog.cfg.BarrierAlgo; a != BarrierAlgoDefault && a != BarrierAlgoLinear {
+		return pe.barrierAlgo(as)
+	}
 	return pe.barrierUDN(as)
 }
 
@@ -149,6 +148,7 @@ func (pe *PE) barrierUDN(as ActiveSet) error {
 	// collectives run internally are traced as well.
 	start := pe.clock.Now()
 	defer pe.rec.OpDone(stats.OpBarrier, start, &pe.clock, 0, int(stats.NoPeer))
+	defer pe.rec.BarrierAlgoDone(stats.BarrierAlgoLinear, start, &pe.clock)
 	n := as.Size
 	gen := pe.nextBarGen(as)
 	// Sanitizer rendezvous: entering a barrier completes outstanding puts;

@@ -27,6 +27,22 @@
 // reductions), atomics, and distributed locks complete the OpenSHMEM 1.0
 // surface, plus the paper's proposed shmem_finalize extension.
 //
+// # Synchronization algorithms
+//
+// Barriers and locks are pluggable (syncalgo.go; docs/SYNC.md). The
+// paper's designs are the defaults: BarrierAll runs the linear UDN
+// signal chain (or the TMC spin barrier with Config.Barrier), and
+// SetLock is a CAS spin loop. Config.BarrierAlgo additionally selects a
+// sense-reversing counter barrier, the dissemination barrier, the
+// tournament barrier, or the MCS tree barrier; Config.LockAlgo selects
+// ticket or MCS queue locks. Every algorithm charges honest costs
+// through the same UDN/mesh/cache models — standalone sends pay the
+// full send-call cost, chain forwards the cheap hot-loop cost, counter
+// traffic the atomic service time — so their crossovers are model
+// outputs, not assertions. All variants publish the sanitizer's
+// happens-before edges and bound their blocking waits under fault
+// injection like the defaults.
+//
 // # Virtual time
 //
 // Every PE carries a virtual clock. Substrate operations advance it using

@@ -83,6 +83,17 @@ type Config struct {
 
 	// Barrier selects the BarrierAll implementation.
 	Barrier BarrierImpl
+	// BarrierAlgo selects the algorithm behind Barrier and BarrierAll from
+	// the synchronization-algorithm library (docs/SYNC.md). The zero value
+	// preserves the legacy dispatch: BarrierAll honors Barrier above and
+	// subset barriers use the paper's linear chain. Collectives keep their
+	// internal barriers on the linear chain either way. The UDN-signal
+	// algorithms (dissemination, tournament, mcs-tree) are chip-local and
+	// reject multi-chip configs at launch.
+	BarrierAlgo BarrierAlgo
+	// LockAlgo selects the SetLock/ClearLock/TestLock implementation; the
+	// zero value is the legacy CAS spin lock with exponential backoff.
+	LockAlgo LockAlgo
 	// Bcast selects the default Broadcast algorithm.
 	Bcast BcastAlgo
 	// Reduce selects the default reduction algorithm.
@@ -174,6 +185,19 @@ func (c *Config) fill() error {
 	if c.NPEs > c.NChips*c.Chip.Tiles {
 		return fmt.Errorf("tshmem: %d PEs exceed %d x %s's %d tiles",
 			c.NPEs, c.NChips, c.Chip.Name, c.Chip.Tiles)
+	}
+	if c.BarrierAlgo < 0 || c.BarrierAlgo >= numBarrierAlgos {
+		return fmt.Errorf("tshmem: unknown BarrierAlgo %d", int(c.BarrierAlgo))
+	}
+	if c.LockAlgo < 0 || c.LockAlgo >= numLockAlgos {
+		return fmt.Errorf("tshmem: unknown LockAlgo %d", int(c.LockAlgo))
+	}
+	if c.NChips > 1 {
+		switch c.BarrierAlgo {
+		case BarrierAlgoDissemination, BarrierAlgoTournament, BarrierAlgoMCSTree:
+			return fmt.Errorf("tshmem: BarrierAlgo %s signals over the chip-local UDN; multi-chip runs need %s, %s, or %s",
+				c.BarrierAlgo, BarrierAlgoLinear, BarrierAlgoCounter, BarrierAlgoSpin)
+		}
 	}
 	if c.HeapPerPE == 0 {
 		c.HeapPerPE = 8 << 20
@@ -331,6 +355,18 @@ type Program struct {
 
 	symCheck []int64 // per-PE slot for symmetry verification in Malloc
 
+	// Synchronization-algorithm library state (syncalgo.go): counter-
+	// barrier rendezvous, lock holder bookkeeping, the ticket locks'
+	// published release times, and the MCS locks' successor queues.
+	ctrMu      sync.Mutex
+	ctrBars    map[ctrKey]*ctrInst
+	lockMu     sync.Mutex
+	lockHolder map[int64]int
+	lockRel    map[int64]vtime.Time
+	mcsNext    map[int64]map[int]*mcsWaiter
+	mcsCond    *sync.Cond
+	abortCh    chan struct{} // closed by abort: wakes library waiters
+
 	flt        *fault.Injector // nil unless Config.Faults
 	waitBudget vtime.Duration  // virtual bound per blocking wait (faults only)
 	waitGrace  time.Duration   // host liveness fallback (faults only)
@@ -354,6 +390,8 @@ func (p *Program) abort(cause error) {
 		for i := range p.hubs {
 			p.hubs[i].abort()
 		}
+		close(p.abortCh)
+		p.mcsCond.Broadcast()
 	})
 }
 
@@ -608,6 +646,12 @@ func newProgram(cfg Config) (*Program, error) {
 		return nil, err
 	}
 	p.statics.init()
+	p.ctrBars = make(map[ctrKey]*ctrInst)
+	p.lockHolder = make(map[int64]int)
+	p.lockRel = make(map[int64]vtime.Time)
+	p.mcsNext = make(map[int64]map[int]*mcsWaiter)
+	p.mcsCond = sync.NewCond(&p.lockMu)
+	p.abortCh = make(chan struct{})
 	p.hubs = make([]watchHub, cfg.NPEs)
 	for i := range p.hubs {
 		p.hubs[i].init()

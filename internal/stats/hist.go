@@ -158,15 +158,28 @@ const (
 	histCache2
 	histCache3
 
+	histBarAlgoBase // + BarrierAlgoID: inclusive barrier latency by algorithm
+	histBarAlgo1
+	histBarAlgo2
+	histBarAlgo3
+	histBarAlgo4
+	histBarAlgo5
+
+	histLockAlgoBase // + LockAlgoID: lock acquire latency by algorithm
+	histLockAlgo1
+	histLockAlgo2
+
 	// NumHistClasses bounds the HistClass enum.
 	NumHistClasses
 )
 
-// Compile-time guards: the locality and cache-level blocks above must stay
-// as wide as their enums.
+// Compile-time guards: the locality, cache-level, and sync-algorithm
+// blocks above must stay as wide as their enums.
 var (
 	_ = [1]struct{}{}[histCacheBase-histRMABase-HistClass(NumLocalities)]
-	_ = [1]struct{}{}[NumHistClasses-histCacheBase-HistClass(NumCacheLevels)]
+	_ = [1]struct{}{}[histBarAlgoBase-histCacheBase-HistClass(NumCacheLevels)]
+	_ = [1]struct{}{}[histLockAlgoBase-histBarAlgoBase-HistClass(NumBarrierAlgos)]
+	_ = [1]struct{}{}[NumHistClasses-histLockAlgoBase-HistClass(NumLockAlgos)]
 )
 
 // HistForOp returns the histogram class of an operation class.
@@ -177,6 +190,12 @@ func HistForRMA(loc Locality) HistClass { return histRMABase + HistClass(loc) }
 
 // HistForCache returns the histogram class of a cache level.
 func HistForCache(l CacheLevel) HistClass { return histCacheBase + HistClass(l) }
+
+// HistForBarrierAlgo returns the histogram class of a barrier algorithm.
+func HistForBarrierAlgo(a BarrierAlgoID) HistClass { return histBarAlgoBase + HistClass(a) }
+
+// HistForLockAlgo returns the histogram class of a lock algorithm.
+func HistForLockAlgo(a LockAlgoID) HistClass { return histLockAlgoBase + HistClass(a) }
 
 func (h HistClass) String() string {
 	switch {
@@ -192,6 +211,10 @@ func (h HistClass) String() string {
 		return "rma." + Locality(h-histRMABase).String()
 	case h >= histCacheBase && h < histCacheBase+HistClass(NumCacheLevels):
 		return "cache." + CacheLevel(h-histCacheBase).String()
+	case h >= histBarAlgoBase && h < histBarAlgoBase+HistClass(NumBarrierAlgos):
+		return "barrier.algo." + BarrierAlgoID(h-histBarAlgoBase).String()
+	case h >= histLockAlgoBase && h < histLockAlgoBase+HistClass(NumLockAlgos):
+		return "lock.algo." + LockAlgoID(h-histLockAlgoBase).String()
 	default:
 		return fmt.Sprintf("HistClass(%d)", int(h))
 	}
@@ -210,8 +233,12 @@ func histDesc(h HistClass) string {
 		return "stall per expected barrier-chain signal"
 	case h >= histRMABase && h < histRMABase+HistClass(NumLocalities):
 		return "charged time per " + Locality(h-histRMABase).String() + " RMA transfer"
-	default:
+	case h >= histCacheBase && h < histCacheBase+HistClass(NumCacheLevels):
 		return "charged time per " + CacheLevel(h-histCacheBase).String() + "-backed memory copy"
+	case h >= histBarAlgoBase && h < histBarAlgoBase+HistClass(NumBarrierAlgos):
+		return "inclusive latency of each " + BarrierAlgoID(h-histBarAlgoBase).String() + " barrier"
+	default:
+		return "acquire latency of each " + LockAlgoID(h-histLockAlgoBase).String() + " lock"
 	}
 }
 

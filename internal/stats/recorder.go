@@ -217,6 +217,44 @@ func (r *Recorder) faultEvent(id, peer int, start, end vtime.Time) {
 	})
 }
 
+// BarrierAlgoDone observes one completed barrier instance in the
+// per-algorithm latency histogram (HistForBarrierAlgo). Histogram-only on
+// purpose: Counters.Map excludes histograms, so default-algorithm runs
+// keep emitting byte-identical baselines.
+func (r *Recorder) BarrierAlgoDone(a BarrierAlgoID, start vtime.Time, clock *vtime.Clock) {
+	if r == nil {
+		return
+	}
+	r.C.Hists[HistForBarrierAlgo(a)].Observe(int64(clock.Now() - start))
+}
+
+// LockDone accounts one successful lock acquisition under algorithm a:
+// the scalar acquire counter plus the per-algorithm latency histogram.
+func (r *Recorder) LockDone(a LockAlgoID, start vtime.Time, clock *vtime.Clock) {
+	if r == nil {
+		return
+	}
+	r.C.LockAcquires++
+	r.C.Hists[HistForLockAlgo(a)].Observe(int64(clock.Now() - start))
+}
+
+// LockRetries accounts n modeled acquisition retries (failed CAS
+// attempts, or the queue depth a FIFO acquire waited behind).
+func (r *Recorder) LockRetries(n int64) {
+	if r == nil {
+		return
+	}
+	r.C.LockRetries += n
+}
+
+// LockHandoff accounts one direct lock handoff delivered by a release.
+func (r *Recorder) LockHandoff() {
+	if r == nil {
+		return
+	}
+	r.C.LockHandoffs++
+}
+
 // OpDone counts one completed operation of class op that began at start.
 // The end time is read from clock at call time, so the idiomatic use is
 //

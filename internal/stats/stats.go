@@ -175,6 +175,15 @@ type Counters struct {
 	FaultTimeouts int64
 	FaultDelayPs  int64
 
+	// Lock-algorithm counters (Config.LockAlgo; docs/SYNC.md): successful
+	// acquisitions across SetLock/TestLock, modeled retries (failed CAS
+	// attempts, or the queue depth a ticket/MCS acquire waited behind),
+	// and MCS direct handoffs delivered by releases. All zero when the
+	// program takes no locks, so lock-free baselines are untouched.
+	LockAcquires int64
+	LockRetries  int64
+	LockHandoffs int64
+
 	// Hists holds one latency histogram per HistClass: the distribution
 	// behind each counter above (operation spans, UDN packet latencies and
 	// receive stalls, barrier-signal stalls, RMA and cache-copy charges).
@@ -208,6 +217,9 @@ func (c *Counters) Add(o *Counters) {
 	c.FaultDrops += o.FaultDrops
 	c.FaultTimeouts += o.FaultTimeouts
 	c.FaultDelayPs += o.FaultDelayPs
+	c.LockAcquires += o.LockAcquires
+	c.LockRetries += o.LockRetries
+	c.LockHandoffs += o.LockHandoffs
 	for i := range c.Hists {
 		c.Hists[i].Add(&o.Hists[i])
 	}
@@ -269,6 +281,9 @@ func (c *Counters) Table() string {
 	if c.FaultDelayPs != 0 {
 		fmt.Fprintf(&b, "  %-24s %14.3f\n", "fault.delay_us", float64(c.FaultDelayPs)/1e6)
 	}
+	row("lock.acquires", c.LockAcquires)
+	row("lock.retries", c.LockRetries)
+	row("lock.handoffs", c.LockHandoffs)
 	if b.Len() == 0 {
 		return "  (no substrate events recorded)\n"
 	}
@@ -309,6 +324,9 @@ func (c *Counters) Map() map[string]int64 {
 	put("fault.drops", c.FaultDrops)
 	put("fault.timeouts", c.FaultTimeouts)
 	put("fault.delay_ps", c.FaultDelayPs)
+	put("lock.acquires", c.LockAcquires)
+	put("lock.retries", c.LockRetries)
+	put("lock.handoffs", c.LockHandoffs)
 	return m
 }
 
@@ -364,7 +382,9 @@ func Taxonomy() string {
 		"barrier.rounds: wait/release signals sent on barrier chains\n" +
 		"     (2(n-1)+1 signals per n-PE linear-chain barrier instance).\n" +
 		"fault.*: injection perturbations (delays/drops/timeouts and total\n" +
-		"     injected delay) under a fault plan; zero when faults are off.\n")
+		"     injected delay) under a fault plan; zero when faults are off.\n" +
+		"lock.*: acquisitions, modeled retries/queue waits, and MCS direct\n" +
+		"     handoffs across the lock algorithms (Config.LockAlgo).\n")
 	b.WriteString("latency histogram classes (Counters.Hists, p50/p90/p99/max):\n")
 	for h := HistClass(0); h < NumHistClasses; h++ {
 		if h < HistClass(NumOps) {

@@ -14,6 +14,18 @@
 // synchronization never contends with payload traffic — the same
 // discipline TSHMEM uses on hardware.
 //
+// The barrier queue carries more than the paper's linear chain: the
+// synchronization-algorithm library (internal/core, docs/SYNC.md) runs
+// its dissemination, tournament, and MCS-tree barriers over the same
+// queue, demultiplexed by (active-set tag, signal word) so rounds and
+// overlapping instances never cross-match. Two send costs matter there:
+// a signal forwarded inside a hot receive loop charges the chip's
+// examine-and-forward cost (UDNSWForwardNs), while each standalone send
+// an algorithm issues outside such a loop pays the full send-call setup
+// (UDNSendCallNs). The UDN is chip-local: interrupts and these signal
+// patterns do not cross chips, which is why the UDN-signal barrier
+// algorithms reject multi-chip configurations.
+//
 // # Virtual time
 //
 // A send charges the sender's clock with the injection share of the

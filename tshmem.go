@@ -86,6 +86,12 @@ type (
 	Cmp = core.Cmp
 	// BarrierImpl selects the BarrierAll backend.
 	BarrierImpl = core.BarrierImpl
+	// BarrierAlgo selects a barrier algorithm from the synchronization
+	// library (Config.BarrierAlgo; see docs/SYNC.md).
+	BarrierAlgo = core.BarrierAlgo
+	// LockAlgo selects the SetLock/ClearLock/TestLock implementation
+	// (Config.LockAlgo; see docs/SYNC.md).
+	LockAlgo = core.LockAlgo
 	// BcastAlgo selects the default broadcast algorithm.
 	BcastAlgo = core.BcastAlgo
 	// ReduceAlgo selects the default reduction algorithm.
@@ -238,6 +244,41 @@ const (
 	// TILE-Gx optimization from the paper's open issues).
 	TMCSpinBarrier = core.TMCSpinBarrier
 )
+
+// Barrier algorithms (Config.BarrierAlgo; docs/SYNC.md). The zero value,
+// BarrierAlgoDefault, preserves the legacy dispatch: BarrierAll honors
+// Config.Barrier and subset barriers use the paper's linear chain.
+const (
+	BarrierAlgoDefault       = core.BarrierAlgoDefault
+	BarrierAlgoLinear        = core.BarrierAlgoLinear
+	BarrierAlgoSpin          = core.BarrierAlgoSpin
+	BarrierAlgoCounter       = core.BarrierAlgoCounter
+	BarrierAlgoDissemination = core.BarrierAlgoDissemination
+	BarrierAlgoTournament    = core.BarrierAlgoTournament
+	BarrierAlgoMCSTree       = core.BarrierAlgoMCSTree
+)
+
+// Lock algorithms (Config.LockAlgo; docs/SYNC.md). The zero value,
+// LockAlgoCAS, is the legacy compare-and-swap spin lock.
+const (
+	LockAlgoCAS    = core.LockAlgoCAS
+	LockAlgoTicket = core.LockAlgoTicket
+	LockAlgoMCS    = core.LockAlgoMCS
+)
+
+// ParseBarrierAlgo resolves a barrier-algorithm name ("default", "linear",
+// "tmc-spin", "counter", "dissemination", "tournament", "mcs-tree") — the
+// vocabulary of tshmem-bench's -barrier-algo flag.
+func ParseBarrierAlgo(s string) (BarrierAlgo, error) { return core.ParseBarrierAlgo(s) }
+
+// ParseLockAlgo resolves a lock-algorithm name ("cas", "ticket", "mcs").
+func ParseLockAlgo(s string) (LockAlgo, error) { return core.ParseLockAlgo(s) }
+
+// BarrierAlgos lists every selectable barrier algorithm.
+func BarrierAlgos() []BarrierAlgo { return core.BarrierAlgos() }
+
+// LockAlgos lists every lock algorithm.
+func LockAlgos() []LockAlgo { return core.LockAlgos() }
 
 // Broadcast algorithms (Config.Bcast).
 const (
