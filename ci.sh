@@ -34,7 +34,8 @@ go test -race -timeout 45m "$@" ./...
 # 25% it fails the gate outright.
 echo "== bench smoke: probe suite vs BENCH_baseline.json =="
 SMOKE=$(mktemp /tmp/tshmem-smoke.XXXXXX.json)
-trap 'rm -f "$SMOKE"' EXIT
+PPROF=$(mktemp /tmp/tshmem-pprof.XXXXXX.pb.gz)
+trap 'rm -f "$SMOKE" "$PPROF"' EXIT
 go run ./cmd/tshmem-bench -json "$SMOKE"
 if ! go run ./cmd/tshmem-bench -compare BENCH_baseline.json "$SMOKE" -threshold 25%; then
     echo "ci: FAIL — probe metrics regressed more than 25% vs BENCH_baseline.json" >&2
@@ -73,11 +74,37 @@ for ALGO in cas ticket mcs; do
 done
 go run ./cmd/tshmem-bench -sweep-algos > /dev/null
 
+# Profile smoke: the causal profiler must explain a probe end to end —
+# the profiled barrier probe's output has to blame the barrier machinery
+# by name, and the pprof export must be readable by an unmodified
+# `go tool pprof` (docs/OBSERVABILITY.md). Profiling is observation-only:
+# the -json suite above runs with Config.Profile off, so the baseline
+# byte-identity cmp in the fault smoke below doubles as the gate that a
+# profiler-off run does not move a single modeled picosecond.
+echo "== profile smoke: blame ledger + critical path + pprof export =="
+PROF_OUT=$(go run ./cmd/tshmem-bench -probe barrier -profile -critical-path)
+echo "$PROF_OUT" | grep 'barrier.wait' > /dev/null || {
+    echo "ci: FAIL — profiled barrier probe never blames barrier.wait" >&2
+    echo "$PROF_OUT" >&2
+    exit 1
+}
+echo "$PROF_OUT" | grep 'critical path' > /dev/null || {
+    echo "ci: FAIL — -critical-path printed no critical path" >&2
+    echo "$PROF_OUT" >&2
+    exit 1
+}
+go run ./cmd/tshmem-bench -probe barrier -pprof "$PPROF" > /dev/null
+go tool pprof -top "$PPROF" | grep 'barrier.wait' > /dev/null || {
+    echo "ci: FAIL — go tool pprof cannot read the profiler's protobuf export" >&2
+    exit 1
+}
+
 # Alloc smoke: the uninstrumented Put and Barrier fast paths must stay
 # allocation-free (docs/PERFORMANCE.md) — including the sanitizer-off
-# hook sites, so TSHMEM_SANITIZE is explicitly cleared here. A fixed
-# -benchtime keeps this fast; -benchmem prints "N allocs/op" which we
-# grep for nonzero N.
+# and profiler-off hook sites (pe.san and pe.prof stay nil), so
+# TSHMEM_SANITIZE is explicitly cleared here and the benchmarks leave
+# Config.Profile unset. A fixed -benchtime keeps this fast; -benchmem
+# prints "N allocs/op" which we grep for nonzero N.
 echo "== bench-alloc smoke: Put/Barrier must report 0 allocs/op =="
 ALLOC_OUT=$(env -u TSHMEM_SANITIZE go test ./internal/bench -run '^$' \
     -bench '^(BenchmarkPut|BenchmarkBarrier)$' -benchtime 100x -benchmem)

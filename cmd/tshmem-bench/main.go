@@ -18,23 +18,39 @@
 //	tshmem-bench -faults 'stall:pe=3,q=0'    # probe with one UDN queue stalled
 //	tshmem-bench -json out.json              # machine-readable probe baseline
 //	tshmem-bench -compare BENCH_baseline.json new.json -threshold 5%
+//	tshmem-bench -profile                    # probe + virtual-time blame ledger
+//	tshmem-bench -profile -critical-path     # also print the critical path
+//	tshmem-bench -profile -folded out.folded # folded stacks (speedscope/inferno)
+//	tshmem-bench -profile -pprof out.pb.gz   # pprof protobuf (go tool pprof)
+//	tshmem-bench -profile -profile-json p.json        # profile snapshot JSON
+//	tshmem-bench -profile-diff a.json b.json          # diff two snapshots
 //	tshmem-bench -cpuprofile cpu.pprof       # profile the simulator host cost
 //	tshmem-bench -memprofile mem.pprof       # heap profile at exit
 //
 // Probes are single-run instrumented microbenchmarks (-probe, listed by
 // -list); -trace implies the barrier probe and -heatmap/-svg imply the
-// bcast probe when -probe is not given. -compare reruns nothing: it diffs
-// two files written by -json and exits non-zero if any watched metric
-// (makespan, p50, p99) regressed past -threshold. Virtual time makes the
-// files host-independent, so the committed BENCH_baseline.json diffs
-// exactly. See docs/OBSERVABILITY.md for the counter taxonomy, heatmap
-// legend, and JSON schema.
+// bcast probe when -probe is not given, as do the -profile family of
+// flags. -compare reruns nothing: it diffs two files written by -json and
+// exits non-zero if any watched metric (makespan, p50, p99) regressed past
+// -threshold. -profile-diff likewise diffs two files written by
+// -profile-json. Virtual time makes the files host-independent, so the
+// committed BENCH_baseline.json diffs exactly. See docs/OBSERVABILITY.md
+// for the counter taxonomy, heatmap legend, blame-category taxonomy
+// (tshmem-info -profile), and JSON schemas.
+//
+// Flag placement: Go's flag package stops parsing at the first positional
+// operand, so flags must come before file operands. The two commands that
+// take positional files (-compare baseline.json current.json and
+// -profile-diff a.json b.json) hand-parse a trailing -threshold for
+// convenience; every other flag placed after an operand is silently
+// ignored by the flag package — put flags first.
 package main
 
 import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -44,6 +60,7 @@ import (
 	"tshmem/internal/bench"
 	"tshmem/internal/core"
 	"tshmem/internal/fault"
+	"tshmem/internal/profile"
 	"tshmem/internal/sanitize"
 	"tshmem/internal/stats"
 )
@@ -73,6 +90,12 @@ func run() int {
 		barAlgo = flag.String("barrier-algo", "", "barrier algorithm for the probe: linear, tmc-spin, counter, dissemination, tournament, mcs-tree (default: legacy dispatch; see docs/SYNC.md)")
 		lkAlgo  = flag.String("lock-algo", "", "lock algorithm for the probe: cas, ticket, mcs (default cas; see docs/SYNC.md)")
 		sweep   = flag.Bool("sweep-algos", false, "sweep every barrier/lock algorithm across PE counts on both chips and print the crossover tables (docs/SYNC.md)")
+		profOn  = flag.Bool("profile", false, "run the probe under the causal profiler and print the per-PE blame ledger (implies -probe barrier)")
+		crit    = flag.Bool("critical-path", false, "also print the probe's virtual-time critical path (implies -profile)")
+		folded  = flag.String("folded", "", "write the probe's blame ledger as folded stacks to this file (speedscope/inferno; implies -profile)")
+		ppOut   = flag.String("pprof", "", "write the probe's blame ledger as a pprof protobuf to this file (go tool pprof; implies -profile)")
+		pjOut   = flag.String("profile-json", "", "write the probe's profile snapshot JSON to this file, for -profile-diff (implies -profile)")
+		pdiff   = flag.String("profile-diff", "", "baseline profile JSON to diff against; pass the current run's JSON as the positional argument")
 	)
 	flag.Parse()
 
@@ -124,6 +147,13 @@ func run() int {
 		}
 		return code
 	}
+	if *pdiff != "" {
+		if err := runProfileDiff(*pdiff, flag.Args()); err != nil {
+			fmt.Fprintf(os.Stderr, "tshmem-bench: %v\n", err)
+			return 1
+		}
+		return 0
+	}
 	if *jsonOut != "" {
 		if err := writeBaseline(*jsonOut); err != nil {
 			fmt.Fprintf(os.Stderr, "tshmem-bench: %v\n", err)
@@ -142,14 +172,19 @@ func run() int {
 		fmt.Printf("(regenerated in %.1fs wall time)\n", time.Since(start).Seconds())
 		return 0
 	}
-	if (*trace != "" || *faults != "" || *barAlgo != "" || *lkAlgo != "") && *probe == "" {
+	prof := profileFlags{
+		on:     *profOn || *crit || *folded != "" || *ppOut != "" || *pjOut != "",
+		crit:   *crit,
+		folded: *folded, pprof: *ppOut, json: *pjOut,
+	}
+	if (*trace != "" || *faults != "" || *barAlgo != "" || *lkAlgo != "" || prof.on) && *probe == "" {
 		*probe = "barrier"
 	}
 	if (*heatmap || *svgPath != "") && *probe == "" {
 		*probe = "bcast"
 	}
 	if *probe != "" {
-		if err := runProbe(*probe, *trace, *heatmap, *svgPath, *san, *faults, *barAlgo, *lkAlgo); err != nil {
+		if err := runProbe(*probe, *trace, *heatmap, *svgPath, *san, *faults, *barAlgo, *lkAlgo, prof); err != nil {
 			fmt.Fprintf(os.Stderr, "tshmem-bench: %v\n", err)
 			return 1
 		}
@@ -190,11 +225,35 @@ func run() int {
 	return 0
 }
 
+// profileFlags bundles the causal-profiler outputs requested on the
+// command line.
+type profileFlags struct {
+	on     bool
+	crit   bool
+	folded string
+	pprof  string
+	json   string
+}
+
+// warnExportDrops prints the truncation warnings relevant to an export:
+// dropped trace events mean the named artifact was derived from an
+// incomplete event stream, dropped profile segments mean the critical
+// path may be missing edges (the blame ledger itself is always exact).
+func warnExportDrops(rep *core.Report, what string) {
+	if n := rep.DroppedEvents(); n > 0 {
+		fmt.Printf("WARNING: %s: %d trace events dropped at the per-PE cap; counters remain exact\n", what, n)
+	}
+	if p := rep.Profile(); p != nil && p.DroppedSegs > 0 {
+		fmt.Printf("WARNING: %s: %d profile segments dropped at the per-PE cap; ledger remains exact, critical path may skip edges\n", what, p.DroppedSegs)
+	}
+}
+
 // runProbe runs one observability probe, prints its counter and latency
-// tables, and optionally exports the event trace and mesh heatmap. With a
-// fault spec the probe runs under the injected plan: bounded waits that
-// expire are reported as timeout diagnostics rather than failing the run.
-func runProbe(id, tracePath string, heatmap bool, svgPath string, sanOn bool, faultSpec, barAlgo, lkAlgo string) error {
+// tables, and optionally exports the event trace, mesh heatmap, and
+// causal profile. With a fault spec the probe runs under the injected
+// plan: bounded waits that expire are reported as timeout diagnostics
+// rather than failing the run.
+func runProbe(id, tracePath string, heatmap bool, svgPath string, sanOn bool, faultSpec, barAlgo, lkAlgo string, prof profileFlags) error {
 	p, ok := bench.LookupProbe(id)
 	if !ok {
 		return fmt.Errorf("unknown probe %q; valid probes: %s",
@@ -217,7 +276,7 @@ func runProbe(id, tracePath string, heatmap bool, svgPath string, sanOn bool, fa
 	}
 	start := time.Now()
 	rep, err := p.Run(bench.ProbeOpts{
-		Trace: tracePath != "", Sanitize: sanOn, Faults: plan,
+		Trace: tracePath != "", Sanitize: sanOn, Profile: prof.on, Faults: plan,
 		BarrierAlgo: ba, LockAlgo: la,
 	})
 	if err != nil {
@@ -279,6 +338,7 @@ func runProbe(id, tracePath string, heatmap bool, svgPath string, sanOn bool, fa
 		fmt.Printf("WARNING: trace truncated: %d events dropped at the per-PE cap; counters remain exact\n", dropped)
 	}
 	if tracePath != "" {
+		warnExportDrops(rep, "trace export")
 		f, err := os.Create(tracePath)
 		if err != nil {
 			return err
@@ -293,7 +353,77 @@ func runProbe(id, tracePath string, heatmap bool, svgPath string, sanOn bool, fa
 		fmt.Printf("trace: %d events -> %s (open at https://ui.perfetto.dev)\n",
 			len(rep.Trace()), tracePath)
 	}
+	if prof.on {
+		pr := rep.Profile()
+		if pr == nil {
+			return fmt.Errorf("probe %s: profiling requested but the report carries no profile", id)
+		}
+		fmt.Print(pr.BlameTable())
+		if prof.crit {
+			fmt.Print(pr.PathTable())
+		}
+		if prof.folded != "" {
+			warnExportDrops(rep, "folded export")
+			if err := writeTo(prof.folded, pr.WriteFolded); err != nil {
+				return err
+			}
+			fmt.Printf("folded stacks -> %s (open at https://www.speedscope.app)\n", prof.folded)
+		}
+		if prof.pprof != "" {
+			warnExportDrops(rep, "pprof export")
+			if err := writeTo(prof.pprof, pr.WritePprof); err != nil {
+				return err
+			}
+			fmt.Printf("pprof profile -> %s (go tool pprof -top %s)\n", prof.pprof, prof.pprof)
+		}
+		if prof.json != "" {
+			warnExportDrops(rep, "profile-json export")
+			if err := writeTo(prof.json, pr.WriteJSON); err != nil {
+				return err
+			}
+			fmt.Printf("profile snapshot -> %s (diff with -profile-diff)\n", prof.json)
+		}
+	}
 	fmt.Printf("(regenerated in %.1fs wall time)\n", time.Since(start).Seconds())
+	return nil
+}
+
+// writeTo creates path and streams write into it, closing on all paths.
+func writeTo(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// runProfileDiff diffs two profile snapshots written by -profile-json.
+// Like -compare, the second file arrives as a positional operand (the
+// flag package stops parsing at the first positional argument).
+func runProfileDiff(basePath string, args []string) error {
+	var curPath string
+	for _, a := range args {
+		if curPath != "" {
+			return fmt.Errorf("unexpected argument %q (usage: -profile-diff base.json current.json)", a)
+		}
+		curPath = a
+	}
+	if curPath == "" {
+		return fmt.Errorf("usage: -profile-diff base.json current.json")
+	}
+	base, err := profile.ReadJSON(basePath)
+	if err != nil {
+		return err
+	}
+	cur, err := profile.ReadJSON(curPath)
+	if err != nil {
+		return err
+	}
+	fmt.Print(profile.Diff(base, cur))
 	return nil
 }
 

@@ -1,7 +1,9 @@
 // Command tshmem-info prints the modeled Tilera processor catalogue,
 // including the paper's Table II architecture comparison, the substrate
-// observability counter taxonomy (-counters), and the fault-injection
-// kind taxonomy (-faults).
+// observability counter taxonomy (-counters), the fault-injection kind
+// taxonomy (-faults), and the causal profiler's blame-category taxonomy
+// (-profile). Flags must precede any operands: Go's flag package stops
+// parsing at the first positional argument.
 package main
 
 import (
@@ -10,6 +12,7 @@ import (
 
 	"tshmem/internal/arch"
 	"tshmem/internal/fault"
+	"tshmem/internal/profile"
 	"tshmem/internal/stats"
 )
 
@@ -18,6 +21,7 @@ func main() {
 	var all = flag.Bool("all", false, "print every modeled chip")
 	var counters = flag.Bool("counters", false, "print the observability counter taxonomy and exit")
 	var faults = flag.Bool("faults", false, "print the fault-injection kind taxonomy and exit")
+	var prof = flag.Bool("profile", false, "print the causal profiler's blame-category taxonomy and exit")
 	flag.Parse()
 
 	if *counters {
@@ -26,6 +30,15 @@ func main() {
 	}
 	if *faults {
 		fmt.Print(fault.Taxonomy())
+		return
+	}
+	if *prof {
+		fmt.Println("blame categories (per-PE virtual-time ledger; tshmem-bench -profile):")
+		for _, e := range profile.Taxonomy() {
+			fmt.Printf("  %-12s %s\n", e.Name, e.Desc)
+		}
+		fmt.Println("Each PE's categories sum exactly to its virtual end time; 'compute'\n" +
+			"is the residual no wait or transport explains. See docs/OBSERVABILITY.md.")
 		return
 	}
 

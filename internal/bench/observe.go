@@ -21,6 +21,10 @@ type ProbeOpts struct {
 	// probe's Report then carries any Diagnostics. Virtual time — and so
 	// the probe's metrics — is unaffected.
 	Sanitize bool
+	// Profile runs the probe under the causal profiler; the probe's Report
+	// then carries a profile.Profile (blame ledger + critical path).
+	// Virtual time is unaffected.
+	Profile bool
 	// Faults injects a deterministic fault plan into the probe's substrate
 	// and bounds every blocking wait (see docs/ROBUSTNESS.md). A probe run
 	// under faults may return both a Report and a core.ErrTimeout error.
@@ -67,7 +71,7 @@ var probes = []Probe{
 		Run: func(opts ProbeOpts) (*core.Report, error) {
 			cfg := core.Config{
 				Chip: opts.chip(), NPEs: 16, HeapPerPE: 64 << 10,
-				Observe: true, Trace: opts.Trace, Sanitize: opts.Sanitize, Faults: opts.Faults,
+				Observe: true, Trace: opts.Trace, Sanitize: opts.Sanitize, Profile: opts.Profile, Faults: opts.Faults,
 				BarrierAlgo: opts.BarrierAlgo, LockAlgo: opts.LockAlgo,
 			}
 			return core.Run(cfg, func(pe *core.PE) error {
@@ -91,7 +95,7 @@ var probes = []Probe{
 			const maxElems = 64 << 10 / 8
 			cfg := core.Config{
 				Chip: opts.chip(), NPEs: 2, HeapPerPE: 2*64<<10 + 1<<20,
-				Observe: true, Trace: opts.Trace, Sanitize: opts.Sanitize, Faults: opts.Faults,
+				Observe: true, Trace: opts.Trace, Sanitize: opts.Sanitize, Profile: opts.Profile, Faults: opts.Faults,
 				BarrierAlgo: opts.BarrierAlgo, LockAlgo: opts.LockAlgo,
 			}
 			return core.Run(cfg, func(pe *core.PE) error {
@@ -126,7 +130,7 @@ var probes = []Probe{
 			const nelems = 32 << 10 / 4 // 32 kB of int32
 			cfg := core.Config{
 				Chip: opts.chip(), NPEs: 16, HeapPerPE: 2*32<<10 + 1<<20,
-				Observe: true, Trace: opts.Trace, Sanitize: opts.Sanitize, Faults: opts.Faults,
+				Observe: true, Trace: opts.Trace, Sanitize: opts.Sanitize, Profile: opts.Profile, Faults: opts.Faults,
 				BarrierAlgo: opts.BarrierAlgo, LockAlgo: opts.LockAlgo,
 			}
 			return core.Run(cfg, func(pe *core.PE) error {

@@ -1,0 +1,143 @@
+package bench
+
+import (
+	"bytes"
+	"compress/gzip"
+	"io"
+	"regexp"
+	"strings"
+	"testing"
+
+	"tshmem/internal/arch"
+	"tshmem/internal/core"
+	"tshmem/internal/fft"
+	"tshmem/internal/profile"
+	"tshmem/internal/vtime"
+)
+
+// checkLedger asserts the profiler's exact-partition invariant on a
+// probe or workload report: every PE's blame sums to its end time and
+// the critical path tiles [0, makespan).
+func checkLedger(t *testing.T, label string, rep *core.Report) *profile.Profile {
+	t.Helper()
+	p := rep.Profile()
+	if p == nil {
+		t.Fatalf("%s: no profile on the report", label)
+	}
+	if p.Makespan != rep.MaxTime {
+		t.Fatalf("%s: profile makespan %v != report %v", label, p.Makespan, rep.MaxTime)
+	}
+	for i := range p.PEs {
+		var sum vtime.Duration
+		for _, d := range p.PEs[i].Blame {
+			if d < 0 {
+				t.Fatalf("%s: PE %d negative blame %v", label, i, d)
+			}
+			sum += d
+		}
+		if sum != vtime.Duration(p.PEs[i].End) {
+			t.Fatalf("%s: PE %d ledger sums to %v, want %v", label, i, sum, p.PEs[i].End)
+		}
+	}
+	var sum vtime.Duration
+	for _, s := range p.Path {
+		sum += s.Dur()
+	}
+	if sum != p.Makespan {
+		t.Fatalf("%s: path sums to %v, want makespan %v", label, sum, p.Makespan)
+	}
+	return p
+}
+
+// TestProbesProfileInvariant runs every registered probe under the
+// profiler and checks the ledger invariant on each.
+func TestProbesProfileInvariant(t *testing.T) {
+	for _, p := range Probes() {
+		rep, err := p.Run(ProbeOpts{Profile: true})
+		if err != nil {
+			t.Fatalf("probe %s: %v", p.ID, err)
+		}
+		prof := checkLedger(t, "probe "+p.ID, rep)
+		if prof.DroppedSegs != 0 {
+			t.Errorf("probe %s dropped %d segments", p.ID, prof.DroppedSegs)
+		}
+	}
+}
+
+// TestProbeProfileOffIdentical: running a probe with and without the
+// profiler must produce identical virtual times — the baseline JSON
+// depends on this (ci.sh asserts the byte identity end to end).
+func TestProbeProfileOffIdentical(t *testing.T) {
+	for _, p := range Probes() {
+		plain, err := p.Run(ProbeOpts{})
+		if err != nil {
+			t.Fatalf("probe %s: %v", p.ID, err)
+		}
+		profiled, err := p.Run(ProbeOpts{Profile: true})
+		if err != nil {
+			t.Fatalf("probe %s: %v", p.ID, err)
+		}
+		if plain.MaxTime != profiled.MaxTime {
+			t.Errorf("probe %s: profiling moved the makespan: %v vs %v",
+				p.ID, plain.MaxTime, profiled.MaxTime)
+		}
+	}
+}
+
+// TestFig13WorkloadExports profiles the Figure 13 workload (a small
+// distributed 2D-FFT, the shape runFFT uses in quick mode) and checks
+// both heavyweight exports: the folded-stack stream is well-formed
+// speedscope input, and the pprof protobuf gunzips with the expected
+// symbols.
+func TestFig13WorkloadExports(t *testing.T) {
+	const n, p = 64, 4
+	blockBytes := int64(n) * int64(n) * 8 / int64(p)
+	cfg := core.Config{
+		Chip: arch.Gx8036(), NPEs: p, HeapPerPE: 2*blockBytes + 1<<20,
+		Profile: true,
+	}
+	rep, err := core.Run(cfg, func(pe *core.PE) error {
+		_, err := fft.Distributed2D(pe, n)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := checkLedger(t, "fig13", rep)
+
+	var folded bytes.Buffer
+	if err := prof.WriteFolded(&folded); err != nil {
+		t.Fatal(err)
+	}
+	line := regexp.MustCompile(`^PE \d+;[a-zA-Z0-9._]+ \d+$`)
+	lines := strings.Split(strings.TrimRight(folded.String(), "\n"), "\n")
+	if len(lines) < p {
+		t.Fatalf("folded export too small: %d lines", len(lines))
+	}
+	for _, l := range lines {
+		if !line.MatchString(l) {
+			t.Fatalf("malformed folded line %q", l)
+		}
+	}
+	if !strings.Contains(folded.String(), ";compute ") {
+		t.Fatal("folded export has no compute frames")
+	}
+
+	var pb bytes.Buffer
+	if err := prof.WritePprof(&pb); err != nil {
+		t.Fatal(err)
+	}
+	zr, err := gzip.NewReader(&pb)
+	if err != nil {
+		t.Fatalf("pprof export is not gzip: %v", err)
+	}
+	raw, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"virtualtime", "nanoseconds", "compute"} {
+		if !bytes.Contains(raw, []byte(want)) {
+			t.Fatalf("pprof protobuf missing %q", want)
+		}
+	}
+}

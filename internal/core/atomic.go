@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 
+	"tshmem/internal/profile"
 	"tshmem/internal/stats"
 	"tshmem/internal/vtime"
 )
@@ -81,7 +82,7 @@ func Swap[T AtomicT](pe *PE, target Ref[T], value T, tpe int) (T, error) {
 	// Re-merge after the swap landed: a concurrent atomic that slipped in
 	// between atomicTarget's edge and ours is now ordered before us.
 	pe.san.AtomicEdge(tpe, off)
-	pe.prog.hubs[tpe].record(off, pe.clock.Now())
+	pe.prog.hubs[tpe].record(off, pe.clock.Now(), pe.id)
 	return fromBits[T](old), nil
 }
 
@@ -113,7 +114,7 @@ func CSwap[T AtomicInt](pe *PE, target Ref[T], cond, value T, tpe int) (T, error
 		}
 		if swapped {
 			pe.san.AtomicEdge(tpe, off)
-			pe.prog.hubs[tpe].record(off, pe.clock.Now())
+			pe.prog.hubs[tpe].record(off, pe.clock.Now(), pe.id)
 			return cur, nil
 		}
 	}
@@ -145,7 +146,7 @@ func FAdd[T AtomicInt](pe *PE, target Ref[T], value T, tpe int) (T, error) {
 		}
 		if swapped {
 			pe.san.AtomicEdge(tpe, off)
-			pe.prog.hubs[tpe].record(off, pe.clock.Now())
+			pe.prog.hubs[tpe].record(off, pe.clock.Now(), pe.id)
 			return cur, nil
 		}
 	}
@@ -206,7 +207,9 @@ func (pe *PE) SetLock(lock Ref[int64]) error {
 			return fmt.Errorf("tshmem: program aborted while PE %d waited for a lock", pe.id)
 		}
 		// Contended: model the retry delay and let other goroutines run.
+		t0 := pe.clock.Now()
 		pe.clock.Advance(backoff)
+		pe.prof.Advance(profile.CatLockWait, t0, pe.clock.Now())
 		if backoff < vtime.Microsecond {
 			backoff *= 2
 		}
@@ -236,7 +239,7 @@ func (pe *PE) ClearLock(lock Ref[int64]) error {
 		return fmt.Errorf("tshmem: PE %d cleared a lock held by %d", pe.id, old-1)
 	}
 	pe.prog.clearLockHolder(lock.off, pe.id)
-	pe.prog.setLockRelease(lock.off, pe.clock.Now())
+	pe.prog.setLockRelease(lock.off, pe.clock.Now(), pe.id)
 	return nil
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"tshmem/internal/mpipe"
+	"tshmem/internal/profile"
 	"tshmem/internal/stats"
 	"tshmem/internal/udn"
 	"tshmem/internal/vtime"
@@ -182,7 +183,7 @@ func (pe *PE) barrierUDN(as ActiveSet) error {
 			return err
 		}
 		pe.san.BarrierExit(tok)
-		pe.clock.Advance(fwd)
+		pe.advanceAs(profile.CatUDNSend, fwd)
 		return pe.sendBarrier(next, tag, sigRelease)
 	}
 
@@ -190,7 +191,7 @@ func (pe *PE) barrierUDN(as ActiveSet) error {
 	if _, err := pe.recvBarrier(tag, sigWait); err != nil {
 		return err
 	}
-	pe.clock.Advance(fwd)
+	pe.advanceAs(profile.CatUDNSend, fwd)
 	if err := pe.sendBarrier(next, tag, sigWait); err != nil {
 		return err
 	}
@@ -199,7 +200,7 @@ func (pe *PE) barrierUDN(as ActiveSet) error {
 	}
 	pe.san.BarrierExit(tok)
 	if idx < n-1 {
-		pe.clock.Advance(fwd)
+		pe.advanceAs(profile.CatUDNSend, fwd)
 		return pe.sendBarrier(next, tag, sigRelease)
 	}
 	return nil
@@ -261,13 +262,13 @@ func (pe *PE) barrierHier(as ActiveSet, tag uint32) error {
 			}
 			for i := 1; i < len(leaders); i++ {
 				pe.rec.BarrierRound()
-				if err := pe.prog.fabric.Send(&pe.clock, pe.id, leaders[i], tag, []uint64{sigRelease}); err != nil {
+				if err := pe.sendFab(leaders[i], tag, []uint64{sigRelease}); err != nil {
 					return err
 				}
 			}
 		} else {
 			pe.rec.BarrierRound()
-			if err := pe.prog.fabric.Send(&pe.clock, pe.id, leaders[0], tag, []uint64{sigWait}); err != nil {
+			if err := pe.sendFab(leaders[0], tag, []uint64{sigWait}); err != nil {
 				return err
 			}
 			if _, err := pe.recvFab(tag); err != nil {
@@ -276,7 +277,7 @@ func (pe *PE) barrierHier(as ActiveSet, tag uint32) error {
 		}
 		// Release my chip's chain.
 		if n > 1 {
-			pe.clock.Advance(fwd)
+			pe.advanceAs(profile.CatUDNSend, fwd)
 			return pe.sendBarrier(members[1], tag, sigRelease)
 		}
 		return nil
@@ -286,7 +287,7 @@ func (pe *PE) barrierHier(as ActiveSet, tag uint32) error {
 	if _, err := pe.recvBarrier(tag, sigWait); err != nil {
 		return err
 	}
-	pe.clock.Advance(fwd)
+	pe.advanceAs(profile.CatUDNSend, fwd)
 	if err := pe.sendBarrier(members[(pos+1)%n], tag, sigWait); err != nil {
 		return err
 	}
@@ -294,7 +295,7 @@ func (pe *PE) barrierHier(as ActiveSet, tag uint32) error {
 		return err
 	}
 	if pos < n-1 {
-		pe.clock.Advance(fwd)
+		pe.advanceAs(profile.CatUDNSend, fwd)
 		return pe.sendBarrier(members[pos+1], tag, sigRelease)
 	}
 	return nil
@@ -333,7 +334,9 @@ func (pe *PE) consumeFab(m mpipe.Msg, start vtime.Time, deadline vtime.Time) (mp
 	if deadline > 0 && m.Arrive > deadline {
 		return mpipe.Msg{}, pe.timeoutAt("mpipe", m.SrcPE, start, deadline)
 	}
+	waitStart := pe.clock.Now()
 	pe.rec.BarrierWait(pe.clock.AdvanceTo(m.Arrive))
+	pe.profMerge(profile.CatBarrierWait, waitStart, m.SrcPE, m.Sent, m.Arrive)
 	return m, nil
 }
 
@@ -373,7 +376,9 @@ func (pe *PE) consumeBarrier(pkt udn.Packet, start vtime.Time, deadline vtime.Ti
 	if deadline > 0 && pkt.Arrive > deadline {
 		return udn.Packet{}, pe.timeoutAt("barrier", pe.globalSrc(pkt.Src), start, deadline)
 	}
+	waitStart := pe.clock.Now()
 	pe.rec.BarrierWait(pe.clock.AdvanceTo(pkt.Arrive))
+	pe.profMerge(profile.CatBarrierWait, waitStart, pe.globalSrc(pkt.Src), pkt.Sent, pkt.Arrive)
 	return pkt, nil
 }
 
@@ -425,7 +430,7 @@ func (pe *PE) BarrierRootRelease(as ActiveSet) error {
 		// Broadcast the release: one standalone send per member,
 		// serialized at the root.
 		for k := 1; k < n; k++ {
-			pe.clock.Advance(sendCall)
+			pe.advanceAs(profile.CatUDNSend, sendCall)
 			if err := pe.sendBarrier(as.PE(k), tag, sigRelease); err != nil {
 				return err
 			}
@@ -436,7 +441,7 @@ func (pe *PE) BarrierRootRelease(as ActiveSet) error {
 	if _, err := pe.recvBarrier(tag, sigWait); err != nil {
 		return err
 	}
-	pe.clock.Advance(fwd)
+	pe.advanceAs(profile.CatUDNSend, fwd)
 	if err := pe.sendBarrier(as.PE((idx+1)%n), tag, sigWait); err != nil {
 		return err
 	}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"tshmem/internal/profile"
 	"tshmem/internal/udn"
 	"tshmem/internal/vtime"
 )
@@ -67,7 +68,7 @@ func (pe *PE) spansChips(as ActiveSet) bool {
 func (pe *PE) sendSigWords(dst int, tag uint32, words []uint64, fab bool) error {
 	pe.san.SigSend(dst, tag)
 	if fab {
-		return pe.prog.fabric.Send(&pe.clock, pe.id, dst, tag, words)
+		return pe.sendFab(dst, tag, words)
 	}
 	return pe.sendUDN(dst, qColl, tag, words)
 }
@@ -79,7 +80,7 @@ func (pe *PE) sendSigWords(dst int, tag uint32, words []uint64, fab bool) error 
 func (pe *PE) sendSig(dst int, tag uint32, word uint64, fab bool) error {
 	pe.san.SigSend(dst, tag)
 	if fab {
-		return pe.prog.fabric.Send(&pe.clock, pe.id, dst, tag, []uint64{word})
+		return pe.sendFab(dst, tag, []uint64{word})
 	}
 	return pe.sendUDN(dst, qColl, tag, []uint64{word})
 }
@@ -130,7 +131,9 @@ func (pe *PE) consumeSig(pkt udn.Packet, tag uint32, start, deadline vtime.Time)
 		return 0, w, 0, pe.timeoutAt("collective", pe.globalSrc(pkt.Src), start, deadline)
 	}
 	nw = copy(w[:], pkt.Payload())
+	waitStart := pe.clock.Now()
 	pe.clock.AdvanceTo(pkt.Arrive)
+	pe.profMerge(profile.CatUDNWait, waitStart, pe.globalSrc(pkt.Src), pkt.Sent, pkt.Arrive)
 	pe.san.SigRecv(tag)
 	return pe.globalSrc(pkt.Src), w, nw, nil
 }

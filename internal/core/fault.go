@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"tshmem/internal/profile"
 	"tshmem/internal/sanitize"
 	"tshmem/internal/vtime"
 )
@@ -74,7 +75,11 @@ func (pe *PE) waitGrace() time.Duration { return pe.prog.waitGrace }
 // for the PE body to propagate. peer is the awaited PE (-1 when the wait
 // had no single peer).
 func (pe *PE) timeoutAt(op string, peer int, start, deadline vtime.Time) error {
+	waitStart := pe.clock.Now()
 	pe.clock.AdvanceTo(deadline)
+	// The whole expired wait is fault blame on the starved PE; no edge —
+	// nothing the starved PE received determined its resume time.
+	pe.prof.Advance(profile.CatFault, waitStart, pe.clock.Now())
 	id := pe.prog.flt.Blame(pe.id, start)
 	pe.prog.tmo.add(sanitize.Diagnostic{
 		Kind: sanitize.Timeout, PE: pe.id, OtherPE: peer, TargetPE: pe.id,

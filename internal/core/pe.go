@@ -8,6 +8,7 @@ import (
 	"tshmem/internal/arch"
 	"tshmem/internal/cache"
 	"tshmem/internal/mpipe"
+	"tshmem/internal/profile"
 	"tshmem/internal/sanitize"
 	"tshmem/internal/stats"
 	"tshmem/internal/tmc"
@@ -68,6 +69,19 @@ type PE struct {
 	stats Stats
 	rec   *stats.Recorder   // substrate observability; nil unless Config.Observe
 	san   *sanitize.PEHooks // happens-before checker; nil unless Config.Sanitize
+	prof  *profile.Recorder // causal profiler; nil unless Config.Profile
+}
+
+// profMerge attributes a cross-PE clock merge to the causal profiler:
+// idle before the peer published at sent is blamed on cat, the in-flight
+// tail on mesh, carrying the happens-before edge to (peer, sent).
+func (pe *PE) profMerge(cat profile.Category, start vtime.Time, peer int, sent, arrive vtime.Time) {
+	if pe.prof == nil {
+		return
+	}
+	pe.prof.Merge(cat, start, sanitize.Edge{
+		PE: int32(pe.id), Peer: int32(peer), Sent: sent, Arrive: arrive,
+	})
 }
 
 // allPEsSet reports whether as is the full-program active set, the case
@@ -171,11 +185,32 @@ func (pe *PE) sendUDN(dst, q int, tag uint32, words []uint64) error {
 	return err
 }
 
+// sendFab sends a control message over the mPIPE fabric, attributing the
+// injection advance to the profiler (the fabric itself has no per-PE
+// recorder hookup, unlike the UDN port).
+func (pe *PE) sendFab(dst int, tag uint32, words []uint64) error {
+	t0 := pe.clock.Now()
+	err := pe.prog.fabric.Send(&pe.clock, pe.id, dst, tag, words)
+	pe.prof.Advance(profile.CatUDNSend, t0, pe.clock.Now())
+	return err
+}
+
 // sendBarrier sends one wait/release signal on the barrier queue, counting
 // it as a barrier round.
 func (pe *PE) sendBarrier(dst int, tag uint32, word uint64) error {
 	pe.rec.BarrierRound()
 	return pe.sendUDN(dst, qBarrier, tag, []uint64{word})
+}
+
+// advanceAs advances the virtual clock by d and blames the span on cat in
+// the causal profiler's ledger. The barrier algorithms use it for their
+// modeled software send/forward costs, which would otherwise degrade into
+// the compute residual and hide the very term the chain-vs-dissemination
+// crossover turns on.
+func (pe *PE) advanceAs(cat profile.Category, d vtime.Duration) {
+	t0 := pe.clock.Now()
+	pe.clock.Advance(d)
+	pe.prof.Advance(cat, t0, pe.clock.Now())
 }
 
 // globalSrc translates a UDN packet's source (a chip-local tile index) to
@@ -255,7 +290,9 @@ func (pe *PE) consumeInit(pkt udn.Packet, start vtime.Time, deadline vtime.Time)
 	if deadline > 0 && pkt.Arrive > deadline {
 		return udn.Packet{}, pe.timeoutAt("init", pe.globalSrc(pkt.Src), start, deadline)
 	}
+	waitStart := pe.clock.Now()
 	pe.clock.AdvanceTo(pkt.Arrive)
+	pe.profMerge(profile.CatUDNWait, waitStart, pe.globalSrc(pkt.Src), pkt.Sent, pkt.Arrive)
 	return pkt, nil
 }
 
@@ -340,8 +377,12 @@ func (pe *PE) AlignClocks() error {
 // the UDN chain barrier, not the spin barrier, is the instrument for
 // virtual-deadline experiments).
 func (pe *PE) spinWait(op string) error {
+	// The spin rendezvous has no single releasing peer, so the span
+	// carries no happens-before edge: the critical path stays on this PE.
 	if pe.prog.flt == nil {
+		t0 := pe.clock.Now()
 		pe.prog.spinBar.Wait(&pe.clock)
+		pe.prof.Advance(profile.CatBarrierWait, t0, pe.clock.Now())
 		return nil
 	}
 	start := pe.clock.Now()
@@ -349,6 +390,7 @@ func (pe *PE) spinWait(op string) error {
 	if !pe.prog.spinBar.WaitTimeout(&pe.clock, pe.prog.waitGrace) {
 		return pe.timeoutAt(op, -1, start, deadline)
 	}
+	pe.prof.Advance(profile.CatBarrierWait, start, pe.clock.Now())
 	return nil
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"tshmem/internal/cache"
+	"tshmem/internal/profile"
 	"tshmem/internal/sanitize"
 	"tshmem/internal/stats"
 	"tshmem/internal/udn"
@@ -95,17 +96,22 @@ func (pe *PE) chargeXfer(nbytes int64, mode cache.Mode, remotePE int, toRemote b
 	t0 := pe.clock.Now()
 	base := pe.prog.model.CopyCostHomedMemoRec(&pe.memo, nbytes, mode, pe.prog.cfg.Homing, pe.curHint(), pe.rec)
 	pe.clock.Advance(base)
+	pe.prof.Advance(profile.RMA(stats.CacheLevel(pe.prog.model.LevelFor(nbytes))), t0, pe.clock.Now())
 	// Fault injection: slow tiles and stuck cache-home tiles stretch the
 	// copy in proportion to how much of it they serve (nil-safe no-op when
 	// faults are off).
 	if extra, id := pe.prog.flt.CopyExtra(pe.id, pe.prog.cfg.Homing, pe.prog.chip.Tiles, t0, base); extra > 0 {
+		tf := pe.clock.Now()
 		pe.clock.Advance(extra)
+		pe.prof.Advance(profile.CatFault, tf, pe.clock.Now())
 		pe.rec.FaultDelay(id, remotePE, t0, extra)
 	}
 	if remotePE != pe.id && !pe.prog.sameChip(pe.id, remotePE) {
 		// Store-and-forward through mPIPE: the data still traverses the
 		// local memory system (charged above), then rides the wire.
+		tm := pe.clock.Now()
 		pe.prog.fabric.ChargeData(&pe.clock, pe.id, remotePE, nbytes)
+		pe.prof.Advance(profile.CatMesh, tm, pe.clock.Now())
 	}
 	pe.rec.RMA(pe.locality(remotePE), int(nbytes), pe.clock.Now().Sub(t0))
 	pe.routeXfer(nbytes, remotePE, toRemote)
@@ -383,7 +389,7 @@ func P[T Elem](pe *PE, target Ref[T], value T, tpe int) error {
 	pe.san.Signal(tpe, off, es, start)
 	pe.chargeXfer(es, sharedMode, tpe, true)
 	atomicStoreElem(part, off, es, toBits(value))
-	pe.prog.hubs[tpe].record(off, pe.clock.Now())
+	pe.prog.hubs[tpe].record(off, pe.clock.Now(), pe.id)
 	pe.rec.OpDone(stats.OpPut, start, &pe.clock, es, tpe)
 	return nil
 }

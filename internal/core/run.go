@@ -16,6 +16,7 @@ import (
 	"tshmem/internal/fault"
 	"tshmem/internal/mesh"
 	"tshmem/internal/mpipe"
+	"tshmem/internal/profile"
 	"tshmem/internal/sanitize"
 	"tshmem/internal/stats"
 	"tshmem/internal/tmc"
@@ -133,6 +134,15 @@ type Config struct {
 	// unsanitized path is allocation-free and virtual time is identical
 	// either way (the checker never touches clocks).
 	Sanitize bool
+
+	// Profile enables the virtual-time causal profiler (internal/profile):
+	// every PE keeps a blame ledger partitioning its makespan into wait,
+	// transport, and compute categories, and the synchronization edges the
+	// run already derives for the sanitizer feed a happens-before walk
+	// that extracts the critical path. Report.Profile returns the result.
+	// Off by default: the unprofiled path is allocation-free and virtual
+	// time is identical either way (the profiler never touches clocks).
+	Profile bool
 
 	// sanitizeStrict makes Run fail when the sanitizer found anything. It
 	// is only set via the TSHMEM_SANITIZE environment variable, giving
@@ -273,7 +283,13 @@ type Report struct {
 
 	perChip int           // PE ranks per chip (block distribution)
 	trace   []stats.Event // merged, start-ordered; empty unless Config.Trace
+	prof    *profile.Profile
 }
+
+// Profile returns the run's causal profile — per-PE blame ledgers, the
+// critical path, and the exporters hanging off profile.Profile. Nil unless
+// the run was configured with Config.Profile.
+func (r *Report) Profile() *profile.Profile { return r.prof }
 
 // Stats aggregates the per-PE substrate counters of the run. It is the
 // zero value unless the run was configured with Config.Observe.
@@ -362,7 +378,7 @@ type Program struct {
 	ctrBars    map[ctrKey]*ctrInst
 	lockMu     sync.Mutex
 	lockHolder map[int64]int
-	lockRel    map[int64]vtime.Time
+	lockRel    map[int64]lockRelStamp
 	mcsNext    map[int64]map[int]*mcsWaiter
 	mcsCond    *sync.Cond
 	abortCh    chan struct{} // closed by abort: wakes library waiters
@@ -518,6 +534,15 @@ func Run(cfg Config, body func(*PE) error) (*Report, error) {
 		rep.GetBytes += pe.stats.GetBytes
 		rep.Barriers += pe.stats.Barriers
 	}
+	if prog.cfg.Profile {
+		recs := make([]*profile.Recorder, prog.NPEs())
+		ends := make([]vtime.Time, prog.NPEs())
+		for i, pe := range prog.pes {
+			recs[i] = pe.prof
+			ends[i] = pe.clock.Now()
+		}
+		rep.prof = profile.Assemble(recs, ends)
+	}
 	if prog.cfg.Observe {
 		rep.PECounters = make([]stats.Counters, prog.NPEs())
 		perPE := make([][]stats.Event, 0, prog.NPEs())
@@ -648,7 +673,7 @@ func newProgram(cfg Config) (*Program, error) {
 	p.statics.init()
 	p.ctrBars = make(map[ctrKey]*ctrInst)
 	p.lockHolder = make(map[int64]int)
-	p.lockRel = make(map[int64]vtime.Time)
+	p.lockRel = make(map[int64]lockRelStamp)
 	p.mcsNext = make(map[int64]map[int]*mcsWaiter)
 	p.mcsCond = sync.NewCond(&p.lockMu)
 	p.abortCh = make(chan struct{})
@@ -684,6 +709,11 @@ func newProgram(cfg Config) (*Program, error) {
 			rec := stats.New(i, cfg.Trace, cfg.TraceCap)
 			p.pes[i].rec = rec
 			port.SetRecorder(rec)
+		}
+		if cfg.Profile {
+			prof := profile.New(i)
+			p.pes[i].prof = prof
+			port.SetProfiler(prof, p.chipOf(i)*p.perChip)
 		}
 		if p.san != nil {
 			p.pes[i].san = p.san.PE(i)

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"tshmem/internal/profile"
 	"tshmem/internal/stats"
 )
 
@@ -90,7 +91,7 @@ func WaitUntil[T Integer](pe *PE, ivar Ref[T], cmp Cmp, value T) error {
 	start := pe.clock.Now()
 	deadline := pe.waitDeadline()
 	hub := &pe.prog.hubs[pe.id]
-	t, st := hub.await(off, check, pe.waitGrace())
+	stamp, st := hub.await(off, check, pe.waitGrace())
 	switch st {
 	case hubAborted:
 		return fmt.Errorf("tshmem: program aborted while PE %d waited on a symmetric variable", pe.id)
@@ -101,13 +102,18 @@ func WaitUntil[T Integer](pe *PE, ivar Ref[T], cmp Cmp, value T) error {
 		return pe.timeoutAt("wait_until", -1, start, deadline)
 	}
 	pe.clock.Advance(pe.prog.chip.Cycles(2))
-	if deadline > 0 && t > deadline {
+	if deadline > 0 && stamp.t > deadline {
 		// The satisfying store exists but became visible only after the
 		// virtual deadline (the writer was slowed past the budget).
 		return pe.timeoutAt("wait_until", -1, start, deadline)
 	}
-	if t > 0 {
-		pe.clock.AdvanceTo(t)
+	if stamp.t > 0 {
+		waitStart := pe.clock.Now()
+		pe.clock.AdvanceTo(stamp.t)
+		// The store's visibility time is the writer's clock at the store,
+		// so the edge has zero transport: idle blame plus a jump to the
+		// writer for the critical path.
+		pe.profMerge(profile.CatUDNWait, waitStart, int(stamp.writer), stamp.t, stamp.t)
 	}
 	// The satisfying store was a P or atomic on this word; acquire its
 	// publisher's clock.

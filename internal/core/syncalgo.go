@@ -5,6 +5,7 @@ import (
 	"sort"
 	"time"
 
+	"tshmem/internal/profile"
 	"tshmem/internal/stats"
 	"tshmem/internal/vtime"
 )
@@ -282,7 +283,7 @@ func (pe *PE) barrierDissemination(as ActiveSet) error {
 		func(idx, n int, _ uint32, tag uint32) error {
 			sendCall := vtime.FromNs(pe.prog.chip.UDNSendCallNs)
 			for k, dist := 0, 1; dist < n; k, dist = k+1, dist*2 {
-				pe.clock.Advance(sendCall)
+				pe.advanceAs(profile.CatUDNSend, sendCall)
 				if err := pe.sendBarrier(as.PE((idx+dist)%n), tag, sigDissBase+uint64(k)); err != nil {
 					return err
 				}
@@ -312,7 +313,7 @@ func (pe *PE) barrierTournament(as ActiveSet) error {
 			for k := 0; k < rounds; k++ {
 				bit := 1 << k
 				if idx&bit != 0 {
-					pe.clock.Advance(sendCall)
+					pe.advanceAs(profile.CatUDNSend, sendCall)
 					if err := pe.sendBarrier(as.PE(idx-bit), tag, sigTourArrive+uint64(k)); err != nil {
 						return err
 					}
@@ -333,7 +334,7 @@ func (pe *PE) barrierTournament(as ActiveSet) error {
 			}
 			for k := lossRound - 1; k >= 0; k-- {
 				if partner := idx + 1<<k; partner < n {
-					pe.clock.Advance(sendCall)
+					pe.advanceAs(profile.CatUDNSend, sendCall)
 					if err := pe.sendBarrier(as.PE(partner), tag, sigTourWake+uint64(k)); err != nil {
 						return err
 					}
@@ -361,7 +362,7 @@ func (pe *PE) barrierMCSTree(as ActiveSet) error {
 				}
 			}
 			if idx != 0 {
-				pe.clock.Advance(sendCall)
+				pe.advanceAs(profile.CatUDNSend, sendCall)
 				if err := pe.sendBarrier(as.PE((idx-1)/4), tag, sigMCSArrive+uint64((idx-1)%4)); err != nil {
 					return err
 				}
@@ -373,7 +374,7 @@ func (pe *PE) barrierMCSTree(as ActiveSet) error {
 				if child >= n {
 					break
 				}
-				pe.clock.Advance(sendCall)
+				pe.advanceAs(profile.CatUDNSend, sendCall)
 				if err := pe.sendBarrier(as.PE(child), tag, sigMCSWake); err != nil {
 					return err
 				}
@@ -560,7 +561,12 @@ func (pe *PE) barrierCounter(as ActiveSet) error {
 			if deadline > 0 && exit > deadline {
 				return pe.timeoutAt("barrier", -1, start, deadline)
 			}
+			// The counter rendezvous has no single releasing peer (the
+			// exit time is derived from the whole arrival set), so the
+			// span carries no edge.
+			waitStart := pe.clock.Now()
 			pe.rec.BarrierWait(pe.clock.AdvanceTo(exit))
+			pe.prof.Advance(profile.CatBarrierWait, waitStart, pe.clock.Now())
 			return nil
 		})
 }
@@ -568,10 +574,19 @@ func (pe *PE) barrierCounter(as ActiveSet) error {
 // Lock-algorithm shared state.
 
 // mcsWaiter is one PE blocked in an MCS lock queue; the channel carries
-// the virtual time at which the predecessor's handoff reaches it.
+// the predecessor's handoff.
 type mcsWaiter struct {
 	pe int
-	ch chan vtime.Time
+	ch chan mcsWake
+}
+
+// mcsWake is an MCS handoff: the virtual time at which it reaches the
+// successor's tile, plus the releaser's identity and clock at release so
+// the successor can emit a happens-before edge to its timeline.
+type mcsWake struct {
+	wake vtime.Time // arrival at the successor
+	sent vtime.Time // releaser's clock at the handoff
+	from int        // releaser's global rank
 }
 
 // lockAcquired records a successful acquisition: holder bookkeeping (the
@@ -654,8 +669,12 @@ func (pe *PE) setLockTicket(lock Ref[int64]) error {
 	case hubTimedOut:
 		return pe.timeoutAt("lock", -1, start, deadline)
 	}
-	if t := pe.prog.lockReleaseTime(off).Add(pe.syncOneway(0)); t > pe.clock.Now() {
-		pe.clock.AdvanceTo(t)
+	if rel := pe.prog.lockReleaseStamp(off); rel.t > 0 {
+		if t := rel.t.Add(pe.syncOneway(0)); t > pe.clock.Now() {
+			waitStart := pe.clock.Now()
+			pe.clock.AdvanceTo(t)
+			pe.profMerge(profile.CatLockWait, waitStart, int(rel.pe), rel.t, t)
+		}
 	}
 	if deadline > 0 && pe.clock.Now() > deadline {
 		return pe.timeoutAt("lock", -1, start, deadline)
@@ -681,10 +700,10 @@ func (pe *PE) clearLockTicket(lock Ref[int64]) error {
 		return err
 	}
 	now := pe.clock.Now()
-	pe.prog.setLockRelease(off, now)
+	pe.prog.setLockRelease(off, now, pe.id)
 	atomicAdd64(part, off, 1)
 	pe.san.AtomicEdge(0, off)
-	pe.prog.hubs[0].record(off, now)
+	pe.prog.hubs[0].record(off, now, pe.id)
 	return nil
 }
 
@@ -720,20 +739,31 @@ func (pe *PE) testLockTicket(lock Ref[int64]) (bool, error) {
 // contended makespans of the three algorithms diverge honestly instead
 // of all collapsing onto overlapping critical sections.
 func (pe *PE) lockFreeVisible(off int64) {
-	if t := pe.prog.lockReleaseTime(off).Add(pe.syncOneway(0)); t > pe.clock.Now() {
-		pe.clock.AdvanceTo(t)
+	if rel := pe.prog.lockReleaseStamp(off); rel.t > 0 {
+		if t := rel.t.Add(pe.syncOneway(0)); t > pe.clock.Now() {
+			waitStart := pe.clock.Now()
+			pe.clock.AdvanceTo(t)
+			pe.profMerge(profile.CatLockWait, waitStart, int(rel.pe), rel.t, t)
+		}
 	}
 }
 
-func (p *Program) setLockRelease(off int64, t vtime.Time) {
+// lockRelStamp is a lock release's visibility time plus the releasing
+// PE's global rank (for the acquirer's happens-before edge).
+type lockRelStamp struct {
+	t  vtime.Time
+	pe int32
+}
+
+func (p *Program) setLockRelease(off int64, t vtime.Time, pe int) {
 	p.lockMu.Lock()
-	if t > p.lockRel[off] {
-		p.lockRel[off] = t
+	if t > p.lockRel[off].t {
+		p.lockRel[off] = lockRelStamp{t: t, pe: int32(pe)}
 	}
 	p.lockMu.Unlock()
 }
 
-func (p *Program) lockReleaseTime(off int64) vtime.Time {
+func (p *Program) lockReleaseStamp(off int64) lockRelStamp {
 	p.lockMu.Lock()
 	defer p.lockMu.Unlock()
 	return p.lockRel[off]
@@ -766,7 +796,7 @@ func (pe *PE) setLockMCS(lock Ref[int64]) error {
 	}
 	pred := int(old) - 1
 	pe.rec.LockRetries(1)
-	w := &mcsWaiter{pe: pe.id, ch: make(chan vtime.Time, 1)}
+	w := &mcsWaiter{pe: pe.id, ch: make(chan mcsWake, 1)}
 	pe.prog.mcsRegister(lock.off, pred, w)
 	deadline := pe.waitDeadline()
 	var timeoutC <-chan time.Time
@@ -775,7 +805,7 @@ func (pe *PE) setLockMCS(lock Ref[int64]) error {
 		defer timer.Stop()
 		timeoutC = timer.C
 	}
-	var wake vtime.Time
+	var wake mcsWake
 	select {
 	case wake = <-w.ch:
 	case <-pe.prog.abortCh:
@@ -787,7 +817,9 @@ func (pe *PE) setLockMCS(lock Ref[int64]) error {
 		}
 		wake = t
 	}
-	pe.clock.AdvanceTo(wake)
+	waitStart := pe.clock.Now()
+	pe.clock.AdvanceTo(wake.wake)
+	pe.profMerge(profile.CatLockWait, waitStart, wake.from, wake.sent, wake.wake)
 	if deadline > 0 && pe.clock.Now() > deadline {
 		return pe.timeoutAt("lock", pred, start, deadline)
 	}
@@ -814,7 +846,7 @@ func (pe *PE) clearLockMCS(lock Ref[int64]) error {
 		return err
 	}
 	if old == int64(pe.id)+1 {
-		pe.prog.setLockRelease(lock.off, pe.clock.Now())
+		pe.prog.setLockRelease(lock.off, pe.clock.Now(), pe.id)
 		return nil
 	}
 	w, ok := pe.prog.mcsAwaitSuccessor(lock.off, pe.id, pe.waitGrace())
@@ -824,8 +856,12 @@ func (pe *PE) clearLockMCS(lock Ref[int64]) error {
 		}
 		return pe.timeoutAt("lock", -1, start, deadline)
 	}
-	wake := pe.clock.Now().Add(pe.syncOneway(w.pe) + pe.prog.model.AtomicCost())
-	pe.prog.mcsHandoff(lock.off, pe.id, w, wake)
+	handoff := mcsWake{
+		wake: pe.clock.Now().Add(pe.syncOneway(w.pe) + pe.prog.model.AtomicCost()),
+		sent: pe.clock.Now(),
+		from: pe.id,
+	}
+	pe.prog.mcsHandoff(lock.off, pe.id, w, handoff)
 	pe.rec.LockHandoff()
 	return nil
 }
@@ -846,7 +882,7 @@ func (p *Program) mcsRegister(off int64, pred int, w *mcsWaiter) {
 
 // mcsUnregister withdraws a timed-out waiter. If the handoff already
 // dispatched, it reports delivered=true with the wake time instead.
-func (p *Program) mcsUnregister(off int64, pred int, w *mcsWaiter) (delivered bool, wake vtime.Time) {
+func (p *Program) mcsUnregister(off int64, pred int, w *mcsWaiter) (delivered bool, wake mcsWake) {
 	p.lockMu.Lock()
 	if m := p.mcsNext[off]; m != nil && m[pred] == w {
 		delete(m, pred)
@@ -854,7 +890,7 @@ func (p *Program) mcsUnregister(off int64, pred int, w *mcsWaiter) (delivered bo
 			delete(p.mcsNext, off)
 		}
 		p.lockMu.Unlock()
-		return false, 0
+		return false, mcsWake{}
 	}
 	p.lockMu.Unlock()
 	return true, <-w.ch
@@ -890,7 +926,7 @@ func (p *Program) mcsAwaitSuccessor(off int64, pred int, grace time.Duration) (*
 
 // mcsHandoff removes the successor's registration and delivers the wake
 // time.
-func (p *Program) mcsHandoff(off int64, pred int, w *mcsWaiter, wake vtime.Time) {
+func (p *Program) mcsHandoff(off int64, pred int, w *mcsWaiter, wake mcsWake) {
 	p.lockMu.Lock()
 	if m := p.mcsNext[off]; m != nil && m[pred] == w {
 		delete(m, pred)

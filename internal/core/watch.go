@@ -17,21 +17,29 @@ import (
 type watchHub struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
-	times   map[int64]vtime.Time // partition byte offset -> visibility time
+	times   map[int64]hubStamp // partition byte offset -> latest visible store
 	aborted bool
+}
+
+// hubStamp records one store's visibility time plus the global rank of
+// the PE that performed it, so waiters can emit a happens-before edge to
+// the writer's timeline (sanitize.Edge / critical-path extraction).
+type hubStamp struct {
+	t      vtime.Time
+	writer int32
 }
 
 func (h *watchHub) init() {
 	h.cond = sync.NewCond(&h.mu)
-	h.times = make(map[int64]vtime.Time)
+	h.times = make(map[int64]hubStamp)
 }
 
-// record notes that the value at partition offset off became visible at t
-// and wakes all waiters on this PE.
-func (h *watchHub) record(off int64, t vtime.Time) {
+// record notes that the value at partition offset off became visible at t,
+// written by global PE writer, and wakes all waiters on this PE.
+func (h *watchHub) record(off int64, t vtime.Time, writer int) {
 	h.mu.Lock()
-	if t > h.times[off] {
-		h.times[off] = t
+	if t > h.times[off].t {
+		h.times[off] = hubStamp{t: t, writer: int32(writer)}
 	}
 	h.mu.Unlock()
 	h.cond.Broadcast()
@@ -45,11 +53,11 @@ const (
 )
 
 // await blocks until pred returns true, then reports the recorded
-// visibility time of offset off (zero if never recorded) and hubOK. A
+// visibility stamp of offset off (zero if never recorded) and hubOK. A
 // grace > 0 arms a host-time bound: if the predicate is still false after
 // grace — the writer is starved by fault injection — await gives up with
 // hubTimedOut. hubAborted reports a program abort while waiting.
-func (h *watchHub) await(off int64, pred func() bool, grace time.Duration) (vtime.Time, int) {
+func (h *watchHub) await(off int64, pred func() bool, grace time.Duration) (hubStamp, int) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	var timedOut bool
@@ -64,10 +72,10 @@ func (h *watchHub) await(off int64, pred func() bool, grace time.Duration) (vtim
 	}
 	for !pred() {
 		if h.aborted {
-			return 0, hubAborted
+			return hubStamp{}, hubAborted
 		}
 		if timedOut {
-			return 0, hubTimedOut
+			return hubStamp{}, hubTimedOut
 		}
 		h.cond.Wait()
 	}

@@ -42,6 +42,7 @@ type Msg struct {
 	Tag    uint32
 	Words  []uint64
 	Arrive vtime.Time
+	Sent   vtime.Time // sender's virtual clock at injection completion
 }
 
 // Fabric connects the PEs of a multi-chip program. Control messages are
@@ -149,6 +150,7 @@ func (f *Fabric) Send(clock *vtime.Clock, srcPE, dstPE int, tag uint32, words []
 		Tag:    tag,
 		Words:  words,
 		Arrive: clock.Now().Add(f.latency() * 3 / 4),
+		Sent:   clock.Now(),
 	}
 	select {
 	case f.inbox[dstPE] <- msg:

@@ -1,0 +1,163 @@
+package profile
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"tshmem/internal/vtime"
+)
+
+// Step is one link of the critical path: the run spent [Start, End) of
+// virtual time doing Cat on PE (for CatMesh steps reached through an
+// edge, "on PE" means "in flight toward PE"). Steps are contiguous and
+// chronological; their durations sum exactly to the run's makespan.
+type Step struct {
+	PE    int32
+	Cat   Category
+	Start vtime.Time
+	End   vtime.Time
+}
+
+// Dur is the step's virtual duration.
+func (s Step) Dur() vtime.Duration { return s.End.Sub(s.Start) }
+
+// criticalPath walks the happens-before DAG backward from the PE that
+// determined the makespan (argmax end, ties to the lowest PE id) down to
+// virtual time zero.
+//
+// The walk maintains a cursor (pe, t) with t strictly decreasing:
+//
+//   - If the latest segment of pe ending at or before t ends strictly
+//     before t (or there is none), the gap is uninstrumented local work:
+//     emit a compute step and move the cursor to the gap's start.
+//   - A segment without an edge is emitted as-is; the cursor moves to
+//     its start.
+//   - A segment carrying an edge (always CatMesh transport) is emitted
+//     as [Sent, End) — the full in-flight interval on the chain — and
+//     the cursor jumps to (Peer, Sent). Idle-wait segments on the waiter
+//     are thereby skipped: idle waiting never determines the end time.
+//
+// Each emitted step covers exactly [new cursor, old cursor), so the
+// steps tile [0, makespan) and their durations telescope to the
+// makespan. Recorded segments always have End > Start (and edges Sent <
+// End), so the cursor strictly decreases and the walk terminates.
+func criticalPath(recs []*Recorder, ends []vtime.Time) []Step {
+	if len(ends) == 0 {
+		return nil
+	}
+	pe := 0
+	for i := 1; i < len(ends); i++ {
+		if ends[i] > ends[pe] {
+			pe = i
+		}
+	}
+	cursor := ends[pe]
+	// Safety bound: the cursor argument makes the walk finite, but cap
+	// steps anyway so malformed segment streams degrade instead of
+	// looping. Each seg/gap contributes at most two steps.
+	budget := 2*len(ends) + 16
+	for _, r := range recs {
+		if r != nil {
+			budget += 2 * len(r.segs)
+		}
+	}
+	var rev []Step
+	for cursor > 0 && budget > 0 {
+		budget--
+		var segs []Seg
+		if pe < len(recs) && recs[pe] != nil {
+			segs = recs[pe].segs
+		}
+		// Latest seg with End <= cursor.
+		i := sort.Search(len(segs), func(i int) bool { return segs[i].End > cursor }) - 1
+		if i < 0 || segs[i].End < cursor {
+			start := vtime.Time(0)
+			if i >= 0 {
+				start = segs[i].End
+			}
+			rev = append(rev, Step{PE: int32(pe), Cat: CatCompute, Start: start, End: cursor})
+			cursor = start
+			continue
+		}
+		s := segs[i]
+		if s.Peer >= 0 {
+			// Zero-transport edges (Sent == End) contribute no step; the
+			// walk just hops to the writer. budget still decrements, so
+			// even a malformed same-instant edge cycle terminates.
+			if cursor > s.Sent {
+				rev = append(rev, Step{PE: int32(pe), Cat: s.Cat, Start: s.Sent, End: cursor})
+			}
+			cursor = s.Sent
+			pe = int(s.Peer)
+			continue
+		}
+		rev = append(rev, Step{PE: int32(pe), Cat: s.Cat, Start: s.Start, End: cursor})
+		cursor = s.Start
+	}
+	// Reverse to chronological order and merge adjacent steps that stay
+	// on the same PE in the same category.
+	out := make([]Step, 0, len(rev))
+	for i := len(rev) - 1; i >= 0; i-- {
+		s := rev[i]
+		if n := len(out); n > 0 && out[n-1].PE == s.PE && out[n-1].Cat == s.Cat && out[n-1].End == s.Start {
+			out[n-1].End = s.End
+			continue
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// PathTable renders the critical path chronologically with per-step
+// durations and the share of the makespan each step explains, followed by
+// a per-category rollup and the largest per-PE slacks.
+func (p *Profile) PathTable() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "critical path: %d steps, makespan %.3f us\n", len(p.Path), p.Makespan.Us())
+	var byCat [NumCategories]vtime.Duration
+	for _, s := range p.Path {
+		byCat[s.Cat] += s.Dur()
+		pct := 0.0
+		if p.Makespan > 0 {
+			pct = 100 * float64(s.Dur()) / float64(p.Makespan)
+		}
+		fmt.Fprintf(&b, "  %10.3f..%-10.3f PE %-3d %-12s %10.3f us %5.1f%%\n",
+			s.Start.Ns()/1e3, s.End.Ns()/1e3, s.PE, s.Cat.String(), s.Dur().Us(), pct)
+	}
+	b.WriteString("on-path by category:\n")
+	for c := Category(0); c < NumCategories; c++ {
+		if byCat[c] == 0 {
+			continue
+		}
+		pct := 0.0
+		if p.Makespan > 0 {
+			pct = 100 * float64(byCat[c]) / float64(p.Makespan)
+		}
+		fmt.Fprintf(&b, "  %-12s %10.3f us %5.1f%%\n", c.String(), byCat[c].Us(), pct)
+	}
+	// Slack: how far off the path each PE finished.
+	type sl struct {
+		pe    int
+		slack vtime.Duration
+	}
+	sls := make([]sl, 0, len(p.PEs))
+	for _, pe := range p.PEs {
+		sls = append(sls, sl{pe.PE, pe.Slack})
+	}
+	sort.Slice(sls, func(a, b int) bool {
+		if sls[a].slack != sls[b].slack {
+			return sls[a].slack > sls[b].slack
+		}
+		return sls[a].pe < sls[b].pe
+	})
+	b.WriteString("slack (off-path headroom, largest first):\n")
+	for i, s := range sls {
+		if i >= 8 {
+			fmt.Fprintf(&b, "  ... %d more PEs\n", len(sls)-i)
+			break
+		}
+		fmt.Fprintf(&b, "  PE %-3d %10.3f us\n", s.pe, s.slack.Us())
+	}
+	return b.String()
+}

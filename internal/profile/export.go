@@ -1,0 +1,187 @@
+package profile
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strings"
+
+	"tshmem/internal/vtime"
+)
+
+// WriteFolded emits the blame ledger in collapsed-stack ("folded")
+// format, one line per nonzero (PE, category) pair:
+//
+//	PE 3;barrier.wait 1042
+//
+// Weights are integer virtual nanoseconds (speedscope and inferno both
+// key on the trailing integer). Load the file directly in
+// https://speedscope.app or pipe through inferno/flamegraph.pl.
+func (p *Profile) WriteFolded(w io.Writer) error {
+	for i := range p.PEs {
+		pe := &p.PEs[i]
+		for c := Category(0); c < NumCategories; c++ {
+			ns := int64(math.Round(pe.Blame[c].Ns()))
+			if ns <= 0 {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "PE %d;%s %d\n", pe.PE, c.String(), ns); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// JSON is the on-disk snapshot schema ("tshmem-profile/1") consumed by
+// tshmem-bench -profile-diff. All times are integer virtual picoseconds.
+type JSON struct {
+	Schema     string           `json:"schema"`
+	NPEs       int              `json:"npes"`
+	MakespanPs int64            `json:"makespan_ps"`
+	BlamePs    map[string]int64 `json:"blame_ps"` // aggregate, keyed by Category.String()
+	PEs        []JSONPE         `json:"pes"`
+	Path       []JSONStep       `json:"critical_path"`
+	Dropped    int64            `json:"dropped_segs,omitempty"`
+}
+
+// JSONPE is one PE's ledger row in the JSON snapshot.
+type JSONPE struct {
+	PE      int              `json:"pe"`
+	EndPs   int64            `json:"end_ps"`
+	SlackPs int64            `json:"slack_ps"`
+	BlamePs map[string]int64 `json:"blame_ps"`
+}
+
+// JSONStep is one critical-path step in the JSON snapshot.
+type JSONStep struct {
+	PE      int32  `json:"pe"`
+	Cat     string `json:"cat"`
+	StartPs int64  `json:"start_ps"`
+	EndPs   int64  `json:"end_ps"`
+}
+
+// Snapshot converts the profile to its JSON schema form.
+func (p *Profile) Snapshot() *JSON {
+	blame := func(b *[NumCategories]vtime.Duration) map[string]int64 {
+		m := make(map[string]int64, NumCategories)
+		for c := Category(0); c < NumCategories; c++ {
+			if b[c] != 0 {
+				m[c.String()] = int64(b[c])
+			}
+		}
+		return m
+	}
+	j := &JSON{
+		Schema:     "tshmem-profile/1",
+		NPEs:       p.NPEs,
+		MakespanPs: int64(p.Makespan),
+		BlamePs:    blame(&p.Blame),
+		PEs:        make([]JSONPE, 0, len(p.PEs)),
+		Path:       make([]JSONStep, 0, len(p.Path)),
+		Dropped:    p.DroppedSegs,
+	}
+	for i := range p.PEs {
+		pe := &p.PEs[i]
+		j.PEs = append(j.PEs, JSONPE{
+			PE: pe.PE, EndPs: int64(pe.End), SlackPs: int64(pe.Slack),
+			BlamePs: blame(&pe.Blame),
+		})
+	}
+	for _, s := range p.Path {
+		j.Path = append(j.Path, JSONStep{PE: s.PE, Cat: s.Cat.String(), StartPs: int64(s.Start), EndPs: int64(s.End)})
+	}
+	return j
+}
+
+// WriteJSON writes the "tshmem-profile/1" snapshot, indented, with a
+// trailing newline. Map keys are emitted sorted by encoding/json, so the
+// output is byte-deterministic.
+func (p *Profile) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(p.Snapshot())
+}
+
+// ReadJSON loads a snapshot written by WriteJSON, rejecting unknown
+// schemas.
+func ReadJSON(path string) (*JSON, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var j JSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if j.Schema != "tshmem-profile/1" {
+		return nil, fmt.Errorf("%s: unknown profile schema %q (want tshmem-profile/1)", path, j.Schema)
+	}
+	return &j, nil
+}
+
+// Diff attributes the makespan delta between two runs to blame
+// categories: for each category, the change in its aggregate share of
+// total PE-time. Rendered largest-|delta| first. This is the tool that
+// turns "dissemination wins at n>=16" into an explanation: the diff
+// shows *which* category (barrier.wait, udn.send, ...) gave the time
+// back.
+func Diff(base, cur *JSON) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "makespan: %.3f us -> %.3f us (%+.3f us, %+.1f%%)\n",
+		float64(base.MakespanPs)/1e6, float64(cur.MakespanPs)/1e6,
+		float64(cur.MakespanPs-base.MakespanPs)/1e6,
+		pctDelta(base.MakespanPs, cur.MakespanPs))
+	if base.NPEs != cur.NPEs {
+		fmt.Fprintf(&b, "WARNING: PE counts differ (%d vs %d); aggregate blame compares total PE-time\n",
+			base.NPEs, cur.NPEs)
+	}
+	type row struct {
+		cat      string
+		from, to int64
+		delta    int64
+	}
+	names := make(map[string]bool)
+	for k := range base.BlamePs {
+		names[k] = true
+	}
+	for k := range cur.BlamePs {
+		names[k] = true
+	}
+	rows := make([]row, 0, len(names))
+	for k := range names {
+		r := row{cat: k, from: base.BlamePs[k], to: cur.BlamePs[k]}
+		r.delta = r.to - r.from
+		rows = append(rows, r)
+	}
+	sort.Slice(rows, func(a, b int) bool {
+		da, db := abs64(rows[a].delta), abs64(rows[b].delta)
+		if da != db {
+			return da > db
+		}
+		return rows[a].cat < rows[b].cat
+	})
+	fmt.Fprintf(&b, "%-12s %14s %14s %14s\n", "category", "base us", "cur us", "delta us")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %14.3f %14.3f %+14.3f\n",
+			r.cat, float64(r.from)/1e6, float64(r.to)/1e6, float64(r.delta)/1e6)
+	}
+	return b.String()
+}
+
+func pctDelta(base, cur int64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return 100 * float64(cur-base) / float64(base)
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

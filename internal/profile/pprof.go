@@ -1,0 +1,124 @@
+package profile
+
+import (
+	"compress/gzip"
+	"fmt"
+	"io"
+	"math"
+)
+
+// WritePprof writes the blame ledger as a gzipped pprof protobuf that
+// `go tool pprof` reads unmodified:
+//
+//	go tool pprof -top profile.pb.gz
+//
+// One sample per nonzero (PE, category) pair with stack [category, PE]
+// (leaf first), sample type virtualtime/nanoseconds. The message is
+// hand-encoded — the wire format needs only varints and length-delimited
+// fields — so no protobuf dependency is introduced. Field numbers follow
+// github.com/google/pprof/proto/profile.proto.
+func (p *Profile) WritePprof(w io.Writer) error {
+	var e pbuf
+
+	// String table: index 0 must be "".
+	strs := []string{"", "virtualtime", "nanoseconds"}
+	intern := func(s string) uint64 {
+		for i, have := range strs {
+			if have == s {
+				return uint64(i)
+			}
+		}
+		strs = append(strs, s)
+		return uint64(len(strs) - 1)
+	}
+
+	// Functions and locations: one per category name and one per PE
+	// frame, ids starting at 1. Location ids equal function ids.
+	type frame struct{ name string }
+	frames := make([]frame, 0, int(NumCategories)+p.NPEs)
+	frameID := make(map[string]uint64)
+	frameFor := func(name string) uint64 {
+		if id, ok := frameID[name]; ok {
+			return id
+		}
+		frames = append(frames, frame{name})
+		id := uint64(len(frames))
+		frameID[name] = id
+		return id
+	}
+
+	// Samples.
+	var samples []byte
+	for i := range p.PEs {
+		pe := &p.PEs[i]
+		for c := Category(0); c < NumCategories; c++ {
+			ns := int64(math.Round(pe.Blame[c].Ns()))
+			if ns <= 0 {
+				continue
+			}
+			var s pbuf
+			s.varintField(1, frameFor(c.String())) // leaf: the category
+			s.varintField(1, frameFor(fmt.Sprintf("PE %d", pe.PE)))
+			s.varintField(2, uint64(ns))
+			samples = append(samples, lenField(2, s.b)...)
+		}
+	}
+
+	// sample_type: ValueType{type: "virtualtime", unit: "nanoseconds"}.
+	var vt pbuf
+	vt.varintField(1, intern("virtualtime"))
+	vt.varintField(2, intern("nanoseconds"))
+	e.b = append(e.b, lenField(1, vt.b)...)
+	e.b = append(e.b, samples...)
+	for i, f := range frames {
+		id := uint64(i + 1)
+		var line pbuf
+		line.varintField(1, id) // function_id
+		var loc pbuf
+		loc.varintField(1, id) // location id
+		loc.b = append(loc.b, lenField(4, line.b)...)
+		e.b = append(e.b, lenField(4, loc.b)...)
+
+		var fn pbuf
+		fn.varintField(1, id)             // function id
+		fn.varintField(2, intern(f.name)) // name
+		e.b = append(e.b, lenField(5, fn.b)...)
+	}
+	for _, s := range strs {
+		e.b = append(e.b, lenField(6, []byte(s))...)
+	}
+	// duration_nanos (field 10): the virtual makespan.
+	e.varintField(10, uint64(int64(math.Round(p.Makespan.Ns()))))
+
+	gz := gzip.NewWriter(w) // zero ModTime => byte-deterministic output
+	if _, err := gz.Write(e.b); err != nil {
+		return err
+	}
+	return gz.Close()
+}
+
+// pbuf is a minimal protobuf wire encoder: varint and length-delimited
+// fields only, which is all profile.proto needs here.
+type pbuf struct{ b []byte }
+
+func (e *pbuf) varint(v uint64) {
+	for v >= 0x80 {
+		e.b = append(e.b, byte(v)|0x80)
+		v >>= 7
+	}
+	e.b = append(e.b, byte(v))
+}
+
+// varintField emits a varint-typed field (wire type 0).
+func (e *pbuf) varintField(field int, v uint64) {
+	e.varint(uint64(field)<<3 | 0)
+	e.varint(v)
+}
+
+// lenField encodes a length-delimited field (wire type 2).
+func lenField(field int, body []byte) []byte {
+	var e pbuf
+	e.varint(uint64(field)<<3 | 2)
+	e.varint(uint64(len(body)))
+	return append(e.b, body...)
+}

@@ -1,0 +1,42 @@
+// Edge is the shared happens-before edge schema consumed by both the
+// sanitizer (vector-clock joins) and the causal profiler
+// (internal/profile critical-path extraction). Core emits one Edge per
+// cross-PE synchronization merge — the moment a PE's virtual clock is
+// advanced to (at least) the arrival time of something another PE sent.
+//
+// The sanitizer's typed PEHooks (BarrierArrive, SigRecv, WaitEdge, ...)
+// predate this type and carry extra protocol context (active-set tags,
+// symmetric offsets) that vector clocks need; they remain the sanitizer's
+// ingestion surface. Edge is the lowest-common-denominator view of the
+// same events: who waited, who they waited on, when the dependency was
+// published, and when it arrived. Core constructs an Edge at each merge
+// site and fans it out to every subscribed consumer, so the sanitizer and
+// the profiler are guaranteed to see the same causal structure — a
+// happens-before relation the sanitizer trusts is, by construction, the
+// same one the profiler walks.
+package sanitize
+
+import "tshmem/internal/vtime"
+
+// Edge records one cross-PE happens-before dependency in global PE
+// numbering (rank order, spanning chips in multichip runs).
+//
+//   - PE is the waiter: the PE whose virtual clock merged forward.
+//   - Peer is the publisher: the PE whose prior action the waiter's
+//     progress depended on.
+//   - Sent is Peer's virtual clock when it published the dependency
+//     (packet injected, lock released, flag word written).
+//   - Arrive is the virtual time the dependency became visible at PE
+//     after modeled network/visibility delay; the waiter's clock is
+//     ≥ Arrive once the merge completes.
+//
+// Invariant: Sent ≤ Arrive. The interval [Sent, Arrive] is transport —
+// time the dependency spent in flight — while any waiting before Sent is
+// idle blame on the waiter (the peer hadn't produced the value yet).
+// Profile recorders split wait spans on exactly this boundary.
+type Edge struct {
+	PE     int32
+	Peer   int32
+	Sent   vtime.Time
+	Arrive vtime.Time
+}

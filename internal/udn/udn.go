@@ -9,6 +9,8 @@ import (
 
 	"tshmem/internal/fault"
 	"tshmem/internal/mesh"
+	"tshmem/internal/profile"
+	"tshmem/internal/sanitize"
 	"tshmem/internal/stats"
 	"tshmem/internal/vtime"
 )
@@ -54,6 +56,7 @@ type Packet struct {
 	Src    int        // sender's virtual CPU
 	Tag    uint32     // application tag from the header word
 	Arrive vtime.Time // virtual time the packet is available at the queue
+	Sent   vtime.Time // sender's virtual clock at injection completion
 
 	nw     int32 // payload length in words (1..UDNMaxWords)
 	inline [inlineWords]uint64
@@ -189,6 +192,12 @@ type Port struct {
 	cpu int
 	rec *stats.Recorder
 
+	// prof is the owning PE's causal-profiler recorder (nil when
+	// Config.Profile is off); rankBase translates this chip's local CPU
+	// numbers into global PE ranks for cross-PE edges.
+	prof     *profile.Recorder
+	rankBase int
+
 	queues [4]chan Packet
 
 	intrMu   sync.Mutex
@@ -214,6 +223,46 @@ func (p *Port) CPU() int { return p.cpu }
 // communicating; the recorder must belong to the goroutine that uses this
 // port.
 func (p *Port) SetRecorder(rec *stats.Recorder) { p.rec = rec }
+
+// SetProfiler attaches the owning PE's causal-profiler recorder plus the
+// chip's global rank base (global PE id = rankBase + local cpu). A nil
+// recorder (the default) disables attribution. Same ownership rule as
+// SetRecorder.
+func (p *Port) SetProfiler(prof *profile.Recorder, rankBase int) {
+	p.prof = prof
+	p.rankBase = rankBase
+}
+
+// profSend attributes a completed injection advance that began at t0:
+// the modeled injection cost goes to udn.send, any fault-injected excess
+// to fault.stall.
+func (p *Port) profSend(clock *vtime.Clock, t0 vtime.Time, base vtime.Duration) {
+	if p.prof == nil {
+		return
+	}
+	now := clock.Now()
+	mid := t0.Add(base)
+	if mid > now {
+		mid = now
+	}
+	p.prof.Advance(profile.CatUDNSend, t0, mid)
+	p.prof.Advance(profile.CatFault, mid, now)
+}
+
+// profRecv attributes the receive merge that began at start: idle before
+// the sender injected is udn.wait, the in-flight tail is mesh, carrying
+// the happens-before edge the critical path follows.
+func (p *Port) profRecv(start vtime.Time, pkt *Packet) {
+	if p.prof == nil {
+		return
+	}
+	p.prof.Merge(profile.CatUDNWait, start, sanitize.Edge{
+		PE:     int32(p.rankBase + p.cpu),
+		Peer:   int32(p.rankBase + pkt.Src),
+		Sent:   pkt.Sent,
+		Arrive: pkt.Arrive,
+	})
+}
 
 func (p *Port) doneCh() chan struct{} {
 	p.doneOnce.Do(func() { p.done = make(chan struct{}) })
@@ -247,13 +296,16 @@ func (p *Port) Send(clock *vtime.Clock, dst, dq int, tag uint32, words []uint64)
 		return err
 	}
 	send, wire := path.Send, path.Wire
+	baseSend := send
 	if p.net.flt != nil {
 		s2, w2, id, drop := p.net.flt.AdjustSend(p.cpu, dst, clock.Now(), send, wire)
 		if drop {
 			// A dead tile swallows the packet silently: the sender pays its
 			// injection cost and moves on, exactly like fire-and-forget
 			// hardware. Whoever expected this packet will time out.
+			t0 := clock.Now()
 			clock.Advance(s2)
+			p.profSend(clock, t0, baseSend)
 			p.rec.FaultDrop(id, dst, clock.Now())
 			return nil
 		}
@@ -262,7 +314,9 @@ func (p *Port) Send(clock *vtime.Clock, dst, dq int, tag uint32, words []uint64)
 			send, wire = s2, w2
 		}
 	}
+	t0 := clock.Now()
 	clock.Advance(send)
+	p.profSend(clock, t0, baseSend)
 	p.rec.UDNSend(nw, path.Hops, send+wire)
 	p.net.links.RecordRoute(p.cpu, dst, nw)
 	arrive := clock.Now().Add(wire)
@@ -278,6 +332,7 @@ func (p *Port) Send(clock *vtime.Clock, dst, dq int, tag uint32, words []uint64)
 		}
 	}
 	pkt := makePacket(p.cpu, tag, words, arrive)
+	pkt.Sent = clock.Now()
 	timeout, timer := p.net.timeoutCh()
 	if timer != nil {
 		defer timer.Stop()
@@ -305,8 +360,10 @@ func (p *Port) Recv(clock *vtime.Clock, dq int) (Packet, error) {
 	}
 	select {
 	case pkt := <-p.queues[dq]:
+		start := clock.Now()
 		wait := clock.AdvanceTo(pkt.Arrive)
 		p.rec.UDNRecvWait(pkt.Len(), wait)
+		p.profRecv(start, &pkt)
 		return pkt, nil
 	case <-timeout:
 		return Packet{}, ErrTimeout
@@ -314,8 +371,10 @@ func (p *Port) Recv(clock *vtime.Clock, dq int) (Packet, error) {
 		// Drain anything already queued before reporting closure.
 		select {
 		case pkt := <-p.queues[dq]:
+			start := clock.Now()
 			wait := clock.AdvanceTo(pkt.Arrive)
 			p.rec.UDNRecvWait(pkt.Len(), wait)
+			p.profRecv(start, &pkt)
 			return pkt, nil
 		default:
 			return Packet{}, ErrClosed
@@ -361,8 +420,10 @@ func (p *Port) TryRecv(clock *vtime.Clock, dq int) (Packet, bool, error) {
 	}
 	select {
 	case pkt := <-p.queues[dq]:
+		start := clock.Now()
 		wait := clock.AdvanceTo(pkt.Arrive)
 		p.rec.UDNRecvWait(pkt.Len(), wait)
+		p.profRecv(start, &pkt)
 		return pkt, true, nil
 	default:
 		if p.closed.Load() {
@@ -464,12 +525,16 @@ func (p *Port) Interrupt(clock *vtime.Clock, dst int, tag uint32, words []uint64
 		// cost and learns immediately — deterministically in virtual time —
 		// that no reply will ever come.
 		if id, drop := p.net.flt.DropInterrupt(p.cpu, dst, clock.Now()); drop {
+			t0 := clock.Now()
 			clock.Advance(path.Send)
+			p.profSend(clock, t0, path.Send)
 			p.rec.FaultDrop(id, dst, clock.Now())
 			return Packet{}, ErrTimeout
 		}
 	}
+	t0 := clock.Now()
 	clock.Advance(path.Send)
+	p.profSend(clock, t0, path.Send)
 	p.net.links.RecordRoute(p.cpu, dst, nw)
 	if p.replyCh == nil {
 		p.replyCh = make(chan Packet, 1)
@@ -498,7 +563,12 @@ func (p *Port) Interrupt(clock *vtime.Clock, dst int, tag uint32, words []uint64
 			return Packet{}, err
 		}
 		rep.Arrive = rep.Arrive.Add(back)
+		waitStart := clock.Now()
 		clock.AdvanceTo(rep.Arrive)
+		// The interrupt servicer is not a profiled PE timeline, so the
+		// round-trip wait carries no edge: the critical path stays on the
+		// requester (documented limitation; see docs/OBSERVABILITY.md).
+		p.prof.Advance(profile.CatUDNWait, waitStart, clock.Now())
 		// The requester accounts the whole round-trip; the servicer
 		// goroutine must not touch any recorder. The reply's route is
 		// charged here too — links are shared atomics, unlike recorders.

@@ -47,6 +47,7 @@ import (
 	"tshmem/internal/cache"
 	"tshmem/internal/core"
 	"tshmem/internal/fault"
+	"tshmem/internal/profile"
 	"tshmem/internal/sanitize"
 	"tshmem/internal/stats"
 )
@@ -177,6 +178,40 @@ const (
 	FaultTileSlow    = fault.TileSlow
 	FaultTileDead    = fault.TileDead
 	FaultCacheStuck  = fault.CacheStuck
+)
+
+// Causal profiler (Config.Profile; see docs/OBSERVABILITY.md).
+type (
+	// Profile is the run's causal profile: per-PE blame ledgers that
+	// partition every PE's virtual makespan into categories, the critical
+	// path through the happens-before DAG, and exporters for text, folded
+	// stacks, pprof, and JSON. Report.Profile returns it when the run was
+	// configured with Config.Profile.
+	Profile = profile.Profile
+	// PEProfile is one PE's blame ledger.
+	PEProfile = profile.PEProfile
+	// ProfileStep is one link of the critical path.
+	ProfileStep = profile.Step
+	// BlameCategory indexes a blame ledger (compute, udn.send, ...,
+	// fault.stall).
+	BlameCategory = profile.Category
+)
+
+// Blame categories (BlameCategory values; tshmem-info -profile lists the
+// definitions).
+const (
+	BlameCompute     = profile.CatCompute
+	BlameUDNSend     = profile.CatUDNSend
+	BlameUDNWait     = profile.CatUDNWait
+	BlameBarrierWait = profile.CatBarrierWait
+	BlameLockWait    = profile.CatLockWait
+	BlameRMAL1d      = profile.CatRMAL1d
+	BlameRMAL2       = profile.CatRMAL2
+	BlameRMADDC      = profile.CatRMADDC
+	BlameRMADRAM     = profile.CatRMADRAM
+	BlameMesh        = profile.CatMesh
+	BlameFault       = profile.CatFault
+	NumBlame         = profile.NumCategories
 )
 
 // ParseFaults parses a fault-plan spec: "seed:N", a bare integer seed, or
