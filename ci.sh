@@ -107,9 +107,9 @@ go tool pprof -top "$PPROF" | grep 'barrier.wait' > /dev/null || {
 # prints "N allocs/op" which we grep for nonzero N.
 echo "== bench-alloc smoke: Put/Barrier must report 0 allocs/op =="
 ALLOC_OUT=$(env -u TSHMEM_SANITIZE go test ./internal/bench -run '^$' \
-    -bench '^(BenchmarkPut|BenchmarkBarrier)$' -benchtime 100x -benchmem)
+    -bench '^(BenchmarkPut|BenchmarkBarrier)(Event)?$' -benchtime 100x -benchmem)
 echo "$ALLOC_OUT"
-if echo "$ALLOC_OUT" | grep -E 'Benchmark(Put|Barrier)\b' | grep -vE '\s0 allocs/op'; then
+if echo "$ALLOC_OUT" | grep -E 'Benchmark(Put|Barrier)(Event)?\b' | grep -vE '\s0 allocs/op'; then
     echo "ci: FAIL — steady-state Put/Barrier paths allocate; see docs/PERFORMANCE.md" >&2
     exit 1
 fi
@@ -137,6 +137,42 @@ echo "$FAULT_OUT" | grep 'timeout' | grep 'PE 3' > /dev/null || {
     echo "$FAULT_OUT" >&2
     exit 1
 }
+
+# Engine smoke: the event engine is a host scheduling policy and may not
+# move a single modeled picosecond (docs/PERFORMANCE.md, "Engines"). Its
+# probe suite must be byte-identical to the committed baseline; the
+# sanitize, fault, and profile machinery must work unmodified on top of
+# it; and the scaling gate must show the engine earning its keep — at
+# 128 concurrent runs, >= 2x the goroutine engine's throughput with at
+# most 2 runnable host goroutines per run (measured in fresh processes;
+# internal/bench/engine_bench_test.go explains why in-process
+# measurement flatters the second engine measured).
+echo "== engine smoke: event engine byte-identity + smokes + scaling gate =="
+EVSMOKE=$(mktemp /tmp/tshmem-evsmoke.XXXXXX.json)
+trap 'rm -f "$SMOKE" "$PPROF" "$EVSMOKE"' EXIT
+go run ./cmd/tshmem-bench -engine event -json "$EVSMOKE"
+if ! cmp -s BENCH_baseline.json "$EVSMOKE"; then
+    echo "ci: FAIL — event-engine probe JSON differs from BENCH_baseline.json" >&2
+    echo "    byte-for-byte; engines must not move virtual time" >&2
+    exit 1
+fi
+if ! go run ./cmd/tshmem-bench -engine event \
+        -compare BENCH_baseline.json "$EVSMOKE" -threshold 5% > /dev/null; then
+    echo "ci: FAIL — -compare disagrees with cmp on the event-engine suite" >&2
+    exit 1
+fi
+TSHMEM_SANITIZE=1 go run ./cmd/tshmem-bench -engine event -sanitize -probe barrier > /dev/null
+go run ./cmd/tshmem-bench -engine event -faults 'stall:pe=3,q=0' \
+    | grep 'timeout' | grep 'PE 3' > /dev/null || {
+    echo "ci: FAIL — event engine lost the stall timeout diagnostic for PE 3" >&2
+    exit 1
+}
+go run ./cmd/tshmem-bench -engine event -probe barrier -profile \
+    | grep 'barrier.wait' > /dev/null || {
+    echo "ci: FAIL — event-engine profiled barrier probe never blames barrier.wait" >&2
+    exit 1
+}
+TSHMEM_ENGINE_GATE=1 go test ./internal/bench -run '^TestEngineScalingGate$' -count=1
 
 # Fuzz smoke: run each native fuzz target briefly against its committed
 # seed corpus plus fresh random inputs. Failures minimize into

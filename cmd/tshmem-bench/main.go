@@ -26,11 +26,19 @@
 //	tshmem-bench -profile-diff a.json b.json          # diff two snapshots
 //	tshmem-bench -cpuprofile cpu.pprof       # profile the simulator host cost
 //	tshmem-bench -memprofile mem.pprof       # heap profile at exit
+//	tshmem-bench -engine event -probe barrier  # probe on the event engine
+//	tshmem-bench -engine event -json out.json  # baseline on the event engine
+//	tshmem-bench -engine-scaling             # concurrent-run throughput per engine
 //
 // Probes are single-run instrumented microbenchmarks (-probe, listed by
 // -list); -trace implies the barrier probe and -heatmap/-svg imply the
 // bcast probe when -probe is not given, as do the -profile family of
-// flags. -compare reruns nothing: it diffs two files written by -json and
+// flags. -engine selects the execution engine for probe and -json suite
+// runs (tshmem-info -engines lists them); virtual time is byte-identical
+// between engines, so an -engine event baseline diffs exactly against a
+// goroutine-engine one. -engine-scaling measures how many concurrent
+// simulations the host sustains under each engine (docs/PERFORMANCE.md,
+// "Engines"). -compare reruns nothing: it diffs two files written by -json and
 // exits non-zero if any watched metric (makespan, p50, p99) regressed past
 // -threshold. -profile-diff likewise diffs two files written by
 // -profile-json. Virtual time makes the files host-independent, so the
@@ -96,8 +104,16 @@ func run() int {
 		ppOut   = flag.String("pprof", "", "write the probe's blame ledger as a pprof protobuf to this file (go tool pprof; implies -profile)")
 		pjOut   = flag.String("profile-json", "", "write the probe's profile snapshot JSON to this file, for -profile-diff (implies -profile)")
 		pdiff   = flag.String("profile-diff", "", "baseline profile JSON to diff against; pass the current run's JSON as the positional argument")
+		engName = flag.String("engine", "", "execution engine for probe and -json suite runs: goroutine, event (default goroutine; see tshmem-info -engines)")
+		engScal = flag.Bool("engine-scaling", false, "measure concurrent-run throughput per engine and print the scaling table (docs/PERFORMANCE.md)")
 	)
 	flag.Parse()
+
+	engine, err := core.ParseEngine(*engName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tshmem-bench: %v\n", err)
+		return 2
+	}
 
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
@@ -155,10 +171,22 @@ func run() int {
 		return 0
 	}
 	if *jsonOut != "" {
-		if err := writeBaseline(*jsonOut); err != nil {
+		if err := writeBaseline(*jsonOut, engine); err != nil {
 			fmt.Fprintf(os.Stderr, "tshmem-bench: %v\n", err)
 			return 1
 		}
+		return 0
+	}
+	if *engScal {
+		start := time.Now()
+		pts, err := bench.EngineScalingSweep(2)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tshmem-bench: %v\n", err)
+			return 1
+		}
+		fmt.Print(bench.FormatEngineScaling(pts))
+		fmt.Printf("(measured in %.1fs wall time; host wall-clock, unlike every virtual-time table)\n",
+			time.Since(start).Seconds())
 		return 0
 	}
 	if *sweep {
@@ -184,7 +212,7 @@ func run() int {
 		*probe = "bcast"
 	}
 	if *probe != "" {
-		if err := runProbe(*probe, *trace, *heatmap, *svgPath, *san, *faults, *barAlgo, *lkAlgo, prof); err != nil {
+		if err := runProbe(*probe, *trace, *heatmap, *svgPath, *san, *faults, *barAlgo, *lkAlgo, engine, prof); err != nil {
 			fmt.Fprintf(os.Stderr, "tshmem-bench: %v\n", err)
 			return 1
 		}
@@ -253,7 +281,7 @@ func warnExportDrops(rep *core.Report, what string) {
 // causal profile. With a fault spec the probe runs under the injected
 // plan: bounded waits that expire are reported as timeout diagnostics
 // rather than failing the run.
-func runProbe(id, tracePath string, heatmap bool, svgPath string, sanOn bool, faultSpec, barAlgo, lkAlgo string, prof profileFlags) error {
+func runProbe(id, tracePath string, heatmap bool, svgPath string, sanOn bool, faultSpec, barAlgo, lkAlgo string, engine core.Engine, prof profileFlags) error {
 	p, ok := bench.LookupProbe(id)
 	if !ok {
 		return fmt.Errorf("unknown probe %q; valid probes: %s",
@@ -277,7 +305,7 @@ func runProbe(id, tracePath string, heatmap bool, svgPath string, sanOn bool, fa
 	start := time.Now()
 	rep, err := p.Run(bench.ProbeOpts{
 		Trace: tracePath != "", Sanitize: sanOn, Profile: prof.on, Faults: plan,
-		BarrierAlgo: ba, LockAlgo: la,
+		BarrierAlgo: ba, LockAlgo: la, Engine: engine,
 	})
 	if err != nil {
 		// Under fault injection a timed-out wait is the expected outcome
@@ -428,10 +456,12 @@ func runProfileDiff(basePath string, args []string) error {
 }
 
 // writeBaseline runs the probe suite and writes the machine-readable
-// baseline JSON (the format committed as BENCH_baseline.json).
-func writeBaseline(path string) error {
+// baseline JSON (the format committed as BENCH_baseline.json). The
+// baseline is engine-independent: virtual time is byte-identical between
+// engines, so -engine event writes the same file.
+func writeBaseline(path string, engine core.Engine) error {
 	start := time.Now()
-	b, err := bench.RunSuite(bench.ProbeOpts{})
+	b, err := bench.RunSuite(bench.ProbeOpts{Engine: engine})
 	if err != nil {
 		return err
 	}

@@ -1,9 +1,10 @@
 // Command tshmem-info prints the modeled Tilera processor catalogue,
 // including the paper's Table II architecture comparison, the substrate
 // observability counter taxonomy (-counters), the fault-injection kind
-// taxonomy (-faults), and the causal profiler's blame-category taxonomy
-// (-profile). Flags must precede any operands: Go's flag package stops
-// parsing at the first positional argument.
+// taxonomy (-faults), the causal profiler's blame-category taxonomy
+// (-profile), and the execution engine catalogue (-engines). Flags must
+// precede any operands: Go's flag package stops parsing at the first
+// positional argument.
 package main
 
 import (
@@ -11,6 +12,7 @@ import (
 	"fmt"
 
 	"tshmem/internal/arch"
+	"tshmem/internal/core"
 	"tshmem/internal/fault"
 	"tshmem/internal/profile"
 	"tshmem/internal/stats"
@@ -22,7 +24,26 @@ func main() {
 	var counters = flag.Bool("counters", false, "print the observability counter taxonomy and exit")
 	var faults = flag.Bool("faults", false, "print the fault-injection kind taxonomy and exit")
 	var prof = flag.Bool("profile", false, "print the causal profiler's blame-category taxonomy and exit")
+	var engines = flag.Bool("engines", false, "print the execution engine catalogue and exit")
 	flag.Parse()
+
+	if *engines {
+		fmt.Println("execution engines (core.Config.Engine; tshmem-bench -engine):")
+		for _, e := range core.Engines() {
+			var desc string
+			switch e {
+			case core.EngineGoroutine:
+				desc = "one free-running host goroutine per PE (default)"
+			case core.EngineEvent:
+				desc = "virtual-time calendar: one runnable goroutine per run,\n" +
+					"              admission-gated launches, recycled arenas"
+			}
+			fmt.Printf("  %-10s  %s\n", e, desc)
+		}
+		fmt.Println("Reports are byte-identical between engines; see docs/PERFORMANCE.md\n" +
+			"(\"Engines\") for the scheduling model and the determinism argument.")
+		return
+	}
 
 	if *counters {
 		fmt.Print(stats.Taxonomy())

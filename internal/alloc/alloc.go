@@ -29,6 +29,7 @@ type Allocator struct {
 	head    *block
 	inUse   int64
 	nallocs int
+	hwm     int64
 }
 
 // New creates an allocator over a partition of size bytes.
@@ -109,10 +110,20 @@ func (a *Allocator) AllocAlign(size, align int64) (int64, error) {
 		b.free = false
 		a.inUse += b.size
 		a.nallocs++
+		if end := b.off + b.size; end > a.hwm {
+			a.hwm = end
+		}
 		return b.off, nil
 	}
 	return 0, fmt.Errorf("%w: need %d bytes (align %d), %d free", ErrNoSpace, size, align, a.FreeBytes())
 }
+
+// HighWater reports the highest partition offset ever covered by an
+// allocation, live or since freed. Bytes at or beyond it have never been
+// handed out, so a caller that wrote only through allocations knows the
+// partition is untouched from HighWater on — the fact arena recycling
+// relies on to bound its re-zeroing.
+func (a *Allocator) HighWater() int64 { return a.hwm }
 
 // SizeOf reports the size of the live allocation at off.
 func (a *Allocator) SizeOf(off int64) (int64, bool) {

@@ -34,6 +34,10 @@ type ProbeOpts struct {
 	// keeping default probe runs — and BENCH_baseline.json — byte-identical.
 	BarrierAlgo core.BarrierAlgo
 	LockAlgo    core.LockAlgo
+	// Engine selects the host execution engine (docs/PERFORMANCE.md,
+	// "Engines"). Virtual time is byte-identical between engines, so the
+	// baseline a probe produces does not depend on this.
+	Engine core.Engine
 }
 
 func (o ProbeOpts) chip() *arch.Chip {
@@ -72,7 +76,7 @@ var probes = []Probe{
 			cfg := core.Config{
 				Chip: opts.chip(), NPEs: 16, HeapPerPE: 64 << 10,
 				Observe: true, Trace: opts.Trace, Sanitize: opts.Sanitize, Profile: opts.Profile, Faults: opts.Faults,
-				BarrierAlgo: opts.BarrierAlgo, LockAlgo: opts.LockAlgo,
+				BarrierAlgo: opts.BarrierAlgo, LockAlgo: opts.LockAlgo, Engine: opts.Engine,
 			}
 			return core.Run(cfg, func(pe *core.PE) error {
 				if err := pe.AlignClocks(); err != nil {
@@ -96,7 +100,7 @@ var probes = []Probe{
 			cfg := core.Config{
 				Chip: opts.chip(), NPEs: 2, HeapPerPE: 2*64<<10 + 1<<20,
 				Observe: true, Trace: opts.Trace, Sanitize: opts.Sanitize, Profile: opts.Profile, Faults: opts.Faults,
-				BarrierAlgo: opts.BarrierAlgo, LockAlgo: opts.LockAlgo,
+				BarrierAlgo: opts.BarrierAlgo, LockAlgo: opts.LockAlgo, Engine: opts.Engine,
 			}
 			return core.Run(cfg, func(pe *core.PE) error {
 				x, err := core.Malloc[int64](pe, maxElems)
@@ -131,7 +135,7 @@ var probes = []Probe{
 			cfg := core.Config{
 				Chip: opts.chip(), NPEs: 16, HeapPerPE: 2*32<<10 + 1<<20,
 				Observe: true, Trace: opts.Trace, Sanitize: opts.Sanitize, Profile: opts.Profile, Faults: opts.Faults,
-				BarrierAlgo: opts.BarrierAlgo, LockAlgo: opts.LockAlgo,
+				BarrierAlgo: opts.BarrierAlgo, LockAlgo: opts.LockAlgo, Engine: opts.Engine,
 			}
 			return core.Run(cfg, func(pe *core.PE) error {
 				target, err := core.Malloc[int32](pe, nelems)

@@ -213,7 +213,7 @@ func (pe *PE) SetLock(lock Ref[int64]) error {
 		if backoff < vtime.Microsecond {
 			backoff *= 2
 		}
-		waitYield()
+		pe.yieldSpin()
 	}
 }
 

@@ -379,6 +379,9 @@ func (pe *PE) AlignClocks() error {
 func (pe *PE) spinWait(op string) error {
 	// The spin rendezvous has no single releasing peer, so the span
 	// carries no happens-before edge: the critical path stays on this PE.
+	if s := pe.prog.sched; s != nil {
+		return pe.spinWaitEvent(op, s)
+	}
 	if pe.prog.flt == nil {
 		t0 := pe.clock.Now()
 		pe.prog.spinBar.Wait(&pe.clock)
@@ -392,6 +395,55 @@ func (pe *PE) spinWait(op string) error {
 	}
 	pe.prof.Advance(profile.CatBarrierWait, start, pe.clock.Now())
 	return nil
+}
+
+// spinWaitEvent is spinWait on the event engine: an arrival registers
+// without blocking, the completing member computes the release and wakes
+// the parked ones, and a quiescence-expired wait withdraws exactly like
+// WaitTimeout — same math, same clocks, same diagnostics.
+func (pe *PE) spinWaitEvent(op string, s *evsched) error {
+	start := pe.clock.Now()
+	bar := pe.prog.spinBar
+	gen, rel, done := bar.Arrive(start)
+	if done {
+		pe.clock.AdvanceTo(rel)
+		pe.prof.Advance(profile.CatBarrierWait, start, pe.clock.Now())
+		s.wake(wkSpin, int64(gen), 0)
+		return nil
+	}
+	for {
+		st := s.yield(pe.id, wkSpin, int64(gen), 0)
+		// Check completion before the wake status: the generation may
+		// have closed in the same step that expired or aborted us.
+		if r, ok := bar.Released(gen); ok {
+			pe.clock.AdvanceTo(r)
+			pe.prof.Advance(profile.CatBarrierWait, start, pe.clock.Now())
+			return nil
+		}
+		switch st {
+		case wakeAbort:
+			// Mirror Barrier.Wait after Abort: return with the clock
+			// unchanged; the caller's next operation observes the abort.
+			return nil
+		case wakeTimeout:
+			if bar.Withdraw(gen) {
+				return pe.timeoutAt(op, -1, start, start.Add(pe.prog.waitBudget))
+			}
+		}
+	}
+}
+
+// yieldSpin lets other PEs make progress while this PE spins on a
+// contended CAS lock: runtime.Gosched on the goroutine engine, a
+// ready-state baton handoff on the event engine (the spinner's modeled
+// backoff grows its clock every retry, so the calendar eventually
+// prefers the holder).
+func (pe *PE) yieldSpin() {
+	if s := pe.prog.sched; s != nil {
+		s.yieldReady(pe.id)
+		return
+	}
+	waitYield()
 }
 
 // Quiet waits until all outstanding puts issued by this PE are complete and

@@ -95,6 +95,13 @@ type Config struct {
 	// LockAlgo selects the SetLock/ClearLock/TestLock implementation; the
 	// zero value is the legacy CAS spin lock with exponential backoff.
 	LockAlgo LockAlgo
+	// Engine selects the execution engine: the zero value runs one host
+	// goroutine per PE (the legacy engine), EngineEvent schedules parked
+	// PEs one at a time from a virtual-time calendar. Virtual time,
+	// reports, traces, profiles, and diagnostics are byte-identical
+	// between engines; only host-side scheduling differs (docs/
+	// PERFORMANCE.md, "Engines").
+	Engine Engine
 	// Bcast selects the default Broadcast algorithm.
 	Bcast BcastAlgo
 	// Reduce selects the default reduction algorithm.
@@ -202,6 +209,9 @@ func (c *Config) fill() error {
 	if c.LockAlgo < 0 || c.LockAlgo >= numLockAlgos {
 		return fmt.Errorf("tshmem: unknown LockAlgo %d", int(c.LockAlgo))
 	}
+	if c.Engine < 0 || c.Engine >= numEngines {
+		return fmt.Errorf("tshmem: unknown Engine %d", int(c.Engine))
+	}
 	if c.NChips > 1 {
 		switch c.BarrierAlgo {
 		case BarrierAlgoDissemination, BarrierAlgoTournament, BarrierAlgoMCSTree:
@@ -281,6 +291,16 @@ type Report struct {
 	FaultPlan   *fault.Plan
 	FaultCounts []int64
 
+	// EngineUsed names the execution engine that ran the program
+	// (Config.Engine: "goroutine" or "event").
+	EngineUsed string
+	// MaxRunnablePEs is the peak number of PE goroutines the event
+	// engine ever made runnable at once — 1 by construction (the
+	// single-baton invariant the cross-engine determinism argument rests
+	// on). Zero under the goroutine engine, where every PE is runnable
+	// simultaneously.
+	MaxRunnablePEs int
+
 	perChip int           // PE ranks per chip (block distribution)
 	trace   []stats.Event // merged, start-ordered; empty unless Config.Trace
 	prof    *profile.Profile
@@ -357,6 +377,7 @@ type Program struct {
 
 	partBase []int64 // common-memory offset of each PE's partition
 	partSize int64
+	mapFloor int64 // end of launch-time mappings (arena recycling)
 
 	scratchAt    int64          // common-memory offset of the scratch arena
 	scratchSmall []scratchShard // per-PE-affine shards for small requests
@@ -388,6 +409,8 @@ type Program struct {
 	waitGrace  time.Duration   // host liveness fallback (faults only)
 	tmo        timeoutLog      // Timeout diagnostics from bounded waits
 
+	sched *evsched // nil unless Config.Engine == EngineEvent
+
 	pes []*PE
 
 	abortOnce sync.Once
@@ -408,6 +431,9 @@ func (p *Program) abort(cause error) {
 		}
 		close(p.abortCh)
 		p.mcsCond.Broadcast()
+		if p.sched != nil {
+			p.sched.abortWake()
+		}
 	})
 }
 
@@ -469,7 +495,23 @@ func (p *Program) chipPEs(c int) int {
 // the per-event perturbation counts — and an error matching
 // errors.Is(err, ErrTimeout).
 func Run(cfg Config, body func(*PE) error) (*Report, error) {
-	prog, err := newProgram(cfg)
+	var prog *Program
+	if cfg.Engine == EngineEvent {
+		// Bound the resident-simulation set (see evAdmission): the token
+		// covers arena checkout through teardown, where the run's arena is
+		// re-zeroed and pooled for the next launch. Local views of
+		// symmetric memory (MustLocal / Local) are therefore dead once Run
+		// returns under the event engine.
+		evAdmission <- struct{}{}
+		defer func() {
+			if prog != nil {
+				arenaCheckin(prog)
+			}
+			<-evAdmission
+		}()
+	}
+	var err error
+	prog, err = newProgram(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -477,35 +519,14 @@ func Run(cfg Config, body func(*PE) error) (*Report, error) {
 
 	errs := make([]error, prog.NPEs())
 	var wg sync.WaitGroup
+	wg.Add(prog.NPEs())
 	for i := range prog.pes {
-		wg.Add(1)
-		go func(pe *PE) {
-			defer wg.Done()
-			completed := false
-			defer func() {
-				if r := recover(); r != nil {
-					errs[pe.id] = fmt.Errorf("tshmem: PE %d panicked: %v", pe.id, r)
-				} else if !completed && errs[pe.id] == nil {
-					// The body bailed out via runtime.Goexit (e.g. a test
-					// Fatalf); treat it as a failure so peers don't hang.
-					errs[pe.id] = fmt.Errorf("tshmem: PE %d exited without completing", pe.id)
-				}
-				// Timeouts deliberately do not abort: every blocking path is
-				// bounded under fault injection, so the other PEs unblock on
-				// their own budgets, keeping their clocks (and the report)
-				// deterministic. Tearing the networks down here would race
-				// ErrClosed against those still-pending bounded waits.
-				if errs[pe.id] != nil && !errors.Is(errs[pe.id], ErrTimeout) {
-					prog.abort(fmt.Errorf("PE %d: %w", pe.id, errs[pe.id]))
-				}
-			}()
-			if err := pe.startPEs(); err != nil {
-				errs[pe.id] = fmt.Errorf("start_pes: %w", err)
-				return
-			}
-			errs[pe.id] = body(pe)
-			completed = true
-		}(prog.pes[i])
+		spawnPE(peTask{prog: prog, pe: prog.pes[i], body: body, errs: errs, wg: &wg})
+	}
+	if prog.sched != nil {
+		// Every PE entered the calendar ready; hand out the first baton
+		// (deterministically to rank 0 — all clocks are zero).
+		prog.sched.begin()
 	}
 	wg.Wait()
 
@@ -514,11 +535,15 @@ func Run(cfg Config, body func(*PE) error) (*Report, error) {
 	}
 
 	rep := &Report{
-		NPEs:    prog.NPEs(),
-		NChips:  prog.nchips,
-		Chip:    prog.chip.Name,
-		PETimes: make([]vtime.Duration, prog.NPEs()),
-		perChip: prog.perChip,
+		NPEs:       prog.NPEs(),
+		NChips:     prog.nchips,
+		Chip:       prog.chip.Name,
+		PETimes:    make([]vtime.Duration, prog.NPEs()),
+		perChip:    prog.perChip,
+		EngineUsed: prog.cfg.Engine.String(),
+	}
+	if prog.sched != nil {
+		rep.MaxRunnablePEs = prog.sched.maxRunningPeak()
 	}
 	rep.MinTime = vtime.Duration(1<<63 - 1)
 	for i, pe := range prog.pes {
@@ -622,7 +647,11 @@ func newProgram(cfg Config) (*Program, error) {
 	nsh := scratchShardCount(cfg.NPEs)
 	scratchTotal := cfg.ScratchBytes + int64(nsh)*scratchShardBytes
 	total := scratchTotal + int64(cfg.NPEs)*(cfg.HeapPerPE+4096) + 64<<10
-	p.cm, err = tmc.NewCommonMemory(total)
+	if cfg.Engine == EngineEvent {
+		p.cm, err = arenaCheckout(total)
+	} else {
+		p.cm, err = tmc.NewCommonMemory(total)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -639,6 +668,7 @@ func newProgram(cfg Config) (*Program, error) {
 			return nil, err
 		}
 	}
+	p.mapFloor = p.cm.MapEnd()
 
 	for c := 0; c < p.nchips; c++ {
 		net := udn.New(p.geos[c])
@@ -670,6 +700,16 @@ func newProgram(cfg Config) (*Program, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Engine == EngineEvent {
+		p.sched = newEvsched(p, cfg.NPEs)
+		p.sched.timed = cfg.Faults != nil
+		for c := range p.nets {
+			p.nets[c].SetScheduler(&udnSched{s: p.sched, rankBase: c * p.perChip})
+		}
+		if p.fabric != nil {
+			p.fabric.SetScheduler(&fabSched{s: p.sched})
+		}
+	}
 	p.statics.init()
 	p.ctrBars = make(map[ctrKey]*ctrInst)
 	p.lockHolder = make(map[int64]int)
@@ -679,7 +719,7 @@ func newProgram(cfg Config) (*Program, error) {
 	p.abortCh = make(chan struct{})
 	p.hubs = make([]watchHub, cfg.NPEs)
 	for i := range p.hubs {
-		p.hubs[i].init()
+		p.hubs[i].init(i, p.sched)
 	}
 	p.symCheck = make([]int64, cfg.NPEs)
 	if cfg.Sanitize {
@@ -717,6 +757,9 @@ func newProgram(cfg Config) (*Program, error) {
 		}
 		if p.san != nil {
 			p.pes[i].san = p.san.PE(i)
+		}
+		if p.sched != nil {
+			p.sched.pes[i].clock = &p.pes[i].clock
 		}
 	}
 

@@ -526,12 +526,44 @@ func (p *Program) ctrExit(k ctrKey, inst *ctrInst, pe int) vtime.Time {
 	return t
 }
 
+// instDone is the non-blocking completion probe the event engine's
+// counter-barrier wait polls.
+func instDone(inst *ctrInst) bool {
+	select {
+	case <-inst.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// ctrAwait parks in the calendar until the counter-barrier instance
+// completes (the last arriver wakes the set, keyed on the barrier tag).
+// A quiescence expiry that successfully withdraws the arrival reports
+// completed=false, exactly like the grace-timer path; a withdrawal that
+// lost to completion loops and takes the normal exit.
+func (pe *PE) ctrAwait(s *evsched, k ctrKey, inst *ctrInst, tag uint32) (completed, aborted bool) {
+	for {
+		if instDone(inst) {
+			return true, false
+		}
+		switch s.yield(pe.id, wkCtr, int64(tag), 0) {
+		case wakeAbort:
+			return false, true
+		case wakeTimeout:
+			if pe.prog.ctrWithdraw(k, inst, pe.id) {
+				return false, false
+			}
+		}
+	}
+}
+
 // barrierCounter runs the sense-reversing counter barrier. Multi-chip
 // active sets are supported: remote-chip increments pay the mPIPE data
 // cost instead of the mesh transit.
 func (pe *PE) barrierCounter(as ActiveSet) error {
 	return pe.runBarrierAlgo(as, stats.BarrierAlgoCounter,
-		func(idx, n int, gen uint32, _ uint32) error {
+		func(idx, n int, gen uint32, tag uint32) error {
 			home := as.PE(0)
 			start := pe.clock.Now()
 			deadline := pe.waitDeadline()
@@ -540,19 +572,32 @@ func (pe *PE) barrierCounter(as ActiveSet) error {
 			inst := pe.prog.ctrArrive(k, n,
 				ctrArrival{pe: pe.id, reach: start.Add(oneway), oneway: oneway},
 				pe.prog.model.AtomicCost())
-			var timeoutC <-chan time.Time
-			if g := pe.waitGrace(); g > 0 {
-				timer := time.NewTimer(g)
-				defer timer.Stop()
-				timeoutC = timer.C
-			}
 			completed := true
-			select {
-			case <-inst.done:
-			case <-pe.prog.abortCh:
-				return fmt.Errorf("tshmem: program aborted while PE %d waited in a counter barrier", pe.id)
-			case <-timeoutC:
-				completed = !pe.prog.ctrWithdraw(k, inst, pe.id)
+			if s := pe.prog.sched; s != nil {
+				// The last arriver completed the instance inside ctrArrive;
+				// wake the parked members before taking the exit itself.
+				if instDone(inst) {
+					s.wake(wkCtr, int64(tag), 0)
+				}
+				var aborted bool
+				completed, aborted = pe.ctrAwait(s, k, inst, tag)
+				if aborted {
+					return fmt.Errorf("tshmem: program aborted while PE %d waited in a counter barrier", pe.id)
+				}
+			} else {
+				var timeoutC <-chan time.Time
+				if g := pe.waitGrace(); g > 0 {
+					timer := time.NewTimer(g)
+					defer timer.Stop()
+					timeoutC = timer.C
+				}
+				select {
+				case <-inst.done:
+				case <-pe.prog.abortCh:
+					return fmt.Errorf("tshmem: program aborted while PE %d waited in a counter barrier", pe.id)
+				case <-timeoutC:
+					completed = !pe.prog.ctrWithdraw(k, inst, pe.id)
+				}
 			}
 			if !completed {
 				return pe.timeoutAt("barrier", -1, start, deadline)
@@ -662,7 +707,7 @@ func (pe *PE) setLockTicket(lock Ref[int64]) error {
 	part := pe.partBytes(0)
 	off := lock.off
 	check := func() bool { return uint32(atomicLoad64(part, off)) == my }
-	_, st := pe.prog.hubs[0].await(off, check, pe.waitGrace())
+	_, st := pe.prog.hubs[0].await(pe, off, check, pe.waitGrace())
 	switch st {
 	case hubAborted:
 		return fmt.Errorf("tshmem: program aborted while PE %d waited for a ticket lock", pe.id)
@@ -799,23 +844,39 @@ func (pe *PE) setLockMCS(lock Ref[int64]) error {
 	w := &mcsWaiter{pe: pe.id, ch: make(chan mcsWake, 1)}
 	pe.prog.mcsRegister(lock.off, pred, w)
 	deadline := pe.waitDeadline()
-	var timeoutC <-chan time.Time
-	if g := pe.waitGrace(); g > 0 {
-		timer := time.NewTimer(g)
-		defer timer.Stop()
-		timeoutC = timer.C
-	}
 	var wake mcsWake
-	select {
-	case wake = <-w.ch:
-	case <-pe.prog.abortCh:
-		return fmt.Errorf("tshmem: program aborted while PE %d waited for an MCS lock", pe.id)
-	case <-timeoutC:
-		delivered, t := pe.prog.mcsUnregister(lock.off, pred, w)
-		if !delivered {
-			return pe.timeoutAt("lock", pred, start, deadline)
+	if s := pe.prog.sched; s != nil {
+		got, st := pe.mcsAwait(s, lock.off, pred, w)
+		switch st {
+		case wakeAbort:
+			return fmt.Errorf("tshmem: program aborted while PE %d waited for an MCS lock", pe.id)
+		case wakeTimeout:
+			delivered, t := pe.prog.mcsUnregister(lock.off, pred, w)
+			if !delivered {
+				return pe.timeoutAt("lock", pred, start, deadline)
+			}
+			wake = t
+		default:
+			wake = got
 		}
-		wake = t
+	} else {
+		var timeoutC <-chan time.Time
+		if g := pe.waitGrace(); g > 0 {
+			timer := time.NewTimer(g)
+			defer timer.Stop()
+			timeoutC = timer.C
+		}
+		select {
+		case wake = <-w.ch:
+		case <-pe.prog.abortCh:
+			return fmt.Errorf("tshmem: program aborted while PE %d waited for an MCS lock", pe.id)
+		case <-timeoutC:
+			delivered, t := pe.prog.mcsUnregister(lock.off, pred, w)
+			if !delivered {
+				return pe.timeoutAt("lock", pred, start, deadline)
+			}
+			wake = t
+		}
 	}
 	waitStart := pe.clock.Now()
 	pe.clock.AdvanceTo(wake.wake)
@@ -849,7 +910,13 @@ func (pe *PE) clearLockMCS(lock Ref[int64]) error {
 		pe.prog.setLockRelease(lock.off, pe.clock.Now(), pe.id)
 		return nil
 	}
-	w, ok := pe.prog.mcsAwaitSuccessor(lock.off, pe.id, pe.waitGrace())
+	var w *mcsWaiter
+	var ok bool
+	if s := pe.prog.sched; s != nil {
+		w, ok = pe.mcsAwaitSuccessorEvent(s, lock.off)
+	} else {
+		w, ok = pe.prog.mcsAwaitSuccessor(lock.off, pe.id, pe.waitGrace())
+	}
 	if !ok {
 		if pe.prog.aborted.Load() {
 			return fmt.Errorf("tshmem: program aborted while PE %d released an MCS lock", pe.id)
@@ -878,6 +945,9 @@ func (p *Program) mcsRegister(off int64, pred int, w *mcsWaiter) {
 	m[pred] = w
 	p.lockMu.Unlock()
 	p.mcsCond.Broadcast()
+	if p.sched != nil {
+		p.sched.wake(wkMCSSucc, off, int64(pred))
+	}
 }
 
 // mcsUnregister withdraws a timed-out waiter. If the handoff already
@@ -936,4 +1006,59 @@ func (p *Program) mcsHandoff(off int64, pred int, w *mcsWaiter, wake mcsWake) {
 	}
 	w.ch <- wake
 	p.lockMu.Unlock()
+	if p.sched != nil {
+		p.sched.wake(wkMCS, off, int64(pred))
+	}
+}
+
+// mcsAwait parks until the predecessor's handoff lands on w.ch — the
+// event engine's side of the select in setLockMCS. An expiry or abort
+// drains a handoff delivered in the same step before reporting.
+func (pe *PE) mcsAwait(s *evsched, off int64, pred int, w *mcsWaiter) (mcsWake, uint8) {
+	for {
+		select {
+		case t := <-w.ch:
+			return t, wakeRun
+		default:
+		}
+		st := s.yield(pe.id, wkMCS, off, int64(pred))
+		if st != wakeRun {
+			select {
+			case t := <-w.ch:
+				return t, wakeRun
+			default:
+			}
+			return mcsWake{}, st
+		}
+	}
+}
+
+// mcsAwaitSuccessorEvent is the calendar-mediated successor wait: the
+// registration lookup is the re-armed predicate and mcsRegister the
+// waker. A quiescence expiry or abort re-checks once — the registration
+// may have landed in the same step — before giving up.
+func (pe *PE) mcsAwaitSuccessorEvent(s *evsched, off int64) (*mcsWaiter, bool) {
+	p := pe.prog
+	probe := func() *mcsWaiter {
+		p.lockMu.Lock()
+		defer p.lockMu.Unlock()
+		if m := p.mcsNext[off]; m != nil {
+			return m[pe.id]
+		}
+		return nil
+	}
+	for {
+		if w := probe(); w != nil {
+			return w, true
+		}
+		if p.aborted.Load() {
+			return nil, false
+		}
+		if st := s.yield(pe.id, wkMCSSucc, off, int64(pe.id)); st != wakeRun {
+			if w := probe(); w != nil {
+				return w, true
+			}
+			return nil, false
+		}
+	}
 }

@@ -19,6 +19,9 @@ type watchHub struct {
 	cond    *sync.Cond
 	times   map[int64]hubStamp // partition byte offset -> latest visible store
 	aborted bool
+
+	idx   int      // this hub's index in Program.hubs (the calendar wait key)
+	sched *evsched // nil unless the event engine runs the program
 }
 
 // hubStamp records one store's visibility time plus the global rank of
@@ -29,9 +32,11 @@ type hubStamp struct {
 	writer int32
 }
 
-func (h *watchHub) init() {
+func (h *watchHub) init(idx int, sched *evsched) {
 	h.cond = sync.NewCond(&h.mu)
 	h.times = make(map[int64]hubStamp)
+	h.idx = idx
+	h.sched = sched
 }
 
 // record notes that the value at partition offset off became visible at t,
@@ -43,6 +48,9 @@ func (h *watchHub) record(off int64, t vtime.Time, writer int) {
 	}
 	h.mu.Unlock()
 	h.cond.Broadcast()
+	if h.sched != nil {
+		h.sched.wake(wkHub, int64(h.idx), 0)
+	}
 }
 
 // await outcomes.
@@ -57,7 +65,10 @@ const (
 // grace > 0 arms a host-time bound: if the predicate is still false after
 // grace — the writer is starved by fault injection — await gives up with
 // hubTimedOut. hubAborted reports a program abort while waiting.
-func (h *watchHub) await(off int64, pred func() bool, grace time.Duration) (hubStamp, int) {
+func (h *watchHub) await(pe *PE, off int64, pred func() bool, grace time.Duration) (hubStamp, int) {
+	if h.sched != nil {
+		return h.awaitEvent(pe, off, pred)
+	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	var timedOut bool
@@ -80,6 +91,42 @@ func (h *watchHub) await(off int64, pred func() bool, grace time.Duration) (hubS
 		h.cond.Wait()
 	}
 	return h.times[off], hubOK
+}
+
+// awaitEvent is await on the event engine: the waiting PE parks in the
+// calendar keyed on this hub, record's wake re-arms the poll, and a
+// quiescence expiry re-checks the predicate once (the satisfying write
+// may have landed in the same step) before giving up. Note any PE may
+// wait on any hub — the ticket lock parks every contender on the lock
+// owner's hub — hence the hub-indexed wait key rather than a PE-indexed
+// one.
+func (h *watchHub) awaitEvent(pe *PE, off int64, pred func() bool) (hubStamp, int) {
+	for {
+		h.mu.Lock()
+		if pred() {
+			st := h.times[off]
+			h.mu.Unlock()
+			return st, hubOK
+		}
+		ab := h.aborted
+		h.mu.Unlock()
+		if ab {
+			return hubStamp{}, hubAborted
+		}
+		switch pe.prog.sched.yield(pe.id, wkHub, int64(h.idx), 0) {
+		case wakeAbort:
+			return hubStamp{}, hubAborted
+		case wakeTimeout:
+			h.mu.Lock()
+			ok := pred()
+			st := h.times[off]
+			h.mu.Unlock()
+			if ok {
+				return st, hubOK
+			}
+			return hubStamp{}, hubTimedOut
+		}
+	}
 }
 
 // abort wakes all waiters after a program failure.

@@ -60,6 +60,39 @@ type Fabric struct {
 	closed    chan struct{}
 	closeOnce sync.Once
 	grace     time.Duration // host-time bound on receives; 0 = unbounded
+	sched     Scheduler     // nil means free-running goroutines block on channels
+}
+
+// Scheduler lets an event-driven engine mediate the fabric's blocking
+// points, mirroring udn.Scheduler: with one attached, Send/Recv/RecvRaw
+// poll and park the calling PE instead of blocking on channels. Inboxes
+// are addressed by global PE rank, so no translation is needed.
+type Scheduler interface {
+	// WaitRecv parks PE pe until a message may be in its inbox; nil means
+	// re-poll, a non-nil error is a bounded-wait expiry (ErrTimeout).
+	WaitRecv(pe int) error
+	// WaitSend parks PE src until space may be available in dst's inbox.
+	WaitSend(src, dst int) error
+	// Enqueued notes a message landed in pe's inbox: wakes its receiver.
+	Enqueued(pe int)
+	// Dequeued notes a message left pe's inbox: wakes parked senders.
+	Dequeued(pe int)
+}
+
+// SetScheduler attaches an event-driven engine's scheduler to every
+// blocking point of this fabric. A nil scheduler (the default) keeps the
+// channel-blocking behavior. Set before PEs start communicating.
+func (f *Fabric) SetScheduler(s Scheduler) { f.sched = s }
+
+// isClosed is the non-blocking closed probe the scheduler-driven poll
+// loops use.
+func (f *Fabric) isClosed() bool {
+	select {
+	case <-f.closed:
+		return true
+	default:
+		return false
+	}
 }
 
 // New creates a fabric for npes PEs spread over nchips chips; chipOf maps a
@@ -152,6 +185,22 @@ func (f *Fabric) Send(clock *vtime.Clock, srcPE, dstPE int, tag uint32, words []
 		Arrive: clock.Now().Add(f.latency() * 3 / 4),
 		Sent:   clock.Now(),
 	}
+	if s := f.sched; s != nil {
+		for {
+			select {
+			case f.inbox[dstPE] <- msg:
+				s.Enqueued(dstPE)
+				return nil
+			default:
+			}
+			if f.isClosed() {
+				return ErrClosed
+			}
+			if err := s.WaitSend(srcPE, dstPE); err != nil {
+				return err
+			}
+		}
+	}
 	select {
 	case f.inbox[dstPE] <- msg:
 		return nil
@@ -166,6 +215,25 @@ func (f *Fabric) Send(clock *vtime.Clock, srcPE, dstPE int, tag uint32, words []
 func (f *Fabric) Recv(clock *vtime.Clock, pe int) (Msg, error) {
 	if pe < 0 || pe >= len(f.inbox) {
 		return Msg{}, fmt.Errorf("%w: %d", ErrBadPE, pe)
+	}
+	if s := f.sched; s != nil {
+		for {
+			// Poll before the closed check: a closed fabric still drains
+			// what already arrived, like the goroutine path below.
+			select {
+			case m := <-f.inbox[pe]:
+				clock.AdvanceTo(m.Arrive)
+				s.Dequeued(pe)
+				return m, nil
+			default:
+			}
+			if f.isClosed() {
+				return Msg{}, ErrClosed
+			}
+			if err := s.WaitRecv(pe); err != nil {
+				return Msg{}, err
+			}
+		}
 	}
 	timeout, timer := f.timeoutCh()
 	if timer != nil {
@@ -194,6 +262,22 @@ func (f *Fabric) Recv(clock *vtime.Clock, pe int) (Msg, error) {
 func (f *Fabric) RecvRaw(pe int) (Msg, error) {
 	if pe < 0 || pe >= len(f.inbox) {
 		return Msg{}, fmt.Errorf("%w: %d", ErrBadPE, pe)
+	}
+	if s := f.sched; s != nil {
+		for {
+			select {
+			case m := <-f.inbox[pe]:
+				s.Dequeued(pe)
+				return m, nil
+			default:
+			}
+			if f.isClosed() {
+				return Msg{}, ErrClosed
+			}
+			if err := s.WaitRecv(pe); err != nil {
+				return Msg{}, err
+			}
+		}
 	}
 	timeout, timer := f.timeoutCh()
 	if timer != nil {

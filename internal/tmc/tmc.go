@@ -96,6 +96,26 @@ func (cm *CommonMemory) Unmap(off int64) error {
 	return nil
 }
 
+// MapEnd reports the end of the mapped region: every mapping ever created
+// lies below it. Map hands out offsets monotonically (Unmap does not
+// recycle space), so [MapEnd, Size) has never been part of any mapping.
+func (cm *CommonMemory) MapEnd() int64 {
+	cm.mu.Lock()
+	defer cm.mu.Unlock()
+	return cm.next
+}
+
+// Reset forgets all mappings so the segment can back a new launch,
+// without touching the segment contents. The caller owns the contents: a
+// reused segment must be re-zeroed wherever the previous tenant wrote
+// (see the arena recycling in internal/core).
+func (cm *CommonMemory) Reset() {
+	cm.mu.Lock()
+	defer cm.mu.Unlock()
+	cm.next = 0
+	cm.maps = make(map[int64]int64)
+}
+
 // Mappings reports the number of live mappings.
 func (cm *CommonMemory) Mappings() int {
 	cm.mu.Lock()
@@ -240,6 +260,56 @@ func (b *Barrier) WaitTimeout(clock *vtime.Clock, grace time.Duration) bool {
 	rel := b.release
 	b.mu.Unlock()
 	clock.AdvanceTo(rel)
+	return true
+}
+
+// Arrive registers an arrival without blocking — Wait's bookkeeping for
+// an event-driven engine whose PEs park elsewhere. done reports whether
+// this arrival completed the rendezvous; if so, release is the
+// generation's modeled release time and the caller is responsible for
+// waking the parked members. A non-completing arriver remembers gen and
+// polls Released.
+func (b *Barrier) Arrive(now vtime.Time) (gen uint64, release vtime.Time, done bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	gen = b.gen
+	b.latest = vtime.Max(b.latest, now)
+	b.count++
+	if b.count == b.n {
+		b.release = b.latest.Add(b.model.Latency(b.n))
+		b.count = 0
+		b.latest = 0
+		b.gen++
+		b.cond.Broadcast()
+		return gen, b.release, true
+	}
+	return gen, 0, false
+}
+
+// Released reports generation gen's release time once it completed. The
+// stored release is gen's own whenever gen is closed: a member that has
+// yet to observe gen's release cannot have arrived at gen+1, so no later
+// generation can complete and overwrite it.
+func (b *Barrier) Released(gen uint64) (vtime.Time, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.gen == gen {
+		return 0, false
+	}
+	return b.release, true
+}
+
+// Withdraw takes a timed-out arrival back from a still-open generation,
+// mirroring WaitTimeout's expiry path. It reports false when the
+// generation completed in the meantime — the caller takes the release
+// via Released instead.
+func (b *Barrier) Withdraw(gen uint64) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.gen != gen {
+		return false
+	}
+	b.count--
 	return true
 }
 

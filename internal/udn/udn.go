@@ -107,6 +107,30 @@ func (p *Packet) Payload() []uint64 {
 // the operation consumed on the remote tile.
 type Handler func(req Packet) (reply []uint64, service vtime.Duration)
 
+// Scheduler lets an event-driven engine mediate the network's blocking
+// points. With a scheduler attached, Send/Recv/RecvRaw never block on
+// channels: they poll, and when they would block they park the calling
+// PE via WaitSend/WaitRecv until a matching Enqueued/Dequeued
+// notification makes progress possible, then poll again. A wake is only
+// a hint — the loops re-check, so conservative notifications are safe.
+// Interrupts are serviced inline on the requester's goroutine instead of
+// on a per-tile servicer goroutine.
+type Scheduler interface {
+	// WaitRecv parks the PE on tile cpu until a packet may be available
+	// on its demux queue dq. nil means re-poll (including after an abort:
+	// the re-poll observes the closed port); a non-nil error — ErrTimeout
+	// — means the engine expired this bounded wait under fault injection.
+	WaitRecv(cpu, dq int) error
+	// WaitSend parks the PE on tile src until space may be available in
+	// destination queue (dst, dq) — hardware backpressure.
+	WaitSend(src, dst, dq int) error
+	// Enqueued notes that a packet landed in (dst, dq): wakes parked
+	// receivers.
+	Enqueued(dst, dq int)
+	// Dequeued notes that a packet left (cpu, dq): wakes parked senders.
+	Dequeued(cpu, dq int)
+}
+
 // Network is the chip-wide UDN: one port per tile of the test-area
 // geometry.
 type Network struct {
@@ -115,7 +139,13 @@ type Network struct {
 	links *mesh.LinkStats // nil disables per-link accounting
 	flt   *fault.ChipView // nil disables fault injection
 	grace time.Duration   // host-time bound on blocking ops; 0 = unbounded
+	sched Scheduler       // nil means free-running goroutines block on channels
 }
+
+// SetScheduler attaches an event-driven engine's scheduler to every
+// blocking point of this network. A nil scheduler (the default) keeps
+// the channel-blocking behavior. Set before PEs start communicating.
+func (n *Network) SetScheduler(s Scheduler) { n.sched = s }
 
 // SetLinkStats attaches per-directed-link utilization accounting: every
 // packet's XY route is charged onto ls, and receive-queue occupancy
@@ -333,6 +363,23 @@ func (p *Port) Send(clock *vtime.Clock, dst, dq int, tag uint32, words []uint64)
 	}
 	pkt := makePacket(p.cpu, tag, words, arrive)
 	pkt.Sent = clock.Now()
+	if s := p.net.sched; s != nil {
+		for {
+			select {
+			case dp.queues[dq] <- pkt:
+				p.net.links.RecordQueueDepth(dst, len(dp.queues[dq]))
+				s.Enqueued(dst, dq)
+				return nil
+			default:
+			}
+			if dp.closed.Load() {
+				return ErrClosed
+			}
+			if err := s.WaitSend(p.cpu, dst, dq); err != nil {
+				return err
+			}
+		}
+	}
 	timeout, timer := p.net.timeoutCh()
 	if timer != nil {
 		defer timer.Stop()
@@ -353,6 +400,28 @@ func (p *Port) Send(clock *vtime.Clock, dst, dq int, tag uint32, words []uint64)
 func (p *Port) Recv(clock *vtime.Clock, dq int) (Packet, error) {
 	if dq < 0 || dq >= len(p.queues) {
 		return Packet{}, fmt.Errorf("%w: %d", ErrBadQueue, dq)
+	}
+	if s := p.net.sched; s != nil {
+		for {
+			// Poll before the closed check: a closed port still drains
+			// what already arrived, like the goroutine path below.
+			select {
+			case pkt := <-p.queues[dq]:
+				start := clock.Now()
+				wait := clock.AdvanceTo(pkt.Arrive)
+				p.rec.UDNRecvWait(pkt.Len(), wait)
+				p.profRecv(start, &pkt)
+				s.Dequeued(p.cpu, dq)
+				return pkt, nil
+			default:
+			}
+			if p.closed.Load() {
+				return Packet{}, ErrClosed
+			}
+			if err := s.WaitRecv(p.cpu, dq); err != nil {
+				return Packet{}, err
+			}
+		}
 	}
 	timeout, timer := p.net.timeoutCh()
 	if timer != nil {
@@ -391,6 +460,23 @@ func (p *Port) RecvRaw(dq int) (Packet, error) {
 	if dq < 0 || dq >= len(p.queues) {
 		return Packet{}, fmt.Errorf("%w: %d", ErrBadQueue, dq)
 	}
+	if s := p.net.sched; s != nil {
+		for {
+			select {
+			case pkt := <-p.queues[dq]:
+				p.rec.UDNRecv(pkt.Len())
+				s.Dequeued(p.cpu, dq)
+				return pkt, nil
+			default:
+			}
+			if p.closed.Load() {
+				return Packet{}, ErrClosed
+			}
+			if err := s.WaitRecv(p.cpu, dq); err != nil {
+				return Packet{}, err
+			}
+		}
+	}
 	timeout, timer := p.net.timeoutCh()
 	if timer != nil {
 		defer timer.Stop()
@@ -424,6 +510,9 @@ func (p *Port) TryRecv(clock *vtime.Clock, dq int) (Packet, bool, error) {
 		wait := clock.AdvanceTo(pkt.Arrive)
 		p.rec.UDNRecvWait(pkt.Len(), wait)
 		p.profRecv(start, &pkt)
+		if s := p.net.sched; s != nil {
+			s.Dequeued(p.cpu, dq)
+		}
 		return pkt, true, nil
 	default:
 		if p.closed.Load() {
@@ -467,8 +556,12 @@ func (p *Port) SetHandler(h Handler) error {
 	}
 	svc := &intrServicer{handler: h, reqs: make(chan intrRequest, queueCap)}
 	p.intrSvc = svc
-	svc.wg.Add(1)
-	go svc.run(p)
+	// Under an event-driven scheduler, interrupts are serviced inline on
+	// the requester's goroutine (see Interrupt); no servicer to spawn.
+	if p.net.sched == nil {
+		svc.wg.Add(1)
+		go svc.run(p)
+	}
 	return nil
 }
 
@@ -536,6 +629,20 @@ func (p *Port) Interrupt(clock *vtime.Clock, dst int, tag uint32, words []uint64
 	clock.Advance(path.Send)
 	p.profSend(clock, t0, path.Send)
 	p.net.links.RecordRoute(p.cpu, dst, nw)
+	if p.net.sched != nil {
+		// Event engine: service the interrupt inline on the requester's
+		// goroutine. The handler is written to run on a foreign goroutine
+		// either way, and the single-runner schedule makes the inline call
+		// race-free. The virtual math is the servicer-goroutine path's
+		// exactly, including busy's serialization of overlapping
+		// interrupts on the destination tile.
+		pkt := makePacket(p.cpu, tag, words, clock.Now().Add(path.Wire))
+		repWords, service := svc.handler(pkt)
+		intrOvh := vtime.FromNs(p.net.geo.Chip().UDNInterruptNs)
+		done := svc.busy.Acquire(pkt.Arrive, intrOvh+service)
+		return p.finishInterrupt(clock, dst, nw, path.Hops,
+			makePacket(dst, pkt.Tag, repWords, done))
+	}
 	if p.replyCh == nil {
 		p.replyCh = make(chan Packet, 1)
 	}
@@ -556,25 +663,7 @@ func (p *Port) Interrupt(clock *vtime.Clock, dst int, tag uint32, words []uint64
 	}
 	select {
 	case rep := <-req.reply:
-		// Reply travels back over the UDN.
-		repWords := max(1, rep.Len())
-		back, err := p.net.geo.OneWayLatency(dst, p.cpu, repWords)
-		if err != nil {
-			return Packet{}, err
-		}
-		rep.Arrive = rep.Arrive.Add(back)
-		waitStart := clock.Now()
-		clock.AdvanceTo(rep.Arrive)
-		// The interrupt servicer is not a profiled PE timeline, so the
-		// round-trip wait carries no edge: the critical path stays on the
-		// requester (documented limitation; see docs/OBSERVABILITY.md).
-		p.prof.Advance(profile.CatUDNWait, waitStart, clock.Now())
-		// The requester accounts the whole round-trip; the servicer
-		// goroutine must not touch any recorder. The reply's route is
-		// charged here too — links are shared atomics, unlike recorders.
-		p.rec.UDNInterrupt(nw, repWords, path.Hops)
-		p.net.links.RecordRoute(dst, p.cpu, repWords)
-		return rep, nil
+		return p.finishInterrupt(clock, dst, nw, path.Hops, rep)
 	case <-timeout:
 		// Same stale-reply hazard as the closed case below: a reply may
 		// still land on this channel after we give up.
@@ -587,6 +676,31 @@ func (p *Port) Interrupt(clock *vtime.Clock, dst int, tag uint32, words []uint64
 		p.replyCh = nil
 		return Packet{}, ErrClosed
 	}
+}
+
+// finishInterrupt models the interrupt reply's trip back and merges it
+// into the requester's clock — the tail shared by the servicer-goroutine
+// path and the event engine's inline-servicing path.
+func (p *Port) finishInterrupt(clock *vtime.Clock, dst, nw, hops int, rep Packet) (Packet, error) {
+	// Reply travels back over the UDN.
+	repWords := max(1, rep.Len())
+	back, err := p.net.geo.OneWayLatency(dst, p.cpu, repWords)
+	if err != nil {
+		return Packet{}, err
+	}
+	rep.Arrive = rep.Arrive.Add(back)
+	waitStart := clock.Now()
+	clock.AdvanceTo(rep.Arrive)
+	// The interrupt servicer is not a profiled PE timeline, so the
+	// round-trip wait carries no edge: the critical path stays on the
+	// requester (documented limitation; see docs/OBSERVABILITY.md).
+	p.prof.Advance(profile.CatUDNWait, waitStart, clock.Now())
+	// The requester accounts the whole round-trip; the servicer
+	// goroutine must not touch any recorder. The reply's route is
+	// charged here too — links are shared atomics, unlike recorders.
+	p.rec.UDNInterrupt(nw, repWords, hops)
+	p.net.links.RecordRoute(dst, p.cpu, repWords)
+	return rep, nil
 }
 
 func (p *Port) close() {

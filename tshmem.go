@@ -93,6 +93,9 @@ type (
 	// LockAlgo selects the SetLock/ClearLock/TestLock implementation
 	// (Config.LockAlgo; see docs/SYNC.md).
 	LockAlgo = core.LockAlgo
+	// Engine selects the host execution engine (Config.Engine; see
+	// docs/PERFORMANCE.md).
+	Engine = core.Engine
 	// BcastAlgo selects the default broadcast algorithm.
 	BcastAlgo = core.BcastAlgo
 	// ReduceAlgo selects the default reduction algorithm.
@@ -300,6 +303,23 @@ const (
 	LockAlgoTicket = core.LockAlgoTicket
 	LockAlgoMCS    = core.LockAlgoMCS
 )
+
+// Execution engines (Config.Engine; docs/PERFORMANCE.md). The zero value,
+// EngineGoroutine, is the legacy one-goroutine-per-PE host scheduler;
+// EngineEvent runs the PEs under a discrete-event calendar with at most
+// one runnable PE per simulation. Reports and traces are byte-identical
+// between the two.
+const (
+	EngineGoroutine = core.EngineGoroutine
+	EngineEvent     = core.EngineEvent
+)
+
+// ParseEngine resolves an engine name ("goroutine", "event"; "" and
+// "default" mean EngineGoroutine).
+func ParseEngine(s string) (Engine, error) { return core.ParseEngine(s) }
+
+// Engines lists every selectable execution engine.
+func Engines() []Engine { return core.Engines() }
 
 // ParseBarrierAlgo resolves a barrier-algorithm name ("default", "linear",
 // "tmc-spin", "counter", "dissemination", "tournament", "mcs-tree") — the
