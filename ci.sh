@@ -174,6 +174,26 @@ go run ./cmd/tshmem-bench -engine event -probe barrier -profile \
 }
 TSHMEM_ENGINE_GATE=1 go test ./internal/bench -run '^TestEngineScalingGate$' -count=1
 
+# Big-mesh smoke: the sparse mesh layer must keep a 64x64 synthetic
+# geometry at kilobytes (the memory gate fails construction past 32 MiB)
+# and sustain the 4096-PE barrier probe with O(n) host memory. The
+# geometry gate runs inside the -race pass above too; the probe is
+# opt-in (TSHMEM_BIGMESH) because start_pes' all-to-all exchange is
+# minutes of host time — this stage runs the goroutine engine at 4096
+# PEs and the event engine at 1024 (TSHMEM_BIGMESH=full runs both at
+# 4096; docs/ARCHITECTURES.md). No -race: the exchange is ~16.7M channel
+# messages and the race detector multiplies that cost several-fold.
+echo "== big-mesh smoke: 64x64 geometry memory gate + 4096-PE barrier probe =="
+go test ./internal/mesh -run '^TestBigMeshGeometryMemory$' -count=1
+TSHMEM_BIGMESH=1 go test ./internal/core -run '^TestBigMeshBarrierProbe$' -count=1 -timeout 15m -v
+
+# Cross-architecture smoke: the chip-family sweep must render end to end
+# (Tilera + Epiphany columns; docs/ARCHITECTURES.md). Epiphany sanitizer
+# coverage lives in the -race pass above (TestPropertyConformanceNewFamilies
+# runs both new families on both engines with the checker on).
+echo "== cross-architecture smoke: chip-family sweep =="
+go run ./cmd/tshmem-bench -sweep-chips > /dev/null
+
 # Fuzz smoke: run each native fuzz target briefly against its committed
 # seed corpus plus fresh random inputs. Failures minimize into
 # testdata/fuzz/<target>/ — commit the minimized case as a regression

@@ -29,6 +29,7 @@
 //	tshmem-bench -engine event -probe barrier  # probe on the event engine
 //	tshmem-bench -engine event -json out.json  # baseline on the event engine
 //	tshmem-bench -engine-scaling             # concurrent-run throughput per engine
+//	tshmem-bench -sweep-chips                # barrier crossovers across chip families
 //
 // Probes are single-run instrumented microbenchmarks (-probe, listed by
 // -list); -trace implies the barrier probe and -heatmap/-svg imply the
@@ -98,6 +99,7 @@ func run() int {
 		barAlgo = flag.String("barrier-algo", "", "barrier algorithm for the probe: linear, tmc-spin, counter, dissemination, tournament, mcs-tree (default: legacy dispatch; see docs/SYNC.md)")
 		lkAlgo  = flag.String("lock-algo", "", "lock algorithm for the probe: cas, ticket, mcs (default cas; see docs/SYNC.md)")
 		sweep   = flag.Bool("sweep-algos", false, "sweep every barrier/lock algorithm across PE counts on both chips and print the crossover tables (docs/SYNC.md)")
+		sweepC  = flag.Bool("sweep-chips", false, "sweep barrier algorithms across chip families (Tilera and Epiphany) at matching PE counts and print where the crossovers move (docs/ARCHITECTURES.md)")
 		profOn  = flag.Bool("profile", false, "run the probe under the causal profiler and print the per-PE blame ledger (implies -probe barrier)")
 		crit    = flag.Bool("critical-path", false, "also print the probe's virtual-time critical path (implies -profile)")
 		folded  = flag.String("folded", "", "write the probe's blame ledger as folded stacks to this file (speedscope/inferno; implies -profile)")
@@ -192,6 +194,17 @@ func run() int {
 	if *sweep {
 		start := time.Now()
 		out, err := bench.SweepAlgos(bench.Options{Quick: !*full, Sanitize: *san})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tshmem-bench: %v\n", err)
+			return 1
+		}
+		fmt.Print(out)
+		fmt.Printf("(regenerated in %.1fs wall time)\n", time.Since(start).Seconds())
+		return 0
+	}
+	if *sweepC {
+		start := time.Now()
+		out, err := bench.SweepChips(bench.Options{Quick: !*full, Sanitize: *san})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "tshmem-bench: %v\n", err)
 			return 1

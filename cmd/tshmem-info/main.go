@@ -1,15 +1,16 @@
-// Command tshmem-info prints the modeled Tilera processor catalogue,
-// including the paper's Table II architecture comparison, the substrate
-// observability counter taxonomy (-counters), the fault-injection kind
-// taxonomy (-faults), the causal profiler's blame-category taxonomy
-// (-profile), and the execution engine catalogue (-engines). Flags must
-// precede any operands: Go's flag package stops parsing at the first
-// positional argument.
+// Command tshmem-info prints the modeled processor catalogue (the Tilera
+// and Epiphany families plus synthetic-WxH grids), including the paper's
+// Table II architecture comparison, the substrate observability counter
+// taxonomy (-counters), the fault-injection kind taxonomy (-faults), the
+// causal profiler's blame-category taxonomy (-profile), and the execution
+// engine catalogue (-engines). Flags must precede any operands: Go's flag
+// package stops parsing at the first positional argument.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"strings"
 
 	"tshmem/internal/arch"
 	"tshmem/internal/core"
@@ -18,9 +19,38 @@ import (
 	"tshmem/internal/stats"
 )
 
+// selectChips resolves a -chips spec against the registry: an empty spec
+// selects every registered chip (the registry is the source of truth, so
+// newly modeled chips appear without touching this command), otherwise
+// each comma-separated name is looked up via arch.ByName, which also
+// parses synthetic-WxH grids.
+func selectChips(spec string) ([]*arch.Chip, error) {
+	if spec == "" {
+		return arch.Chips(), nil
+	}
+	var list []*arch.Chip
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		chip := arch.ByName(name)
+		if chip == nil {
+			var known []string
+			for _, k := range arch.Chips() {
+				known = append(known, k.Name)
+			}
+			return nil, fmt.Errorf("unknown chip %q; known chips: %s (or synthetic-WxH)",
+				name, strings.Join(known, ", "))
+		}
+		list = append(list, chip)
+	}
+	return list, nil
+}
+
 func main() {
-	var chips = flag.String("chips", "TILE-Gx8036,TILEPro64", "comma-separated chip names (see -all)")
-	var all = flag.Bool("all", false, "print every modeled chip")
+	var chips = flag.String("chips", "", "comma-separated chip names (default: every modeled chip)")
+	var all = flag.Bool("all", false, "print every modeled chip (same as an empty -chips)")
 	var counters = flag.Bool("counters", false, "print the observability counter taxonomy and exit")
 	var faults = flag.Bool("faults", false, "print the fault-injection kind taxonomy and exit")
 	var prof = flag.Bool("profile", false, "print the causal profiler's blame-category taxonomy and exit")
@@ -63,27 +93,14 @@ func main() {
 		return
 	}
 
-	var list []*arch.Chip
+	spec := *chips
 	if *all {
-		list = arch.Chips()
-	} else {
-		name := ""
-		for _, c := range *chips + "," {
-			if c == ',' {
-				if chip := arch.ByName(name); chip != nil {
-					list = append(list, chip)
-				} else if name != "" {
-					fmt.Printf("unknown chip %q; known chips:\n", name)
-					for _, k := range arch.Chips() {
-						fmt.Println(" ", k.Name)
-					}
-					return
-				}
-				name = ""
-				continue
-			}
-			name += string(c)
-		}
+		spec = ""
+	}
+	list, err := selectChips(spec)
+	if err != nil {
+		fmt.Println(err)
+		return
 	}
 	fmt.Print(arch.FormatTableII(list...))
 }

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"tshmem/internal/arch"
+)
+
+// TestDefaultSelectsWholeRegistry guards the registry-enumeration fix: an
+// earlier revision hardcoded the two Tilera chip names as the default, so
+// newly modeled chips (the Epiphany family) were silently absent from the
+// default table. The default must track arch.Chips() exactly.
+func TestDefaultSelectsWholeRegistry(t *testing.T) {
+	list, err := selectChips("")
+	if err != nil {
+		t.Fatalf("selectChips(\"\"): %v", err)
+	}
+	reg := arch.Chips()
+	if len(list) != len(reg) {
+		t.Fatalf("default selects %d chips, registry has %d", len(list), len(reg))
+	}
+	for i, c := range reg {
+		if list[i].Name != c.Name {
+			t.Errorf("default chip %d: got %s, want %s", i, list[i].Name, c.Name)
+		}
+	}
+	// Every registered chip must render in the default Table II output.
+	table := arch.FormatTableII(list...)
+	for _, c := range reg {
+		if !strings.Contains(table, c.Name) {
+			t.Errorf("default table is missing registered chip %s", c.Name)
+		}
+	}
+}
+
+func TestSelectChips(t *testing.T) {
+	list, err := selectChips("TILEPro64, Epiphany-III")
+	if err != nil {
+		t.Fatalf("selectChips: %v", err)
+	}
+	if len(list) != 2 || list[0].Name != "TILEPro64" || list[1].Name != "Epiphany-III" {
+		t.Fatalf("selectChips picked %v", list)
+	}
+
+	list, err = selectChips("synthetic-5x3")
+	if err != nil {
+		t.Fatalf("selectChips(synthetic-5x3): %v", err)
+	}
+	if len(list) != 1 || list[0].Tiles != 15 {
+		t.Fatalf("synthetic-5x3 resolved to %v", list)
+	}
+
+	if _, err = selectChips("no-such-chip"); err == nil {
+		t.Fatal("unknown chip did not error")
+	} else {
+		// The error must name every registered chip so the user can fix
+		// the spec without consulting the docs.
+		for _, c := range arch.Chips() {
+			if !strings.Contains(err.Error(), c.Name) {
+				t.Errorf("unknown-chip error does not mention %s: %v", c.Name, err)
+			}
+		}
+	}
+}

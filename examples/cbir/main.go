@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"strings"
 
 	"tshmem"
 	"tshmem/internal/cbir"
@@ -34,7 +35,12 @@ func main() {
 
 	c := tshmem.ChipByName(*chip)
 	if c == nil {
-		log.Fatalf("unknown chip %q", *chip)
+		var known []string
+		for _, k := range tshmem.Chips() {
+			known = append(known, k.Name)
+		}
+		log.Fatalf("unknown chip %q (known: %s, or synthetic-WxH)",
+			*chip, strings.Join(known, ", "))
 	}
 	if *query < 0 {
 		*query = *images / 3

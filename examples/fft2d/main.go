@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"log"
 	"math/cmplx"
+	"strings"
 
 	"tshmem"
 	"tshmem/internal/fft"
@@ -33,7 +34,12 @@ func main() {
 
 	c := tshmem.ChipByName(*chip)
 	if c == nil {
-		log.Fatalf("unknown chip %q", *chip)
+		var known []string
+		for _, k := range tshmem.Chips() {
+			known = append(known, k.Name)
+		}
+		log.Fatalf("unknown chip %q (known: %s, or synthetic-WxH)",
+			*chip, strings.Join(known, ", "))
 	}
 	blockBytes := int64(*n) * int64(*n) * 8 / int64(*pes)
 	cfg := tshmem.Config{Chip: c, NPEs: *pes, HeapPerPE: 2*blockBytes + 1<<20}

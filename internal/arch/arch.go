@@ -1,6 +1,8 @@
-// Package arch describes the Tilera many-core processors targeted by
-// TSHMEM: the TILE-Gx8036 and the TILEPro64 (with their smaller siblings),
-// as compared in Table II of the paper.
+// Package arch describes the many-core processors modeled by TSHMEM: the
+// Tilera TILE-Gx8036 and TILEPro64 (with their smaller siblings) as
+// compared in Table II of the paper, the Adapteva Epiphany family from the
+// two Ross & Richie OpenSHMEM/Epiphany papers, and arbitrary synthetic
+// N x M meshes for scaling studies (docs/ARCHITECTURES.md).
 //
 // A Chip value carries both the architectural facts (tile grid, clock,
 // cache geometry, network counts) and the calibrated performance-model
@@ -15,14 +17,23 @@ import (
 	"tshmem/internal/vtime"
 )
 
-// Family identifies a Tilera processor generation.
+// Family identifies a processor generation.
 type Family int
 
 const (
-	// TILEPro is the previous, 32-bit generation (TILEPro36, TILEPro64).
+	// TILEPro is the previous, 32-bit Tilera generation (TILEPro36,
+	// TILEPro64).
 	TILEPro Family = iota
-	// TILEGx is the 64-bit generation (TILE-Gx16, TILE-Gx36).
+	// TILEGx is the 64-bit Tilera generation (TILE-Gx16, TILE-Gx36).
 	TILEGx
+	// Epiphany is the Adapteva Epiphany RISC array family: scratchpad
+	// memory per core (no caches), a 2D eMesh, and TESTSET-only atomics
+	// (Ross & Richie, PAPERS.md).
+	Epiphany
+	// SyntheticMesh marks chips built by Synthetic(w, h): arbitrary
+	// N x M grids carrying TILE-Gx-derived model constants, for scaling
+	// studies beyond any physical catalogue part.
+	SyntheticMesh
 )
 
 func (f Family) String() string {
@@ -31,6 +42,10 @@ func (f Family) String() string {
 		return "TILEPro"
 	case TILEGx:
 		return "TILE-Gx"
+	case Epiphany:
+		return "Epiphany"
+	case SyntheticMesh:
+		return "synthetic"
 	default:
 		return fmt.Sprintf("Family(%d)", int(f))
 	}
@@ -130,6 +145,22 @@ type Chip struct {
 	FenceNs   float64 // tmc_mem_fence cost
 	SchedTick float64 // scheduler interaction cost (ns) for sync barriers
 
+	// Scratchpad-memory architecture (Epiphany family). When Scratchpad is
+	// set, L1dBytes is the core's flat local SRAM (code + data, no caches:
+	// L2Bytes is 0 and there is no chip-wide DDC); working sets beyond it
+	// spill straight to off-chip shared DRAM over the eLink, and explicit
+	// homing is moot because every address has exactly one physical home.
+	Scratchpad bool
+
+	// Weak-atomics model (Epiphany family): the only hardware atomic is
+	// TESTSET, so fetch-ops (swap/cswap/fadd/...) are emulated by a
+	// TESTSET-guarded critical section. AtomicRMWEmulated adds two
+	// TESTSET probes (acquire + release) on top of AtomicNs for every
+	// read-modify-write; chips with native fetch-ops leave it false and
+	// TestSetNs is ignored.
+	AtomicRMWEmulated bool
+	TestSetNs         float64 // one hardware TESTSET probe
+
 	// TMC barrier models (Figure 5).
 	SpinBarrier BarrierModel
 	SyncBarrier BarrierModel
@@ -192,6 +223,12 @@ func (c *Chip) Validate() error {
 	}
 	if c.UDNQueues <= 0 || c.UDNMaxWords <= 0 {
 		return fmt.Errorf("arch: %s: bad UDN geometry", c.Name)
+	}
+	if c.AtomicRMWEmulated && c.TestSetNs <= 0 {
+		return fmt.Errorf("arch: %s: emulated RMW atomics need a positive TestSetNs", c.Name)
+	}
+	if c.Scratchpad && c.L2Bytes != 0 {
+		return fmt.Errorf("arch: %s: scratchpad cores have no L2 cache", c.Name)
 	}
 	return nil
 }

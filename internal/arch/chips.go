@@ -1,6 +1,10 @@
 package arch
 
-import "tshmem/internal/vtime"
+import (
+	"fmt"
+
+	"tshmem/internal/vtime"
+)
 
 // Gx8036 returns the TILE-Gx8036 model: 36 tiles of 64-bit VLIW cores in a
 // 6x6 grid at 1 GHz, as deployed in the paper's TILEmpower-Gx platform.
@@ -224,17 +228,24 @@ func Pro36() *Chip {
 	return c
 }
 
-// Chips returns the full catalogue of modeled processors.
+// Chips returns the full catalogue of modeled processors. Synthetic
+// meshes are constructed on demand by Synthetic and are not listed.
 func Chips() []*Chip {
-	return []*Chip{Gx8036(), Pro64(), Gx8016(), Pro36()}
+	return []*Chip{Gx8036(), Pro64(), Gx8016(), Pro36(), EpiphanyIII(), EpiphanyIV(), EpiphanyV()}
 }
 
-// ByName returns the chip model with the given name, or nil.
+// ByName returns the chip model with the given name, or nil. Beyond the
+// catalogue, names of the form "synthetic-WxH" (e.g. "synthetic-64x64")
+// construct the matching Synthetic mesh.
 func ByName(name string) *Chip {
 	for _, c := range Chips() {
 		if c.Name == name {
 			return c
 		}
+	}
+	var w, h int
+	if n, err := fmt.Sscanf(name, "synthetic-%dx%d", &w, &h); err == nil && n == 2 && w > 0 && h > 0 {
+		return Synthetic(w, h)
 	}
 	return nil
 }

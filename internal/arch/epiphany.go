@@ -1,0 +1,189 @@
+package arch
+
+import "tshmem/internal/vtime"
+
+// The Epiphany models are calibrated from the two Ross & Richie papers in
+// PAPERS.md: "An OpenSHMEM Implementation for the Adapteva Epiphany
+// Coprocessor" (arXiv:1604.04205) and "Implementing OpenSHMEM for the
+// Adapteva Epiphany RISC Array Processor" (arXiv:1608.03545), both using
+// the Parallella board. The family differs from Tilera on exactly the axes
+// TSHMEM's substrate parameterizes:
+//
+//   - Memory: 32 kB of flat local SRAM per core instead of caches, so the
+//     "shared" copy curve is remote-scratchpad traffic over the on-chip
+//     eMesh (fast, write-optimized) collapsing to the off-chip eLink floor
+//     (~150 MB/s measured) once a working set spills off-chip.
+//   - Network: a 2D eMesh with single-cycle-per-hop routers but no
+//     receive-side interrupt dispatch, so the substrate takes the same
+//     polled-servicer path as the TILEPro64 (UDNInterrupts=false).
+//   - Atomics: the only hardware atomic is TESTSET; every fetch-op is a
+//     TESTSET-guarded critical section (AtomicRMWEmulated), which is why
+//     lock and counter-barrier crossovers move on this family.
+//
+// docs/ARCHITECTURES.md carries the full provenance table.
+
+// EpiphanyIII returns the Epiphany-III (E16G301) model: 16 RISC cores in a
+// 4x4 grid at 600 MHz, the chip on the Parallella board both papers
+// evaluate.
+//
+// Calibration anchors:
+//   - 32 kB local memory per core, no caches (arXiv:1604.04205 S II).
+//   - eMesh: 64-bit on-chip write network, ~1.5 cycles/hop effective =>
+//     2.5 ns/hop at 600 MHz; write setup ~9 ns from the measured
+//     small-message put latency.
+//   - Off-chip shared DRAM over the eLink measures ~150 MB/s
+//     (arXiv:1604.04205 S IV), the large-transfer floor.
+//   - On-chip DMA put bandwidth approaches ~1.4 GB/s per core for
+//     scratchpad-resident payloads (arXiv:1608.03545 Fig. 4 regime).
+//   - shmem_barrier_all on 16 cores ~1.5 us with the dissemination-style
+//     barrier the papers describe.
+func EpiphanyIII() *Chip {
+	return &Chip{
+		Name:   "Epiphany-III",
+		Family: Epiphany,
+
+		GridW: 4, GridH: 4, Tiles: 16,
+		ClockHz:   600e6,
+		WordBytes: 8, // 64-bit eMesh write network moves 8 bytes/cycle
+		Is64Bit:   false,
+		L1iBytes:  0,        // no instruction cache: code lives in the scratchpad
+		L1dBytes:  32 << 10, // flat local SRAM per core (code + data)
+		L2Bytes:   0,
+		DynNets:   3, // cMesh (on-chip write), rMesh (read), xMesh (off-chip)
+		MemCtrls:  1, // one eLink to the Zynq host's shared DRAM
+		MemGbps:   4.8,
+		MeshTbps:  0.8,
+		PeakBOPS:  19.2, // 16 cores x 2 flops x 600 MHz
+		PowerW:    "~2W",
+
+		Scratchpad:        true,
+		AtomicRMWEmulated: true,
+		TestSetNs:         35, // one TESTSET probe of a remote scratchpad word
+
+		UDNQueues:      4,
+		UDNMaxWords:    64,
+		UDNSetupNs:     9.0,
+		UDNHopNs:       2.5,   // ~1.5 cycles/hop at 600 MHz
+		UDNInterrupts:  false, // no receive-side dispatch: polled servicer path
+		UDNInterruptNs: 0,
+		UDNSendShare:   0.55,
+		UDNSWForwardNs: 30,
+		UDNSendCallNs:  120,
+
+		BarrierArbiterNs: 40,
+
+		// Remote-scratchpad eMesh writes while the working set stays
+		// on-chip (<= 32 kB local memory), collapsing to the measured
+		// ~150 MB/s eLink floor once it spills to shared DRAM.
+		SharedCopy: CopyCurve{
+			{64, 300},
+			{1 << 10, 900},
+			{8 << 10, 1300},
+			{32 << 10, 1400},      // local-memory capacity knee
+			{64 << 10, 600},       // spilling off-chip
+			{256 << 10, 250},      //
+			{1 << 20, 170},        //
+			{16 << 20, 150},       // eLink floor
+			{int64(1) << 40, 150}, // clamp
+		},
+		// Local scratchpad-to-scratchpad copies: the core and DMA engine
+		// move 8 bytes/cycle flat until the working set leaves the chip.
+		PrivateCopy: CopyCurve{
+			{64, 800},
+			{1 << 10, 1800},
+			{8 << 10, 2300},
+			{32 << 10, 2400},
+			{64 << 10, 600},
+			{256 << 10, 250},
+			{1 << 20, 170},
+			{16 << 20, 150},
+			{int64(1) << 40, 150},
+		},
+		CopyCallNs: 60,
+
+		ContLow:  0.04, // eMesh bisection absorbs on-chip concurrency well
+		ContHigh: 0.25, // single eLink saturates hard off-chip
+		ContKnee: 12,
+		AtomicNs: 90, // emulated fetch-op critical section, sans TESTSET probes
+		FenceNs:  25,
+
+		SpinBarrier: BarrierModel{
+			Base:    vtime.FromNs(200),
+			PerTile: vtime.FromNs(90), // 200ns + 15*90ns ~ 1.55 us at 16 cores
+		},
+		// Bare-metal Epiphany has no OS scheduler; the "sync" model stands
+		// in for a host-mediated barrier through shared DRAM.
+		SyncBarrier: BarrierModel{
+			Base:    vtime.FromNs(5_000),
+			PerTile: vtime.FromNs(2_000),
+		},
+
+		FlopNs:          0.9, // dual-issue FPU at 600 MHz
+		IntOpNs:         1.7, // single integer ALU
+		ReduceElemNs:    28,
+		RandomAccessNs:  320, // eMesh reads are round-trips, far slower than writes
+		InterruptPollNs: 60,
+	}
+}
+
+// EpiphanyIV returns the Epiphany-IV (E64G401) model: 64 cores in an 8x8
+// grid at 800 MHz, the scaled sibling both papers cite. It shares the
+// E16G301 microarchitecture; the clock raise moves the per-hop latency and
+// the on-chip copy bandwidth by 800/600 while the eLink floor stays put.
+func EpiphanyIV() *Chip {
+	c := EpiphanyIII()
+	c.Name = "Epiphany-IV"
+	c.GridW, c.GridH, c.Tiles = 8, 8, 64
+	c.ClockHz = 800e6
+	c.UDNHopNs = 1.875 // ~1.5 cycles/hop at 800 MHz
+	c.PeakBOPS = 102.4 // 64 cores x 2 flops x 800 MHz
+	c.MeshTbps = 3.2
+	c.PowerW = "~2W"
+	c.ContKnee = 20
+	scaleCurve(c.SharedCopy, 32<<10, 800.0/600.0)
+	scaleCurve(c.PrivateCopy, 32<<10, 800.0/600.0)
+	return c
+}
+
+// EpiphanyV returns a 1024-core Epiphany-V extrapolation: 32x32 grid at
+// 1 GHz with 64 kB of local SRAM per 64-bit core, following the announced
+// E5 specifications. Unlike the E-III/E-IV models it is not anchored in
+// published OpenSHMEM measurements — docs/ARCHITECTURES.md flags every
+// extrapolated constant — but it gives the sparse mesh layer a realistic
+// 1024-tile target.
+func EpiphanyV() *Chip {
+	c := EpiphanyIII()
+	c.Name = "Epiphany-V"
+	c.GridW, c.GridH, c.Tiles = 32, 32, 1024
+	c.ClockHz = 1e9
+	c.Is64Bit = true
+	c.L1dBytes = 64 << 10
+	c.UDNHopNs = 1.5 // ~1.5 cycles/hop at 1 GHz
+	c.PeakBOPS = 2048
+	c.MeshTbps = 12.8
+	c.MemCtrls = 2
+	c.MemGbps = 9.6
+	c.PowerW = "~20W (est.)"
+	c.ContKnee = 48
+	c.TestSetNs = 30
+	scaleCurve(c.SharedCopy, 64<<10, 1000.0/600.0)
+	scaleCurve(c.PrivateCopy, 64<<10, 1000.0/600.0)
+	// 64 kB of local SRAM doubles the on-chip knee: stretch the anchor
+	// grid so the capacity cliff sits at the local-memory size.
+	c.SharedCopy[3].Size = 64 << 10
+	c.SharedCopy[4].Size = 128 << 10
+	c.PrivateCopy[3].Size = 64 << 10
+	c.PrivateCopy[4].Size = 128 << 10
+	return c
+}
+
+// scaleCurve multiplies the on-chip (size <= knee) anchors of a copy curve
+// by f, leaving the off-chip floor anchors untouched. Used to derive the
+// faster-clocked Epiphany siblings from the calibrated E-III curves.
+func scaleCurve(curve CopyCurve, knee int64, f float64) {
+	for i := range curve {
+		if curve[i].Size <= knee {
+			curve[i].MBs *= f
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package arch
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestEpiphanyFacts pins the Epiphany family's architecture facts to the
+// Ross & Richie papers (docs/ARCHITECTURES.md lists the provenance of
+// each parameter).
+func TestEpiphanyFacts(t *testing.T) {
+	e3, e4, e5 := EpiphanyIII(), EpiphanyIV(), EpiphanyV()
+
+	if e3.Tiles != 16 || e3.GridW != 4 || e3.GridH != 4 || e3.Is64Bit {
+		t.Errorf("Epiphany-III geometry wrong: %+v", e3)
+	}
+	if e4.Tiles != 64 || e4.GridW != 8 || e4.GridH != 8 || e4.Is64Bit {
+		t.Errorf("Epiphany-IV geometry wrong: %+v", e4)
+	}
+	if e5.Tiles != 1024 || e5.GridW != 32 || e5.GridH != 32 || !e5.Is64Bit {
+		t.Errorf("Epiphany-V geometry wrong: %+v", e5)
+	}
+	if e3.ClockHz != 600e6 || e4.ClockHz != 800e6 || e5.ClockHz != 1e9 {
+		t.Errorf("clocks wrong: %v / %v / %v", e3.ClockHz, e4.ClockHz, e5.ClockHz)
+	}
+	for _, c := range []*Chip{e3, e4, e5} {
+		if c.Family != Epiphany {
+			t.Errorf("%s: family %v, want Epiphany", c.Name, c.Family)
+		}
+		// Scratchpad cores: flat local SRAM, no cache hierarchy, no
+		// native read-modify-write — only TESTSET.
+		if !c.Scratchpad || c.L1iBytes != 0 || c.L2Bytes != 0 {
+			t.Errorf("%s: not modeled as a scratchpad core: %+v", c.Name, c)
+		}
+		if !c.AtomicRMWEmulated || c.TestSetNs <= 0 {
+			t.Errorf("%s: fetch-ops must be TESTSET-emulated", c.Name)
+		}
+		// The eMesh has no receive-interrupt path (like the TILEPro).
+		if c.UDNInterrupts {
+			t.Errorf("%s: eMesh cores have no UDN receive interrupts", c.Name)
+		}
+	}
+	if e3.L1dBytes != 32<<10 || e4.L1dBytes != 32<<10 || e5.L1dBytes != 64<<10 {
+		t.Errorf("local SRAM sizes wrong: %d / %d / %d", e3.L1dBytes, e4.L1dBytes, e5.L1dBytes)
+	}
+}
+
+// TestEpiphanyRMWPremium checks that the emulated fetch-op cost exceeds
+// the plain atomic service time by exactly the two TESTSET probes the
+// software critical section pays (acquire + release).
+func TestEpiphanyRMWPremium(t *testing.T) {
+	e3 := EpiphanyIII()
+	if e3.AtomicNs <= 0 || e3.TestSetNs <= 0 {
+		t.Fatalf("Epiphany-III atomic costs not modeled: %+v", e3)
+	}
+	// Tilera chips must NOT be emulated: AtomicRMWCost == AtomicCost is
+	// what keeps BENCH_baseline.json byte-identical (internal/cache).
+	for _, c := range []*Chip{Gx8036(), Pro64(), Gx8016(), Pro36()} {
+		if c.AtomicRMWEmulated {
+			t.Errorf("%s: Tilera chips have native fetch-ops", c.Name)
+		}
+	}
+}
+
+// TestSyntheticChips checks the arbitrary-grid constructor and its
+// ByName spelling, non-square grids included.
+func TestSyntheticChips(t *testing.T) {
+	c := Synthetic(64, 64)
+	if c.Tiles != 4096 || c.GridW != 64 || c.GridH != 64 {
+		t.Fatalf("Synthetic(64,64) = %+v", c)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("Synthetic(64,64) invalid: %v", err)
+	}
+	if c.Family != SyntheticMesh {
+		t.Errorf("family %v, want synthetic", c.Family)
+	}
+
+	ns := Synthetic(8, 3)
+	if ns.Tiles != 24 || ns.GridW != 8 || ns.GridH != 3 {
+		t.Fatalf("Synthetic(8,3) = %+v", ns)
+	}
+	if err := ns.Validate(); err != nil {
+		t.Fatalf("Synthetic(8,3) invalid: %v", err)
+	}
+
+	if got := ByName("synthetic-8x3"); got == nil || got.Tiles != 24 || got.GridW != 8 {
+		t.Errorf("ByName(synthetic-8x3) = %+v", got)
+	}
+	if got := ByName("synthetic-1x1"); got == nil || got.Tiles != 1 {
+		t.Errorf("ByName(synthetic-1x1) = %+v", got)
+	}
+	for _, bad := range []string{"synthetic-0x4", "synthetic--1x4", "synthetic-x", "synthetic-4"} {
+		if got := ByName(bad); got != nil {
+			t.Errorf("ByName(%q) = %+v, want nil", bad, got)
+		}
+	}
+
+	// Degenerate dimensions clamp rather than crash.
+	if got := Synthetic(0, -3); got.Tiles != 1 {
+		t.Errorf("Synthetic(0,-3) clamped to %+v", got)
+	}
+}
+
+// TestRegistryCoversNewFamilies locks the registry contents: every chip
+// the docs advertise must resolve by name and validate (tshmem-info's
+// default table enumerates exactly this list).
+func TestRegistryCoversNewFamilies(t *testing.T) {
+	want := []string{
+		"TILE-Gx8036", "TILEPro64", "TILE-Gx8016", "TILEPro36",
+		"Epiphany-III", "Epiphany-IV", "Epiphany-V",
+	}
+	chips := Chips()
+	if len(chips) != len(want) {
+		t.Fatalf("registry has %d chips, want %d", len(chips), len(want))
+	}
+	for i, name := range want {
+		if chips[i].Name != name {
+			t.Errorf("registry[%d] = %s, want %s", i, chips[i].Name, name)
+		}
+		if got := ByName(name); got == nil || got.Name != name {
+			t.Errorf("ByName(%q) = %+v", name, got)
+		}
+	}
+}
+
+// TestTableIIEpiphanyRendering checks the family-aware Table II rows: no
+// cache line or DDR3 controller claims for scratchpad eMesh chips.
+func TestTableIIEpiphanyRendering(t *testing.T) {
+	out := FormatTableII(EpiphanyIII())
+	for _, wantSub := range []string{
+		"flat local SRAM", "dual-issue RISC", "eLink",
+	} {
+		if !strings.Contains(out, wantSub) {
+			t.Errorf("Epiphany Table II missing %q:\n%s", wantSub, out)
+		}
+	}
+	for _, noSub := range []string{"L2 cache", "VLIW", "DDR3"} {
+		if strings.Contains(out, noSub) {
+			t.Errorf("Epiphany Table II wrongly claims %q:\n%s", noSub, out)
+		}
+	}
+}

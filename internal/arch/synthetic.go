@@ -1,0 +1,41 @@
+package arch
+
+import "fmt"
+
+// Synthetic returns a w x h mesh carrying the TILE-Gx8036 calibration: an
+// imaginary scaled-up (or oddly-shaped) Tilera part for scaling studies
+// past any physical catalogue chip. Non-square grids are first-class — the
+// XY-routed mesh, the barrier algorithms, and the sparse link accounting
+// all take Width and Height independently. Dimensions are clamped to at
+// least 1.
+//
+// Per-tile constants (clock, caches, copy curves, UDN latency terms) are
+// Gx8036's unchanged: a synthetic tile IS a Gx tile. Whole-chip figures
+// scale with the tile count — aggregate bandwidth, peak ops, and the
+// contention knee (Figure 10's saturation point moves with the mesh
+// bisection, ~28 streams per 36 tiles). Synthetic chips are constructed on
+// demand and are not part of the Chips() catalogue, but ByName resolves
+// the "synthetic-WxH" naming scheme so command-line -chip flags can reach
+// them.
+func Synthetic(w, h int) *Chip {
+	if w < 1 {
+		w = 1
+	}
+	if h < 1 {
+		h = 1
+	}
+	c := Gx8036()
+	tiles := w * h
+	c.Name = fmt.Sprintf("synthetic-%dx%d", w, h)
+	c.Family = SyntheticMesh
+	c.GridW, c.GridH, c.Tiles = w, h, tiles
+	c.PeakBOPS = Gx8036().PeakBOPS * float64(tiles) / 36
+	c.MeshTbps = Gx8036().MeshTbps * float64(tiles) / 36
+	c.MemGbps = Gx8036().MemGbps * float64(tiles) / 36
+	c.PowerW = "(synthetic)"
+	c.ContKnee = tiles * 28 / 36
+	if c.ContKnee < 2 {
+		c.ContKnee = 2
+	}
+	return c
+}

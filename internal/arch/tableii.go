@@ -30,9 +30,15 @@ func TableII(chips ...*Chip) []TableIIRow {
 	}
 	return []TableIIRow{
 		row("Tiles", func(c *Chip) string {
+			if c.Family == Epiphany {
+				return fmt.Sprintf("%d cores of %s dual-issue RISC processors", c.Tiles, bits(c))
+			}
 			return fmt.Sprintf("%d tiles of %s VLIW processors", c.Tiles, bits(c))
 		}),
 		row("Caches per tile", func(c *Chip) string {
+			if c.Scratchpad {
+				return fmt.Sprintf("%dk flat local SRAM per core (no caches)", c.L1dBytes>>10)
+			}
 			return fmt.Sprintf("%dk L1i, %dk L1d, %dk L2 cache per tile",
 				c.L1iBytes>>10, c.L1dBytes>>10, c.L2Bytes>>10)
 		}),
@@ -50,8 +56,11 @@ func TableII(chips ...*Chip) []TableIIRow {
 		}),
 		row("Power", func(c *Chip) string { return c.PowerW }),
 		row("Memory controllers", func(c *Chip) string {
+			if c.Family == Epiphany {
+				return fmt.Sprintf("%d eLink port(s) to shared host DRAM", c.MemCtrls)
+			}
 			gen := "DDR2"
-			if c.Family == TILEGx {
+			if c.Family == TILEGx || c.Family == SyntheticMesh {
 				gen = "DDR3"
 			}
 			return fmt.Sprintf("%d %s memory controllers", c.MemCtrls, gen)

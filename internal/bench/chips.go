@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"tshmem/internal/arch"
+	"tshmem/internal/core"
+)
+
+// The cross-architecture sweep (tshmem-bench -sweep-chips;
+// docs/ARCHITECTURES.md). Like the synchronization-algorithm sweep it is
+// deliberately NOT registered as an experiment or a probe, so the figure
+// suite and BENCH_baseline.json stay byte-identical while it exists. The
+// sweep runs every barrier algorithm at matching PE counts across chip
+// families (two Tilera chips, two Epiphany chips) and reports where the
+// PR 6 algorithm crossovers move between families: the eMesh's cheap hops
+// but expensive emulated fetch-ops reshuffle the winners relative to the
+// iMesh chips.
+
+// sweepChipSet lists the chips compared side by side. Epiphany-V and
+// synthetic grids are reachable through the same machinery
+// (arch.ByName), but the default table keeps to the four chips with
+// published measurements so every column is provenance-backed.
+func sweepChipSet() []*arch.Chip {
+	return []*arch.Chip{arch.Gx8036(), arch.Pro64(), arch.EpiphanyIII(), arch.EpiphanyIV()}
+}
+
+// sweepChipPEs lists the PE counts shared by every swept chip (bounded
+// by the smallest: 16 cores on the Epiphany-III), so each row compares
+// the same communicator size across families.
+func sweepChipPEs() []int { return []int{2, 4, 8, 16} }
+
+// SweepChips runs the cross-architecture barrier sweep and renders the
+// per-family crossover report. Every measurement is a fresh
+// single-barrier run via measureBarrierAlgo, so the tables are honest
+// modeled latencies, not asserted constants.
+func SweepChips(opt Options) (string, error) {
+	var b strings.Builder
+	chips := sweepChipSet()
+	pes := sweepChipPEs()
+	algos := core.BarrierAlgos()
+
+	b.WriteString("== cross-architecture barrier sweep: worst-case latency (us) ==\n")
+	b.WriteString("(same PE counts on every chip; the per-chip winner column shows\n" +
+		" where the algorithm crossovers move between families)\n\n")
+
+	// winners[c][j]: winning algorithm on chip c at PE count j.
+	winners := make([][]string, len(chips))
+	for c, chip := range chips {
+		winners[c] = make([]string, len(pes))
+		fmt.Fprintf(&b, "-- %s (%dx%d, %s) --\n", chip.Name, chip.GridW, chip.GridH, chip.Family)
+		fmt.Fprintf(&b, "%6s", "PEs")
+		for _, a := range algos {
+			fmt.Fprintf(&b, " %13s", a)
+		}
+		fmt.Fprintf(&b, "   %s\n", "winner")
+		for j, n := range pes {
+			fmt.Fprintf(&b, "%6d", n)
+			bestUs, winner := 0.0, ""
+			for _, a := range algos {
+				_, w, err := measureBarrierAlgo(opt, chip, n, a)
+				if err != nil {
+					return "", fmt.Errorf("bench: %s barrier, %d PEs on %s: %w", a, n, chip.Name, err)
+				}
+				fmt.Fprintf(&b, " %13.3f", w.Us())
+				if winner == "" || w.Us() < bestUs {
+					bestUs, winner = w.Us(), a.String()
+				}
+			}
+			winners[c][j] = winner
+			fmt.Fprintf(&b, "   %s\n", winner)
+		}
+		fmt.Fprintf(&b, "crossover: %s\n\n", crossoverSummary(pes, winners[c]))
+	}
+
+	// The payoff table: one row per chip, one column per PE count, each
+	// cell the winning algorithm — family differences read straight down
+	// a column.
+	b.WriteString("== winning barrier algorithm by chip family ==\n")
+	fmt.Fprintf(&b, "%-16s", "chip \\ PEs")
+	for _, n := range pes {
+		fmt.Fprintf(&b, " %14d", n)
+	}
+	b.WriteString("\n")
+	for c, chip := range chips {
+		fmt.Fprintf(&b, "%-16s", chip.Name)
+		for j := range pes {
+			fmt.Fprintf(&b, " %14s", winners[c][j])
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("(Epiphany chips emulate fetch-ops with TESTSET critical sections,\n" +
+		" so counter-style barriers pay a premium the Tilera chips never see;\n" +
+		" docs/ARCHITECTURES.md discusses the model behind each column.)\n")
+	return b.String(), nil
+}

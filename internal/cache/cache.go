@@ -134,6 +134,12 @@ func (m *Model) BandwidthHomed(size int64, mode Mode, h Homing) float64 {
 	if mode == PrivateToPrivate {
 		return base // private data never leaves the tile; homing is moot
 	}
+	if m.chip.Scratchpad {
+		// Scratchpad chips have no caches to home lines into: every
+		// address has exactly one physical home (a core's local SRAM or
+		// off-chip DRAM), so all homing policies follow the base curve.
+		return base
+	}
 	floor := m.floor(mode)
 	switch h {
 	case LocalHome:
@@ -163,7 +169,7 @@ func (m *Model) BandwidthHomedConcurrent(size int64, mode Mode, h Homing, stream
 	}
 	c := float64(streams)
 	low, high, knee := m.chip.ContLow, m.chip.ContHigh, m.chip.ContKnee
-	if h != HashForHome {
+	if h != HashForHome && !m.chip.Scratchpad {
 		// Local and remote homing pin every line of the region to a single
 		// tile's L2: fan-in serializes at that tile instead of spreading
 		// across the DDC (the bottleneck S III.A warns about).
@@ -254,6 +260,19 @@ func (m *Model) AtomicCost() vtime.Duration {
 	return vtime.FromNs(m.chip.AtomicNs)
 }
 
+// AtomicRMWCost reports the service time of one remote read-modify-write
+// atomic (swap/cswap/fadd/finc/add/inc). Chips with native fetch-ops
+// charge exactly AtomicCost; chips whose only hardware atomic is TESTSET
+// (the Epiphany family) emulate every fetch-op inside a TESTSET-guarded
+// critical section and pay two extra probes — acquire and release — on top
+// of the base service time.
+func (m *Model) AtomicRMWCost() vtime.Duration {
+	if !m.chip.AtomicRMWEmulated {
+		return m.AtomicCost()
+	}
+	return vtime.FromNs(m.chip.AtomicNs + 2*m.chip.TestSetNs)
+}
+
 // FenceCost reports the cost of tmc_mem_fence (waiting for all outstanding
 // stores to become visible).
 func (m *Model) FenceCost() vtime.Duration {
@@ -285,7 +304,10 @@ func (l Level) String() string {
 
 // LevelFor reports the hierarchy level that holds a working set of size
 // bytes: the tile's L1d, its L2, the chip-wide DDC (aggregate of all L2s),
-// or external DRAM.
+// or external DRAM. On scratchpad chips (Epiphany) L1d means the core's
+// flat local SRAM, and with L2Bytes 0 the L2/DDC rungs vanish: anything
+// beyond the scratchpad classifies as DRAM (off-chip over the eLink), which
+// is exactly how the observability counters should read on that family.
 func (m *Model) LevelFor(size int64) Level {
 	switch {
 	case size <= int64(m.chip.L1dBytes):

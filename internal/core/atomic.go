@@ -58,7 +58,13 @@ func atomicTarget[T Elem](pe *PE, target Ref[T], tpe int) ([]byte, int64, error)
 			pe.clock.Advance(2 * pe.prog.fabric.DataCost(0))
 		}
 	}
-	pe.clock.Advance(pe.prog.model.AtomicCost())
+	// Every operation through here is a fetch-op (swap/cswap/fadd/...):
+	// chips without native RMW (Epiphany) pay the TESTSET emulation
+	// premium, and the emulation is surfaced in the counters.
+	pe.clock.Advance(pe.prog.model.AtomicRMWCost())
+	if pe.prog.chip.AtomicRMWEmulated {
+		pe.rec.AtomicEmulated()
+	}
 	// Atomics on one word mutually order the PEs touching it (the fetch-op
 	// serializes at the line's home tile); the hook merges clocks both ways.
 	pe.san.AtomicEdge(tpe, target.off)

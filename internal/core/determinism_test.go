@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"testing"
 
+	"tshmem/internal/mesh"
 	"tshmem/internal/vtime"
 )
 
@@ -125,11 +126,17 @@ func compareReports(t *testing.T, label string, a, b *Report) {
 		if ua.Chip != ub.Chip || ua.Width != ub.Width || ua.Height != ub.Height {
 			t.Errorf("%s: chip %d geometry diverged", label, i)
 		}
-		if !reflect.DeepEqual(ua.Words, ub.Words) {
-			t.Errorf("%s: chip %d per-link word counts diverged", label, i)
-		}
-		if !reflect.DeepEqual(ua.Packets, ub.Packets) {
-			t.Errorf("%s: chip %d per-link packet counts diverged", label, i)
+		for y := 0; y < ua.Height; y++ {
+			for x := 0; x < ua.Width; x++ {
+				for d := mesh.LinkDir(0); d < mesh.NumLinkDirs; d++ {
+					if ua.Link(x, y, d) != ub.Link(x, y, d) {
+						t.Errorf("%s: chip %d link (%d,%d) %v word counts diverged", label, i, x, y, d)
+					}
+					if ua.Packets(x, y, d) != ub.Packets(x, y, d) {
+						t.Errorf("%s: chip %d link (%d,%d) %v packet counts diverged", label, i, x, y, d)
+					}
+				}
+			}
 		}
 	}
 }

@@ -235,12 +235,14 @@ func compareEngineRuns(t *testing.T, label string, g, e *Report) {
 }
 
 // TestEngineEquivalenceMatrix is the tentpole's hard bar: byte-identical
-// reports, traces, diagnostics, and profiles between engines over both
+// reports, traces, diagnostics, and profiles between engines over the
 // chip models x every barrier algorithm (plus the legacy default) x every
 // lock algorithm, with observation, tracing, sanitizing, and profiling
-// all on.
+// all on. Epiphany-III exercises the scratchpad + emulated-RMW paths and
+// synthetic-8x3 a non-square grid whose XY routes bend at asymmetric
+// coordinates.
 func TestEngineEquivalenceMatrix(t *testing.T) {
-	chips := []*arch.Chip{arch.Gx8036(), arch.Pro64()}
+	chips := []*arch.Chip{arch.Gx8036(), arch.Pro64(), arch.EpiphanyIII(), arch.Synthetic(8, 3)}
 	algos := append([]BarrierAlgo{BarrierAlgoDefault}, BarrierAlgos()...)
 	for _, chip := range chips {
 		for _, ba := range algos {

@@ -225,11 +225,7 @@ func TestObservedMeshUtilization(t *testing.T) {
 	}
 	// Barrier signals ride the mesh too, so the chain's wait/release
 	// messages must light up links beyond the put's east hop.
-	var total int64
-	for _, w := range u.Words {
-		total += w
-	}
-	if total <= east {
+	if total := u.TotalWords(); total <= east {
 		t.Error("only the put's link saw traffic; barrier signals unrecorded")
 	}
 	if u.MaxQueueHWM() < 1 {

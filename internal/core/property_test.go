@@ -218,6 +218,11 @@ func TestPropertyConformance(t *testing.T) {
 	}{
 		{arch.Gx8036(), []int{2, 4, 5, 36}},
 		{arch.Pro64(), []int{2, 4, 5, 16}},
+		// Epiphany: scratchpad memory model + TESTSET-emulated fetch-ops.
+		{arch.EpiphanyIII(), []int{2, 5, 16}},
+		// Non-square synthetic grid: XY routes bend at asymmetric
+		// coordinates, and 5 PEs leaves a ragged area.
+		{arch.Synthetic(8, 3), []int{2, 5, 24}},
 	}
 	for _, c := range chips {
 		for _, n := range c.npes {
@@ -235,6 +240,32 @@ func TestPropertyConformance(t *testing.T) {
 					}
 				})
 			}
+		}
+	}
+}
+
+// TestPropertyConformanceNewFamilies re-runs a seeded sequence on the
+// chips added after the sweep above was first written — Epiphany-III
+// (scratchpad, emulated RMW) and a non-square synthetic grid — on BOTH
+// engines with the sanitizer on, requiring a clean diagnostic stream.
+func TestPropertyConformanceNewFamilies(t *testing.T) {
+	for _, chip := range []*arch.Chip{arch.EpiphanyIII(), arch.Synthetic(8, 3)} {
+		for _, eng := range Engines() {
+			name := fmt.Sprintf("%s/%s", chip.Name, eng)
+			t.Run(name, func(t *testing.T) {
+				t.Parallel()
+				cfg := Config{
+					Chip: chip, NPEs: 8, Engine: eng, Sanitize: true,
+					HeapPerPE: (propElems*8 + 4*propElems + 1024) * 16,
+				}
+				rep, err := Run(cfg, propBody(5, 4))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(rep.Diagnostics) != 0 {
+					t.Fatalf("sanitizer diagnostics on %s: %v", name, rep.Diagnostics)
+				}
+			})
 		}
 	}
 }

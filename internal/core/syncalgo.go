@@ -571,7 +571,9 @@ func (pe *PE) barrierCounter(as ActiveSet) error {
 			k := ctrKey{as: as, gen: gen}
 			inst := pe.prog.ctrArrive(k, n,
 				ctrArrival{pe: pe.id, reach: start.Add(oneway), oneway: oneway},
-				pe.prog.model.AtomicCost())
+				// Each arrival is a fetch-and-increment at the home tile,
+				// so chips without native RMW pay the emulation premium.
+				pe.prog.model.AtomicRMWCost())
 			completed := true
 			if s := pe.prog.sched; s != nil {
 				// The last arriver completed the instance inside ctrArrive;
@@ -924,7 +926,9 @@ func (pe *PE) clearLockMCS(lock Ref[int64]) error {
 		return pe.timeoutAt("lock", -1, start, deadline)
 	}
 	handoff := mcsWake{
-		wake: pe.clock.Now().Add(pe.syncOneway(w.pe) + pe.prog.model.AtomicCost()),
+		// The release's successor probe is a read-modify-write of the
+		// waiter's flag word: emulated-RMW chips charge the premium here.
+		wake: pe.clock.Now().Add(pe.syncOneway(w.pe) + pe.prog.model.AtomicRMWCost()),
 		sent: pe.clock.Now(),
 		from: pe.id,
 	}

@@ -1,0 +1,43 @@
+package mesh
+
+import (
+	"runtime"
+	"testing"
+
+	"tshmem/internal/arch"
+)
+
+// TestBigMeshGeometryMemory is the sparse-mesh memory gate (ci.sh,
+// big-mesh smoke): constructing a 64x64 synthetic geometry with link
+// accounting and recording corner-to-corner traffic must allocate far
+// under 32 MiB. Before the closed-form Path rewrite the eager n^2 path
+// table alone cost hundreds of MB at 4096 tiles; the block-lazy
+// LinkStats keeps a mostly-idle mesh at kilobytes.
+func TestBigMeshGeometryMemory(t *testing.T) {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+
+	chip := arch.Synthetic(64, 64)
+	geo := FullGeometry(chip)
+	ls := NewLinkStats(geo)
+	ls.RecordRoute(0, 64*64-1, 8)
+	ls.RecordRoute(64*64-1, 0, 8)
+	ls.RecordRoute(63, 64*63, 16)
+	u := ls.Snapshot()
+
+	runtime.ReadMemStats(&after)
+	delta := after.TotalAlloc - before.TotalAlloc
+	if limit := uint64(32 << 20); delta > limit {
+		t.Fatalf("64x64 geometry construction allocated %d bytes, gate is %d", delta, limit)
+	}
+	t.Logf("64x64 geometry + link accounting + snapshot: %d KiB allocated", delta>>10)
+
+	// The structures must still account correctly at this scale.
+	if got := u.Link(0, 0, LinkEast); got != 8 {
+		t.Errorf("corner route east link carried %d words, want 8", got)
+	}
+	if lat, err := geo.OneWayLatency(0, 64*64-1, 4); err != nil || lat <= 0 {
+		t.Errorf("closed-form corner latency: %v, %v", lat, err)
+	}
+}

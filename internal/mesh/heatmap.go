@@ -9,15 +9,34 @@ import (
 // idle, <25%, <50%, <75%, >=75%.
 var shadeRunes = []byte{' ', '.', ':', '+', '#'}
 
+// shade maps a tile's load v against the busiest tile's load max onto the
+// documented legend buckets. The thresholds are compared exactly
+// (4v >= 3*max is the ">=75%" bucket), so the busiest tile always renders
+// '#' — the old integer bucketing 1+4v/(max+1) could never reach the top
+// bucket for max < 3, shading the hottest tile '+'.
 func shade(v, max int64) byte {
-	if v == 0 || max == 0 {
+	switch {
+	case v <= 0 || max <= 0:
 		return shadeRunes[0]
+	case 4*v >= 3*max:
+		return shadeRunes[4] // >=75%
+	case 2*v >= max:
+		return shadeRunes[3] // >=50%
+	case 4*v >= max:
+		return shadeRunes[2] // >=25%
+	default:
+		return shadeRunes[1]
 	}
-	idx := 1 + int(4*v/(max+1))
-	if idx >= len(shadeRunes) {
-		idx = len(shadeRunes) - 1
+}
+
+// digits reports the decimal width of v (minimum 1).
+func digits(v int64) int {
+	n := 1
+	for v >= 10 {
+		v /= 10
+		n++
 	}
-	return shadeRunes[idx]
+	return n
 }
 
 // ASCII renders the utilization as a text heatmap: the tile grid with the
@@ -39,10 +58,17 @@ func (u *Utilization) ASCII() string {
 			}
 		}
 	}
-	n := len(fmt.Sprintf("%d", maxLink)) // digits of the busiest link
-	cw := 2*n + 3                        // "v<words> ^<words>" vertical cell
-	if cw < 7 {
-		cw = 7 // "[nnn s]" tile cell
+	n := digits(maxLink) // digits of the busiest link
+	// Size the tile cell from the largest tile ID (as the link columns are
+	// sized from the busiest link) so >=1000-tile grids stay aligned; the
+	// floor of 3 digits preserves the classic small-grid layout.
+	tw := digits(int64(u.Width*u.Height - 1))
+	if tw < 3 {
+		tw = 3
+	}
+	cw := 2*n + 3 // "v<words> ^<words>" vertical cell
+	if cw < tw+4 {
+		cw = tw + 4 // "[nnn s]" tile cell
 	}
 	gw := n + 3 // ">{words} " horizontal gap
 
@@ -67,7 +93,7 @@ func (u *Utilization) ASCII() string {
 		east := make([]string, u.Width-1)
 		west := make([]string, u.Width-1)
 		for x := 0; x < u.Width; x++ {
-			tiles[x] = fmt.Sprintf("[%3d %c]", y*u.Width+x, shade(u.TileLoad(x, y), maxTile))
+			tiles[x] = fmt.Sprintf("[%*d %c]", tw, y*u.Width+x, shade(u.TileLoad(x, y), maxTile))
 			if x < u.Width-1 {
 				east[x] = fmt.Sprintf(">%d", u.Link(x, y, LinkEast))
 				west[x] = fmt.Sprintf("<%d", u.Link(x+1, y, LinkWest))
@@ -86,11 +112,15 @@ func (u *Utilization) ASCII() string {
 		}
 	}
 	if m := u.MaxQueueHWM(); m > 0 {
+		qw := digits(m)
+		if qw < 3 {
+			qw = 3
+		}
 		b.WriteString("\nreceive-queue occupancy high-water mark per tile:\n")
 		for y := 0; y < u.Height; y++ {
 			b.WriteString(" ")
 			for x := 0; x < u.Width; x++ {
-				fmt.Fprintf(&b, " %3d", u.QueueHWM[y*u.Width+x])
+				fmt.Fprintf(&b, " %*d", qw, u.QueueHWM(x, y))
 			}
 			b.WriteByte('\n')
 		}
@@ -173,7 +203,7 @@ func (u *Utilization) SVG() string {
 			bl := int(250 - 70*frac)
 			fmt.Fprintf(&b, `<rect x="%.0f" y="%.0f" width="%d" height="%d" fill="rgb(%d,%d,%d)" stroke="#333"><title>tile %d (%d,%d): %d words out, queue hwm %d</title></rect>`+"\n",
 				cx-tile/2, cy-tile/2, tile, tile, r, g, bl,
-				y*u.Width+x, x, y, load, u.QueueHWM[y*u.Width+x])
+				y*u.Width+x, x, y, load, u.QueueHWM(x, y))
 			fmt.Fprintf(&b, `<text x="%.0f" y="%.0f" text-anchor="middle">%d</text>`+"\n", cx, cy+4, y*u.Width+x)
 		}
 	}

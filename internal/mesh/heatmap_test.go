@@ -1,0 +1,139 @@
+package mesh
+
+import (
+	"strings"
+	"testing"
+
+	"tshmem/internal/arch"
+)
+
+// TestShadeLegend pins shade() to the documented legend buckets
+// (".<25% :<50% +<75% #>=75%") across the thresholds, including the
+// small-max cases the old integer bucketing 1+4v/(max+1) got wrong: for
+// max < 3 it could never reach the top bucket, so the busiest tile of a
+// lightly loaded mesh rendered '+' instead of '#'.
+func TestShadeLegend(t *testing.T) {
+	cases := []struct {
+		v, max int64
+		want   byte
+	}{
+		{0, 0, ' '},   // idle mesh
+		{0, 100, ' '}, // idle tile
+		{-1, 100, ' '},
+		{1, 1, '#'}, // busiest tile at tiny loads: the regression
+		{2, 2, '#'},
+		{3, 3, '#'},
+		{100, 100, '#'},
+		{75, 100, '#'}, // exactly 75% is the top bucket
+		{74, 100, '+'},
+		{50, 100, '+'}, // exactly 50%
+		{49, 100, ':'},
+		{25, 100, ':'}, // exactly 25%
+		{24, 100, '.'},
+		{1, 100, '.'},
+		{3, 4, '#'}, // small-denominator threshold arithmetic
+		{2, 4, '+'},
+		{1, 4, ':'},
+		{1, 5, '.'},
+	}
+	for _, c := range cases {
+		if got := shade(c.v, c.max); got != c.want {
+			t.Errorf("shade(%d, %d) = %q, want %q", c.v, c.max, got, c.want)
+		}
+	}
+}
+
+// TestShadeBusiestAlwaysHot is the legend's invariant in general form:
+// whatever the scale, the busiest tile renders '#'.
+func TestShadeBusiestAlwaysHot(t *testing.T) {
+	for _, m := range []int64{1, 2, 3, 5, 7, 100, 1 << 40} {
+		if got := shade(m, m); got != '#' {
+			t.Errorf("shade(%d, %d) = %q, want '#'", m, m, got)
+		}
+	}
+}
+
+// TestASCIIAlignmentLargeGrid renders a 40x40 synthetic area, where tile
+// IDs reach 1599 and overflow the old fixed 3-digit cell. Every tile row
+// must place its cells at identical columns, and 4-digit IDs must render
+// in full.
+func TestASCIIAlignmentLargeGrid(t *testing.T) {
+	geo := FullGeometry(arch.Synthetic(40, 40))
+	ls := NewLinkStats(geo)
+	// Traffic touching the extreme corners so both tile 0 and tile 1599
+	// appear in rendered (shaded or not) rows with live numbers around.
+	ls.RecordRoute(0, 39*40+39, 7)
+	ls.RecordRoute(39*40+39, 0, 11)
+	ls.RecordRoute(5, 1200, 100)
+	out := ls.Snapshot().ASCII()
+
+	if !strings.Contains(out, "[   0 ") && !strings.Contains(out, "[   0#") &&
+		!strings.Contains(out, "[   0.") && !strings.Contains(out, "[   0:") &&
+		!strings.Contains(out, "[   0+") {
+		t.Errorf("tile 0 not rendered 4 digits wide:\n%s", firstLines(out, 6))
+	}
+	if !strings.Contains(out, "[1599 ") {
+		t.Errorf("tile 1599 truncated or misrendered:\n%s", lastLines(out, 8))
+	}
+
+	// Alignment: every tile row opens its cells at the same columns.
+	var want []int
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.Contains(line, "[") {
+			continue
+		}
+		var cols []int
+		for i := 0; i < len(line); i++ {
+			if line[i] == '[' {
+				cols = append(cols, i)
+			}
+		}
+		if want == nil {
+			want = cols
+			if len(want) != 40 {
+				t.Fatalf("tile row has %d cells, want 40: %q", len(want), line)
+			}
+			continue
+		}
+		if len(cols) != len(want) {
+			t.Fatalf("tile row has %d cells, want %d: %q", len(cols), len(want), line)
+		}
+		for i := range cols {
+			if cols[i] != want[i] {
+				t.Fatalf("tile cell %d opens at column %d, want %d: %q", i, cols[i], want[i], line)
+			}
+		}
+	}
+	if want == nil {
+		t.Fatal("no tile rows rendered")
+	}
+}
+
+// TestASCIISmallGridKeepsClassicLayout pins the 3-digit floor: grids with
+// <=3-digit tile IDs keep the historical "[  0 " cell so existing golden
+// output (and eyeballs) stay stable.
+func TestASCIISmallGridKeepsClassicLayout(t *testing.T) {
+	geo := FullGeometry(arch.Synthetic(2, 2))
+	ls := NewLinkStats(geo)
+	ls.RecordRoute(0, 3, 4)
+	out := ls.Snapshot().ASCII()
+	if !strings.Contains(out, "[  0 ") && !strings.Contains(out, "[  0#") {
+		t.Errorf("small grid lost the 3-digit cell:\n%s", out)
+	}
+}
+
+func firstLines(s string, n int) string {
+	lines := strings.SplitN(s, "\n", n+1)
+	if len(lines) > n {
+		lines = lines[:n]
+	}
+	return strings.Join(lines, "\n")
+}
+
+func lastLines(s string, n int) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) > n {
+		lines = lines[len(lines)-n:]
+	}
+	return strings.Join(lines, "\n")
+}

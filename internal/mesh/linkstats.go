@@ -47,30 +47,61 @@ func (d LinkDir) delta() (dx, dy int) {
 	}
 }
 
+// blockTiles is the tile granularity of the lazy accounting blocks: 64
+// tiles' worth of link counters (~4.5 kB) per block. Traffic confined to a
+// corner of a 64x64 synthetic mesh allocates only the blocks it crosses,
+// so an idle geometry costs one pointer slice instead of dense arrays over
+// all 4096 tiles.
+const blockTiles = 64
+
+// linkBlock holds the live atomic counters for one blockTiles-tile span:
+// payload words and packets per outgoing link, plus the receive-queue
+// occupancy high-water mark per tile.
+type linkBlock struct {
+	words   [blockTiles * int(NumLinkDirs)]atomic.Int64
+	packets [blockTiles * int(NumLinkDirs)]atomic.Int64
+	qhwm    [blockTiles]atomic.Int64
+}
+
 // LinkStats accumulates per-directed-link utilization of a test area's
 // iMesh: payload words and packets forwarded over each outgoing link of
 // each tile, plus per-tile receive-queue occupancy high-water marks.
 //
 // Unlike the per-PE stats.Recorder, links are shared by construction —
 // every route crosses other tiles' links — so the counters are atomics:
-// any PE goroutine may record concurrently. Snapshot after the run for a
-// plain-value view.
+// any PE goroutine may record concurrently. Storage is block-lazy: a
+// fixed-size counter block is CAS-installed the first time any tile in its
+// span records, so large mostly-idle meshes stay sparse. Snapshot after
+// the run for a plain-value view.
 type LinkStats struct {
-	geo     Geometry
-	words   []atomic.Int64 // [tile*NumLinkDirs + dir] payload words forwarded
-	packets []atomic.Int64 // same index: packets forwarded
-	qhwm    []atomic.Int64 // [tile] receive-queue occupancy high-water mark
+	geo    Geometry
+	tiles  int
+	blocks []atomic.Pointer[linkBlock]
 }
 
-// NewLinkStats builds a zeroed accounting block for geo.
+// NewLinkStats builds an empty accounting structure for geo. No counter
+// blocks are allocated until traffic is recorded.
 func NewLinkStats(geo Geometry) *LinkStats {
 	n := geo.Tiles()
 	return &LinkStats{
-		geo:     geo,
-		words:   make([]atomic.Int64, n*int(NumLinkDirs)),
-		packets: make([]atomic.Int64, n*int(NumLinkDirs)),
-		qhwm:    make([]atomic.Int64, n),
+		geo:    geo,
+		tiles:  n,
+		blocks: make([]atomic.Pointer[linkBlock], (n+blockTiles-1)/blockTiles),
 	}
+}
+
+// block returns tile's counter block, installing it on first touch. A lost
+// CAS race simply adopts the winner's block.
+func (ls *LinkStats) block(tile int) *linkBlock {
+	p := &ls.blocks[tile/blockTiles]
+	if b := p.Load(); b != nil {
+		return b
+	}
+	b := new(linkBlock)
+	if !p.CompareAndSwap(nil, b) {
+		b = p.Load()
+	}
+	return b
 }
 
 // RecordRoute charges a words-long transfer from virtual CPU src to dst
@@ -81,48 +112,49 @@ func (ls *LinkStats) RecordRoute(src, dst, words int) {
 	if ls == nil || words <= 0 || src == dst {
 		return
 	}
-	w := ls.geo.Width
-	if src < 0 || src >= len(ls.qhwm) || dst < 0 || dst >= len(ls.qhwm) {
+	if src < 0 || src >= ls.tiles || dst < 0 || dst >= ls.tiles {
 		return
 	}
+	w := ls.geo.Width
 	ax, ay := src%w, src/w
 	bx, by := dst%w, dst/w
-	// Walk the XY route with an incrementally-stepped link index: one
-	// atomic pair per directed link, no per-hop closure or coordinate
-	// re-derivation. Stepping east/west moves the tile index by 1 link
-	// block; south/north by a full row of link blocks.
+	// Walk the XY route tile by tile: stepping east/west moves the tile
+	// index by 1, south/north by a full row.
 	wn := int64(words)
-	const dirs = int(NumLinkDirs)
-	i := (ay*w + ax) * dirs
+	t := src
 	for ; ax < bx; ax++ {
-		ls.words[i+int(LinkEast)].Add(wn)
-		ls.packets[i+int(LinkEast)].Add(1)
-		i += dirs
+		ls.charge(t, LinkEast, wn)
+		t++
 	}
 	for ; ax > bx; ax-- {
-		ls.words[i+int(LinkWest)].Add(wn)
-		ls.packets[i+int(LinkWest)].Add(1)
-		i -= dirs
+		ls.charge(t, LinkWest, wn)
+		t--
 	}
 	for ; ay < by; ay++ {
-		ls.words[i+int(LinkSouth)].Add(wn)
-		ls.packets[i+int(LinkSouth)].Add(1)
-		i += w * dirs
+		ls.charge(t, LinkSouth, wn)
+		t += w
 	}
 	for ; ay > by; ay-- {
-		ls.words[i+int(LinkNorth)].Add(wn)
-		ls.packets[i+int(LinkNorth)].Add(1)
-		i -= w * dirs
+		ls.charge(t, LinkNorth, wn)
+		t -= w
 	}
+}
+
+// charge adds one packet of wn words to tile's outgoing link d.
+func (ls *LinkStats) charge(tile int, d LinkDir, wn int64) {
+	b := ls.block(tile)
+	i := (tile%blockTiles)*int(NumLinkDirs) + int(d)
+	b.words[i].Add(wn)
+	b.packets[i].Add(1)
 }
 
 // RecordQueueDepth raises tile's receive-queue occupancy high-water mark
 // to depth if it exceeds the current mark.
 func (ls *LinkStats) RecordQueueDepth(tile, depth int) {
-	if ls == nil || tile < 0 || tile >= len(ls.qhwm) {
+	if ls == nil || tile < 0 || tile >= ls.tiles || depth <= 0 {
 		return
 	}
-	m := &ls.qhwm[tile]
+	m := &ls.block(tile).qhwm[tile%blockTiles]
 	for {
 		cur := m.Load()
 		if int64(depth) <= cur || m.CompareAndSwap(cur, int64(depth)) {
@@ -131,40 +163,74 @@ func (ls *LinkStats) RecordQueueDepth(tile, depth int) {
 	}
 }
 
+// utilBlock is the plain-value snapshot of one linkBlock.
+type utilBlock struct {
+	words   [blockTiles * int(NumLinkDirs)]int64
+	packets [blockTiles * int(NumLinkDirs)]int64
+	qhwm    [blockTiles]int64
+}
+
 // Snapshot copies the live counters into a plain-value Utilization for
 // rendering and comparison. Take it after the run (or accept a torn but
-// monotone view mid-run).
+// monotone view mid-run). Only touched blocks are materialized, so the
+// snapshot stays as sparse as the traffic.
 func (ls *LinkStats) Snapshot() *Utilization {
 	if ls == nil {
 		return nil
 	}
 	u := &Utilization{
-		Chip:     ls.geo.Chip().Name,
-		Width:    ls.geo.Width,
-		Height:   ls.geo.Height,
-		Words:    make([]int64, len(ls.words)),
-		Packets:  make([]int64, len(ls.packets)),
-		QueueHWM: make([]int64, len(ls.qhwm)),
+		Chip:   ls.geo.Chip().Name,
+		Width:  ls.geo.Width,
+		Height: ls.geo.Height,
+		blocks: make([]*utilBlock, len(ls.blocks)),
 	}
-	for i := range ls.words {
-		u.Words[i] = ls.words[i].Load()
-		u.Packets[i] = ls.packets[i].Load()
-	}
-	for i := range ls.qhwm {
-		u.QueueHWM[i] = ls.qhwm[i].Load()
+	for bi := range ls.blocks {
+		lb := ls.blocks[bi].Load()
+		if lb == nil {
+			continue
+		}
+		ub := new(utilBlock)
+		for i := range lb.words {
+			ub.words[i] = lb.words[i].Load()
+			ub.packets[i] = lb.packets[i].Load()
+		}
+		for i := range lb.qhwm {
+			ub.qhwm[i] = lb.qhwm[i].Load()
+		}
+		u.blocks[bi] = ub
 	}
 	return u
 }
 
 // Utilization is a point-in-time copy of a LinkStats block: per-directed-
-// link words/packets (indexed tile*NumLinkDirs+dir) and per-tile queue
-// high-water marks over a Width x Height test area.
+// link words/packets and per-tile queue high-water marks over a
+// Width x Height test area, stored in the same sparse blocks as the live
+// counters. Access goes through Link, Packets, QueueHWM, and the derived
+// views; untouched regions read as zero.
 type Utilization struct {
 	Chip          string
 	Width, Height int
-	Words         []int64
-	Packets       []int64
-	QueueHWM      []int64
+	blocks        []*utilBlock
+}
+
+// block returns tile's snapshot block, or nil if that span saw no traffic.
+func (u *Utilization) block(tile int) *utilBlock {
+	if bi := tile / blockTiles; bi < len(u.blocks) {
+		return u.blocks[bi]
+	}
+	return nil
+}
+
+// ensure returns tile's snapshot block, allocating it if absent (Add).
+func (u *Utilization) ensure(tile int) *utilBlock {
+	bi := tile / blockTiles
+	for bi >= len(u.blocks) {
+		u.blocks = append(u.blocks, nil)
+	}
+	if u.blocks[bi] == nil {
+		u.blocks[bi] = new(utilBlock)
+	}
+	return u.blocks[bi]
 }
 
 // Link reports the payload words forwarded over tile (x,y)'s outgoing
@@ -173,7 +239,40 @@ func (u *Utilization) Link(x, y int, d LinkDir) int64 {
 	if u == nil || x < 0 || x >= u.Width || y < 0 || y >= u.Height {
 		return 0
 	}
-	return u.Words[(y*u.Width+x)*int(NumLinkDirs)+int(d)]
+	tile := y*u.Width + x
+	b := u.block(tile)
+	if b == nil {
+		return 0
+	}
+	return b.words[(tile%blockTiles)*int(NumLinkDirs)+int(d)]
+}
+
+// Packets reports the packets forwarded over tile (x,y)'s outgoing link in
+// direction d. Out-of-area queries return 0.
+func (u *Utilization) Packets(x, y int, d LinkDir) int64 {
+	if u == nil || x < 0 || x >= u.Width || y < 0 || y >= u.Height {
+		return 0
+	}
+	tile := y*u.Width + x
+	b := u.block(tile)
+	if b == nil {
+		return 0
+	}
+	return b.packets[(tile%blockTiles)*int(NumLinkDirs)+int(d)]
+}
+
+// QueueHWM reports tile (x,y)'s receive-queue occupancy high-water mark.
+// Out-of-area queries return 0.
+func (u *Utilization) QueueHWM(x, y int) int64 {
+	if u == nil || x < 0 || x >= u.Width || y < 0 || y >= u.Height {
+		return 0
+	}
+	tile := y*u.Width + x
+	b := u.block(tile)
+	if b == nil {
+		return 0
+	}
+	return b.qhwm[tile%blockTiles]
 }
 
 // TileLoad reports the words leaving tile (x,y) over all four links — the
@@ -186,12 +285,38 @@ func (u *Utilization) TileLoad(x, y int) int64 {
 	return t
 }
 
+// TotalWords reports the payload words summed over every directed link —
+// per-hop accounting, so a packet crossing h links counts h times.
+func (u *Utilization) TotalWords() int64 {
+	if u == nil {
+		return 0
+	}
+	var t int64
+	for _, b := range u.blocks {
+		if b == nil {
+			continue
+		}
+		for _, w := range b.words {
+			t += w
+		}
+	}
+	return t
+}
+
 // MaxLink reports the busiest directed link's word count.
 func (u *Utilization) MaxLink() int64 {
+	if u == nil {
+		return 0
+	}
 	var m int64
-	for _, w := range u.Words {
-		if w > m {
-			m = w
+	for _, b := range u.blocks {
+		if b == nil {
+			continue
+		}
+		for _, w := range b.words {
+			if w > m {
+				m = w
+			}
 		}
 	}
 	return m
@@ -199,10 +324,18 @@ func (u *Utilization) MaxLink() int64 {
 
 // MaxQueueHWM reports the largest per-tile queue high-water mark.
 func (u *Utilization) MaxQueueHWM() int64 {
+	if u == nil {
+		return 0
+	}
 	var m int64
-	for _, q := range u.QueueHWM {
-		if q > m {
-			m = q
+	for _, b := range u.blocks {
+		if b == nil {
+			continue
+		}
+		for _, q := range b.qhwm {
+			if q > m {
+				m = q
+			}
 		}
 	}
 	return m
@@ -226,6 +359,9 @@ func (u *Utilization) HotLinks(k int) []LinkLoad {
 	var all []LinkLoad
 	for y := 0; y < u.Height; y++ {
 		for x := 0; x < u.Width; x++ {
+			if u.block(y*u.Width+x) == nil {
+				continue
+			}
 			for d := LinkDir(0); d < NumLinkDirs; d++ {
 				w := u.Link(x, y, d)
 				if w == 0 {
@@ -235,7 +371,7 @@ func (u *Utilization) HotLinks(k int) []LinkLoad {
 				all = append(all, LinkLoad{
 					From: Coord{X: x, Y: y}, To: Coord{X: x + dx, Y: y + dy},
 					Dir: d, Words: w,
-					Packets: u.Packets[(y*u.Width+x)*int(NumLinkDirs)+int(d)],
+					Packets: u.Packets(x, y, d),
 				})
 			}
 		}
@@ -248,19 +384,26 @@ func (u *Utilization) HotLinks(k int) []LinkLoad {
 }
 
 // Add folds o's counters into u (same-shape areas only; used to merge
-// per-chip views when every chip runs the same test area).
+// per-chip views when every chip runs the same test area). Blocks o never
+// touched stay unallocated in u as well.
 func (u *Utilization) Add(o *Utilization) error {
 	if u.Width != o.Width || u.Height != o.Height {
 		return fmt.Errorf("mesh: cannot fold %dx%d utilization into %dx%d",
 			o.Width, o.Height, u.Width, u.Height)
 	}
-	for i := range u.Words {
-		u.Words[i] += o.Words[i]
-		u.Packets[i] += o.Packets[i]
-	}
-	for i := range u.QueueHWM {
-		if o.QueueHWM[i] > u.QueueHWM[i] {
-			u.QueueHWM[i] = o.QueueHWM[i]
+	for bi, ob := range o.blocks {
+		if ob == nil {
+			continue
+		}
+		ub := u.ensure(bi * blockTiles)
+		for i := range ub.words {
+			ub.words[i] += ob.words[i]
+			ub.packets[i] += ob.packets[i]
+		}
+		for i := range ub.qhwm {
+			if ob.qhwm[i] > ub.qhwm[i] {
+				ub.qhwm[i] = ob.qhwm[i]
+			}
 		}
 	}
 	return nil

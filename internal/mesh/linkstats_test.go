@@ -36,8 +36,12 @@ func TestRecordRouteXYPath(t *testing.T) {
 		}
 	}
 	var total int64
-	for _, w := range u.Words {
-		total += w
+	for y := 0; y < u.Height; y++ {
+		for x := 0; x < u.Width; x++ {
+			for d := LinkDir(0); d < NumLinkDirs; d++ {
+				total += u.Link(x, y, d)
+			}
+		}
 	}
 	if total != 4*5 {
 		t.Errorf("total words on links = %d, want 20 (4 hops x 5 words)", total)
@@ -83,8 +87,8 @@ func TestQueueDepthHighWater(t *testing.T) {
 	ls.RecordQueueDepth(1, 9)
 	ls.RecordQueueDepth(99, 5) // out of range: ignored
 	u := ls.Snapshot()
-	if u.QueueHWM[1] != 9 || u.MaxQueueHWM() != 9 {
-		t.Errorf("hwm = %d (max %d), want 9", u.QueueHWM[1], u.MaxQueueHWM())
+	if u.QueueHWM(1, 0) != 9 || u.MaxQueueHWM() != 9 {
+		t.Errorf("hwm = %d (max %d), want 9", u.QueueHWM(1, 0), u.MaxQueueHWM())
 	}
 }
 
@@ -109,8 +113,8 @@ func TestRecordRouteConcurrent(t *testing.T) {
 	if got := u.Link(0, 0, LinkEast); got != workers*routes*2 {
 		t.Errorf("concurrent words = %d, want %d", got, workers*routes*2)
 	}
-	if u.QueueHWM[3] != 6 {
-		t.Errorf("concurrent hwm = %d, want 6", u.QueueHWM[3])
+	if u.QueueHWM(3, 0) != 6 {
+		t.Errorf("concurrent hwm = %d, want 6", u.QueueHWM(3, 0))
 	}
 }
 
@@ -143,8 +147,8 @@ func TestUtilizationAdd(t *testing.T) {
 	if got := ua.Link(0, 0, LinkEast); got != 7 {
 		t.Errorf("folded link = %d, want 7", got)
 	}
-	if ua.QueueHWM[1] != 5 {
-		t.Errorf("folded hwm = %d, want 5", ua.QueueHWM[1])
+	if ua.QueueHWM(1, 0) != 5 {
+		t.Errorf("folded hwm = %d, want 5", ua.QueueHWM(1, 0))
 	}
 	if err := ua.Add(NewLinkStats(testGeo(t, 3, 3)).Snapshot()); err == nil {
 		t.Error("shape mismatch must error")

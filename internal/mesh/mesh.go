@@ -34,11 +34,6 @@ func abs(v int) int {
 type Geometry struct {
 	chip          *arch.Chip
 	Width, Height int
-
-	// paths is the precomputed per-(src,dst) route table built once at
-	// construction; Geometry is copied by value, and all copies share it.
-	// A nil table (the zero Geometry) makes Path compute routes directly.
-	paths *pathCache
 }
 
 // NewGeometry builds a test-area geometry of w x h tiles on chip.
@@ -50,16 +45,12 @@ func NewGeometry(chip *arch.Chip, w, h int) (Geometry, error) {
 		return Geometry{}, fmt.Errorf("mesh: test area %dx%d exceeds %s grid %dx%d",
 			w, h, chip.Name, chip.GridW, chip.GridH)
 	}
-	g := Geometry{chip: chip, Width: w, Height: h}
-	g.paths = newPathCache(g)
-	return g, nil
+	return Geometry{chip: chip, Width: w, Height: h}, nil
 }
 
 // FullGeometry covers the entire chip.
 func FullGeometry(chip *arch.Chip) Geometry {
-	g := Geometry{chip: chip, Width: chip.GridW, Height: chip.GridH}
-	g.paths = newPathCache(g)
-	return g
+	return Geometry{chip: chip, Width: chip.GridW, Height: chip.GridH}
 }
 
 // AreaGeometry returns the smallest square test area holding at least n
@@ -88,9 +79,7 @@ func AreaGeometry(chip *arch.Chip, n int) (Geometry, error) {
 	if w*h < n {
 		return Geometry{}, fmt.Errorf("mesh: %d tiles exceed %s capacity %d", n, chip.Name, chip.Tiles)
 	}
-	g := Geometry{chip: chip, Width: w, Height: h}
-	g.paths = newPathCache(g)
-	return g, nil
+	return Geometry{chip: chip, Width: w, Height: h}, nil
 }
 
 // Chip returns the chip this geometry is laid out on.
@@ -259,6 +248,13 @@ func (p PathInfo) Latency() vtime.Duration { return p.Send + p.Wire }
 // charge. It is the primitive behind OneWayLatency, SendLatency, and
 // WireLatency.
 //
+// The route is computed in closed form from the XY dimension-order
+// geometry — O(1) time and memory per call, so a 64x64 synthetic mesh
+// costs no more to construct than a 4x4 one. (Earlier revisions
+// precomputed a dense per-(src,dst) table, which is O(n^2) memory: ~400 MB
+// for 4096 tiles. The closed form evaluates exactly the same expression in
+// the same association order, so modeled virtual time is unchanged.)
+//
 // The latency model is setup-and-teardown + hops*hop + (words-1)*cycle for
 // the trailing payload words of the cut-through wormhole, plus a small
 // deterministic per-direction epsilon (+-0.5 ns) reproducing the 1 ns
@@ -270,20 +266,6 @@ func (g Geometry) Path(src, dst, words int) (PathInfo, error) {
 	}
 	if words > g.chip.UDNMaxWords {
 		return PathInfo{}, fmt.Errorf("mesh: %d words exceed UDN payload limit %d", words, g.chip.UDNMaxWords)
-	}
-	if c := g.paths; c != nil && src >= 0 && src < c.n && dst >= 0 && dst < c.n {
-		e := &c.entries[src*c.n+dst]
-		// Identical association to the direct computation below: the
-		// cached base is setup + hops*hop, then the words term, then the
-		// direction epsilon.
-		ns := e.baseNs + float64(words-1)*c.cycleNs
-		ns += directionEps(e.dir)
-		total := vtime.FromNs(ns)
-		send := c.send
-		if send > total {
-			send = total
-		}
-		return PathInfo{Hops: int(e.hops), Dir: e.dir, Send: send, Wire: total - send}, nil
 	}
 	ca, err := g.Coord(src)
 	if err != nil {
@@ -303,49 +285,6 @@ func (g Geometry) Path(src, dst, words int) (PathInfo, error) {
 		send = total
 	}
 	return PathInfo{Hops: hops, Dir: dir, Send: send, Wire: total - send}, nil
-}
-
-// pathEntry is one precomputed (src,dst) route: the XY hop count, initial
-// direction, and the words-independent share of the latency polynomial.
-type pathEntry struct {
-	baseNs float64 // UDNSetupNs + hops*HopNs; eps and the words term come later
-	hops   int32
-	dir    Direction
-}
-
-// pathCache precomputes every (src,dst) route of a test area at geometry
-// construction, so the per-packet Path call is a table load plus the
-// words-dependent terms. Entries are immutable after construction and
-// safely shared by every copy of the Geometry.
-type pathCache struct {
-	n       int
-	cycleNs float64
-	send    vtime.Duration
-	entries []pathEntry
-}
-
-func newPathCache(g Geometry) *pathCache {
-	n := g.Tiles()
-	c := &pathCache{
-		n:       n,
-		cycleNs: g.chip.CycleNs(),
-		send:    vtime.FromNs(g.chip.UDNSetupNs * g.chip.UDNSendShare),
-		entries: make([]pathEntry, n*n),
-	}
-	hopNs := g.chip.HopNs()
-	for src := 0; src < n; src++ {
-		ca := Coord{X: src % g.Width, Y: src / g.Width}
-		for dst := 0; dst < n; dst++ {
-			cb := Coord{X: dst % g.Width, Y: dst / g.Width}
-			hops := Hops(ca, cb)
-			c.entries[src*n+dst] = pathEntry{
-				baseNs: g.chip.UDNSetupNs + float64(hops)*hopNs,
-				hops:   int32(hops),
-				dir:    DirectionOf(ca, cb),
-			}
-		}
-	}
-	return c
 }
 
 // OneWayLatency models the one-way latency of a words-long packet from

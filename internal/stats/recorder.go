@@ -255,6 +255,15 @@ func (r *Recorder) LockHandoff() {
 	r.C.LockHandoffs++
 }
 
+// AtomicEmulated accounts one fetch-op that ran as a TESTSET-guarded
+// software critical section on a chip without native read-modify-write.
+func (r *Recorder) AtomicEmulated() {
+	if r == nil {
+		return
+	}
+	r.C.AtomicEmulations++
+}
+
 // OpDone counts one completed operation of class op that began at start.
 // The end time is read from clock at call time, so the idiomatic use is
 //

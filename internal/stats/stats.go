@@ -175,6 +175,13 @@ type Counters struct {
 	FaultTimeouts int64
 	FaultDelayPs  int64
 
+	// AtomicEmulations counts atomic fetch-ops that ran as TESTSET-guarded
+	// software critical sections because the chip has no native
+	// read-modify-write (arch.Chip.AtomicRMWEmulated, the Epiphany family).
+	// Zero on chips with hardware fetch-ops, so Tilera baselines are
+	// untouched.
+	AtomicEmulations int64
+
 	// Lock-algorithm counters (Config.LockAlgo; docs/SYNC.md): successful
 	// acquisitions across SetLock/TestLock, modeled retries (failed CAS
 	// attempts, or the queue depth a ticket/MCS acquire waited behind),
@@ -217,6 +224,7 @@ func (c *Counters) Add(o *Counters) {
 	c.FaultDrops += o.FaultDrops
 	c.FaultTimeouts += o.FaultTimeouts
 	c.FaultDelayPs += o.FaultDelayPs
+	c.AtomicEmulations += o.AtomicEmulations
 	c.LockAcquires += o.LockAcquires
 	c.LockRetries += o.LockRetries
 	c.LockHandoffs += o.LockHandoffs
@@ -281,6 +289,7 @@ func (c *Counters) Table() string {
 	if c.FaultDelayPs != 0 {
 		fmt.Fprintf(&b, "  %-24s %14.3f\n", "fault.delay_us", float64(c.FaultDelayPs)/1e6)
 	}
+	row("atomic.emulated", c.AtomicEmulations)
 	row("lock.acquires", c.LockAcquires)
 	row("lock.retries", c.LockRetries)
 	row("lock.handoffs", c.LockHandoffs)
@@ -324,6 +333,7 @@ func (c *Counters) Map() map[string]int64 {
 	put("fault.drops", c.FaultDrops)
 	put("fault.timeouts", c.FaultTimeouts)
 	put("fault.delay_ps", c.FaultDelayPs)
+	put("atomic.emulated", c.AtomicEmulations)
 	put("lock.acquires", c.LockAcquires)
 	put("lock.retries", c.LockRetries)
 	put("lock.handoffs", c.LockHandoffs)
@@ -383,6 +393,8 @@ func Taxonomy() string {
 		"     (2(n-1)+1 signals per n-PE linear-chain barrier instance).\n" +
 		"fault.*: injection perturbations (delays/drops/timeouts and total\n" +
 		"     injected delay) under a fault plan; zero when faults are off.\n" +
+		"atomic.emulated: fetch-ops run as TESTSET-guarded software critical\n" +
+		"     sections on chips without native RMW (the Epiphany family).\n" +
 		"lock.*: acquisitions, modeled retries/queue waits, and MCS direct\n" +
 		"     handoffs across the lock algorithms (Config.LockAlgo).\n")
 	b.WriteString("latency histogram classes (Counters.Hists, p50/p90/p99/max):\n")

@@ -260,6 +260,17 @@ var (
 	TileGx8016 = arch.Gx8016
 	// TilePro36 is the 36-tile TILEPro variant.
 	TilePro36 = arch.Pro36
+	// EpiphanyIII is the 16-core Adapteva Epiphany-III at 600 MHz
+	// (the Parallella board's E16G301; scratchpad cores, no caches).
+	EpiphanyIII = arch.EpiphanyIII
+	// EpiphanyIV is the 64-core Epiphany-IV at 800 MHz.
+	EpiphanyIV = arch.EpiphanyIV
+	// EpiphanyV is the 1024-core Epiphany-V extrapolation (parameters
+	// from the design paper, not silicon measurements).
+	EpiphanyV = arch.EpiphanyV
+	// Synthetic builds an arbitrary WxH mesh chip for scaling studies
+	// (docs/ARCHITECTURES.md); ChipByName parses "synthetic-WxH" too.
+	Synthetic = arch.Synthetic
 	// ChipByName looks a chip model up by name.
 	ChipByName = arch.ByName
 	// Chips lists all modeled processors.
