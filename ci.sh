@@ -194,6 +194,21 @@ TSHMEM_BIGMESH=1 go test ./internal/core -run '^TestBigMeshBarrierProbe$' -count
 echo "== cross-architecture smoke: chip-family sweep =="
 go run ./cmd/tshmem-bench -sweep-chips > /dev/null
 
+# Kernel smoke: the scenario corpus (internal/kernels; EXPERIMENTS.md
+# "Choosing a kernel for a sweep") must run sanitizer-clean on both
+# engines. Each probe is self-verifying — it compares the distributed
+# output against the kernel's serial oracle before reporting — so a
+# zero exit here is a differential-correctness check, not just a crash
+# check. The kernel probes are deliberately NOT in the baseline suite;
+# the cmp gates above already prove BENCH_baseline.json is untouched.
+echo "== kernel smoke: scenario corpus oracle-verified on both engines =="
+for K in sort bfs stencil wordcount; do
+    TSHMEM_SANITIZE=1 go run ./cmd/tshmem-bench -sanitize -probe "$K" > /dev/null
+    TSHMEM_SANITIZE=1 go run ./cmd/tshmem-bench -engine event -sanitize \
+        -probe "$K" > /dev/null
+done
+go run ./cmd/tshmem-bench -sweep-kernels > /dev/null
+
 # Fuzz smoke: run each native fuzz target briefly against its committed
 # seed corpus plus fresh random inputs. Failures minimize into
 # testdata/fuzz/<target>/ — commit the minimized case as a regression
@@ -201,6 +216,8 @@ go run ./cmd/tshmem-bench -sweep-chips > /dev/null
 echo "== fuzz smoke: 10s per target =="
 go test ./internal/sanitize -run '^$' -fuzz '^FuzzStridedOverlap$' -fuzztime 10s
 go test ./internal/alloc -run '^$' -fuzz '^FuzzAlloc$' -fuzztime 10s
+go test ./internal/kernels -run '^$' -fuzz '^FuzzSampleSortPartition$' -fuzztime 10s
+go test ./internal/kernels -run '^$' -fuzz '^FuzzBFSFrontier$' -fuzztime 10s
 
 # Examples smoke: every example program must build and run to completion
 # on a small input. Exit status is the check; output is the user's.
@@ -211,5 +228,6 @@ go run ./examples/fft2d -n 64 -pes 4 > /dev/null
 go run ./examples/summa -n 64 -g 2 > /dev/null
 go run ./examples/cbir -images 200 -pes 4 > /dev/null
 go run ./examples/multichip -pes 4 -chips 2 > /dev/null
+go run ./examples/kernels -pes 4 -size 200 > /dev/null
 
 echo "ci: OK"

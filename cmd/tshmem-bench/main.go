@@ -30,11 +30,21 @@
 //	tshmem-bench -engine event -json out.json  # baseline on the event engine
 //	tshmem-bench -engine-scaling             # concurrent-run throughput per engine
 //	tshmem-bench -sweep-chips                # barrier crossovers across chip families
+//	tshmem-bench -probe sort                 # scenario-corpus kernel, oracle-verified
+//	tshmem-bench -sweep-kernels              # corpus kernels across chip families
 //
 // Probes are single-run instrumented microbenchmarks (-probe, listed by
 // -list); -trace implies the barrier probe and -heatmap/-svg imply the
 // bcast probe when -probe is not given, as do the -profile family of
-// flags. -engine selects the execution engine for probe and -json suite
+// flags. The scenario-corpus kernels (sort, bfs, stencil, wordcount;
+// tshmem-info -kernels) are also probes: each run re-derives its answer
+// and checks it against the kernel's serial oracle before reporting, and
+// composes with -sanitize, -faults, -engine, and the -profile family
+// like any other probe. They are not members of the -json baseline
+// suite, so BENCH_baseline.json is unaffected by the corpus.
+// -sweep-kernels runs every kernel across the -sweep-chips chip set and
+// prints the verified-makespan table (EXPERIMENTS.md, "Choosing a
+// kernel for a sweep"). -engine selects the execution engine for probe and -json suite
 // runs (tshmem-info -engines lists them); virtual time is byte-identical
 // between engines, so an -engine event baseline diffs exactly against a
 // goroutine-engine one. -engine-scaling measures how many concurrent
@@ -100,6 +110,7 @@ func run() int {
 		lkAlgo  = flag.String("lock-algo", "", "lock algorithm for the probe: cas, ticket, mcs (default cas; see docs/SYNC.md)")
 		sweep   = flag.Bool("sweep-algos", false, "sweep every barrier/lock algorithm across PE counts on both chips and print the crossover tables (docs/SYNC.md)")
 		sweepC  = flag.Bool("sweep-chips", false, "sweep barrier algorithms across chip families (Tilera and Epiphany) at matching PE counts and print where the crossovers move (docs/ARCHITECTURES.md)")
+		sweepK  = flag.Bool("sweep-kernels", false, "run every scenario-corpus kernel across the chip families and print the oracle-verified makespan table (see EXPERIMENTS.md)")
 		profOn  = flag.Bool("profile", false, "run the probe under the causal profiler and print the per-PE blame ledger (implies -probe barrier)")
 		crit    = flag.Bool("critical-path", false, "also print the probe's virtual-time critical path (implies -profile)")
 		folded  = flag.String("folded", "", "write the probe's blame ledger as folded stacks to this file (speedscope/inferno; implies -profile)")
@@ -205,6 +216,17 @@ func run() int {
 	if *sweepC {
 		start := time.Now()
 		out, err := bench.SweepChips(bench.Options{Quick: !*full, Sanitize: *san})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tshmem-bench: %v\n", err)
+			return 1
+		}
+		fmt.Print(out)
+		fmt.Printf("(regenerated in %.1fs wall time)\n", time.Since(start).Seconds())
+		return 0
+	}
+	if *sweepK {
+		start := time.Now()
+		out, err := bench.SweepKernels(bench.Options{Quick: !*full, Sanitize: *san})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "tshmem-bench: %v\n", err)
 			return 1

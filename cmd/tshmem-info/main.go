@@ -2,9 +2,10 @@
 // and Epiphany families plus synthetic-WxH grids), including the paper's
 // Table II architecture comparison, the substrate observability counter
 // taxonomy (-counters), the fault-injection kind taxonomy (-faults), the
-// causal profiler's blame-category taxonomy (-profile), and the execution
-// engine catalogue (-engines). Flags must precede any operands: Go's flag
-// package stops parsing at the first positional argument.
+// causal profiler's blame-category taxonomy (-profile), the execution
+// engine catalogue (-engines), and the scenario-corpus workload menu
+// (-kernels). Flags must precede any operands: Go's flag package stops
+// parsing at the first positional argument.
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 	"tshmem/internal/arch"
 	"tshmem/internal/core"
 	"tshmem/internal/fault"
+	"tshmem/internal/kernels"
 	"tshmem/internal/profile"
 	"tshmem/internal/stats"
 )
@@ -55,7 +57,20 @@ func main() {
 	var faults = flag.Bool("faults", false, "print the fault-injection kind taxonomy and exit")
 	var prof = flag.Bool("profile", false, "print the causal profiler's blame-category taxonomy and exit")
 	var engines = flag.Bool("engines", false, "print the execution engine catalogue and exit")
+	var kern = flag.Bool("kernels", false, "print the scenario-corpus workload menu and exit")
 	flag.Parse()
+
+	if *kern {
+		fmt.Println("scenario-corpus kernels (internal/kernels; tshmem-bench -probe <id>):")
+		for _, k := range kernels.Kernels() {
+			fmt.Printf("  %-10s  %s\n", k.Name(), k.Title())
+		}
+		fmt.Println("Each kernel carries a serial reference oracle; every probe and sweep\n" +
+			"run is verified against it before a makespan is reported. The IDs are\n" +
+			"also valid for tshmem-bench -sweep-kernels rows and examples/kernels\n" +
+			"-kernel. See EXPERIMENTS.md (\"Choosing a kernel for a sweep\").")
+		return
+	}
 
 	if *engines {
 		fmt.Println("execution engines (core.Config.Engine; tshmem-bench -engine):")

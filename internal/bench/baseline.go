@@ -75,6 +75,11 @@ func ProbeResult(p Probe, rep *core.Report) Result {
 // concurrently across host cores; results keep registration order, and
 // deterministic virtual time makes two runs of the same tree produce
 // identical files regardless of how the host schedules them.
+//
+// RunSuite iterates the figure probes (the `probes` registry) only —
+// NOT the scenario-corpus kernel probes, which are reachable through
+// -probe/LookupProbe but would otherwise grow BENCH_baseline.json.
+// The baseline file stays byte-identical as the corpus evolves.
 func RunSuite(opts ProbeOpts) (*Baseline, error) {
 	b := &Baseline{SchemaVersion: BaselineSchemaVersion, Tool: "tshmem-bench"}
 	results := make([]Result, len(probes))

@@ -42,8 +42,8 @@ func TestBaselineRoundTripAndSelfCompare(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(b1.Results) != len(Probes()) {
-		t.Fatalf("suite produced %d results, want %d", len(b1.Results), len(Probes()))
+	if len(b1.Results) != len(SuiteProbes()) {
+		t.Fatalf("suite produced %d results, want %d", len(b1.Results), len(SuiteProbes()))
 	}
 	for _, r := range b1.Results {
 		if r.MakespanUs <= 0 || r.P50Us <= 0 || r.Chip == "" || r.PEs == 0 {
@@ -144,9 +144,9 @@ func TestCompareDetectsSlowedChip(t *testing.T) {
 			byBench[d.Benchmark] = true
 		}
 	}
-	for _, id := range ProbeIDs() {
-		if !byBench[id] {
-			t.Errorf("probe %s did not regress on the slowed chip", id)
+	for _, p := range SuiteProbes() {
+		if !byBench[p.ID] {
+			t.Errorf("probe %s did not regress on the slowed chip", p.ID)
 		}
 	}
 	// The reverse comparison is an improvement, never a regression.

@@ -1,0 +1,74 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"tshmem/internal/kernels"
+)
+
+// The kernel probes must be reachable through the -probe machinery but
+// must NOT be members of the baseline suite (BENCH_baseline.json is
+// CI-gated byte-identical).
+func TestKernelProbesRegisteredOutsideSuite(t *testing.T) {
+	suite := map[string]bool{}
+	for _, p := range SuiteProbes() {
+		suite[p.ID] = true
+	}
+	for _, name := range kernels.Names() {
+		p, ok := LookupProbe(name)
+		if !ok {
+			t.Fatalf("kernel %s has no probe", name)
+		}
+		if p.ID != name || p.Title == "" {
+			t.Errorf("kernel probe %s malformed: %+v", name, p)
+		}
+		if suite[name] {
+			t.Errorf("kernel probe %s leaked into the baseline suite", name)
+		}
+	}
+	if len(Probes()) != len(SuiteProbes())+len(kernels.Names()) {
+		t.Errorf("Probes() lists %d probes, want %d figure + %d kernel",
+			len(Probes()), len(SuiteProbes()), len(kernels.Names()))
+	}
+}
+
+// A kernel probe is self-verifying: the report only comes back if the
+// output matched the serial oracle, and a sanitized run stays clean.
+func TestKernelProbeSelfVerifies(t *testing.T) {
+	for _, name := range []string{"sort", "bfs"} {
+		p, ok := LookupProbe(name)
+		if !ok {
+			t.Fatal(name)
+		}
+		rep, err := p.Run(ProbeOpts{Sanitize: true})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(rep.Diagnostics) != 0 {
+			t.Fatalf("%s: sanitizer diagnostics: %v", name, rep.Diagnostics)
+		}
+		if rep.MaxTime <= 0 {
+			t.Fatalf("%s: degenerate makespan", name)
+		}
+	}
+}
+
+// SweepKernels renders one verified-makespan row per kernel with one
+// column per swept chip family.
+func TestSweepKernelsTable(t *testing.T) {
+	out, err := SweepKernels(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range kernels.Names() {
+		if !strings.Contains(out, name) {
+			t.Errorf("sweep table missing kernel %s:\n%s", name, out)
+		}
+	}
+	for _, chip := range sweepChipSet() {
+		if !strings.Contains(out, chip.Name) {
+			t.Errorf("sweep table missing chip %s:\n%s", chip.Name, out)
+		}
+	}
+}

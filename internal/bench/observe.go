@@ -164,8 +164,19 @@ var probes = []Probe{
 	},
 }
 
-// Probes lists the observability probes in registration order.
+// Probes lists every probe — the figure probes above, then the
+// scenario-corpus kernel probes (kernels.go) — in registration order.
+// Only the figure probes feed RunSuite and BENCH_baseline.json; the
+// kernel probes are run individually via -probe.
 func Probes() []Probe {
+	out := make([]Probe, 0, len(probes)+4)
+	out = append(out, probes...)
+	return append(out, kernelProbes()...)
+}
+
+// SuiteProbes lists only the figure probes — the RunSuite membership
+// whose results BENCH_baseline.json records.
+func SuiteProbes() []Probe {
 	out := make([]Probe, len(probes))
 	copy(out, probes)
 	return out
@@ -173,8 +184,9 @@ func Probes() []Probe {
 
 // ProbeIDs lists the valid -probe arguments in registration order.
 func ProbeIDs() []string {
-	ids := make([]string, len(probes))
-	for i, p := range probes {
+	all := Probes()
+	ids := make([]string, len(all))
+	for i, p := range all {
 		ids[i] = p.ID
 	}
 	return ids
@@ -182,7 +194,7 @@ func ProbeIDs() []string {
 
 // LookupProbe finds a probe by ID.
 func LookupProbe(id string) (Probe, bool) {
-	for _, p := range probes {
+	for _, p := range Probes() {
 		if p.ID == id {
 			return p, true
 		}

@@ -1,0 +1,111 @@
+package kernels
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"tshmem/internal/arch"
+	"tshmem/internal/core"
+)
+
+// compareKernelRuns asserts byte-identity of everything two runs of
+// the same kernel produced: outputs, report fields, diagnostics,
+// fault counts, serialized traces, and profiles. The kernels package
+// version of internal/core's compareEngineRuns, applied to Launch
+// results.
+func compareKernelRuns(t *testing.T, label string, g, e *core.Report, gOut, eOut []int64) {
+	t.Helper()
+	if !reflect.DeepEqual(gOut, eOut) {
+		t.Errorf("%s: kernel outputs diverged between engines", label)
+	}
+	if !reflect.DeepEqual(g.PETimes, e.PETimes) {
+		t.Errorf("%s: PETimes diverged:\n  goroutine: %v\n  event:     %v", label, g.PETimes, e.PETimes)
+	}
+	if g.MaxTime != e.MaxTime || g.MinTime != e.MinTime {
+		t.Errorf("%s: makespan diverged: [%v,%v] vs [%v,%v]", label, g.MinTime, g.MaxTime, e.MinTime, e.MaxTime)
+	}
+	if !reflect.DeepEqual(g.PECounters, e.PECounters) {
+		t.Errorf("%s: substrate counters diverged", label)
+	}
+	if !reflect.DeepEqual(g.Diagnostics, e.Diagnostics) {
+		t.Errorf("%s: diagnostics diverged:\n  goroutine: %v\n  event:     %v", label, g.Diagnostics, e.Diagnostics)
+	}
+	if !reflect.DeepEqual(g.FaultCounts, e.FaultCounts) {
+		t.Errorf("%s: fault counts diverged: %v vs %v", label, g.FaultCounts, e.FaultCounts)
+	}
+	var gt, et bytes.Buffer
+	if err := g.TraceTo(&gt); err != nil {
+		t.Fatalf("%s: goroutine TraceTo: %v", label, err)
+	}
+	if err := e.TraceTo(&et); err != nil {
+		t.Fatalf("%s: event TraceTo: %v", label, err)
+	}
+	if !bytes.Equal(gt.Bytes(), et.Bytes()) {
+		t.Errorf("%s: serialized traces are not byte-identical (%d vs %d bytes)", label, gt.Len(), et.Len())
+	}
+	gp, ep := g.Profile(), e.Profile()
+	if (gp == nil) != (ep == nil) {
+		t.Fatalf("%s: one engine produced a profile, the other did not", label)
+	}
+	if gp != nil {
+		if gp.BlameTable() != ep.BlameTable() {
+			t.Errorf("%s: blame tables diverged:\n--- goroutine\n%s--- event\n%s", label, gp.BlameTable(), ep.BlameTable())
+		}
+		if gp.PathTable() != ep.PathTable() {
+			t.Errorf("%s: critical paths diverged", label)
+		}
+		var gj, ej bytes.Buffer
+		if err := gp.WriteJSON(&gj); err != nil {
+			t.Fatal(err)
+		}
+		if err := ep.WriteJSON(&ej); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(gj.Bytes(), ej.Bytes()) {
+			t.Errorf("%s: profile JSON is not byte-identical", label)
+		}
+	}
+	if g.EngineUsed != "goroutine" || e.EngineUsed != "event" {
+		t.Errorf("%s: EngineUsed = %q / %q", label, g.EngineUsed, e.EngineUsed)
+	}
+	if e.MaxRunnablePEs != 1 {
+		t.Errorf("%s: event engine let %d PEs run at once, want exactly 1", label, e.MaxRunnablePEs)
+	}
+}
+
+// TestKernelEngineEquivalence extends PR 8's equivalence matrix to the
+// scenario corpus: every kernel, on two chip families (including
+// Epiphany-III's emulated-RMW path), must produce byte-identical
+// reports, traces, diagnostics, and profiles under the goroutine and
+// event engines — with observation, tracing, sanitizing, and
+// profiling all on, and outputs verified against the oracle on both.
+func TestKernelEngineEquivalence(t *testing.T) {
+	for _, k := range Kernels() {
+		for _, chip := range []*arch.Chip{arch.Gx8036(), arch.EpiphanyIII()} {
+			k, chip := k, chip
+			t.Run(fmt.Sprintf("%s/%s", k.Name(), chip.Name), func(t *testing.T) {
+				t.Parallel()
+				s := testSpec(k.Name(), 4, 5)
+				cfg := core.Config{
+					Chip: chip, Observe: true, Trace: true, Sanitize: true, Profile: true,
+				}
+				gc, ec := cfg, cfg
+				gc.Engine = core.EngineGoroutine
+				ec.Engine = core.EngineEvent
+				g, gOut, gerr := Launch(k, s, gc)
+				e, eOut, eerr := Launch(k, s, ec)
+				if gerr != nil || eerr != nil {
+					t.Fatalf("run failed:\n  goroutine: %v\n  event:     %v", gerr, eerr)
+				}
+				for eng, out := range map[string][]int64{"goroutine": gOut, "event": eOut} {
+					if err := k.Verify(s, out); err != nil {
+						t.Fatalf("%s engine output fails the oracle: %v", eng, err)
+					}
+				}
+				compareKernelRuns(t, k.Name()+"/"+chip.Name, g, e, gOut, eOut)
+			})
+		}
+	}
+}

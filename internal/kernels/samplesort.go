@@ -1,0 +1,216 @@
+package kernels
+
+import (
+	"fmt"
+
+	"tshmem/internal/core"
+)
+
+// sampleSort is a distributed sample-sort: the all-to-all-exchange
+// member of the corpus. Each PE sorts its key block, contributes p
+// regular samples, and all PEs agree on p-1 splitters from the p*p
+// collected samples. Keys are then partitioned into buckets — one per
+// PE — and delivered with a put storm into each bucket owner's receive
+// buffer at exact offsets computed from an FCollect'ed p x p count
+// matrix. After a final local sort, a variable-size Collect
+// concatenates the buckets in PE order: globally sorted output.
+//
+// Skeleton exercised: FCollect, Collect, bulk puts with Quiet fencing,
+// and the offset bookkeeping where a one-element error corrupts data
+// silently — exactly what the differential oracle is for.
+type sampleSort struct{}
+
+func (sampleSort) Name() string  { return "sort" }
+func (sampleSort) Title() string { return "distributed sample-sort (all-to-all exchange)" }
+
+func (sampleSort) norm(s Spec) Spec {
+	if s.Size <= 0 {
+		s.Size = 2048
+	}
+	return s
+}
+
+func (sampleSort) HeapPerPE(s Spec) int64 {
+	s = sampleSort{}.norm(s)
+	n, p := int64(s.Size), int64(s.NPEs)
+	if p <= 0 {
+		p = 64
+	}
+	// keys are private; symmetric: samples p + allSamples p^2 + counts p
+	// + count matrix p^2 + recv n + out n + psync/pwrk slack.
+	return (3*n + 3*p*p + 4*p + 256) * 8
+}
+
+// sortKeyAt is the deterministic key generator: key i of the instance
+// seeded by seed.
+func sortKeyAt(seed int64, i int) int64 {
+	return hash(seed, 0x5057, int64(i)) % 1_000_000
+}
+
+// chooseSplitters picks p-1 splitters from the sorted p*p sample
+// vector: the last sample of each of the first p-1 sample groups.
+// Shared with FuzzSampleSortPartition.
+func chooseSplitters(sortedSamples []int64, p int) []int64 {
+	sp := make([]int64, 0, p-1)
+	for j := 1; j < p; j++ {
+		sp = append(sp, sortedSamples[j*p-1])
+	}
+	return sp
+}
+
+// bucketOf maps a key to its destination bucket: the first j with
+// key <= splitters[j], else the last bucket. Monotone in the key, so
+// concatenating per-bucket sorted runs yields a globally sorted
+// sequence for ANY splitter vector — the invariant the fuzz target
+// leans on. Shared with FuzzSampleSortPartition.
+func bucketOf(key int64, splitters []int64) int {
+	for j, s := range splitters {
+		if key <= s {
+			return j
+		}
+	}
+	return len(splitters)
+}
+
+func (k sampleSort) Run(pe *core.PE, s Spec) ([]int64, error) {
+	s = k.norm(s)
+	p, me, n := pe.NumPEs(), pe.MyPE(), s.Size
+	if n < p {
+		return nil, fmt.Errorf("sort: %d keys cannot feed %d PEs", n, p)
+	}
+	lo, hi := blockLo(me, n, p), blockLo(me+1, n, p)
+	mine := make([]int64, hi-lo)
+
+	samples, err := core.Malloc[int64](pe, p)
+	if err != nil {
+		return nil, err
+	}
+	allSamples, err := core.Malloc[int64](pe, p*p)
+	if err != nil {
+		return nil, err
+	}
+	counts, err := core.Malloc[int64](pe, p)
+	if err != nil {
+		return nil, err
+	}
+	countMat, err := core.Malloc[int64](pe, p*p)
+	if err != nil {
+		return nil, err
+	}
+	recv, err := core.Malloc[int64](pe, n)
+	if err != nil {
+		return nil, err
+	}
+	outRef, err := core.Malloc[int64](pe, n)
+	if err != nil {
+		return nil, err
+	}
+	ps, err := core.Malloc[int64](pe, core.CollectSyncSize)
+	if err != nil {
+		return nil, err
+	}
+	as := core.AllPEs(p)
+
+	// Untimed setup: materialize my key block.
+	for i := range mine {
+		mine[i] = sortKeyAt(s.Seed, lo+i)
+	}
+	if err := pe.AlignClocks(); err != nil {
+		return nil, err
+	}
+
+	// Phase 1: local sort + regular sampling.
+	sortI64(mine)
+	chargeSort(pe, len(mine))
+	sv := core.MustLocal(pe, samples)
+	for j := 0; j < p; j++ {
+		sv[j] = mine[(2*j+1)*len(mine)/(2*p)]
+	}
+
+	// Phase 2: gather everyone's samples; all PEs derive the same
+	// splitters from the same sorted sample vector.
+	if err := core.FCollect(pe, allSamples, samples, p, as, ps); err != nil {
+		return nil, err
+	}
+	all := append([]int64(nil), core.MustLocal(pe, allSamples)...)
+	sortI64(all)
+	chargeSort(pe, len(all))
+	splitters := chooseSplitters(all, p)
+
+	// Phase 3: bucket counts. mine is sorted and bucketOf is monotone,
+	// so each bucket is a contiguous run [bLo[j], bLo[j+1]).
+	bLo := make([]int, p+1)
+	cv := core.MustLocal(pe, counts)
+	i := 0
+	for j := 0; j < p; j++ {
+		bLo[j] = i
+		for i < len(mine) && bucketOf(mine[i], splitters) == j {
+			i++
+		}
+		cv[j] = int64(i - bLo[j])
+	}
+	bLo[p] = i
+	pe.ComputeIntOps(int64(len(mine)))
+	if err := core.FCollect(pe, countMat, counts, p, as, ps); err != nil {
+		return nil, err
+	}
+
+	// Phase 4: all-to-all put storm. countMat[i*p+j] = PE i's count for
+	// bucket j; my bucket j lands on PE j at offset sum_{i<me} of
+	// column j.
+	cm := core.MustLocal(pe, countMat)
+	for j := 0; j < p; j++ {
+		off := 0
+		for i := 0; i < me; i++ {
+			off += int(cm[i*p+j])
+		}
+		if seg := mine[bLo[j]:bLo[j+1]]; len(seg) > 0 {
+			if err := core.PutSlice(pe, recv.Slice(off, off+len(seg)), seg, j); err != nil {
+				return nil, err
+			}
+		}
+	}
+	pe.Quiet()
+	if err := pe.BarrierAll(); err != nil {
+		return nil, err
+	}
+
+	// Phase 5: sort my bucket; the concatenation of buckets in PE
+	// order is the globally sorted sequence.
+	myCount := 0
+	for i := 0; i < p; i++ {
+		myCount += int(cm[i*p+me])
+	}
+	rv := core.MustLocal(pe, recv)
+	sortI64(rv[:myCount])
+	chargeSort(pe, myCount)
+	if err := core.Collect(pe, outRef, recv, myCount, as, ps); err != nil {
+		return nil, err
+	}
+	if err := pe.BarrierAll(); err != nil {
+		return nil, err
+	}
+	if me != 0 {
+		return nil, nil
+	}
+	return append([]int64(nil), core.MustLocal(pe, outRef)[:n]...), nil
+}
+
+func (k sampleSort) RefSolve(s Spec) []int64 {
+	s = k.norm(s)
+	keys := make([]int64, s.Size)
+	for i := range keys {
+		keys[i] = sortKeyAt(s.Seed, i)
+	}
+	sortI64(keys)
+	return keys
+}
+
+func (k sampleSort) Verify(s Spec, got []int64) error {
+	for i := 1; i < len(got); i++ {
+		if got[i-1] > got[i] {
+			return fmt.Errorf("sort: output not sorted at %d: %d > %d", i, got[i-1], got[i])
+		}
+	}
+	return eqOracle("sort", got, k.RefSolve(s))
+}

@@ -1,0 +1,244 @@
+package kernels
+
+import (
+	"fmt"
+
+	"tshmem/internal/core"
+)
+
+// stencilKernel is a 5-point Jacobi relaxation on an n x n integer
+// grid with a configurable-width halo: the ghost-cell member of the
+// corpus. Rows are block-distributed; each superstep exchanges w
+// boundary rows with each neighbor (ghost-cell puts + Quiet fencing +
+// barrier), then runs w sub-iterations locally, shrinking the valid
+// region by one row per sub-iteration — the classic deep-halo
+// trade-off of communication volume against synchronization rate.
+// Boundary rows and columns are held fixed; the update is pure integer
+// arithmetic ((4c + N + S + W + E) / 8), so the serial oracle matches
+// bit-for-bit.
+//
+// Skeleton exercised: neighbor puts at offsets computed from the
+// REMOTE PE's block geometry (uneven blocks make a one-row error
+// land silently without the oracle), double buffering, and the
+// quiet-then-barrier fence discipline the sanitizer audits.
+type stencilKernel struct{}
+
+func (stencilKernel) Name() string  { return "stencil" }
+func (stencilKernel) Title() string { return "halo-exchange Jacobi stencil (ghost-cell puts)" }
+
+func (stencilKernel) norm(s Spec) Spec {
+	if s.Size <= 0 {
+		s.Size = 48
+	}
+	if s.Size < 4 {
+		s.Size = 4
+	}
+	if s.Width <= 0 {
+		s.Width = 1
+	}
+	if s.Iters <= 0 {
+		s.Iters = 4 * s.Width
+	}
+	if rem := s.Iters % s.Width; rem != 0 {
+		s.Iters += s.Width - rem
+	}
+	return s
+}
+
+func (stencilKernel) HeapPerPE(s Spec) int64 {
+	s = stencilKernel{}.norm(s)
+	n, w := int64(s.Size), int64(s.Width)
+	p := int64(s.NPEs)
+	if p <= 0 {
+		p = 1
+	}
+	maxRows := (n + p - 1) / p
+	return (2*(maxRows+2*w)*n + n*n + 256) * 8
+}
+
+// stencilValAt is the initial grid value at (row, col).
+func stencilValAt(seed int64, r, c int) int64 {
+	return hash(seed, 0x57e, int64(r), int64(c)) % 1024
+}
+
+// stencilStep advances the full grid once: interior cells take
+// (4c + N + S + W + E) / 8; boundary rows and columns are fixed.
+// Serial oracle core, shared by RefSolve.
+func stencilStep(dst, src []int64, n int) {
+	copy(dst[:n], src[:n])
+	copy(dst[(n-1)*n:], src[(n-1)*n:])
+	for r := 1; r < n-1; r++ {
+		row := r * n
+		dst[row] = src[row]
+		dst[row+n-1] = src[row+n-1]
+		for c := 1; c < n-1; c++ {
+			i := row + c
+			dst[i] = (4*src[i] + src[i-n] + src[i+n] + src[i-1] + src[i+1]) / 8
+		}
+	}
+}
+
+func (k stencilKernel) Run(pe *core.PE, s Spec) ([]int64, error) {
+	s = k.norm(s)
+	p, me, n, w := pe.NumPEs(), pe.MyPE(), s.Size, s.Width
+	if n/p < w {
+		return nil, fmt.Errorf("stencil: %d rows over %d PEs gives blocks under the halo width %d", n, p, w)
+	}
+	myLo := blockLo(me, n, p)
+	myRows := blockLo(me+1, n, p) - myLo
+	maxRows := (n + p - 1) / p
+	bufRows := maxRows + 2*w // symmetric allocation; each PE uses myRows+2w of it
+
+	var grid [2]core.Ref[int64]
+	var err error
+	for i := range grid {
+		if grid[i], err = core.Malloc[int64](pe, bufRows*n); err != nil {
+			return nil, err
+		}
+	}
+	outRef, err := core.Malloc[int64](pe, n*n)
+	if err != nil {
+		return nil, err
+	}
+	ps, err := core.Malloc[int64](pe, core.CollectSyncSize)
+	if err != nil {
+		return nil, err
+	}
+	as := core.AllPEs(p)
+
+	// Untimed setup: my owned rows at local offset w.
+	g0 := core.MustLocal(pe, grid[0])
+	for r := 0; r < myRows; r++ {
+		for c := 0; c < n; c++ {
+			g0[(w+r)*n+c] = stencilValAt(s.Seed, myLo+r, c)
+		}
+	}
+	if err := pe.AlignClocks(); err != nil {
+		return nil, err
+	}
+
+	cur := 0
+	// Valid row interval [a, b) in the local buffer; edges own their
+	// outer boundary, so their interval never shrinks on that side.
+	a, b := 0, myRows+2*w
+	if me == 0 {
+		a = w
+	}
+	if me == p-1 {
+		b = w + myRows
+	}
+	for t := 0; t < s.Iters; t += w {
+		// Halo exchange from the current buffer. The leading barrier
+		// keeps this superstep's puts from overwriting halo rows a
+		// neighbor is still reading in the previous superstep.
+		if err := pe.BarrierAll(); err != nil {
+			return nil, err
+		}
+		if me > 0 {
+			upRows := blockLo(me, n, p) - blockLo(me-1, n, p)
+			dst := (w + upRows) * n // my top w owned rows are up's bottom halo
+			if err := core.Put(pe, grid[cur].Slice(dst, dst+w*n), grid[cur].Slice(w*n, 2*w*n), w*n, me-1); err != nil {
+				return nil, err
+			}
+		}
+		if me < p-1 {
+			src := (myRows) * n // my bottom w owned rows are down's top halo
+			if err := core.Put(pe, grid[cur].Slice(0, w*n), grid[cur].Slice(src, src+w*n), w*n, me+1); err != nil {
+				return nil, err
+			}
+		}
+		pe.Quiet()
+		if err := pe.BarrierAll(); err != nil {
+			return nil, err
+		}
+		// Halos restore the full valid interval.
+		a, b = 0, myRows+2*w
+		if me == 0 {
+			a = w
+		}
+		if me == p-1 {
+			b = w + myRows
+		}
+
+		// w local sub-iterations, each shrinking the interior side of
+		// the valid interval by one row.
+		for j := 0; j < w; j++ {
+			na, nb := a+1, b-1
+			if me == 0 {
+				na = w
+			}
+			if me == p-1 {
+				nb = w + myRows
+			}
+			cv := core.MustLocal(pe, grid[cur])
+			nv := core.MustLocal(pe, grid[1-cur])
+			for r := na; r < nb; r++ {
+				gr := myLo + r - w // global row
+				row := r * n
+				if gr == 0 || gr == n-1 {
+					copy(nv[row:row+n], cv[row:row+n])
+					continue
+				}
+				nv[row] = cv[row]
+				nv[row+n-1] = cv[row+n-1]
+				for c := 1; c < n-1; c++ {
+					i := row + c
+					nv[i] = (4*cv[i] + cv[i-n] + cv[i+n] + cv[i-1] + cv[i+1]) / 8
+				}
+			}
+			pe.ComputeIntOps(int64(nb-na) * int64(n) * 8)
+			a, b = na, nb
+			cur = 1 - cur
+		}
+	}
+
+	// Gather the owned blocks in PE order: row-block layout makes the
+	// concatenation the full grid.
+	if err := pe.BarrierAll(); err != nil {
+		return nil, err
+	}
+	if err := core.Collect(pe, outRef, grid[cur].Slice(w*n, (w+myRows)*n), myRows*n, as, ps); err != nil {
+		return nil, err
+	}
+	if err := pe.BarrierAll(); err != nil {
+		return nil, err
+	}
+	if me != 0 {
+		return nil, nil
+	}
+	return append([]int64(nil), core.MustLocal(pe, outRef)...), nil
+}
+
+func (k stencilKernel) RefSolve(s Spec) []int64 {
+	s = k.norm(s)
+	n := s.Size
+	src := make([]int64, n*n)
+	dst := make([]int64, n*n)
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			src[r*n+c] = stencilValAt(s.Seed, r, c)
+		}
+	}
+	for t := 0; t < s.Iters; t++ {
+		stencilStep(dst, src, n)
+		src, dst = dst, src
+	}
+	return src
+}
+
+func (k stencilKernel) Verify(s Spec, got []int64) error {
+	s = k.norm(s)
+	n := s.Size
+	if len(got) != n*n {
+		return fmt.Errorf("stencil: output has %d cells, want %d", len(got), n*n)
+	}
+	// Fixed-boundary invariant: edge cells never change.
+	for c := 0; c < n; c++ {
+		for _, r := range []int{0, n - 1} {
+			if want := stencilValAt(s.Seed, r, c); got[r*n+c] != want {
+				return fmt.Errorf("stencil: fixed boundary (%d,%d) drifted to %d, want %d", r, c, got[r*n+c], want)
+			}
+		}
+	}
+	return eqOracle("stencil", got, k.RefSolve(s))
+}

@@ -1,0 +1,212 @@
+package kernels
+
+import (
+	"fmt"
+
+	"tshmem/internal/core"
+)
+
+// wordCount is a map-reduce word count: the mutual-exclusion-plus-
+// reduction member of the corpus. A stream of Size words drawn from a
+// V-word vocabulary is block-distributed; each PE histograms its block
+// privately (map), then folds its counts into a distributed bucket
+// array — vocabulary-block per owner PE — under per-owner locks
+// (shuffle). The lock schedule is a rotation: in round r, PE me
+// updates owner (me+r) mod p, so all p concurrent acquisitions hit
+// distinct locks and every acquisition is uncontended — lock
+// DISCIPLINE is exercised (SetLock / get-modify-put / Quiet /
+// ClearLock) while virtual time stays host-schedule-independent,
+// which the cross-engine byte-identity tests require.
+//
+// Independently, the same private histograms go through SumToAll tree
+// reduction (honoring Config.Reduce), and Run cross-checks the two
+// paths element-for-element on every PE — a differential test between
+// two synchronization disciplines inside the kernel itself, before
+// the PE-0 output ever reaches the serial oracle.
+type wordCount struct{}
+
+func (wordCount) Name() string  { return "wordcount" }
+func (wordCount) Title() string { return "map-reduce word count (locked buckets + tree reduction)" }
+
+func (wordCount) norm(s Spec) Spec {
+	if s.Size <= 0 {
+		s.Size = 4096
+	}
+	return s
+}
+
+// wcVocab sizes the vocabulary from the stream length: between 16 and
+// 256 distinct words, so small runs still collide and large runs
+// still contend for every bucket block.
+func wcVocab(size int) int {
+	v := size / 8
+	if v < 16 {
+		v = 16
+	}
+	if v > 256 {
+		v = 256
+	}
+	return v
+}
+
+// wcWordAt is the deterministic stream generator: word index of
+// stream position i.
+func wcWordAt(seed int64, i, vocab int) int {
+	return int(hash(seed, 0xc09, int64(i)) % int64(vocab))
+}
+
+func (wordCount) HeapPerPE(s Spec) int64 {
+	s = wordCount{}.norm(s)
+	v := int64(wcVocab(s.Size))
+	p := int64(s.NPEs)
+	if p <= 0 {
+		p = 1
+	}
+	perPE := (v + p - 1) / p
+	// buckets + locks + two reduction vectors + pwrk + collected
+	// buckets + psync.
+	return (perPE + p + 2*v + v + core.ReduceMinWrkSize + perPE*p + 64) * 8
+}
+
+func (k wordCount) Run(pe *core.PE, s Spec) ([]int64, error) {
+	s = k.norm(s)
+	p, me, words := pe.NumPEs(), pe.MyPE(), s.Size
+	vocab := wcVocab(words)
+	perPE := (vocab + p - 1) / p
+
+	buckets, err := core.Malloc[int64](pe, perPE)
+	if err != nil {
+		return nil, err
+	}
+	locks, err := core.Malloc[int64](pe, p)
+	if err != nil {
+		return nil, err
+	}
+	redIn, err := core.Malloc[int64](pe, vocab)
+	if err != nil {
+		return nil, err
+	}
+	redOut, err := core.Malloc[int64](pe, vocab)
+	if err != nil {
+		return nil, err
+	}
+	pwrk, err := core.Malloc[int64](pe, vocab+core.ReduceMinWrkSize)
+	if err != nil {
+		return nil, err
+	}
+	bucketsAll, err := core.Malloc[int64](pe, perPE*p)
+	if err != nil {
+		return nil, err
+	}
+	ps, err := core.Malloc[int64](pe, core.CollectSyncSize)
+	if err != nil {
+		return nil, err
+	}
+	as := core.AllPEs(p)
+
+	// Map (untimed setup generates, timed region histograms). My
+	// bucket block starts empty; the pre-shuffle barrier publishes it.
+	for j := range core.MustLocal(pe, buckets) {
+		core.MustLocal(pe, buckets)[j] = 0
+	}
+	lo, hi := blockLo(me, words, p), blockLo(me+1, words, p)
+	mine := make([]int, hi-lo)
+	for i := range mine {
+		mine[i] = wcWordAt(s.Seed, lo+i, vocab)
+	}
+	if err := pe.AlignClocks(); err != nil {
+		return nil, err
+	}
+
+	hist := make([]int64, vocab)
+	for _, w := range mine {
+		hist[w]++
+	}
+	pe.ComputeIntOps(int64(len(mine)) * 2)
+	if err := pe.BarrierAll(); err != nil {
+		return nil, err
+	}
+
+	// Shuffle: rotate over bucket owners; lock owner q's block, fold
+	// my contribution in with a get-modify-put, release. The barrier
+	// per round keeps acquisitions uncontended by construction.
+	tmp := make([]int64, perPE)
+	for r := 0; r < p; r++ {
+		q := (me + r) % p
+		if err := pe.SetLock(locks.At(q)); err != nil {
+			return nil, err
+		}
+		if err := core.GetSlice(pe, tmp, buckets, q); err != nil {
+			return nil, err
+		}
+		for j := 0; j < perPE; j++ {
+			if w := q*perPE + j; w < vocab {
+				tmp[j] += hist[w]
+			}
+		}
+		pe.ComputeIntOps(int64(perPE))
+		if err := core.PutSlice(pe, buckets, tmp, q); err != nil {
+			return nil, err
+		}
+		pe.Quiet()
+		if err := pe.ClearLock(locks.At(q)); err != nil {
+			return nil, err
+		}
+		if err := pe.BarrierAll(); err != nil {
+			return nil, err
+		}
+	}
+
+	// Reduce: the same histograms through the SumToAll tree.
+	copy(core.MustLocal(pe, redIn), hist)
+	if err := core.SumToAll(pe, redOut, redIn, vocab, as, pwrk, ps); err != nil {
+		return nil, err
+	}
+
+	// Cross-check the lock path against the reduction path on EVERY
+	// PE: two sync disciplines, one answer.
+	if err := core.FCollect(pe, bucketsAll, buckets, perPE, as, ps); err != nil {
+		return nil, err
+	}
+	ba := core.MustLocal(pe, bucketsAll)
+	ro := core.MustLocal(pe, redOut)
+	for w := 0; w < vocab; w++ {
+		if ba[w] != ro[w] {
+			return nil, fmt.Errorf("wordcount: PE %d sees locked bucket[%d] = %d but reduction says %d",
+				me, w, ba[w], ro[w])
+		}
+	}
+	if err := pe.BarrierAll(); err != nil {
+		return nil, err
+	}
+	if me != 0 {
+		return nil, nil
+	}
+	return append([]int64(nil), ba[:vocab]...), nil
+}
+
+func (k wordCount) RefSolve(s Spec) []int64 {
+	s = k.norm(s)
+	vocab := wcVocab(s.Size)
+	counts := make([]int64, vocab)
+	for i := 0; i < s.Size; i++ {
+		counts[wcWordAt(s.Seed, i, vocab)]++
+	}
+	return counts
+}
+
+func (k wordCount) Verify(s Spec, got []int64) error {
+	s = k.norm(s)
+	var total int64
+	for _, c := range got {
+		if c < 0 {
+			return fmt.Errorf("wordcount: negative count %d", c)
+		}
+		total += c
+	}
+	// Conservation: every word in the stream is counted exactly once.
+	if total != int64(s.Size) {
+		return fmt.Errorf("wordcount: counts sum to %d, want %d", total, s.Size)
+	}
+	return eqOracle("wordcount", got, k.RefSolve(s))
+}
